@@ -1,0 +1,466 @@
+use std::time::Instant;
+
+use dimboost_core::hist_build::build_row;
+use dimboost_core::loss::{loss_for, GradPair};
+use dimboost_core::{
+    FeatureMeta, GbdtConfig, GbdtModel, LossPoint, NodeIndex, Optimizations, RunBreakdown,
+    Tree,
+};
+use dimboost_data::Dataset;
+use dimboost_ps::split::{best_split_in_range, FinalSplit};
+use dimboost_ps::PsConfig;
+use dimboost_simnet::collectives::{
+    allreduce_binomial, reduce_scatter_halving, reduce_to_one,
+};
+use dimboost_simnet::{CommStats, CostModel, SimTime};
+use dimboost_sketch::{propose_candidates, GkSketch, SplitCandidates};
+
+/// Which baseline aggregation strategy to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Spark MLlib: all-to-one reduce per tree node.
+    Mllib,
+    /// XGBoost: binomial-tree AllReduce.
+    Xgboost,
+    /// LightGBM (data-parallel): recursive-halving ReduceScatter.
+    Lightgbm,
+}
+
+impl BaselineKind {
+    /// Human-readable system name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::Mllib => "MLlib",
+            BaselineKind::Xgboost => "XGBoost",
+            BaselineKind::Lightgbm => "LightGBM",
+        }
+    }
+}
+
+/// Output of a baseline run — same shape as the DimBoost trainer's so the
+/// benchmark harness can tabulate them side by side.
+#[derive(Debug, Clone)]
+pub struct BaselineOutput {
+    /// The trained ensemble.
+    pub model: GbdtModel,
+    /// Compute (wall, max-across-workers) + communication (simulated).
+    pub breakdown: RunBreakdown,
+    /// Per-tree training loss.
+    pub loss_curve: Vec<LossPoint>,
+}
+
+/// Runs one collective aggregation of per-worker rows, returning the merged
+/// row and absorbing the collective's cost into `stats`.
+fn aggregate(
+    kind: BaselineKind,
+    buffers: &[Vec<f32>],
+    root: usize,
+    cost: &CostModel,
+    stats: &mut CommStats,
+) -> Vec<f32> {
+    match kind {
+        BaselineKind::Mllib => {
+            let (row, s) = reduce_to_one(buffers, root, cost);
+            stats.absorb(&s);
+            row
+        }
+        BaselineKind::Xgboost => {
+            let (row, s) = allreduce_binomial(buffers, cost);
+            stats.absorb(&s);
+            row
+        }
+        BaselineKind::Lightgbm => {
+            let (scattered, s) = reduce_scatter_halving(buffers, cost);
+            stats.absorb(&s);
+            // Each owner scans its own features; the winners are exchanged
+            // in O(1)-sized messages (charged below by the caller). For the
+            // data path the assembled row is equivalent.
+            scattered.assemble()
+        }
+    }
+}
+
+/// Trains a GBDT model with a baseline system's aggregation strategy and
+/// dense histogram construction. Deterministic in `(config.seed, shards)`.
+pub fn train_baseline(
+    kind: BaselineKind,
+    shards: &[Dataset],
+    config: &GbdtConfig,
+    cost: CostModel,
+) -> Result<BaselineOutput, String> {
+    config.validate()?;
+    if shards.is_empty() {
+        return Err("need at least one worker shard".into());
+    }
+    let num_features = shards[0].num_features();
+    if shards.iter().any(|s| s.num_features() != num_features) {
+        return Err("all shards must share the same dimensionality".into());
+    }
+    let total_instances: usize = shards.iter().map(|s| s.num_rows()).sum();
+    if total_instances == 0 {
+        return Err("cannot train on zero instances".into());
+    }
+
+    let w = shards.len();
+    let loss = loss_for(config.loss);
+    let params = config.split_params();
+    let mut comm = CommStats::new();
+    let mut compute_secs = 0.0f64;
+
+    // ---- Quantile sketches, aggregated with the system's own collective. --
+    let mut sketch_sets: Vec<Vec<GkSketch>> = Vec::with_capacity(w);
+    {
+        let mut max = 0.0f64;
+        let eps = config.sketch_eps / ((w as f64).log2() + 2.0).max(2.0);
+        for shard in shards {
+            let start = Instant::now();
+            let mut sketches: Vec<GkSketch> =
+                (0..num_features).map(|_| GkSketch::new(eps)).collect();
+            for (row, _) in shard.iter_rows() {
+                for (f, v) in row.iter() {
+                    sketches[f as usize].insert(v);
+                }
+            }
+            for s in &mut sketches {
+                s.flush();
+            }
+            max = max.max(start.elapsed().as_secs_f64());
+            sketch_sets.push(sketches);
+        }
+        compute_secs += max;
+    }
+    let mut sketch_bytes = 0usize;
+    let mut merged: Vec<GkSketch> = Vec::new();
+    for (f, _) in (0..num_features).enumerate() {
+        let per_feature: Vec<GkSketch> =
+            sketch_sets.iter_mut().map(|set| std::mem::replace(&mut set[f], GkSketch::new(0.1))).collect();
+        let mut m = GkSketch::merge_all(per_feature).expect("w >= 1 sketches");
+        sketch_bytes += m.wire_bytes();
+        merged.push(m);
+    }
+    if w > 1 {
+        let t = match kind {
+            BaselineKind::Mllib => cost.t_reduce_to_one(sketch_bytes, w),
+            BaselineKind::Xgboost => cost.t_allreduce_binomial(sketch_bytes, w),
+            BaselineKind::Lightgbm => cost.t_reduce_scatter(sketch_bytes, w),
+        };
+        comm.record(sketch_bytes as u64, w as u64, t);
+    }
+    let candidates: Vec<SplitCandidates> = merged
+        .iter_mut()
+        .map(|s| propose_candidates(s, config.num_candidates))
+        .collect();
+
+    // ---- Per-worker state. -------------------------------------------------
+    let mut preds: Vec<Vec<f32>> = shards.iter().map(|s| vec![0.0; s.num_rows()]).collect();
+    let mut trees = Vec::with_capacity(config.num_trees);
+    let mut loss_curve = Vec::with_capacity(config.num_trees);
+
+    for t in 0..config.num_trees {
+        let sampled = FeatureMeta::sample_features(
+            num_features,
+            config.feature_sample_ratio,
+            config.seed,
+            t,
+        );
+        let meta = FeatureMeta::new(sampled, &candidates);
+        let mut tree = Tree::new(config.max_depth);
+        let capacity = tree.capacity();
+
+        // Gradients + node index per worker.
+        let mut grads: Vec<Vec<GradPair>> = Vec::with_capacity(w);
+        let mut indices: Vec<NodeIndex> = Vec::with_capacity(w);
+        {
+            let mut max = 0.0f64;
+            for (shard, pred) in shards.iter().zip(&preds) {
+                let start = Instant::now();
+                grads.push(
+                    (0..shard.num_rows())
+                        .map(|i| loss.grad(pred[i], shard.label(i)))
+                        .collect(),
+                );
+                indices.push(NodeIndex::new(shard.num_rows(), capacity));
+                max = max.max(start.elapsed().as_secs_f64());
+            }
+            compute_secs += max;
+        }
+
+        let mut active: Vec<u32> = vec![0];
+        for depth in 0..config.max_depth {
+            if active.is_empty() {
+                break;
+            }
+
+            // Dense histogram construction on every worker (timed, max).
+            let mut per_worker_rows: Vec<Vec<Vec<f32>>> = Vec::with_capacity(w);
+            let mut max = 0.0f64;
+            for wk in 0..w {
+                let start = Instant::now();
+                let rows: Vec<Vec<f32>> = active
+                    .iter()
+                    .map(|&node| {
+                        build_row(
+                            &shards[wk],
+                            indices[wk].instances(node),
+                            &grads[wk],
+                            &meta,
+                            false, // baselines: traditional dense pass
+                        )
+                    })
+                    .collect();
+                max = max.max(start.elapsed().as_secs_f64());
+                per_worker_rows.push(rows);
+            }
+            compute_secs += max;
+
+            // Aggregate per node with the system's collective and find the
+            // split on the responsible worker(s).
+            let scan_start = Instant::now();
+            let mut decisions: Vec<(u32, Option<FinalSplit>, f64, f64)> =
+                Vec::with_capacity(active.len());
+            for (pos, &node) in active.iter().enumerate() {
+                let buffers: Vec<Vec<f32>> = per_worker_rows
+                    .iter()
+                    .map(|rows| rows[pos].clone())
+                    .collect();
+                let merged_row = aggregate(kind, &buffers, pos % w, &cost, &mut comm);
+                let res = best_split_in_range(
+                    &merged_row,
+                    meta.layout(),
+                    0..meta.num_sampled(),
+                    None,
+                    &params,
+                );
+                // Winner exchange / model broadcast: O(1) messages.
+                if w > 1 {
+                    comm.record(64, w as u64, SimTime(cost.alpha + 64.0 * cost.beta));
+                }
+                let split = res.best.map(|s| FinalSplit {
+                    feature: meta.global_id(s.feature as usize),
+                    threshold: meta.threshold(s.feature as usize, s.bucket as usize),
+                    gain: s.gain,
+                    left_g: s.left_g,
+                    left_h: s.left_h,
+                    default_left: s.default_left,
+                });
+                decisions.push((node, split, res.total_g, res.total_h));
+            }
+            compute_secs += scan_start.elapsed().as_secs_f64();
+
+            // SPLIT_TREE, identical logic to the DimBoost trainer.
+            let mut next_active = Vec::new();
+            for &(node, split, total_g, total_h) in &decisions {
+                match split {
+                    Some(split) => {
+                        tree.set_internal_full(
+                            node,
+                            split.feature,
+                            split.threshold,
+                            split.gain as f32,
+                            split.default_left,
+                        );
+                        let (lc, rc) = (Tree::left_child(node), Tree::right_child(node));
+                        for (shard, index) in shards.iter().zip(indices.iter_mut()) {
+                            index.split(node, lc, rc, |i| {
+                                split.goes_left(shard.row(i as usize).get(split.feature))
+                            });
+                        }
+                        if depth + 1 < config.max_depth {
+                            next_active.push(lc);
+                            next_active.push(rc);
+                        } else {
+                            let (gl, hl) = (split.left_g, split.left_h);
+                            tree.set_leaf(lc, params.leaf_weight(gl, hl) as f32);
+                            tree.set_leaf(
+                                rc,
+                                params.leaf_weight(total_g - gl, total_h - hl) as f32,
+                            );
+                        }
+                    }
+                    None => {
+                        tree.set_leaf(node, params.leaf_weight(total_g, total_h) as f32);
+                    }
+                }
+            }
+            active = next_active;
+        }
+
+        // Prediction update + training loss.
+        let eta = config.learning_rate;
+        let mut total_loss = 0.0f64;
+        {
+            let mut max = 0.0f64;
+            for wk in 0..w {
+                let start = Instant::now();
+                let shard = &shards[wk];
+                for leaf in 0..capacity as u32 {
+                    if let dimboost_core::Node::Leaf { weight } = tree.node(leaf) {
+                        for &i in indices[wk].instances(leaf) {
+                            preds[wk][i as usize] += eta * weight;
+                        }
+                    }
+                }
+                total_loss += (0..shard.num_rows())
+                    .map(|i| loss.loss(preds[wk][i], shard.label(i)))
+                    .sum::<f64>();
+                max = max.max(start.elapsed().as_secs_f64());
+            }
+            compute_secs += max;
+        }
+        if w > 1 {
+            comm.record(8 * w as u64, w as u64, SimTime(cost.alpha + 8.0 * w as f64 * cost.beta));
+        }
+
+        trees.push(tree);
+        loss_curve.push(LossPoint {
+            tree: t + 1,
+            train_loss: total_loss / total_instances as f64,
+            elapsed_secs: compute_secs + comm.sim_time.seconds(),
+        });
+    }
+
+    let model = GbdtModel::new(trees, config.learning_rate, config.loss, num_features);
+    model.check_consistency()?;
+    Ok(BaselineOutput {
+        model,
+        breakdown: RunBreakdown { compute_secs, comm },
+        loss_curve,
+    })
+}
+
+/// TencentBoost: the parameter-server architecture without DimBoost's
+/// optimizations — exactly the core trainer with [`Optimizations::NONE`]
+/// (dense construction, full-precision pushes, whole-histogram pulls, single
+/// split-finding agent).
+pub fn train_tencentboost(
+    shards: &[Dataset],
+    config: &GbdtConfig,
+    ps_config: PsConfig,
+) -> Result<BaselineOutput, String> {
+    let mut cfg = config.clone();
+    cfg.opts = Optimizations::NONE;
+    let out = dimboost_core::train_distributed(shards, &cfg, ps_config)?;
+    Ok(BaselineOutput {
+        model: out.model,
+        breakdown: out.breakdown,
+        loss_curve: out.loss_curve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimboost_core::metrics::classification_error;
+    use dimboost_core::train_distributed;
+    use dimboost_data::partition::{partition_rows, train_test_split};
+    use dimboost_data::synthetic::{generate, SparseGenConfig};
+
+    fn config() -> GbdtConfig {
+        GbdtConfig {
+            num_trees: 4,
+            max_depth: 3,
+            num_candidates: 8,
+            learning_rate: 0.3,
+            num_threads: 2,
+            ..GbdtConfig::default()
+        }
+    }
+
+    fn data() -> (Dataset, Dataset) {
+        let ds = generate(&SparseGenConfig::new(2_000, 80, 10, 17));
+        train_test_split(&ds, 0.2, 17).unwrap()
+    }
+
+    #[test]
+    fn all_baselines_learn_the_signal() {
+        let (train, test) = data();
+        let shards = partition_rows(&train, 3).unwrap();
+        for kind in [BaselineKind::Mllib, BaselineKind::Xgboost, BaselineKind::Lightgbm] {
+            let out =
+                train_baseline(kind, &shards, &config(), CostModel::GIGABIT_LAN).unwrap();
+            let err = classification_error(&out.model.predict_dataset(&test), test.labels());
+            assert!(err < 0.42, "{}: error {err}", kind.name());
+            assert!(out.breakdown.comm.bytes > 0, "{} moved no bytes", kind.name());
+        }
+    }
+
+    #[test]
+    fn baselines_produce_identical_models_to_each_other() {
+        // All three aggregation strategies compute the same sums, so with
+        // identical configs they must grow identical trees (modulo float
+        // reduction order, which the assert tolerates by exact equality —
+        // failures here would indicate a data-path divergence).
+        let (train, _) = data();
+        let shards = partition_rows(&train, 4).unwrap();
+        let cfg = config();
+        let a = train_baseline(BaselineKind::Mllib, &shards, &cfg, CostModel::FREE).unwrap();
+        let b = train_baseline(BaselineKind::Xgboost, &shards, &cfg, CostModel::FREE).unwrap();
+        let c = train_baseline(BaselineKind::Lightgbm, &shards, &cfg, CostModel::FREE).unwrap();
+        let pa = a.model.predict_dataset(&train);
+        let pb = b.model.predict_dataset(&train);
+        let pc = c.model.predict_dataset(&train);
+        let close = |x: &[f32], y: &[f32]| x.iter().zip(y).all(|(u, v)| (u - v).abs() < 1e-3);
+        assert!(close(&pa, &pb), "MLlib vs XGBoost models diverge");
+        assert!(close(&pa, &pc), "MLlib vs LightGBM models diverge");
+    }
+
+    #[test]
+    fn tencentboost_matches_unoptimized_dimboost() {
+        let (train, _) = data();
+        let shards = partition_rows(&train, 2).unwrap();
+        let cfg = config();
+        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE };
+        let tencent = train_tencentboost(&shards, &cfg, ps).unwrap();
+        let mut plain = cfg.clone();
+        plain.opts = Optimizations::NONE;
+        let dim = train_distributed(&shards, &plain, ps).unwrap();
+        assert_eq!(tencent.model, dim.model);
+    }
+
+    #[test]
+    fn baseline_accuracy_close_to_dimboost() {
+        let (train, test) = data();
+        let shards = partition_rows(&train, 3).unwrap();
+        let cfg = config();
+        let ps = PsConfig { num_servers: 3, num_partitions: 0, cost_model: CostModel::FREE };
+        let dim = train_distributed(&shards, &cfg, ps).unwrap();
+        let xgb =
+            train_baseline(BaselineKind::Xgboost, &shards, &cfg, CostModel::FREE).unwrap();
+        let err_dim = classification_error(&dim.model.predict_dataset(&test), test.labels());
+        let err_xgb = classification_error(&xgb.model.predict_dataset(&test), test.labels());
+        assert!(
+            (err_dim - err_xgb).abs() < 0.06,
+            "DimBoost {err_dim} vs XGBoost-style {err_xgb}"
+        );
+    }
+
+    #[test]
+    fn lightgbm_nonpower_of_two_costs_more_comm_time() {
+        let (train, _) = data();
+        let cfg = config();
+        let shards4 = partition_rows(&train, 4).unwrap();
+        let shards5 = partition_rows(&train, 5).unwrap();
+        let t4 = train_baseline(BaselineKind::Lightgbm, &shards4, &cfg, CostModel::GIGABIT_LAN)
+            .unwrap()
+            .breakdown
+            .comm
+            .sim_time
+            .seconds();
+        let t5 = train_baseline(BaselineKind::Lightgbm, &shards5, &cfg, CostModel::GIGABIT_LAN)
+            .unwrap()
+            .breakdown
+            .comm
+            .sim_time
+            .seconds();
+        assert!(t5 > 1.5 * t4, "w=5 {t5} should pay ~2x the w=4 {t4} comm time");
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(train_baseline(BaselineKind::Mllib, &[], &config(), CostModel::FREE).is_err());
+        let empty = Dataset::empty(3);
+        assert!(
+            train_baseline(BaselineKind::Mllib, &[empty], &config(), CostModel::FREE).is_err()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Baseline distributed GBDT trainers (Section 2.3 of the paper).
+//!
+//! The paper compares DimBoost against four systems. Rather than wrapping
+//! the real binaries (unavailable in this environment, and coupled to
+//! Yarn/HDFS deployments), this crate reimplements each system's **model
+//! aggregation strategy** and **dense histogram construction** on the same
+//! GBDT kernel DimBoost uses, so end-to-end comparisons isolate exactly the
+//! axes the paper analyses:
+//!
+//! * [`BaselineKind::Mllib`] — MapReduce-style all-to-one reduce: the
+//!   statistics of each tree node are collected on one designated worker
+//!   (`reduceByKey`), which chooses the split.
+//! * [`BaselineKind::Xgboost`] — binomial-tree AllReduce: local histograms
+//!   are merged bottom-up over `log w` non-overlapping steps; every worker
+//!   ends with the global histogram.
+//! * [`BaselineKind::Lightgbm`] — recursive-halving ReduceScatter: each
+//!   worker ends up owning `1/w` of the merged histogram and finds splits
+//!   for its own features; non-power-of-two worker counts pay double.
+//! * [`train_tencentboost`] — TencentBoost: the parameter-server
+//!   architecture *without* DimBoost's optimizations (no sparsity-aware
+//!   construction, no low precision, no two-phase split, no scheduler) —
+//!   which is precisely `dimboost_core::train_distributed` with
+//!   [`dimboost_core::Optimizations::NONE`].
+//!
+//! All baselines build histograms with the traditional dense enumeration
+//! (the paper observes existing systems "implicitly assume that the dataset
+//! is dense during histogram construction") and without DimBoost's
+//! parallel-batch scheme.
+
+mod driver;
+mod feature_parallel;
+
+pub use driver::{train_baseline, train_tencentboost, BaselineKind, BaselineOutput};
+pub use feature_parallel::train_lightgbm_feature_parallel;

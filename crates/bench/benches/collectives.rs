@@ -1,0 +1,46 @@
+//! Microbenchmark: the four aggregation strategies' *data paths* (the
+//! actual merge work; simulated network time is a separate, analytic
+//! quantity printed by `table1_comm_cost`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dimboost_simnet::collectives::{
+    allreduce_binomial, ps_batch_exchange, reduce_scatter_halving, reduce_to_one,
+};
+use dimboost_simnet::CostModel;
+use std::hint::black_box;
+
+fn buffers(w: usize, elems: usize) -> Vec<Vec<f32>> {
+    (0..w)
+        .map(|r| (0..elems).map(|i| ((r * 31 + i) % 13) as f32 - 6.0).collect())
+        .collect()
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let elems = 1 << 18; // 1 MiB of f32 per worker
+    let model = CostModel::FREE;
+    let mut group = c.benchmark_group("collectives_1MiB");
+    for w in [4usize, 8, 16] {
+        let bufs = buffers(w, elems);
+        group.throughput(Throughput::Bytes((w * elems * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("reduce_to_one", w), &w, |b, _| {
+            b.iter(|| black_box(reduce_to_one(&bufs, 0, &model)))
+        });
+        group.bench_with_input(BenchmarkId::new("allreduce_binomial", w), &w, |b, _| {
+            b.iter(|| black_box(allreduce_binomial(&bufs, &model)))
+        });
+        group.bench_with_input(BenchmarkId::new("reduce_scatter", w), &w, |b, _| {
+            b.iter(|| black_box(reduce_scatter_halving(&bufs, &model)))
+        });
+        group.bench_with_input(BenchmarkId::new("ps_exchange", w), &w, |b, _| {
+            b.iter(|| black_box(ps_batch_exchange(&bufs, w, &model)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_collectives
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbenchmark: gradient histogram construction (Section 5.1).
+//!
+//! Dense vs sparsity-aware builders across a sparsity sweep — the measured
+//! shape behind Table 3a and Figure 1: dense cost scales with `M·N`,
+//! sparse with `z·N + M`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dimboost_core::binned::BinnedShard;
+use dimboost_core::hist_build::{build_row, new_row};
+use dimboost_core::loss::GradPair;
+use dimboost_core::parallel::{build_row_batched, BatchConfig};
+use dimboost_core::FeatureMeta;
+use dimboost_data::synthetic::{generate, SparseGenConfig};
+use dimboost_data::Dataset;
+use dimboost_sketch::SplitCandidates;
+use std::hint::black_box;
+
+fn setup(rows: usize, features: usize, nnz: usize) -> (Dataset, FeatureMeta, Vec<GradPair>) {
+    let ds = generate(&SparseGenConfig::new(rows, features, nnz, 42));
+    let cands: Vec<SplitCandidates> = (0..features)
+        .map(|_| SplitCandidates::from_boundaries((1..=20).map(|i| i as f32 / 10.0).collect()))
+        .collect();
+    let meta = FeatureMeta::all_features(&cands);
+    let grads: Vec<GradPair> = (0..rows)
+        .map(|i| GradPair { g: ((i % 7) as f32 - 3.0) / 3.0, h: 0.25 })
+        .collect();
+    (ds, meta, grads)
+}
+
+fn bench_dense_vs_sparse(c: &mut Criterion) {
+    let rows = 2_000;
+    let mut group = c.benchmark_group("hist_build");
+    for features in [500usize, 2_000, 8_000] {
+        let (ds, meta, grads) = setup(rows, features, 50);
+        let instances: Vec<u32> = (0..rows as u32).collect();
+        group.throughput(Throughput::Elements((rows * 50) as u64));
+        group.bench_with_input(BenchmarkId::new("dense", features), &features, |b, _| {
+            b.iter(|| black_box(build_row(&ds, &instances, &grads, &meta, false)))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", features), &features, |b, _| {
+            b.iter(|| black_box(build_row(&ds, &instances, &grads, &meta, true)))
+        });
+        let bc = BatchConfig { batch_size: 256, threads: 4, sparse: true };
+        group.bench_with_input(BenchmarkId::new("sparse_batched", features), &features, |b, _| {
+            b.iter(|| black_box(build_row_batched(&ds, &instances, &grads, &meta, &bc)))
+        });
+        let binned = BinnedShard::build(&ds, &meta);
+        group.bench_with_input(BenchmarkId::new("pre_binned", features), &features, |b, _| {
+            b.iter(|| {
+                let mut out = new_row(&meta);
+                binned.build_into(&instances, &grads, &mut out);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsity_sweep(c: &mut Criterion) {
+    let rows = 2_000;
+    let features = 2_000;
+    let mut group = c.benchmark_group("hist_build_sparsity");
+    for nnz in [10usize, 50, 200, 800] {
+        let (ds, meta, grads) = setup(rows, features, nnz);
+        let instances: Vec<u32> = (0..rows as u32).collect();
+        group.bench_with_input(BenchmarkId::new("sparse", nnz), &nnz, |b, _| {
+            b.iter(|| black_box(build_row(&ds, &instances, &grads, &meta, true)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dense_vs_sparse, bench_sparsity_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmark: node-to-instance index split throughput (Section 5.2)
+//! versus re-routing the whole shard through the tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dimboost_core::{NodeIndex, Tree};
+use dimboost_data::synthetic::{generate, SparseGenConfig};
+use std::hint::black_box;
+
+fn bench_node_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_index");
+    for n in [10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("split_root", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut idx = NodeIndex::new(n, 7);
+                idx.split(0, 1, 2, |i| i % 3 != 0);
+                black_box(idx)
+            })
+        });
+    }
+
+    group.finish();
+
+    // Index lookup vs full-shard routing for locating a node's instances.
+    let n = 50_000;
+    let ds = generate(&SparseGenConfig::new(n, 100, 10, 7));
+    let mut tree = Tree::new(3);
+    tree.set_internal(0, 0, 0.5);
+    tree.set_internal(1, 1, 0.5);
+    tree.set_internal(2, 2, 0.5);
+    let mut idx = NodeIndex::new(n, tree.capacity());
+    idx.split(0, 1, 2, |i| ds.row(i as usize).get(0) <= 0.5);
+    idx.split(1, 3, 4, |i| ds.row(i as usize).get(1) <= 0.5);
+    idx.split(2, 5, 6, |i| ds.row(i as usize).get(2) <= 0.5);
+
+    let mut group2 = c.benchmark_group("locate_node_instances");
+    group2.throughput(Throughput::Elements(n as u64));
+    group2.bench_function("via_index", |b| {
+        b.iter(|| {
+            let total: usize = (3..7u32).map(|node| idx.instances(node).len()).sum();
+            black_box(total)
+        })
+    });
+    group2.bench_function("via_full_routing", |b| {
+        b.iter(|| {
+            let mut counts = [0usize; 4];
+            for i in 0..n as u32 {
+                let leaf = tree.route(&ds.row(i as usize), 0);
+                counts[(leaf - 3) as usize] += 1;
+            }
+            black_box(counts)
+        })
+    });
+    group2.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_node_index
+}
+criterion_main!(benches);

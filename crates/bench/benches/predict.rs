@@ -1,0 +1,37 @@
+//! Microbenchmark: model scoring throughput — single-row routing and batch
+//! prediction over sparse data, the serving-side cost of the ensemble.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dimboost_core::{train_single_machine, GbdtConfig};
+use dimboost_data::synthetic::{generate, SparseGenConfig};
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let dataset = generate(&SparseGenConfig::new(5_000, 1_000, 30, 42));
+    let mut group = c.benchmark_group("predict");
+    for trees in [5usize, 20, 50] {
+        let config = GbdtConfig {
+            num_trees: trees,
+            max_depth: 5,
+            learning_rate: 0.3,
+            ..GbdtConfig::default()
+        };
+        let model = train_single_machine(&dataset, &config).expect("train");
+        group.throughput(Throughput::Elements(dataset.num_rows() as u64));
+        group.bench_with_input(BenchmarkId::new("batch", trees), &trees, |b, _| {
+            b.iter(|| black_box(model.predict_dataset(&dataset)))
+        });
+        group.bench_with_input(BenchmarkId::new("single_row", trees), &trees, |b, _| {
+            let row = dataset.row(17);
+            b.iter(|| black_box(model.predict(&row)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_predict
+}
+criterion_main!(benches);

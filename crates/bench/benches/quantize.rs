@@ -1,0 +1,50 @@
+//! Microbenchmark: low-precision histogram encode/decode throughput
+//! (Section 6.1) at the paper's d = 8 and neighbours.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dimboost_ps::quantize::{quantize, quantize_row};
+use dimboost_ps::HistogramLayout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_quantize(c: &mut Criterion) {
+    let n = 1 << 16;
+    let values: Vec<f32> = (0..n).map(|i| ((i * 37 % 1000) as f32 - 500.0) / 25.0).collect();
+    let mut group = c.benchmark_group("quantize_flat");
+    group.throughput(Throughput::Bytes((n * 4) as u64));
+    for bits in [4u8, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("encode", bits), &bits, |b, &bits| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(quantize(&values, bits, &mut rng)))
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    let q = quantize(&values, 8, &mut rng);
+    group.bench_function("decode_8bit", |b| b.iter(|| black_box(q.dequantize())));
+    group.finish();
+
+    // Layout-aware row quantizer (the production push path).
+    let features = 1_000;
+    let layout = HistogramLayout::new(vec![21; features]);
+    let row: Vec<f32> = (0..layout.row_len())
+        .map(|i| if i % 21 == 0 { 500.0 } else { ((i % 13) as f32 - 6.0) / 6.0 })
+        .collect();
+    let mut group = c.benchmark_group("quantize_row");
+    group.throughput(Throughput::Bytes((layout.row_len() * 4) as u64));
+    group.bench_function("encode_8bit", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(quantize_row(&row, &layout, 8, &mut rng)))
+    });
+    let mut rng = StdRng::seed_from_u64(2);
+    let q = quantize_row(&row, &layout, 8, &mut rng);
+    group.bench_function("decode_8bit", |b| b.iter(|| black_box(q.dequantize(&layout))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_quantize
+}
+criterion_main!(benches);

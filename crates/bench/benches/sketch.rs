@@ -1,0 +1,53 @@
+//! Microbenchmark: GK quantile sketch insert, merge, and query — the
+//! CREATE_SKETCH / PULL_SKETCH phases' kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dimboost_sketch::{propose_candidates, GkSketch};
+use std::hint::black_box;
+
+fn bench_sketch(c: &mut Criterion) {
+    let n = 100_000usize;
+    let values: Vec<f32> = (0..n).map(|i| ((i as u64 * 48271) % 99991) as f32).collect();
+
+    let mut group = c.benchmark_group("gk_sketch");
+    group.throughput(Throughput::Elements(n as u64));
+    for eps in [0.05f64, 0.01, 0.001] {
+        group.bench_with_input(BenchmarkId::new("insert", format!("{eps}")), &eps, |b, &eps| {
+            b.iter(|| {
+                let mut s = GkSketch::new(eps);
+                s.extend(values.iter().copied());
+                s.flush();
+                black_box(s)
+            })
+        });
+    }
+
+    let make = |lo: usize, hi: usize| {
+        let mut s = GkSketch::new(0.01);
+        s.extend(values[lo..hi].iter().copied());
+        s.flush();
+        s
+    };
+    let a = make(0, n / 2);
+    let b2 = make(n / 2, n);
+    group.bench_function("merge_halves", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            m.merge(&b2);
+            black_box(m)
+        })
+    });
+
+    let mut full = make(0, n);
+    group.bench_function("propose_20_candidates", |b| {
+        b.iter(|| black_box(propose_candidates(&mut full, 20)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sketch
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmark: Algorithm 1's split scan over a histogram row — the
+//! server-side pull UDF of the two-phase split (Section 6.3). The sharded
+//! variant shows why pushing the scan to the servers is cheap: total work is
+//! unchanged but each shard's scan is `1/p` of it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dimboost_ps::split::best_split_in_range;
+use dimboost_ps::{HistogramLayout, SplitParams};
+use std::hint::black_box;
+
+fn make_row(layout: &HistogramLayout) -> Vec<f32> {
+    let mut row = vec![0.0f32; layout.row_len()];
+    for f in 0..layout.num_features() {
+        for k in 0..layout.num_buckets(f) {
+            row[layout.g_index(f, k)] = ((f * 7 + k * 3) % 11) as f32 - 5.0;
+            row[layout.h_index(f, k)] = 0.1 + ((f + k) % 5) as f32;
+        }
+    }
+    row
+}
+
+fn bench_split_scan(c: &mut Criterion) {
+    let params = SplitParams::default();
+    let mut group = c.benchmark_group("split_scan");
+    for features in [1_000usize, 10_000, 50_000] {
+        let layout = HistogramLayout::new(vec![21; features]);
+        let row = make_row(&layout);
+        group.throughput(Throughput::Elements(features as u64));
+        group.bench_with_input(BenchmarkId::new("full", features), &features, |b, &nf| {
+            b.iter(|| black_box(best_split_in_range(&row, &layout, 0..nf, None, &params)))
+        });
+        // One shard of an 8-way partition (the server-side phase).
+        let shard_range = 0..features / 8;
+        let shard = &row[layout.elem_range(shard_range.clone())];
+        group.bench_with_input(BenchmarkId::new("one_of_8_shards", features), &features, |b, _| {
+            b.iter(|| {
+                black_box(best_split_in_range(
+                    shard,
+                    &layout,
+                    shard_range.clone(),
+                    Some((0.0, 100.0)),
+                    &params,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_split_scan
+}
+criterion_main!(benches);

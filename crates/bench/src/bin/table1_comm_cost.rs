@@ -1,0 +1,92 @@
+//! Table 1 / Figure 3 — communication cost of the four model-aggregation
+//! strategies under the α/β/γ cost model, with the real data path executed
+//! to verify that all strategies compute identical sums.
+//!
+//! Paper claims to reproduce (Section 3, "Remarks"):
+//! * For large histograms, DimBoost and LightGBM beat XGBoost and MLlib.
+//! * DimBoost ≈ LightGBM at power-of-two worker counts.
+//! * Off powers of two, LightGBM costs about twice DimBoost.
+//! * For small messages, latency dominates and the gap closes/reverses.
+
+use dimboost_bench::{fmt_secs, print_table};
+use dimboost_simnet::collectives::{
+    allreduce_binomial, ps_batch_exchange, reduce_scatter_halving, reduce_to_one,
+};
+use dimboost_simnet::CostModel;
+
+fn main() {
+    let model = CostModel::GIGABIT_LAN;
+    println!(
+        "cost model: alpha={}s/package, beta={}s/byte, gamma={}s/byte",
+        model.alpha, model.beta, model.gamma
+    );
+
+    // ---- Closed-form sweep over histogram size and worker count. ---------
+    let sizes: [(usize, &str); 4] =
+        [(256 << 10, "256KiB"), (4 << 20, "4MiB"), (32 << 20, "32MiB"), (128 << 20, "128MiB")];
+    for (h, label) in sizes {
+        let mut rows = Vec::new();
+        for w in [4usize, 5, 8, 16, 32, 50] {
+            rows.push(vec![
+                w.to_string(),
+                fmt_secs(model.t_reduce_to_one(h, w).seconds()),
+                fmt_secs(model.t_allreduce_binomial(h, w).seconds()),
+                fmt_secs(model.t_reduce_scatter(h, w).seconds()),
+                fmt_secs(model.t_ps_exchange(h, w).seconds()),
+            ]);
+        }
+        print_table(
+            &format!("Table 1 closed forms, histogram = {label}"),
+            &["w", "MLlib (reduce)", "XGBoost (allreduce)", "LightGBM (reducescatter)", "DimBoost (PS)"],
+            &rows,
+        );
+    }
+
+    // ---- Executed collectives: real buffers, verified equivalence. -------
+    let elems = 1 << 20; // 4 MiB of f32
+    let mut rows = Vec::new();
+    for w in [4usize, 5, 8, 16] {
+        let buffers: Vec<Vec<f32>> = (0..w)
+            .map(|r| (0..elems).map(|i| ((r * 31 + i) % 17) as f32 - 8.0).collect())
+            .collect();
+        let (sum_ref, s_mllib) = reduce_to_one(&buffers, 0, &model);
+        let (sum_xgb, s_xgb) = allreduce_binomial(&buffers, &model);
+        let (scat, s_lgbm) = reduce_scatter_halving(&buffers, &model);
+        let (ps, s_ps) = ps_batch_exchange(&buffers, w, &model);
+
+        let agree = |v: &[f32]| v.iter().zip(&sum_ref).all(|(a, b)| (a - b).abs() < 1e-2);
+        assert!(agree(&sum_xgb), "allreduce sum mismatch at w={w}");
+        assert!(agree(&scat.assemble()), "reducescatter sum mismatch at w={w}");
+        assert!(agree(&ps.assemble()), "ps exchange sum mismatch at w={w}");
+
+        rows.push(vec![
+            w.to_string(),
+            format!("{} / {}pkg", fmt_secs(s_mllib.sim_time.seconds()), s_mllib.packages),
+            format!("{} / {}pkg", fmt_secs(s_xgb.sim_time.seconds()), s_xgb.packages),
+            format!("{} / {}pkg", fmt_secs(s_lgbm.sim_time.seconds()), s_lgbm.packages),
+            format!("{} / {}pkg", fmt_secs(s_ps.sim_time.seconds()), s_ps.packages),
+        ]);
+    }
+    print_table(
+        "Executed collectives (4MiB histogram, sums verified identical)",
+        &["w", "MLlib", "XGBoost", "LightGBM", "DimBoost"],
+        &rows,
+    );
+
+    // ---- The paper's headline ratios at the Gender-scale histogram. ------
+    let h = 32 << 20;
+    for w in [32usize, 50] {
+        let mllib = model.t_reduce_to_one(h, w).seconds();
+        let xgb = model.t_allreduce_binomial(h, w).seconds();
+        let lgbm = model.t_reduce_scatter(h, w).seconds();
+        let dim = model.t_ps_exchange(h, w).seconds();
+        println!(
+            "\nw={w}: DimBoost {}; speedup vs MLlib {:.1}x, vs XGBoost {:.1}x, vs LightGBM {:.2}x{}",
+            fmt_secs(dim),
+            mllib / dim,
+            xgb / dim,
+            lgbm / dim,
+            if w.is_power_of_two() { " (power of two)" } else { " (non-power-of-two: LightGBM doubled)" },
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md §3 for the experiment index).
+//!
+//! Each binary prints a table with the same rows/series the paper reports.
+//! Absolute numbers differ from the paper — computation runs on this
+//! machine, communication on the simulated network — but the *shapes*
+//! (orderings, speedup factors, crossovers) are the reproduction targets,
+//! recorded in EXPERIMENTS.md.
+//!
+//! Set `DIMBOOST_SCALE=full` for paper-shaped (slow) runs; the default
+//! `quick` scale finishes in seconds per experiment.
+
+use std::time::Instant;
+
+use dimboost_baselines::{train_baseline, train_tencentboost, BaselineKind};
+use dimboost_core::metrics::classification_error;
+use dimboost_core::{train_distributed, GbdtConfig, LossPoint};
+use dimboost_data::Dataset;
+use dimboost_ps::PsConfig;
+use dimboost_simnet::CostModel;
+
+/// Experiment scale, selected by the `DIMBOOST_SCALE` environment variable
+/// (`quick` default, `full` for larger paper-shaped runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-experiment sizes for CI and iteration.
+    Quick,
+    /// Larger runs that stress the same asymptotics.
+    Full,
+}
+
+impl Scale {
+    /// Reads `DIMBOOST_SCALE` (`quick`/`full`).
+    pub fn from_env() -> Self {
+        match std::env::var("DIMBOOST_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks the quick or full variant of a size.
+    pub fn pick(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// One system's end-to-end result, printable as a table row.
+#[derive(Debug, Clone)]
+pub struct SystemResult {
+    /// System label (DimBoost, XGBoost, …).
+    pub system: String,
+    /// Wall-clock computation seconds (max across workers per phase).
+    pub compute_secs: f64,
+    /// Simulated communication seconds.
+    pub comm_secs: f64,
+    /// Payload bytes moved.
+    pub comm_bytes: u64,
+    /// Test error (misclassification), if a test set was supplied.
+    pub test_error: Option<f64>,
+    /// Per-tree training-loss curve.
+    pub curve: Vec<LossPoint>,
+}
+
+impl SystemResult {
+    /// Modelled total time (compute + simulated communication).
+    pub fn total_secs(&self) -> f64 {
+        self.compute_secs + self.comm_secs
+    }
+}
+
+/// Runs the DimBoost trainer and packages the result.
+pub fn run_dimboost(
+    shards: &[Dataset],
+    config: &GbdtConfig,
+    servers: usize,
+    cost: CostModel,
+    test: Option<&Dataset>,
+) -> SystemResult {
+    let ps = PsConfig { num_servers: servers, num_partitions: 0, cost_model: cost };
+    let out = train_distributed(shards, config, ps).expect("dimboost training failed");
+    SystemResult {
+        system: "DimBoost".into(),
+        compute_secs: out.breakdown.compute_secs,
+        comm_secs: out.breakdown.comm.sim_time.seconds(),
+        comm_bytes: out.breakdown.comm.bytes,
+        test_error: test
+            .map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
+        curve: out.loss_curve,
+    }
+}
+
+/// Runs one collective-based baseline.
+pub fn run_collective_baseline(
+    kind: BaselineKind,
+    shards: &[Dataset],
+    config: &GbdtConfig,
+    cost: CostModel,
+    test: Option<&Dataset>,
+) -> SystemResult {
+    let out = train_baseline(kind, shards, config, cost).expect("baseline training failed");
+    SystemResult {
+        system: kind.name().into(),
+        compute_secs: out.breakdown.compute_secs,
+        comm_secs: out.breakdown.comm.sim_time.seconds(),
+        comm_bytes: out.breakdown.comm.bytes,
+        test_error: test
+            .map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
+        curve: out.loss_curve,
+    }
+}
+
+/// Runs the TencentBoost baseline (PS without DimBoost's optimizations).
+pub fn run_tencentboost(
+    shards: &[Dataset],
+    config: &GbdtConfig,
+    servers: usize,
+    cost: CostModel,
+    test: Option<&Dataset>,
+) -> SystemResult {
+    let ps = PsConfig { num_servers: servers, num_partitions: 0, cost_model: cost };
+    let out = train_tencentboost(shards, config, ps).expect("tencentboost training failed");
+    SystemResult {
+        system: "TencentBoost".into(),
+        compute_secs: out.breakdown.compute_secs,
+        comm_secs: out.breakdown.comm.sim_time.seconds(),
+        comm_bytes: out.breakdown.comm.bytes,
+        test_error: test
+            .map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
+        curve: out.loss_curve,
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}us", s * 1e6)
+    }
+}
+
+/// Formats byte counts compactly.
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.1}{}", UNITS[u])
+}
+
+/// Times a closure, returning its output and elapsed wall seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Row of the standard end-to-end comparison table.
+pub fn result_row(r: &SystemResult) -> Vec<String> {
+    vec![
+        r.system.clone(),
+        fmt_secs(r.compute_secs),
+        fmt_secs(r.comm_secs),
+        fmt_secs(r.total_secs()),
+        fmt_bytes(r.comm_bytes),
+        r.test_error.map_or("-".into(), |e| format!("{e:.4}")),
+        r.curve.last().map_or("-".into(), |p| format!("{:.4}", p.train_loss)),
+    ]
+}
+
+/// Header matching [`result_row`].
+pub const RESULT_HEADER: [&str; 7] =
+    ["system", "compute", "comm(sim)", "total", "bytes", "test err", "train loss"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimboost_data::partition::partition_rows;
+    use dimboost_data::synthetic::{generate, SparseGenConfig};
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 100), 1);
+        assert_eq!(Scale::Full.pick(1, 100), 100);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(120.0), "120s");
+        assert_eq!(fmt_secs(1.5), "1.50s");
+        assert_eq!(fmt_secs(0.0015), "1.50ms");
+        assert_eq!(fmt_secs(1e-5), "10.00us");
+        assert_eq!(fmt_bytes(512), "512.0B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+    }
+
+    #[test]
+    fn runners_produce_comparable_results() {
+        let ds = generate(&SparseGenConfig::new(600, 1_500, 8, 5));
+        let shards = partition_rows(&ds, 4).unwrap();
+        let config = GbdtConfig {
+            num_trees: 2,
+            max_depth: 3,
+            num_candidates: 20,
+            ..GbdtConfig::default()
+        };
+        let dim = run_dimboost(&shards, &config, 4, CostModel::GIGABIT_LAN, Some(&ds));
+        let xgb = run_collective_baseline(
+            BaselineKind::Xgboost,
+            &shards,
+            &config,
+            CostModel::GIGABIT_LAN,
+            Some(&ds),
+        );
+        let tencent = run_tencentboost(&shards, &config, 4, CostModel::GIGABIT_LAN, Some(&ds));
+        for r in [&dim, &xgb, &tencent] {
+            assert!(r.total_secs() > 0.0, "{}: zero total", r.system);
+            assert!(r.test_error.unwrap() < 0.5, "{}: bad error", r.system);
+            assert_eq!(r.curve.len(), 2);
+        }
+        // DimBoost's compressed, scatter-style pushes move fewer bytes than
+        // the XGBoost-style full-histogram allreduce path.
+        assert!(dim.comm_bytes < xgb.comm_bytes);
+    }
+}

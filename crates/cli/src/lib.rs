@@ -1,0 +1,716 @@
+//! Command-line interface for the DimBoost reproduction.
+//!
+//! Subcommands:
+//!
+//! * `train` — train a model on a LibSVM file (optionally on a simulated
+//!   multi-worker cluster) and save it.
+//! * `predict` — score a LibSVM file with a saved model.
+//! * `evaluate` — report error / log-loss / AUC of a model on a file.
+//! * `gen` — write a synthetic dataset in LibSVM format.
+//!
+//! Argument parsing is hand-rolled (`--flag value` pairs) to stay within the
+//! workspace's dependency allowlist; [`parse_args`] is a pure function so
+//! the whole surface is unit-testable.
+
+use std::path::PathBuf;
+
+use dimboost_core::metrics::{auc, classification_error, log_loss, multiclass_error, multiclass_log_loss, rmse};
+use dimboost_core::{
+    load_model_file, save_model_file, train_distributed, GbdtConfig, LossKind,
+};
+use dimboost_data::libsvm::{read_libsvm_file, write_libsvm, LibsvmOptions};
+use dimboost_data::partition::{partition_rows, train_test_split};
+use dimboost_data::synthetic::{generate, SparseGenConfig};
+use dimboost_ps::PsConfig;
+use dimboost_simnet::CostModel;
+
+/// A fully-parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Train a model from a LibSVM file.
+    Train(TrainArgs),
+    /// Score a LibSVM file with a saved model.
+    Predict(PredictArgs),
+    /// Evaluate a saved model on a LibSVM file.
+    Evaluate(EvalArgs),
+    /// Generate a synthetic LibSVM dataset.
+    Gen(GenArgs),
+    /// Print a saved model's structure and feature importance.
+    Inspect(InspectArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments for `train`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    /// Input LibSVM file.
+    pub data: PathBuf,
+    /// Output model path.
+    pub model: PathBuf,
+    /// Simulated worker count.
+    pub workers: usize,
+    /// Parameter-server count (0 = same as workers).
+    pub servers: usize,
+    /// Fraction held out for a test report after training.
+    pub test_fraction: f64,
+    /// Feature indices in the file start at 0 instead of 1.
+    pub zero_based: bool,
+    /// Stop after this many rounds without held-out improvement.
+    pub early_stop: Option<usize>,
+    /// Hyper-parameters.
+    pub config: GbdtConfig,
+}
+
+/// Arguments for `predict`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictArgs {
+    /// Input LibSVM file.
+    pub data: PathBuf,
+    /// Saved model path.
+    pub model: PathBuf,
+    /// Where to write predictions (stdout when `None`).
+    pub output: Option<PathBuf>,
+    /// Emit raw additive scores instead of transformed predictions.
+    pub raw: bool,
+    /// Feature indices in the file start at 0 instead of 1.
+    pub zero_based: bool,
+}
+
+/// Arguments for `evaluate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalArgs {
+    /// Input LibSVM file.
+    pub data: PathBuf,
+    /// Saved model path.
+    pub model: PathBuf,
+    /// Feature indices in the file start at 0 instead of 1.
+    pub zero_based: bool,
+}
+
+/// Arguments for `inspect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectArgs {
+    /// Saved model path.
+    pub model: PathBuf,
+    /// How many top features to list.
+    pub top: usize,
+    /// Dump the full structure of tree `i`.
+    pub dump_tree: Option<usize>,
+}
+
+/// Arguments for `gen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenArgs {
+    /// Output LibSVM path.
+    pub out: PathBuf,
+    /// Rows to generate.
+    pub rows: usize,
+    /// Feature count.
+    pub features: usize,
+    /// Average nonzeros per row.
+    pub nnz: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dimboost — DimBoost (SIGMOD'18) GBDT trainer
+
+USAGE:
+  dimboost train --data <libsvm> --model <out> [--trees N] [--depth D]
+                 [--lr F] [--workers W] [--servers P] [--candidates K]
+                 [--feature-sample F] [--row-sample F] [--bits N]
+                 [--loss logistic|square|softmax --classes K] [--seed N] [--test-fraction F]
+                 [--zero-based] [--default-direction] [--pre-binning]
+                 [--hist-subtraction] [--early-stop R]
+  dimboost predict --data <libsvm> --model <file> [--output <path>] [--raw]
+                 [--zero-based]
+  dimboost evaluate --data <libsvm> --model <file> [--zero-based]
+  dimboost gen --out <path> --rows N --features M --nnz Z [--seed N]
+  dimboost inspect --model <file> [--top N] [--dump-tree I]
+  dimboost help
+";
+
+fn take_value<'a>(
+    flag: &str,
+    iter: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a str, String> {
+    iter.next().map(|s| s.as_str()).ok_or_else(|| format!("missing value for {flag}"))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("invalid value {value:?} for {flag}"))
+}
+
+/// Parses a raw argument list (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else { return Ok(Command::Help) };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "train" => parse_train(rest).map(Command::Train),
+        "predict" => parse_predict(rest).map(Command::Predict),
+        "evaluate" => parse_evaluate(rest).map(Command::Evaluate),
+        "gen" => parse_gen(rest).map(Command::Gen),
+        "inspect" => parse_inspect(rest).map(Command::Inspect),
+        other => Err(format!("unknown subcommand {other:?} (try `dimboost help`)")),
+    }
+}
+
+fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
+    let mut data = None;
+    let mut model = None;
+    let mut workers = 1usize;
+    let mut servers = 0usize;
+    let mut test_fraction = 0.0f64;
+    let mut zero_based = false;
+    let mut early_stop: Option<usize> = None;
+    let mut config = GbdtConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--data" => data = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--model" => model = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--trees" => config.num_trees = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--depth" => config.max_depth = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--lr" => config.learning_rate = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--workers" => workers = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--servers" => servers = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--candidates" => {
+                config.num_candidates = parse_num(flag, take_value(flag, &mut iter)?)?
+            }
+            "--feature-sample" => {
+                config.feature_sample_ratio = parse_num(flag, take_value(flag, &mut iter)?)?
+            }
+            "--row-sample" => {
+                config.instance_sample_ratio = parse_num(flag, take_value(flag, &mut iter)?)?
+            }
+            "--bits" => config.compress_bits = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--loss" => {
+                config.loss = match take_value(flag, &mut iter)? {
+                    "logistic" => LossKind::Logistic,
+                    "square" => LossKind::Square,
+                    "softmax" => LossKind::Softmax { classes: 0 },
+                    other => return Err(format!("unknown loss {other:?}")),
+                }
+            }
+            "--classes" => {
+                let classes: u32 = parse_num(flag, take_value(flag, &mut iter)?)?;
+                config.loss = LossKind::Softmax { classes };
+            }
+            "--seed" => config.seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--test-fraction" => {
+                test_fraction = parse_num(flag, take_value(flag, &mut iter)?)?
+            }
+            "--zero-based" => zero_based = true,
+            "--default-direction" => config.learn_default_direction = true,
+            "--pre-binning" => config.opts.pre_binning = true,
+            "--hist-subtraction" => config.opts.hist_subtraction = true,
+            "--early-stop" => {
+                early_stop = Some(parse_num(flag, take_value(flag, &mut iter)?)?)
+            }
+            other => return Err(format!("unknown flag {other:?} for train")),
+        }
+    }
+    if matches!(config.loss, LossKind::Softmax { classes: 0 }) {
+        return Err("--loss softmax requires --classes K".into());
+    }
+    if early_stop.is_some() && test_fraction <= 0.0 {
+        return Err("--early-stop requires --test-fraction > 0".into());
+    }
+    Ok(TrainArgs {
+        data: data.ok_or("train requires --data")?,
+        model: model.ok_or("train requires --model")?,
+        workers: workers.max(1),
+        servers,
+        test_fraction,
+        zero_based,
+        early_stop,
+        config,
+    })
+}
+
+fn parse_predict(args: &[String]) -> Result<PredictArgs, String> {
+    let mut data = None;
+    let mut model = None;
+    let mut output = None;
+    let mut raw = false;
+    let mut zero_based = false;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--data" => data = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--model" => model = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--output" => output = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--raw" => raw = true,
+            "--zero-based" => zero_based = true,
+            other => return Err(format!("unknown flag {other:?} for predict")),
+        }
+    }
+    Ok(PredictArgs {
+        data: data.ok_or("predict requires --data")?,
+        model: model.ok_or("predict requires --model")?,
+        output,
+        raw,
+        zero_based,
+    })
+}
+
+fn parse_evaluate(args: &[String]) -> Result<EvalArgs, String> {
+    let mut data = None;
+    let mut model = None;
+    let mut zero_based = false;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--data" => data = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--model" => model = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--zero-based" => zero_based = true,
+            other => return Err(format!("unknown flag {other:?} for evaluate")),
+        }
+    }
+    Ok(EvalArgs {
+        data: data.ok_or("evaluate requires --data")?,
+        model: model.ok_or("evaluate requires --model")?,
+        zero_based,
+    })
+}
+
+fn parse_gen(args: &[String]) -> Result<GenArgs, String> {
+    let mut out = None;
+    let mut rows = 1_000usize;
+    let mut features = 100usize;
+    let mut nnz = 10usize;
+    let mut seed = 42u64;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--rows" => rows = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--features" => features = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--nnz" => nnz = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            other => return Err(format!("unknown flag {other:?} for gen")),
+        }
+    }
+    Ok(GenArgs { out: out.ok_or("gen requires --out")?, rows, features, nnz, seed })
+}
+
+fn parse_inspect(args: &[String]) -> Result<InspectArgs, String> {
+    let mut model = None;
+    let mut top = 10usize;
+    let mut dump_tree = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--model" => model = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--top" => top = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--dump-tree" => dump_tree = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+            other => return Err(format!("unknown flag {other:?} for inspect")),
+        }
+    }
+    Ok(InspectArgs { model: model.ok_or("inspect requires --model")?, top, dump_tree })
+}
+
+fn libsvm_opts(zero_based: bool, num_features: Option<usize>) -> LibsvmOptions {
+    LibsvmOptions { one_based: !zero_based, num_features, binarize_labels: true }
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Inspect(args) => {
+            let model = load_model_file(&args.model).map_err(|e| e.to_string())?;
+            println!(
+                "model: {} trees (depth <= {}), {} features, {} classes, lr {}, loss {:?}",
+                model.num_trees(),
+                model.trees().iter().map(|t| t.max_depth()).max().unwrap_or(0),
+                model.num_features(),
+                model.num_classes(),
+                model.learning_rate(),
+                model.loss()
+            );
+            let leaves: usize = model.trees().iter().map(|t| t.num_leaves()).sum();
+            let splits: usize = model.trees().iter().map(|t| t.num_internal()).sum();
+            println!("totals: {splits} splits, {leaves} leaves");
+            println!("top features by gain:");
+            for (f, g) in model.top_features(args.top) {
+                println!("  f{f:<8} gain {g:.4}");
+            }
+            if let Some(i) = args.dump_tree {
+                let tree = model
+                    .trees()
+                    .get(i)
+                    .ok_or_else(|| format!("tree {i} out of {}", model.num_trees()))?;
+                println!("
+tree {i}:
+{}", tree.dump());
+            }
+            Ok(())
+        }
+        Command::Gen(args) => {
+            let ds = generate(&SparseGenConfig::new(args.rows, args.features, args.nnz, args.seed));
+            let file =
+                std::fs::File::create(&args.out).map_err(|e| format!("create output: {e}"))?;
+            write_libsvm(file, &ds).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} rows x {} features ({} nonzeros) to {}",
+                ds.num_rows(),
+                ds.num_features(),
+                ds.nnz(),
+                args.out.display()
+            );
+            Ok(())
+        }
+        Command::Train(args) => {
+            let mut opts = libsvm_opts(args.zero_based, None);
+            if !matches!(args.config.loss, LossKind::Logistic) {
+                // Square keeps raw targets; softmax keeps class indices.
+                opts.binarize_labels = false;
+            }
+            let full = read_libsvm_file(&args.data, opts).map_err(|e| e.to_string())?;
+            println!(
+                "loaded {} rows x {} features from {}",
+                full.num_rows(),
+                full.num_features(),
+                args.data.display()
+            );
+            let (train, test) = if args.test_fraction > 0.0 {
+                let (tr, te) = train_test_split(&full, args.test_fraction, args.config.seed)
+                    .map_err(|e| e.to_string())?;
+                (tr, Some(te))
+            } else {
+                (full, None)
+            };
+            let shards =
+                partition_rows(&train, args.workers).map_err(|e| e.to_string())?;
+            let servers = if args.servers == 0 { args.workers } else { args.servers };
+            let ps = PsConfig {
+                num_servers: servers,
+                num_partitions: 0,
+                cost_model: CostModel::GIGABIT_LAN,
+            };
+            let out = match (&test, args.early_stop) {
+                (Some(test), Some(rounds)) => {
+                    let ev = dimboost_core::EvalOptions {
+                        dataset: test,
+                        early_stopping_rounds: Some(rounds),
+                    };
+                    dimboost_core::train_distributed_with_eval(
+                        &shards,
+                        &args.config,
+                        ps,
+                        Some(ev),
+                    )?
+                }
+                _ => train_distributed(&shards, &args.config, ps)?,
+            };
+            if let Some(best) = out.best_iteration {
+                println!("early stopping: best round {best}, kept {} trees", out.model.num_trees());
+            }
+            println!(
+                "trained {} trees; compute {:.2}s, simulated comm {:.2}s ({} bytes)",
+                out.model.num_trees(),
+                out.breakdown.compute_secs,
+                out.breakdown.comm.sim_time.seconds(),
+                out.breakdown.comm.bytes
+            );
+            if let Some(last) = out.loss_curve.last() {
+                println!("final train loss: {:.5}", last.train_loss);
+            }
+            if let Some(test) = test {
+                let probs = out.model.predict_dataset(&test);
+                match args.config.loss {
+                    LossKind::Logistic => println!(
+                        "held-out: error {:.4}, logloss {:.4}, auc {:.4}",
+                        classification_error(&probs, test.labels()),
+                        log_loss(&probs, test.labels()),
+                        auc(&probs, test.labels())
+                    ),
+                    LossKind::Square => {
+                        println!("held-out rmse: {:.4}", rmse(&probs, test.labels()))
+                    }
+                    LossKind::Softmax { .. } => {
+                        let probas = out.model.predict_proba_dataset(&test);
+                        println!(
+                            "held-out: error {:.4}, mlogloss {:.4}",
+                            multiclass_error(&probs, test.labels()),
+                            multiclass_log_loss(&probas, test.labels())
+                        );
+                    }
+                }
+            }
+            save_model_file(&out.model, &args.model).map_err(|e| e.to_string())?;
+            println!("model saved to {}", args.model.display());
+            Ok(())
+        }
+        Command::Predict(args) => {
+            let model = load_model_file(&args.model).map_err(|e| e.to_string())?;
+            let opts = libsvm_opts(args.zero_based, Some(model.num_features()));
+            let ds = read_libsvm_file(&args.data, opts).map_err(|e| e.to_string())?;
+            let preds = if args.raw {
+                model.predict_raw_dataset(&ds)
+            } else {
+                model.predict_dataset(&ds)
+            };
+            let mut text = String::with_capacity(preds.len() * 10);
+            for p in &preds {
+                text.push_str(&format!("{p}\n"));
+            }
+            match args.output {
+                Some(path) => {
+                    std::fs::write(&path, text).map_err(|e| format!("write output: {e}"))?;
+                    println!("wrote {} predictions to {}", preds.len(), path.display());
+                }
+                None => print!("{text}"),
+            }
+            Ok(())
+        }
+        Command::Evaluate(args) => {
+            let model = load_model_file(&args.model).map_err(|e| e.to_string())?;
+            let mut opts = libsvm_opts(args.zero_based, Some(model.num_features()));
+            if !matches!(model.loss(), LossKind::Logistic) {
+                opts.binarize_labels = false;
+            }
+            let ds = read_libsvm_file(&args.data, opts).map_err(|e| e.to_string())?;
+            let probs = model.predict_dataset(&ds);
+            match model.loss() {
+                LossKind::Logistic => {
+                    println!("error:   {:.4}", classification_error(&probs, ds.labels()));
+                    println!("logloss: {:.4}", log_loss(&probs, ds.labels()));
+                    println!("auc:     {:.4}", auc(&probs, ds.labels()));
+                }
+                LossKind::Square => {
+                    println!("rmse: {:.4}", rmse(&probs, ds.labels()));
+                }
+                LossKind::Softmax { .. } => {
+                    let probas = model.predict_proba_dataset(&ds);
+                    println!("error:    {:.4}", multiclass_error(&probs, ds.labels()));
+                    println!("mlogloss: {:.4}", multiclass_log_loss(&probas, ds.labels()));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_and_empty() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strs(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strs(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_unknown_subcommand_and_flags() {
+        assert!(parse_args(&strs(&["explode"])).is_err());
+        assert!(parse_args(&strs(&["train", "--data", "x", "--model", "y", "--what"])).is_err());
+        assert!(parse_args(&strs(&["predict", "--data", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_full_train_invocation() {
+        let cmd = parse_args(&strs(&[
+            "train", "--data", "d.libsvm", "--model", "m.bin", "--trees", "7", "--depth", "3",
+            "--lr", "0.2", "--workers", "4", "--servers", "2", "--candidates", "15",
+            "--feature-sample", "0.8", "--row-sample", "0.5", "--bits", "4", "--loss", "square",
+            "--seed", "9", "--test-fraction", "0.1", "--zero-based",
+        ]))
+        .unwrap();
+        let Command::Train(args) = cmd else { panic!("expected train") };
+        assert_eq!(args.data, PathBuf::from("d.libsvm"));
+        assert_eq!(args.config.num_trees, 7);
+        assert_eq!(args.config.max_depth, 3);
+        assert_eq!(args.config.learning_rate, 0.2);
+        assert_eq!(args.workers, 4);
+        assert_eq!(args.servers, 2);
+        assert_eq!(args.config.num_candidates, 15);
+        assert_eq!(args.config.feature_sample_ratio, 0.8);
+        assert_eq!(args.config.instance_sample_ratio, 0.5);
+        assert_eq!(args.config.compress_bits, 4);
+        assert_eq!(args.config.loss, LossKind::Square);
+        assert_eq!(args.config.seed, 9);
+        assert_eq!(args.test_fraction, 0.1);
+        assert!(args.zero_based);
+    }
+
+    #[test]
+    fn train_requires_data_and_model() {
+        assert!(parse_args(&strs(&["train", "--model", "m"])).is_err());
+        assert!(parse_args(&strs(&["train", "--data", "d"])).is_err());
+        assert!(parse_args(&strs(&["train", "--data"])).is_err()); // missing value
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_loss() {
+        assert!(parse_args(&strs(&["train", "--data", "d", "--model", "m", "--trees", "x"]))
+            .is_err());
+        assert!(parse_args(&strs(&["train", "--data", "d", "--model", "m", "--loss", "hinge"]))
+            .is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_train_predict_evaluate() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("dimboost_cli_test.libsvm");
+        let model = dir.join("dimboost_cli_test.model");
+        let preds = dir.join("dimboost_cli_test.preds");
+
+        run(parse_args(&strs(&[
+            "gen", "--out", data.to_str().unwrap(), "--rows", "600", "--features", "80",
+            "--nnz", "8", "--seed", "5",
+        ]))
+        .unwrap())
+        .unwrap();
+
+        run(parse_args(&strs(&[
+            "train", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--trees", "4", "--depth", "3", "--lr", "0.3", "--workers", "2",
+            "--test-fraction", "0.2",
+        ]))
+        .unwrap())
+        .unwrap();
+
+        run(parse_args(&strs(&[
+            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--output", preds.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        let lines = std::fs::read_to_string(&preds).unwrap();
+        assert_eq!(lines.lines().count(), 600);
+        assert!(lines.lines().all(|l| {
+            let p: f32 = l.parse().unwrap();
+            (0.0..=1.0).contains(&p)
+        }));
+
+        run(parse_args(&strs(&[
+            "evaluate", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+
+        for f in [&data, &model, &preds] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn parses_inspect() {
+        let cmd = parse_args(&strs(&[
+            "inspect", "--model", "m.bin", "--top", "3", "--dump-tree", "1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Inspect(InspectArgs {
+                model: "m.bin".into(),
+                top: 3,
+                dump_tree: Some(1)
+            })
+        );
+        assert!(parse_args(&strs(&["inspect"])).is_err());
+    }
+
+    #[test]
+    fn inspect_runs_on_trained_model() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("dimboost_cli_inspect.libsvm");
+        let model = dir.join("dimboost_cli_inspect.model");
+        run(parse_args(&strs(&[
+            "gen", "--out", data.to_str().unwrap(), "--rows", "300", "--features", "40",
+            "--nnz", "6",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(parse_args(&strs(&[
+            "train", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--trees", "2", "--depth", "3",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(parse_args(&strs(&[
+            "inspect", "--model", model.to_str().unwrap(), "--top", "5", "--dump-tree", "0",
+        ]))
+        .unwrap())
+        .unwrap();
+        // Out-of-range tree index is a clean error.
+        let err = run(Command::Inspect(InspectArgs {
+            model: model.clone(),
+            top: 3,
+            dump_tree: Some(99),
+        }))
+        .unwrap_err();
+        assert!(err.contains("out of"), "{err}");
+        for f in [&data, &model] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn parses_extension_flags() {
+        let cmd = parse_args(&strs(&[
+            "train", "--data", "d", "--model", "m", "--pre-binning", "--hist-subtraction",
+            "--default-direction", "--early-stop", "3", "--test-fraction", "0.1",
+        ]))
+        .unwrap();
+        let Command::Train(args) = cmd else { panic!() };
+        assert!(args.config.opts.pre_binning);
+        assert!(args.config.opts.hist_subtraction);
+        assert!(args.config.learn_default_direction);
+        assert_eq!(args.early_stop, Some(3));
+        // Early stopping without a held-out fraction is rejected.
+        assert!(parse_args(&strs(&[
+            "train", "--data", "d", "--model", "m", "--early-stop", "3",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_softmax_and_requires_classes() {
+        let cmd = parse_args(&strs(&[
+            "train", "--data", "d", "--model", "m", "--loss", "softmax", "--classes", "4",
+        ]))
+        .unwrap();
+        let Command::Train(args) = cmd else { panic!() };
+        assert_eq!(args.config.loss, LossKind::Softmax { classes: 4 });
+        // --classes alone also selects softmax.
+        let cmd =
+            parse_args(&strs(&["train", "--data", "d", "--model", "m", "--classes", "3"]))
+                .unwrap();
+        let Command::Train(args) = cmd else { panic!() };
+        assert_eq!(args.config.loss, LossKind::Softmax { classes: 3 });
+        // softmax without classes is an error.
+        assert!(parse_args(&strs(&[
+            "train", "--data", "d", "--model", "m", "--loss", "softmax"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn predict_with_missing_model_fails_cleanly() {
+        let err = run(Command::Predict(PredictArgs {
+            data: "nonexistent.libsvm".into(),
+            model: "nonexistent.model".into(),
+            output: None,
+            raw: false,
+            zero_based: false,
+        }))
+        .unwrap_err();
+        assert!(err.contains("I/O error"), "{err}");
+    }
+}

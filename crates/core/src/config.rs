@@ -1,0 +1,285 @@
+use dimboost_ps::SplitParams;
+use serde::{Deserialize, Serialize};
+
+/// Which loss function drives the boosting objective (Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Logistic loss for binary classification (labels in {0, 1}).
+    Logistic,
+    /// Squared loss for regression.
+    Square,
+    /// Softmax cross-entropy for multiclass classification (labels in
+    /// `0..classes`). **Extension beyond the paper** (which evaluates binary
+    /// classification only): each boosting round grows one tree per class.
+    Softmax {
+        /// Number of classes (≥ 2).
+        classes: u32,
+    },
+}
+
+impl LossKind {
+    /// Trees grown per boosting round: 1 for scalar losses, `classes` for
+    /// softmax.
+    pub fn trees_per_round(&self) -> usize {
+        match self {
+            LossKind::Softmax { classes } => *classes as usize,
+            _ => 1,
+        }
+    }
+}
+
+/// The optimization toggles evaluated one by one in Table 3. Each flag turns
+/// one of the paper's proposed techniques on; with everything off the system
+/// degenerates to the "basic algorithm" baseline of Section 7.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Optimizations {
+    /// Sparsity-aware histogram construction (Section 5.1, Algorithm 2).
+    /// Off: dense enumeration of every feature of every instance.
+    pub sparse_hist: bool,
+    /// Parallel batch histogram construction (Section 5.2). Off: one thread
+    /// builds each node's histogram sequentially.
+    pub parallel_batch: bool,
+    /// The node-to-instance index (Section 5.2). Off: the instances of each
+    /// tree node are recomputed by routing the whole shard through the
+    /// partially built tree.
+    pub node_index: bool,
+    /// The round-robin task scheduler (Section 6.2). Off: a single agent
+    /// worker finds the split of every active node.
+    pub task_scheduler: bool,
+    /// Two-phase (server-side + worker-side) split finding (Section 6.3).
+    /// Off: workers pull entire merged histogram rows.
+    pub two_phase_split: bool,
+    /// Low-precision gradient histograms (Section 6.1). Off: full `f32`
+    /// rows are pushed to the parameter server.
+    pub low_precision: bool,
+    /// **Extension (not in the paper):** pre-binned histogram
+    /// construction. Each nonzero's bucket is resolved once after
+    /// PULL_SKETCH and reused across every layer (and, with σ = 1, every
+    /// tree), removing the per-build binary searches. Costs ~12 bytes per
+    /// nonzero of worker memory.
+    pub pre_binning: bool,
+    /// **Extension (not in the paper):** sibling histogram subtraction.
+    /// Below the root, only the smaller child of each split is built and
+    /// pushed; the other child's merged histogram is derived on the servers
+    /// as `parent − child`, halving construction and push cost per layer.
+    /// LightGBM ships this trick; DimBoost's paper does not, so it defaults
+    /// to off and is excluded from [`Optimizations::ALL`].
+    pub hist_subtraction: bool,
+}
+
+impl Optimizations {
+    /// Every optimization the paper proposes — the full DimBoost system.
+    /// (Extensions beyond the paper, like `hist_subtraction`, stay off.)
+    pub const ALL: Optimizations = Optimizations {
+        sparse_hist: true,
+        parallel_batch: true,
+        node_index: true,
+        task_scheduler: true,
+        two_phase_split: true,
+        low_precision: true,
+        pre_binning: false,
+        hist_subtraction: false,
+    };
+
+    /// Everything off — the basic algorithm.
+    pub const NONE: Optimizations = Optimizations {
+        sparse_hist: false,
+        parallel_batch: false,
+        node_index: false,
+        task_scheduler: false,
+        two_phase_split: false,
+        low_precision: false,
+        pre_binning: false,
+        hist_subtraction: false,
+    };
+}
+
+impl Default for Optimizations {
+    fn default() -> Self {
+        Self::ALL
+    }
+}
+
+/// Training hyper-parameters, mirroring the paper's protocol section
+/// (Section 7.1): `T` trees, maximal depth `d`, `K` split candidates,
+/// feature sampling ratio `σ`, batch size `b`, compression bits `r`,
+/// threads `q`, and learning rate `η`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Number of trees `T`.
+    pub num_trees: usize,
+    /// Maximum tree depth `d` (number of split levels; leaves sit at depth
+    /// `d`, so a tree stores up to `2^(d+1) − 1` nodes and `2^d − 1`
+    /// internal-node histograms — the paper's `GradHist` row count).
+    pub max_depth: usize,
+    /// Number of split candidates per feature `K`.
+    pub num_candidates: usize,
+    /// Feature sampling ratio `σ` per tree.
+    pub feature_sample_ratio: f64,
+    /// Instance (row) subsampling ratio per tree — stochastic gradient
+    /// boosting. `1.0` (the paper's setting) uses every instance.
+    pub instance_sample_ratio: f64,
+    /// Shrinkage learning rate `η`.
+    pub learning_rate: f32,
+    /// L2 regularization on leaf weights (λ).
+    pub lambda: f64,
+    /// L1 regularization on leaf weights (α, XGBoost's `reg_alpha`);
+    /// `0.0` — the paper's objective — by default.
+    pub alpha: f64,
+    /// Per-leaf complexity penalty (γ).
+    pub gamma: f64,
+    /// Minimum Hessian sum per child.
+    pub min_child_weight: f64,
+    /// **Extension (not in the paper):** learn the default direction of
+    /// zero (absent) values per split — XGBoost's sparsity-aware split
+    /// finding. Off, zeros follow the threshold comparison, as in
+    /// Algorithm 1.
+    pub learn_default_direction: bool,
+    /// Parallel batch size `b` (instances per batch).
+    pub batch_size: usize,
+    /// Worker thread count `q` for histogram construction.
+    pub num_threads: usize,
+    /// Compression bit width `r` when low-precision pushes are enabled.
+    pub compress_bits: u8,
+    /// Rank-error target for the quantile sketches proposing candidates.
+    pub sketch_eps: f64,
+    /// Loss function.
+    pub loss: LossKind,
+    /// Master seed for feature sampling and stochastic rounding.
+    pub seed: u64,
+    /// Optimization toggles (Table 3).
+    pub opts: Optimizations,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self {
+            num_trees: 10,
+            max_depth: 5,
+            num_candidates: 20,
+            feature_sample_ratio: 1.0,
+            instance_sample_ratio: 1.0,
+            learning_rate: 0.1,
+            lambda: 1.0,
+            alpha: 0.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            learn_default_direction: false,
+            batch_size: 10_000,
+            num_threads: 4,
+            compress_bits: 8,
+            sketch_eps: 0.02,
+            loss: LossKind::Logistic,
+            seed: 42,
+            opts: Optimizations::ALL,
+        }
+    }
+}
+
+impl GbdtConfig {
+    /// The split-objective parameters used by Algorithm 1's scan.
+    pub fn split_params(&self) -> SplitParams {
+        SplitParams {
+            lambda: self.lambda,
+            alpha: self.alpha,
+            gamma: self.gamma,
+            min_child_weight: self.min_child_weight,
+            learn_default_direction: self.learn_default_direction,
+        }
+    }
+
+    /// Validates configuration invariants, returning a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_trees == 0 {
+            return Err("num_trees must be positive".into());
+        }
+        if self.max_depth == 0 || self.max_depth > 20 {
+            return Err(format!("max_depth must be in 1..=20, got {}", self.max_depth));
+        }
+        if self.num_candidates == 0 {
+            return Err("num_candidates must be positive".into());
+        }
+        if !(0.0 < self.feature_sample_ratio && self.feature_sample_ratio <= 1.0) {
+            return Err(format!(
+                "feature_sample_ratio must be in (0, 1], got {}",
+                self.feature_sample_ratio
+            ));
+        }
+        if !(0.0 < self.instance_sample_ratio && self.instance_sample_ratio <= 1.0) {
+            return Err(format!(
+                "instance_sample_ratio must be in (0, 1], got {}",
+                self.instance_sample_ratio
+            ));
+        }
+        if self.learning_rate <= 0.0 {
+            return Err("learning_rate must be positive".into());
+        }
+        if !(2..=16).contains(&self.compress_bits) {
+            return Err(format!("compress_bits must be in 2..=16, got {}", self.compress_bits));
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if self.num_threads == 0 {
+            return Err("num_threads must be positive".into());
+        }
+        if !(self.sketch_eps > 0.0 && self.sketch_eps < 0.5) {
+            return Err(format!("sketch_eps must be in (0, 0.5), got {}", self.sketch_eps));
+        }
+        if let LossKind::Softmax { classes } = self.loss {
+            if classes < 2 {
+                return Err(format!("softmax needs at least 2 classes, got {classes}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(GbdtConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let bad = [
+            GbdtConfig { num_trees: 0, ..GbdtConfig::default() },
+            GbdtConfig { max_depth: 0, ..GbdtConfig::default() },
+            GbdtConfig { feature_sample_ratio: 1.5, ..GbdtConfig::default() },
+            GbdtConfig { instance_sample_ratio: 0.0, ..GbdtConfig::default() },
+            GbdtConfig { compress_bits: 1, ..GbdtConfig::default() },
+            GbdtConfig { sketch_eps: 0.9, ..GbdtConfig::default() },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "config should be invalid: {c:?}");
+        }
+    }
+
+    #[test]
+    fn split_params_mirror_config() {
+        let c = GbdtConfig {
+            lambda: 2.0,
+            gamma: 0.5,
+            min_child_weight: 3.0,
+            ..GbdtConfig::default()
+        };
+        let p = c.split_params();
+        assert_eq!(p.lambda, 2.0);
+        assert_eq!(p.gamma, 0.5);
+        assert_eq!(p.min_child_weight, 3.0);
+    }
+
+    #[test]
+    fn optimization_presets() {
+        let all = Optimizations::ALL;
+        let none = Optimizations::NONE;
+        assert!(all.sparse_hist && all.low_precision && !all.hist_subtraction);
+        assert!(!none.sparse_hist && !none.two_phase_split);
+        assert_eq!(Optimizations::default(), all);
+    }
+}

@@ -1,0 +1,56 @@
+//! # dimboost-core
+//!
+//! The GBDT training system of *DimBoost: Boosting Gradient Boosting
+//! Decision Tree to Higher Dimensions* (SIGMOD 2018), implemented from
+//! scratch on top of the workspace's parameter-server ([`dimboost_ps`]) and
+//! simulated-network ([`dimboost_simnet`]) substrates.
+//!
+//! The crate is organized around the paper's sections:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §2.2 losses & gradients | [`loss`] |
+//! | §2.2 Algorithm 1 (greedy splitting) | [`dimboost_ps::split`] (server-side UDF) |
+//! | §5.1 Algorithm 2 (sparsity-aware histograms) | [`hist_build`] |
+//! | §5.2 node-to-instance index | [`node_index`] |
+//! | §5.2 parallel batch construction | [`parallel`] |
+//! | §6.1 low-precision histograms | [`dimboost_ps::quantize`] |
+//! | §6.2 round-robin task scheduler | [`scheduler`] |
+//! | §6.3 two-phase split finding | wired up in [`trainer`] |
+//! | §4.4 seven-phase worker plan | [`trainer`] |
+//!
+//! Every optimization is a toggle in [`Optimizations`], which is what the
+//! Table 3 ablation benchmark flips one flag at a time.
+
+pub mod binned;
+pub mod config;
+pub mod cv;
+pub mod hist_build;
+pub mod loss;
+pub mod meta;
+pub mod metrics;
+pub mod model;
+pub mod model_io;
+pub mod node_index;
+pub mod parallel;
+pub mod scheduler;
+pub mod trainer;
+pub mod tree;
+
+pub use config::{GbdtConfig, LossKind, Optimizations};
+pub use loss::{loss_for, GradPair, Loss};
+pub use meta::FeatureMeta;
+pub use model::GbdtModel;
+pub use node_index::NodeIndex;
+pub use scheduler::RoundRobinScheduler;
+pub use cv::{cross_validate, CvResult};
+pub use model_io::{load_model, load_model_file, save_model, save_model_file, ModelIoError};
+pub use trainer::{
+    train_distributed, train_distributed_continue, train_distributed_with_eval,
+    train_single_machine, EvalOptions, LossPoint, RunBreakdown, TrainOutput,
+};
+pub use tree::{Node, Tree};
+
+// Re-export the PS-side pieces that form part of the public training API.
+pub use dimboost_ps::split::{FinalSplit, PullSplitResult, SplitDecision};
+pub use dimboost_ps::{NodeSplit, SplitParams};

@@ -1,0 +1,181 @@
+//! Per-tree feature metadata: which features were sampled, their split
+//! candidates, and the histogram layout derived from them.
+
+use dimboost_ps::HistogramLayout;
+use dimboost_sketch::SplitCandidates;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Feature metadata for one tree: the σ-sampled feature subset (Section 2.2,
+/// "feature sampling"), each sampled feature's split candidates, and the
+/// [`HistogramLayout`] describing one `GradHist` row over them.
+#[derive(Debug, Clone)]
+pub struct FeatureMeta {
+    /// Sorted global ids of the sampled features.
+    sampled: Vec<u32>,
+    /// Split candidates per sampled feature (parallel to `sampled`).
+    candidates: Vec<SplitCandidates>,
+    /// Layout of one histogram row over the sampled features.
+    layout: HistogramLayout,
+    /// Dense map: global feature id → sampled index (`u32::MAX` = absent).
+    map: Vec<u32>,
+}
+
+impl FeatureMeta {
+    /// Builds metadata for a set of sampled global features, taking their
+    /// candidates from the global per-feature candidate table.
+    ///
+    /// # Panics
+    /// Panics if a sampled id is out of range of the candidate table.
+    pub fn new(mut sampled: Vec<u32>, global_candidates: &[SplitCandidates]) -> Self {
+        sampled.sort_unstable();
+        sampled.dedup();
+        let candidates: Vec<SplitCandidates> = sampled
+            .iter()
+            .map(|&f| global_candidates[f as usize].clone())
+            .collect();
+        let layout = HistogramLayout::with_zero_buckets(
+            candidates.iter().map(|c| c.num_buckets() as u32).collect(),
+            candidates.iter().map(|c| c.zero_bucket() as u32).collect(),
+        );
+        let mut map = vec![u32::MAX; global_candidates.len()];
+        for (i, &f) in sampled.iter().enumerate() {
+            map[f as usize] = i as u32;
+        }
+        Self { sampled, candidates, layout, map }
+    }
+
+    /// Metadata covering all features (σ = 1).
+    pub fn all_features(global_candidates: &[SplitCandidates]) -> Self {
+        Self::new((0..global_candidates.len() as u32).collect(), global_candidates)
+    }
+
+    /// Deterministically samples `⌈σ·M⌉` features for tree `tree_index`.
+    /// The leader worker runs this and publishes the result; every worker
+    /// reproduces it from the same seed.
+    pub fn sample_features(
+        num_features: usize,
+        ratio: f64,
+        seed: u64,
+        tree_index: usize,
+    ) -> Vec<u32> {
+        assert!((0.0..=1.0).contains(&ratio), "sampling ratio must be in [0, 1]");
+        if ratio >= 1.0 {
+            return (0..num_features as u32).collect();
+        }
+        let take = ((num_features as f64 * ratio).ceil() as usize).clamp(1, num_features);
+        let mut rng = StdRng::seed_from_u64(seed ^ (tree_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut ids: Vec<u32> = (0..num_features as u32).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(take);
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Sorted global ids of the sampled features.
+    pub fn sampled(&self) -> &[u32] {
+        &self.sampled
+    }
+
+    /// Number of sampled features.
+    pub fn num_sampled(&self) -> usize {
+        self.sampled.len()
+    }
+
+    /// Candidates of the `sf`-th sampled feature.
+    pub fn candidates(&self, sf: usize) -> &SplitCandidates {
+        &self.candidates[sf]
+    }
+
+    /// The histogram row layout.
+    pub fn layout(&self) -> &HistogramLayout {
+        &self.layout
+    }
+
+    /// Maps a global feature id to its sampled index, if sampled.
+    #[inline]
+    pub fn sampled_index(&self, global: u32) -> Option<usize> {
+        match self.map.get(global as usize) {
+            Some(&i) if i != u32::MAX => Some(i as usize),
+            _ => None,
+        }
+    }
+
+    /// Maps a sampled index back to the global feature id.
+    pub fn global_id(&self, sf: usize) -> u32 {
+        self.sampled[sf]
+    }
+
+    /// The split threshold tested between buckets `bucket` and `bucket + 1`
+    /// of sampled feature `sf`.
+    pub fn threshold(&self, sf: usize, bucket: usize) -> f32 {
+        self.candidates[sf].threshold(bucket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(n: usize) -> Vec<SplitCandidates> {
+        (0..n)
+            .map(|f| SplitCandidates::from_boundaries(vec![f as f32 + 1.0, f as f32 + 2.0]))
+            .collect()
+    }
+
+    #[test]
+    fn all_features_meta() {
+        let meta = FeatureMeta::all_features(&cands(4));
+        assert_eq!(meta.num_sampled(), 4);
+        assert_eq!(meta.sampled(), &[0, 1, 2, 3]);
+        assert_eq!(meta.sampled_index(2), Some(2));
+        assert_eq!(meta.global_id(3), 3);
+        // 3 boundaries (incl. 0) -> 4 buckets per feature -> 8 elems each.
+        assert_eq!(meta.layout().row_len(), 4 * 8);
+    }
+
+    #[test]
+    fn subset_mapping() {
+        let meta = FeatureMeta::new(vec![3, 1], &cands(5));
+        assert_eq!(meta.sampled(), &[1, 3]);
+        assert_eq!(meta.sampled_index(1), Some(0));
+        assert_eq!(meta.sampled_index(3), Some(1));
+        assert_eq!(meta.sampled_index(0), None);
+        assert_eq!(meta.sampled_index(4), None);
+        assert_eq!(meta.sampled_index(99), None);
+        assert_eq!(meta.global_id(1), 3);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let a = FeatureMeta::sample_features(100, 0.3, 7, 2);
+        let b = FeatureMeta::sample_features(100, 0.3, 7, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        let c = FeatureMeta::sample_features(100, 0.3, 7, 3);
+        assert_ne!(a, c, "different trees sample different subsets");
+    }
+
+    #[test]
+    fn full_ratio_returns_everything() {
+        let s = FeatureMeta::sample_features(10, 1.0, 0, 0);
+        assert_eq!(s, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn tiny_ratio_keeps_at_least_one() {
+        let s = FeatureMeta::sample_features(10, 0.01, 0, 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn threshold_lookup() {
+        let meta = FeatureMeta::new(vec![2], &cands(3));
+        // feature 2 boundaries: [0.0, 3.0, 4.0]
+        assert_eq!(meta.threshold(0, 0), 0.0);
+        assert_eq!(meta.threshold(0, 1), 3.0);
+        assert_eq!(meta.threshold(0, 2), 4.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Evaluation metrics used in the paper's experiments: test error
+//! (misclassification rate), training loss curves, and AUC.
+
+/// Misclassification rate of probability predictions thresholded at 0.5
+/// against {0, 1} labels (the paper's "test error", e.g. Table 5).
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn classification_error(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    assert!(!probs.is_empty(), "empty input");
+    let wrong = probs
+        .iter()
+        .zip(labels)
+        .filter(|&(&p, &y)| (p >= 0.5) != (y >= 0.5))
+        .count();
+    wrong as f64 / probs.len() as f64
+}
+
+/// Mean logistic loss of probability predictions against {0, 1} labels.
+pub fn log_loss(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    assert!(!probs.is_empty(), "empty input");
+    let eps = 1e-7f64;
+    let total: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = (p as f64).clamp(eps, 1.0 - eps);
+            if y >= 0.5 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / probs.len() as f64
+}
+
+/// Misclassification rate for multiclass predictions: `preds` holds
+/// predicted class indices (as `f32`, e.g. from
+/// `GbdtModel::predict_dataset` on a softmax model), `labels` the true
+/// class indices.
+pub fn multiclass_error(preds: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    assert!(!preds.is_empty(), "empty input");
+    let wrong = preds
+        .iter()
+        .zip(labels)
+        .filter(|&(&p, &y)| p.round() as i64 != y.round() as i64)
+        .count();
+    wrong as f64 / preds.len() as f64
+}
+
+/// Mean softmax cross-entropy of per-class probability vectors against
+/// class-index labels.
+pub fn multiclass_log_loss(probas: &[Vec<f32>], labels: &[f32]) -> f64 {
+    assert_eq!(probas.len(), labels.len(), "length mismatch");
+    assert!(!probas.is_empty(), "empty input");
+    let eps = 1e-7f64;
+    let total: f64 = probas
+        .iter()
+        .zip(labels)
+        .map(|(p, &y)| {
+            let c = y.round() as usize;
+            assert!(c < p.len(), "label {c} out of {} classes", p.len());
+            -((p[c] as f64).clamp(eps, 1.0).ln())
+        })
+        .sum();
+    total / probas.len() as f64
+}
+
+/// Root mean squared error (for regression runs).
+pub fn rmse(preds: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    assert!(!preds.is_empty(), "empty input");
+    let sse: f64 = preds
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let d = (p - y) as f64;
+            d * d
+        })
+        .sum();
+    (sse / preds.len() as f64).sqrt()
+}
+
+/// Area under the ROC curve via the rank statistic (ties averaged).
+/// Returns 0.5 when one class is absent.
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    assert!(!scores.is_empty(), "empty input");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+
+    // Average ranks over ties.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+
+    let n_pos = labels.iter().filter(|&&y| y >= 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &y)| y >= 0.5)
+        .map(|(i, _)| ranks[i])
+        .sum();
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_counts_mistakes() {
+        let probs = [0.9, 0.1, 0.6, 0.4];
+        let labels = [1.0, 0.0, 0.0, 1.0];
+        assert!((classification_error(&probs, &labels) - 0.5).abs() < 1e-12);
+        assert_eq!(classification_error(&[0.9], &[1.0]), 0.0);
+        assert_eq!(classification_error(&[0.1], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn log_loss_prefers_confident_correct() {
+        let good = log_loss(&[0.99, 0.01], &[1.0, 0.0]);
+        let bad = log_loss(&[0.6, 0.4], &[1.0, 0.0]);
+        assert!(good < bad);
+        // Perfectly uncertain: ln 2.
+        assert!((log_loss(&[0.5, 0.5], &[1.0, 0.0]) - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_loss_clamps_extremes() {
+        assert!(log_loss(&[0.0], &[1.0]).is_finite());
+        assert!(log_loss(&[1.0], &[0.0]).is_finite());
+    }
+
+    #[test]
+    fn multiclass_error_counts_mismatches() {
+        let preds = [0.0, 1.0, 2.0, 2.0];
+        let labels = [0.0, 1.0, 1.0, 2.0];
+        assert!((multiclass_error(&preds, &labels) - 0.25).abs() < 1e-12);
+        assert_eq!(multiclass_error(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn multiclass_log_loss_rewards_confidence() {
+        let labels = [0.0, 2.0];
+        let good = vec![vec![0.9, 0.05, 0.05], vec![0.1, 0.1, 0.8]];
+        let bad = vec![vec![0.34, 0.33, 0.33], vec![0.4, 0.4, 0.2]];
+        assert!(multiclass_log_loss(&good, &labels) < multiclass_log_loss(&bad, &labels));
+        // Uniform over 3 classes: ln 3.
+        let uniform = vec![vec![1.0 / 3.0; 3]; 2];
+        assert!((multiclass_log_loss(&uniform, &labels) - 3.0f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn multiclass_log_loss_rejects_bad_label() {
+        multiclass_log_loss(&[vec![0.5, 0.5]], &[5.0]);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert!((rmse(&[1.0, 2.0], &[1.0, 4.0]) - 2.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(rmse(&[3.0], &[3.0]), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc(&[0.1, 0.2, 0.8, 0.9], &labels) - 1.0).abs() < 1e-12);
+        assert!((auc(&[0.9, 0.8, 0.2, 0.1], &labels) - 0.0).abs() < 1e-12);
+        assert!((auc(&[0.5, 0.5, 0.5, 0.5], &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_ties_and_degenerate_classes() {
+        let labels = [0.0, 1.0, 1.0];
+        let a = auc(&[0.5, 0.5, 0.9], &labels);
+        assert!(a > 0.5 && a < 1.0);
+        assert_eq!(auc(&[0.3, 0.7], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        classification_error(&[0.5], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! The node-to-instance index (Section 5.2, Figure 9).
+//!
+//! An array of instance ids plus, for every tree node, the contiguous range
+//! of that array holding its instances. Splitting a node rearranges only its
+//! own range with a two-pointer swap pass, after which the two child ranges
+//! are recorded. Threads building histograms for different nodes read
+//! disjoint ranges — no scan of the whole dataset, no locking.
+
+/// The node-to-instance index for one worker's shard during one tree.
+#[derive(Debug, Clone)]
+pub struct NodeIndex {
+    /// Instance ids, permuted so that every node's instances are contiguous.
+    positions: Vec<u32>,
+    /// Per tree node: `(start, end)` into `positions`, or `None` if the node
+    /// has not been materialized.
+    ranges: Vec<Option<(u32, u32)>>,
+}
+
+impl NodeIndex {
+    /// Creates the index for `num_instances` instances and a tree with
+    /// `capacity` node slots; all instances start at the root (node 0).
+    pub fn new(num_instances: usize, capacity: usize) -> Self {
+        Self::from_instances((0..num_instances as u32).collect(), capacity)
+    }
+
+    /// Creates the index over an explicit instance subset (row subsampling:
+    /// only the sampled instances participate in histogram construction).
+    pub fn from_instances(instances: Vec<u32>, capacity: usize) -> Self {
+        let mut ranges = vec![None; capacity];
+        if !ranges.is_empty() {
+            ranges[0] = Some((0, instances.len() as u32));
+        }
+        Self { positions: instances, ranges }
+    }
+
+    /// Instance ids of `node` (empty if the node is absent or empty).
+    pub fn instances(&self, node: u32) -> &[u32] {
+        match self.ranges.get(node as usize).copied().flatten() {
+            Some((l, r)) => &self.positions[l as usize..r as usize],
+            None => &[],
+        }
+    }
+
+    /// Number of instances at `node`.
+    pub fn count(&self, node: u32) -> usize {
+        self.instances(node).len()
+    }
+
+    /// True if `node` has a materialized (possibly empty) range.
+    pub fn is_materialized(&self, node: u32) -> bool {
+        self.ranges.get(node as usize).copied().flatten().is_some()
+    }
+
+    /// Splits `node`'s range between children `left` and `right`:
+    /// instances for which `goes_left` holds are swapped to the front
+    /// (Figure 9's two-directional scan), and the children's ranges are
+    /// recorded. Returns the number of instances sent left.
+    ///
+    /// # Panics
+    /// Panics if `node` has no range or a child slot is out of bounds.
+    pub fn split(
+        &mut self,
+        node: u32,
+        left: u32,
+        right: u32,
+        mut goes_left: impl FnMut(u32) -> bool,
+    ) -> usize {
+        let (l, r) = self.ranges[node as usize]
+            .unwrap_or_else(|| panic!("node {node} has no instance range"));
+        let (mut i, mut j) = (l as usize, r as usize);
+        // Two-pointer partition: scan from both directions, swapping
+        // instances that sit on the wrong side.
+        while i < j {
+            if goes_left(self.positions[i]) {
+                i += 1;
+            } else {
+                j -= 1;
+                self.positions.swap(i, j);
+            }
+        }
+        let mid = i as u32;
+        self.ranges[left as usize] = Some((l, mid));
+        self.ranges[right as usize] = Some((mid, r));
+        mid as usize - l as usize
+    }
+
+    /// Total instances tracked.
+    pub fn num_instances(&self) -> usize {
+        self.positions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn starts_with_everything_at_root() {
+        let idx = NodeIndex::new(5, 7);
+        assert_eq!(idx.instances(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(idx.count(0), 5);
+        assert!(idx.instances(1).is_empty());
+        assert!(!idx.is_materialized(1));
+    }
+
+    #[test]
+    fn split_partitions_by_predicate() {
+        let mut idx = NodeIndex::new(6, 7);
+        // Evens left, odds right.
+        let n_left = idx.split(0, 1, 2, |i| i % 2 == 0);
+        assert_eq!(n_left, 3);
+        let left: HashSet<u32> = idx.instances(1).iter().copied().collect();
+        let right: HashSet<u32> = idx.instances(2).iter().copied().collect();
+        assert_eq!(left, HashSet::from([0, 2, 4]));
+        assert_eq!(right, HashSet::from([1, 3, 5]));
+        // Parent's range is now covered by the children.
+        assert_eq!(idx.count(1) + idx.count(2), 6);
+    }
+
+    #[test]
+    fn nested_splits_stay_disjoint() {
+        let mut idx = NodeIndex::new(100, 15);
+        idx.split(0, 1, 2, |i| i < 50);
+        idx.split(1, 3, 4, |i| i < 25);
+        idx.split(2, 5, 6, |i| i < 75);
+        let collect = |n: u32| -> HashSet<u32> { idx.instances(n).iter().copied().collect() };
+        let (a, b, c, d) = (collect(3), collect(4), collect(5), collect(6));
+        assert_eq!(a.len() + b.len() + c.len() + d.len(), 100);
+        assert!(a.iter().all(|&i| i < 25));
+        assert!(b.iter().all(|&i| (25..50).contains(&i)));
+        assert!(c.iter().all(|&i| (50..75).contains(&i)));
+        assert!(d.iter().all(|&i| i >= 75));
+    }
+
+    #[test]
+    fn all_left_and_all_right() {
+        let mut idx = NodeIndex::new(4, 7);
+        idx.split(0, 1, 2, |_| true);
+        assert_eq!(idx.count(1), 4);
+        assert_eq!(idx.count(2), 0);
+        assert!(idx.is_materialized(2));
+
+        let mut idx = NodeIndex::new(4, 7);
+        idx.split(0, 1, 2, |_| false);
+        assert_eq!(idx.count(1), 0);
+        assert_eq!(idx.count(2), 4);
+    }
+
+    #[test]
+    fn empty_node_splits_to_empty_children() {
+        let mut idx = NodeIndex::new(4, 15);
+        idx.split(0, 1, 2, |_| true);
+        // node 2 is empty; splitting it materializes empty children.
+        idx.split(2, 5, 6, |_| true);
+        assert_eq!(idx.count(5), 0);
+        assert_eq!(idx.count(6), 0);
+        assert!(idx.is_materialized(5));
+    }
+
+    #[test]
+    fn zero_instances() {
+        let idx = NodeIndex::new(0, 3);
+        assert_eq!(idx.count(0), 0);
+        assert_eq!(idx.num_instances(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no instance range")]
+    fn splitting_unmaterialized_node_panics() {
+        let mut idx = NodeIndex::new(4, 7);
+        idx.split(5, 1, 2, |_| true);
+    }
+
+    #[test]
+    fn predicate_sees_instance_ids_not_positions() {
+        let mut idx = NodeIndex::new(6, 7);
+        idx.split(0, 1, 2, |i| i >= 3); // reverse order split
+        let left: HashSet<u32> = idx.instances(1).iter().copied().collect();
+        assert_eq!(left, HashSet::from([3, 4, 5]));
+    }
+}

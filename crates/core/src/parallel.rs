@@ -1,0 +1,176 @@
+//! Parallel batch histogram construction (Section 5.2).
+//!
+//! The node-parallel scheme leaves cores idle near the root ("cold start":
+//! one node, one thread). The batch scheme divides a node's instance range
+//! into batches of `b` instances, builds partial histograms for batches on
+//! `q` threads, and merges. Each thread owns one partial row, so no locks
+//! are taken on the hot path; batches are claimed from an atomic cursor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dimboost_data::Dataset;
+
+use crate::hist_build::{build_dense, build_sparse, new_row};
+use crate::loss::GradPair;
+use crate::meta::FeatureMeta;
+
+/// Tuning knobs for the batched builder.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Instances per batch (the paper's `b`, default 10 000).
+    pub batch_size: usize,
+    /// Maximum worker threads (the paper's `q`).
+    pub threads: usize,
+    /// Use the sparsity-aware inner builder.
+    pub sparse: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { batch_size: 10_000, threads: 4, sparse: true }
+    }
+}
+
+/// Builds one node's histogram row by processing instance batches in
+/// parallel and merging the per-thread partial rows.
+pub fn build_row_batched(
+    shard: &Dataset,
+    instances: &[u32],
+    grads: &[GradPair],
+    meta: &FeatureMeta,
+    config: &BatchConfig,
+) -> Vec<f32> {
+    assert!(config.batch_size > 0, "batch_size must be positive");
+    assert!(config.threads > 0, "threads must be positive");
+
+    let num_batches = instances.len().div_ceil(config.batch_size.max(1));
+    let threads = config.threads.min(num_batches.max(1));
+    if threads <= 1 {
+        // Single batch or single thread: no parallel machinery.
+        let mut out = new_row(meta);
+        if config.sparse {
+            build_sparse(shard, instances, grads, meta, &mut out);
+        } else {
+            let mut scratch = Vec::new();
+            build_dense(shard, instances, grads, meta, &mut out, &mut scratch);
+        }
+        return out;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut partials: Vec<Vec<f32>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut partial = new_row(meta);
+                let mut scratch = Vec::new();
+                loop {
+                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                    if b >= num_batches {
+                        break;
+                    }
+                    let lo = b * config.batch_size;
+                    let hi = (lo + config.batch_size).min(instances.len());
+                    let batch = &instances[lo..hi];
+                    if config.sparse {
+                        build_sparse(shard, batch, grads, meta, &mut partial);
+                    } else {
+                        build_dense(shard, batch, grads, meta, &mut partial, &mut scratch);
+                    }
+                }
+                partial
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("histogram worker thread panicked"));
+        }
+    });
+
+    // Merge partials (the "send once all threads are finished" step).
+    let mut out = partials.pop().expect("at least one partial row");
+    for p in &partials {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist_build::build_row;
+    use dimboost_data::synthetic::{generate, SparseGenConfig};
+    use dimboost_sketch::SplitCandidates;
+
+    fn setup(n: usize) -> (Dataset, FeatureMeta, Vec<GradPair>) {
+        let ds = generate(&SparseGenConfig::new(n, 40, 8, 5));
+        let cands: Vec<SplitCandidates> = (0..40)
+            .map(|_| SplitCandidates::from_boundaries(vec![0.3, 0.8, 1.4]))
+            .collect();
+        let meta = FeatureMeta::all_features(&cands);
+        let grads: Vec<GradPair> = (0..n)
+            .map(|i| GradPair { g: ((i % 5) as f32 - 2.0), h: 0.5 + (i % 2) as f32 })
+            .collect();
+        (ds, meta, grads)
+    }
+
+    fn assert_rows_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-2, "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn batched_equals_sequential_sparse() {
+        let (ds, meta, grads) = setup(500);
+        let instances: Vec<u32> = (0..500).collect();
+        let seq = build_row(&ds, &instances, &grads, &meta, true);
+        for threads in [1, 2, 4, 8] {
+            for batch_size in [7, 64, 100, 1000] {
+                let cfg = BatchConfig { batch_size, threads, sparse: true };
+                let par = build_row_batched(&ds, &instances, &grads, &meta, &cfg);
+                assert_rows_close(&par, &seq);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_equals_sequential_dense() {
+        let (ds, meta, grads) = setup(200);
+        let instances: Vec<u32> = (0..200).collect();
+        let seq = build_row(&ds, &instances, &grads, &meta, false);
+        let cfg = BatchConfig { batch_size: 33, threads: 3, sparse: false };
+        let par = build_row_batched(&ds, &instances, &grads, &meta, &cfg);
+        assert_rows_close(&par, &seq);
+    }
+
+    #[test]
+    fn subset_of_instances() {
+        let (ds, meta, grads) = setup(300);
+        let instances: Vec<u32> = (100..250).collect();
+        let seq = build_row(&ds, &instances, &grads, &meta, true);
+        let cfg = BatchConfig { batch_size: 20, threads: 4, sparse: true };
+        let par = build_row_batched(&ds, &instances, &grads, &meta, &cfg);
+        assert_rows_close(&par, &seq);
+    }
+
+    #[test]
+    fn empty_instances() {
+        let (ds, meta, grads) = setup(10);
+        let cfg = BatchConfig::default();
+        let row = build_row_batched(&ds, &[], &grads, &meta, &cfg);
+        assert!(row.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn rejects_zero_batch_size() {
+        let (ds, meta, grads) = setup(10);
+        let cfg = BatchConfig { batch_size: 0, threads: 1, sparse: true };
+        build_row_batched(&ds, &[0], &grads, &meta, &cfg);
+    }
+}

@@ -1,0 +1,111 @@
+//! The round-robin task scheduler (Section 6.2, Figure 10).
+//!
+//! After local histograms are merged on the parameter server, the split of
+//! each active tree node must be computed by *some* worker. The naive plan
+//! appoints one agent worker for everything; the scheduler instead deals
+//! active nodes round-robin — the `i`-th active node goes to worker
+//! `i mod w` — so the pull-and-split load spreads evenly.
+
+/// Assigns active tree nodes to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRobinScheduler {
+    num_workers: usize,
+    /// When `false` (ablation), worker 0 is the single agent for all nodes.
+    round_robin: bool,
+}
+
+impl RoundRobinScheduler {
+    /// A scheduler dealing nodes across `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        Self { num_workers, round_robin: true }
+    }
+
+    /// The ablation configuration: every node goes to worker 0.
+    pub fn single_agent(num_workers: usize) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        Self { num_workers, round_robin: false }
+    }
+
+    /// Worker responsible for the `position`-th entry of the active-node
+    /// state array.
+    pub fn worker_for(&self, position: usize) -> usize {
+        if self.round_robin {
+            position % self.num_workers
+        } else {
+            0
+        }
+    }
+
+    /// The positions (into the active-node array) assigned to `worker` —
+    /// what a worker computes by scanning the state array (Figure 10).
+    pub fn assignments(&self, worker: usize, num_active: usize) -> Vec<usize> {
+        (0..num_active).filter(|&i| self.worker_for(i) == worker).collect()
+    }
+
+    /// Maximum number of nodes any one worker is responsible for — the
+    /// critical path length of the FIND_SPLIT pull phase.
+    pub fn max_load(&self, num_active: usize) -> usize {
+        if self.round_robin {
+            num_active.div_ceil(self.num_workers)
+        } else {
+            num_active
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_deals_evenly() {
+        let s = RoundRobinScheduler::new(3);
+        assert_eq!(s.worker_for(0), 0);
+        assert_eq!(s.worker_for(1), 1);
+        assert_eq!(s.worker_for(2), 2);
+        assert_eq!(s.worker_for(3), 0);
+        assert_eq!(s.assignments(1, 7), vec![1, 4]);
+        assert_eq!(s.assignments(0, 7), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn every_node_has_exactly_one_owner() {
+        let s = RoundRobinScheduler::new(4);
+        let mut owned = [0u32; 10];
+        for w in 0..4 {
+            for pos in s.assignments(w, 10) {
+                owned[pos] += 1;
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn single_agent_overloads_worker_zero() {
+        let s = RoundRobinScheduler::single_agent(5);
+        assert_eq!(s.assignments(0, 8).len(), 8);
+        assert!(s.assignments(1, 8).is_empty());
+        assert_eq!(s.max_load(8), 8);
+    }
+
+    #[test]
+    fn max_load_is_ceiling() {
+        let s = RoundRobinScheduler::new(4);
+        assert_eq!(s.max_load(8), 2);
+        assert_eq!(s.max_load(9), 3);
+        assert_eq!(s.max_load(0), 0);
+        assert_eq!(s.max_load(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        RoundRobinScheduler::new(0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Golden-model test: a tiny dataset whose optimal tree can be computed by
+//! hand from the paper's equations (Section 2.2), checked digit-for-digit
+//! against the trainer.
+//!
+//! Setup: one feature, four instances `x = [1, 2, 3, 4]` with square-loss
+//! targets `y = [1, 1, 3, 3]`, one tree of depth 1, `λ = 1`, `γ = 0`,
+//! `η = 1`, no compression.
+//!
+//! At the root, square loss at score 0 gives `g_i = −y_i`, `h_i = 1`, so
+//! `G = −8`, `H = 4` and the parent objective is `G²/(H+λ) = 64/5 = 12.8`.
+//! Scanning split candidates (the 1/2/3/4 quantiles plus the mandatory 0):
+//!
+//! | threshold | G_L, H_L | gain = ½(G_L²/(H_L+λ) + G_R²/(H_R+λ) − 12.8) |
+//! |---|---|---|
+//! | ≤ 0 | 0, 0   | 0 |
+//! | ≤ 1 | −1, 1  | ½(1/2 + 49/4 − 12.8) = −0.025 |
+//! | ≤ 2 | −2, 2  | ½(4/3 + 36/3 − 12.8) = **4/15 ≈ 0.2667** |
+//! | ≤ 3 | −5, 3  | ½(25/4 + 9/2 − 12.8) = −1.025 |
+//!
+//! The winner is `x ≤ 2` with gain 4/15; leaf weights are
+//! `−G_L/(H_L+λ) = 2/3` (left) and `−G_R/(H_R+λ) = 2` (right), and the
+//! resulting mean training loss is `½·(2·(1/3)² + 2·1²)/4 = 5/18`.
+
+use dimboost_core::{train_distributed, GbdtConfig, LossKind, Node, Optimizations, Tree};
+use dimboost_data::{Dataset, SparseInstance};
+use dimboost_ps::PsConfig;
+use dimboost_simnet::CostModel;
+
+fn golden_dataset() -> Dataset {
+    let instances: Vec<SparseInstance> = [1.0f32, 2.0, 3.0, 4.0]
+        .iter()
+        .map(|&v| SparseInstance::new(vec![0], vec![v]).unwrap())
+        .collect();
+    Dataset::from_instances(&instances, vec![1.0, 1.0, 3.0, 3.0], 1).unwrap()
+}
+
+fn golden_config() -> GbdtConfig {
+    GbdtConfig {
+        num_trees: 1,
+        max_depth: 1,
+        num_candidates: 4,
+        learning_rate: 1.0,
+        lambda: 1.0,
+        gamma: 0.0,
+        min_child_weight: 0.0,
+        loss: LossKind::Square,
+        sketch_eps: 0.01,
+        opts: Optimizations { low_precision: false, ..Optimizations::ALL },
+        ..GbdtConfig::default()
+    }
+}
+
+fn assert_golden_tree(tree: &Tree) {
+    match tree.node(0) {
+        Node::Internal { feature, threshold, gain, .. } => {
+            assert_eq!(feature, 0);
+            assert!((threshold - 2.0).abs() < 1e-6, "threshold {threshold}");
+            assert!((gain as f64 - 4.0 / 15.0).abs() < 1e-5, "gain {gain}");
+        }
+        other => panic!("root should be the hand-computed split, got {other:?}"),
+    }
+    match tree.node(1) {
+        Node::Leaf { weight } => {
+            assert!((weight as f64 - 2.0 / 3.0).abs() < 1e-6, "left weight {weight}")
+        }
+        other => panic!("left child should be a leaf, got {other:?}"),
+    }
+    match tree.node(2) {
+        Node::Leaf { weight } => {
+            assert!((weight as f64 - 2.0).abs() < 1e-6, "right weight {weight}")
+        }
+        other => panic!("right child should be a leaf, got {other:?}"),
+    }
+}
+
+#[test]
+fn trainer_reproduces_hand_computed_tree() {
+    let ds = golden_dataset();
+    let ps = PsConfig { num_servers: 1, num_partitions: 0, cost_model: CostModel::FREE };
+    let out =
+        train_distributed(std::slice::from_ref(&ds), &golden_config(), ps).unwrap();
+
+    assert_eq!(out.model.num_trees(), 1);
+    assert_golden_tree(&out.model.trees()[0]);
+
+    // Predictions: η = 1, so exactly the leaf weights.
+    let preds = out.model.predict_dataset(&ds);
+    assert!((preds[0] as f64 - 2.0 / 3.0).abs() < 1e-6);
+    assert!((preds[1] as f64 - 2.0 / 3.0).abs() < 1e-6);
+    assert!((preds[2] as f64 - 2.0).abs() < 1e-6);
+    assert!((preds[3] as f64 - 2.0).abs() < 1e-6);
+
+    // Mean training loss ½Σ(y−ŷ)²/4 = 5/18.
+    let loss = out.loss_curve.last().unwrap().train_loss;
+    assert!((loss - 5.0 / 18.0).abs() < 1e-6, "train loss {loss}");
+
+    // Feature importance is exactly the split gain on feature 0.
+    let imp = out.model.feature_importance();
+    assert!((imp[0] - 4.0 / 15.0).abs() < 1e-5, "importance {imp:?}");
+}
+
+#[test]
+fn golden_tree_survives_distribution_and_every_optimization() {
+    // Sharding the four instances across two workers and flipping every
+    // exact optimization toggle must not change the tree. (Low precision is
+    // the one *approximate* optimization — ±1/3 of a block's scale does not
+    // hit an 8-bit level exactly — so it stays off here and is checked with
+    // a tolerance below.)
+    let ds = golden_dataset();
+    let shard_a = ds.subset(&[0, 3]);
+    let shard_b = ds.subset(&[1, 2]);
+    for opts in [
+        Optimizations { low_precision: false, ..Optimizations::ALL },
+        Optimizations::NONE,
+        Optimizations {
+            hist_subtraction: true,
+            low_precision: false,
+            ..Optimizations::ALL
+        },
+    ] {
+        let mut config = golden_config();
+        config.opts = opts;
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
+        let out =
+            train_distributed(&[shard_a.clone(), shard_b.clone()], &config, ps).unwrap();
+        assert_golden_tree(&out.model.trees()[0]);
+    }
+
+    // Low precision: same split point, gain within one quantization step.
+    let mut config = golden_config();
+    config.opts = Optimizations::ALL;
+    let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+    let out = train_distributed(&[shard_a, shard_b], &config, ps).unwrap();
+    match out.model.trees()[0].node(0) {
+        Node::Internal { feature, threshold, gain, .. } => {
+            assert_eq!(feature, 0);
+            assert!((threshold - 2.0).abs() < 1e-6, "threshold {threshold}");
+            assert!((gain as f64 - 4.0 / 15.0).abs() < 0.05, "gain {gain}");
+        }
+        other => panic!("expected golden split under quantization, got {other:?}"),
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the core GBDT machinery.
+
+use dimboost_core::hist_build::build_row;
+use dimboost_core::loss::{loss_for, GradPair};
+use dimboost_core::{FeatureMeta, GbdtConfig, LossKind, NodeIndex, RoundRobinScheduler, Tree};
+use dimboost_data::{Dataset, SparseInstance};
+use dimboost_sketch::SplitCandidates;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Small random sparse dataset with gradient pairs.
+fn arb_dataset_grads() -> impl Strategy<Value = (Dataset, Vec<GradPair>)> {
+    (1usize..30, 2usize..20).prop_flat_map(|(rows, features)| {
+        let row_strategy = vec((0u32..features as u32, -3.0f32..3.0), 0..features);
+        (
+            vec(row_strategy, rows..=rows),
+            vec((-5.0f32..5.0, 0.01f32..3.0), rows..=rows),
+        )
+            .prop_map(move |(raw, gh)| {
+                let mut instances = Vec::new();
+                for pairs in raw {
+                    let mut pairs = pairs;
+                    pairs.sort_unstable_by_key(|&(i, _)| i);
+                    pairs.dedup_by_key(|&mut (i, _)| i);
+                    instances.push(SparseInstance::from_pairs(pairs).unwrap());
+                }
+                let labels = vec![0.0; instances.len()];
+                let ds = Dataset::from_instances(&instances, labels, features).unwrap();
+                let grads = gh.into_iter().map(|(g, h)| GradPair { g, h }).collect();
+                (ds, grads)
+            })
+    })
+}
+
+fn meta_for(ds: &Dataset, bounds: &[f32]) -> FeatureMeta {
+    let cands: Vec<SplitCandidates> = (0..ds.num_features())
+        .map(|_| SplitCandidates::from_boundaries(bounds.to_vec()))
+        .collect();
+    FeatureMeta::all_features(&cands)
+}
+
+proptest! {
+    /// Algorithm 2 (sparse) and the traditional dense pass agree on any
+    /// input — the core equivalence claim of Section 5.1.
+    #[test]
+    fn sparse_dense_equivalence((ds, grads) in arb_dataset_grads(), b1 in -2.0f32..0.0, b2 in 0.01f32..2.0) {
+        let meta = meta_for(&ds, &[b1, b2]);
+        let instances: Vec<u32> = (0..ds.num_rows() as u32).collect();
+        let sparse = build_row(&ds, &instances, &grads, &meta, true);
+        let dense = build_row(&ds, &instances, &grads, &meta, false);
+        for (i, (s, d)) in sparse.iter().zip(&dense).enumerate() {
+            prop_assert!((s - d).abs() < 1e-3, "elem {}: {} vs {}", i, s, d);
+        }
+    }
+
+    /// Per-feature bucket sums always equal the gradient totals.
+    #[test]
+    fn histogram_mass_conservation((ds, grads) in arb_dataset_grads()) {
+        let meta = meta_for(&ds, &[0.5, 1.0]);
+        let instances: Vec<u32> = (0..ds.num_rows() as u32).collect();
+        let row = build_row(&ds, &instances, &grads, &meta, true);
+        let layout = meta.layout();
+        let total_g: f32 = grads.iter().map(|p| p.g).sum();
+        let total_h: f32 = grads.iter().map(|p| p.h).sum();
+        for sf in 0..meta.num_sampled() {
+            let g: f32 = (0..layout.num_buckets(sf)).map(|k| row[layout.g_index(sf, k)]).sum();
+            let h: f32 = (0..layout.num_buckets(sf)).map(|k| row[layout.h_index(sf, k)]).sum();
+            prop_assert!((g - total_g).abs() < 1e-2, "feature {}: G {} vs {}", sf, g, total_g);
+            prop_assert!((h - total_h).abs() < 1e-2, "feature {}: H {} vs {}", sf, h, total_h);
+        }
+    }
+
+    /// NodeIndex splits preserve the instance multiset and respect the
+    /// predicate, for arbitrary split sequences.
+    #[test]
+    fn node_index_invariants(n in 1usize..200, splits in vec(any::<u64>(), 0..6)) {
+        let mut idx = NodeIndex::new(n, 127);
+        let mut frontier = vec![0u32];
+        for (step, salt) in splits.iter().enumerate() {
+            let Some(&node) = frontier.get(step % frontier.len().max(1)) else { break };
+            if !idx.is_materialized(node) { continue }
+            let (lc, rc) = (Tree::left_child(node), Tree::right_child(node));
+            if rc as usize >= 127 { break }
+            let before: Vec<u32> = idx.instances(node).to_vec();
+            let pred = |i: u32| (i as u64).wrapping_mul(*salt) % 3 != 0;
+            idx.split(node, lc, rc, pred);
+            let mut after: Vec<u32> = idx.instances(lc).to_vec();
+            after.extend_from_slice(idx.instances(rc));
+            let mut b = before.clone();
+            let mut a = after.clone();
+            b.sort_unstable();
+            a.sort_unstable();
+            prop_assert_eq!(a, b, "split lost or duplicated instances");
+            prop_assert!(idx.instances(lc).iter().all(|&i| pred(i)));
+            prop_assert!(idx.instances(rc).iter().all(|&i| !pred(i)));
+            frontier.push(lc);
+            frontier.push(rc);
+        }
+    }
+
+    /// The scheduler covers every position exactly once, and round-robin
+    /// load never exceeds ceil(n/w).
+    #[test]
+    fn scheduler_exact_cover(w in 1usize..16, n in 0usize..100) {
+        let s = RoundRobinScheduler::new(w);
+        let mut owners = vec![0usize; n];
+        for worker in 0..w {
+            for pos in s.assignments(worker, n) {
+                owners[pos] += 1;
+            }
+        }
+        prop_assert!(owners.iter().all(|&c| c == 1));
+        for worker in 0..w {
+            prop_assert!(s.assignments(worker, n).len() <= s.max_load(n));
+        }
+    }
+
+    /// Tree routing is consistent with predict: the routed node's leaf
+    /// weight is the prediction.
+    #[test]
+    fn route_predict_consistency(vals in vec(0.0f32..1.0, 1..20), t1 in 0.1f32..0.9, t2 in 0.1f32..0.9) {
+        let mut tree = Tree::new(2);
+        tree.set_internal(0, 0, t1);
+        tree.set_internal(1, 0, t1 * t2);
+        tree.set_leaf(3, -2.0);
+        tree.set_leaf(4, -1.0);
+        tree.set_leaf(2, 1.0);
+        prop_assert!(tree.check_consistency().is_ok());
+        for v in vals {
+            let inst = SparseInstance::new(vec![0], vec![v]).unwrap();
+            let ds = Dataset::from_instances(&[inst], vec![0.0], 1).unwrap();
+            let row = ds.row(0);
+            let leaf = tree.route(&row, 0);
+            let expected = match tree.node(leaf) {
+                dimboost_core::Node::Leaf { weight } => weight,
+                _ => f32::NAN,
+            };
+            prop_assert_eq!(tree.predict(&row), expected);
+        }
+    }
+
+    /// Losses are non-negative with correct-sign gradients.
+    #[test]
+    fn loss_properties(score in -10.0f32..10.0, label_bit in any::<bool>()) {
+        let label = if label_bit { 1.0 } else { 0.0 };
+        for kind in [LossKind::Logistic, LossKind::Square] {
+            let l = loss_for(kind);
+            prop_assert!(l.loss(score, label) >= 0.0);
+            let gp = l.grad(score, label);
+            prop_assert!(gp.h > 0.0);
+            // Gradient sign: g > 0 exactly when the transformed prediction
+            // overshoots the label (g = p − y for logistic, ŷ − y for square).
+            let overshoot = l.transform(score) - label;
+            if overshoot.abs() > 1e-4 {
+                prop_assert_eq!(gp.g > 0.0, overshoot > 0.0);
+            }
+        }
+    }
+
+    /// Config validation accepts every config the strategy builds.
+    #[test]
+    fn generated_configs_validate(
+        trees in 1usize..30,
+        depth in 1usize..10,
+        k in 1usize..64,
+        ratio in 0.01f64..1.0,
+        bits in 2u8..16,
+    ) {
+        let config = GbdtConfig {
+            num_trees: trees,
+            max_depth: depth,
+            num_candidates: k,
+            feature_sample_ratio: ratio,
+            compress_bits: bits,
+            ..GbdtConfig::default()
+        };
+        prop_assert!(config.validate().is_ok());
+    }
+}

@@ -1,0 +1,393 @@
+use crate::{DataError, SparseInstance};
+
+/// A borrowed view of one row of a [`Dataset`]: the nonzero entries of a
+/// sparse instance, without copying.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    indices: &'a [u32],
+    values: &'a [f32],
+}
+
+impl<'a> RowView<'a> {
+    /// Sorted feature indices of the nonzero entries.
+    pub fn indices(&self) -> &'a [u32] {
+        self.indices
+    }
+
+    /// Values parallel to [`Self::indices`].
+    pub fn values(&self) -> &'a [f32] {
+        self.values
+    }
+
+    /// Number of nonzero entries in this row.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterates `(feature, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + 'a {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Value of feature `f`, or `0.0` when absent.
+    pub fn get(&self, f: u32) -> f32 {
+        match self.indices.binary_search(&f) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Copies this view into an owned [`SparseInstance`].
+    pub fn to_instance(&self) -> SparseInstance {
+        SparseInstance::new(self.indices.to_vec(), self.values.to_vec())
+            .expect("dataset rows are validated on insertion")
+    }
+}
+
+/// Per-feature summary statistics, used for sketch seeding and sanity checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Smallest nonzero value observed (or `f32::INFINITY` if the column is
+    /// entirely zero).
+    pub min: f32,
+    /// Largest nonzero value observed (or `f32::NEG_INFINITY`).
+    pub max: f32,
+    /// Number of rows with a nonzero entry in this column.
+    pub nnz: usize,
+}
+
+impl Default for ColumnStats {
+    fn default() -> Self {
+        Self { min: f32::INFINITY, max: f32::NEG_INFINITY, nnz: 0 }
+    }
+}
+
+/// A labelled sparse dataset in CSR (compressed sparse row) layout.
+///
+/// Rows are training instances, columns are features. The CSR layout keeps
+/// every worker's shard in three flat arrays, which is what makes the
+/// sparsity-aware histogram pass of Algorithm 2 a linear scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    labels: Vec<f32>,
+    num_features: usize,
+}
+
+impl Dataset {
+    /// An empty dataset with the given dimensionality.
+    pub fn empty(num_features: usize) -> Self {
+        Self {
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+            labels: Vec::new(),
+            num_features,
+        }
+    }
+
+    /// Builds a dataset from owned instances and labels.
+    pub fn from_instances(
+        instances: &[SparseInstance],
+        labels: Vec<f32>,
+        num_features: usize,
+    ) -> Result<Self, DataError> {
+        if instances.len() != labels.len() {
+            return Err(DataError::LengthMismatch {
+                what: "instances/labels",
+                left: instances.len(),
+                right: labels.len(),
+            });
+        }
+        let mut builder = DatasetBuilder::new(num_features);
+        for (inst, &label) in instances.iter().zip(&labels) {
+            builder.push_instance(inst, label)?;
+        }
+        builder.finish()
+    }
+
+    /// Number of rows (instances).
+    pub fn num_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Declared dimensionality (number of features, including all-zero ones).
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Total number of stored nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Average nonzeros per row (the paper's `z`).
+    pub fn avg_nnz(&self) -> f64 {
+        if self.num_rows() == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.num_rows() as f64
+        }
+    }
+
+    /// Fraction of the dense matrix that is nonzero.
+    pub fn density(&self) -> f64 {
+        let cells = self.num_rows() * self.num_features;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// Borrowed view of row `i`.
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+        RowView { indices: &self.indices[lo..hi], values: &self.values[lo..hi] }
+    }
+
+    /// Label of row `i`.
+    pub fn label(&self, i: usize) -> f32 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// Iterates `(row view, label)` over all rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (RowView<'_>, f32)> {
+        (0..self.num_rows()).map(move |i| (self.row(i), self.label(i)))
+    }
+
+    /// Restricts the dataset to the first `m` features, dropping entries with
+    /// larger indices. This is exactly how the paper derives Gender-10K /
+    /// Gender-100K from the full Gender dataset (Section 7.3.4).
+    pub fn restrict_features(&self, m: usize) -> Self {
+        let mut builder = DatasetBuilder::new(m);
+        for (row, label) in self.iter_rows() {
+            let cut = row.indices.partition_point(|&f| (f as usize) < m);
+            builder
+                .push_raw(&row.indices[..cut], &row.values[..cut], label)
+                .expect("restricting a valid dataset cannot fail");
+        }
+        builder.finish().expect("restricting a valid dataset cannot fail")
+    }
+
+    /// Copies the selected rows into a new dataset (used for partitioning and
+    /// train/test splits). Row order follows `rows`.
+    pub fn subset(&self, rows: &[usize]) -> Self {
+        let mut builder = DatasetBuilder::new(self.num_features);
+        for &i in rows {
+            let row = self.row(i);
+            builder
+                .push_raw(row.indices, row.values, self.label(i))
+                .expect("subset of a valid dataset cannot fail");
+        }
+        builder.finish().expect("subset of a valid dataset cannot fail")
+    }
+
+    /// Per-column min/max/nnz statistics over nonzero entries.
+    pub fn column_stats(&self) -> Vec<ColumnStats> {
+        let mut stats = vec![ColumnStats::default(); self.num_features];
+        for (&f, &v) in self.indices.iter().zip(&self.values) {
+            let s = &mut stats[f as usize];
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+            s.nnz += 1;
+        }
+        stats
+    }
+
+    /// Approximate in-memory footprint in bytes (CSR arrays + labels).
+    pub fn memory_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f32>()
+            + self.labels.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Incremental [`Dataset`] constructor.
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    labels: Vec<f32>,
+    num_features: usize,
+}
+
+impl DatasetBuilder {
+    /// Starts an empty builder for `num_features`-dimensional data.
+    pub fn new(num_features: usize) -> Self {
+        Self {
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+            labels: Vec::new(),
+            num_features,
+        }
+    }
+
+    /// Pre-allocates for an expected number of rows and nonzeros.
+    pub fn with_capacity(num_features: usize, rows: usize, nnz: usize) -> Self {
+        let mut b = Self::new(num_features);
+        b.indptr.reserve(rows);
+        b.labels.reserve(rows);
+        b.indices.reserve(nnz);
+        b.values.reserve(nnz);
+        b
+    }
+
+    /// Appends a validated sparse instance.
+    pub fn push_instance(&mut self, inst: &SparseInstance, label: f32) -> Result<(), DataError> {
+        self.push_raw(inst.indices(), inst.values(), label)
+    }
+
+    /// Appends a row from raw parallel slices, validating order and range.
+    pub fn push_raw(&mut self, indices: &[u32], values: &[f32], label: f32) -> Result<(), DataError> {
+        if indices.len() != values.len() {
+            return Err(DataError::LengthMismatch {
+                what: "indices/values",
+                left: indices.len(),
+                right: values.len(),
+            });
+        }
+        for (pos, w) in indices.windows(2).enumerate() {
+            if w[0] >= w[1] {
+                return Err(DataError::UnsortedIndices { position: pos + 1 });
+            }
+        }
+        if let Some(&last) = indices.last() {
+            if last as usize >= self.num_features {
+                return Err(DataError::FeatureOutOfRange {
+                    index: last,
+                    num_features: self.num_features,
+                });
+            }
+        }
+        for (&i, &v) in indices.iter().zip(values) {
+            if v != 0.0 {
+                self.indices.push(i);
+                self.values.push(v);
+            }
+        }
+        self.indptr.push(self.indices.len());
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Number of rows accumulated so far.
+    pub fn num_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Finalizes the dataset.
+    pub fn finish(self) -> Result<Dataset, DataError> {
+        Ok(Dataset {
+            indptr: self.indptr,
+            indices: self.indices,
+            values: self.values,
+            labels: self.labels,
+            num_features: self.num_features,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // 3 rows, 5 features.
+        let insts = vec![
+            SparseInstance::new(vec![0, 2], vec![1.0, 2.0]).unwrap(),
+            SparseInstance::new(vec![1], vec![-1.0]).unwrap(),
+            SparseInstance::new(vec![2, 4], vec![0.5, 3.0]).unwrap(),
+        ];
+        Dataset::from_instances(&insts, vec![1.0, 0.0, 1.0], 5).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ds = toy();
+        assert_eq!(ds.num_rows(), 3);
+        assert_eq!(ds.num_features(), 5);
+        assert_eq!(ds.nnz(), 5);
+        assert!((ds.avg_nnz() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((ds.density() - 5.0 / 15.0).abs() < 1e-12);
+        assert_eq!(ds.row(0).get(2), 2.0);
+        assert_eq!(ds.row(1).get(0), 0.0);
+        assert_eq!(ds.label(2), 1.0);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = DatasetBuilder::new(3);
+        let err = b.push_raw(&[5], &[1.0], 0.0).unwrap_err();
+        assert!(matches!(err, DataError::FeatureOutOfRange { index: 5, num_features: 3 }));
+    }
+
+    #[test]
+    fn builder_rejects_unsorted() {
+        let mut b = DatasetBuilder::new(10);
+        let err = b.push_raw(&[4, 2], &[1.0, 1.0], 0.0).unwrap_err();
+        assert!(matches!(err, DataError::UnsortedIndices { .. }));
+    }
+
+    #[test]
+    fn from_instances_rejects_label_mismatch() {
+        let insts = vec![SparseInstance::empty()];
+        let err = Dataset::from_instances(&insts, vec![], 1).unwrap_err();
+        assert!(matches!(err, DataError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn restrict_features_drops_high_indices() {
+        let ds = toy().restrict_features(2);
+        assert_eq!(ds.num_features(), 2);
+        assert_eq!(ds.num_rows(), 3);
+        assert_eq!(ds.row(0).nnz(), 1); // feature 2 dropped
+        assert_eq!(ds.row(2).nnz(), 0); // features 2, 4 dropped
+        assert_eq!(ds.labels(), toy().labels());
+    }
+
+    #[test]
+    fn subset_preserves_rows_in_order() {
+        let ds = toy();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.label(0), 1.0);
+        assert_eq!(sub.row(0).get(4), 3.0);
+        assert_eq!(sub.row(1).get(0), 1.0);
+    }
+
+    #[test]
+    fn column_stats_cover_nonzeros() {
+        let stats = toy().column_stats();
+        assert_eq!(stats[2].nnz, 2);
+        assert_eq!(stats[2].min, 0.5);
+        assert_eq!(stats[2].max, 2.0);
+        assert_eq!(stats[3].nnz, 0);
+    }
+
+    #[test]
+    fn zero_values_are_dropped_on_push() {
+        let mut b = DatasetBuilder::new(4);
+        b.push_raw(&[0, 1, 2], &[1.0, 0.0, 2.0], 0.0).unwrap();
+        let ds = b.finish().unwrap();
+        assert_eq!(ds.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::empty(7);
+        assert_eq!(ds.num_rows(), 0);
+        assert_eq!(ds.num_features(), 7);
+        assert_eq!(ds.avg_nnz(), 0.0);
+    }
+}

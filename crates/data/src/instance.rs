@@ -1,0 +1,182 @@
+use crate::DataError;
+
+/// A sparse training instance: sorted `(feature index, value)` pairs.
+///
+/// Only nonzero features are stored (Section 2.1 of the paper). Indices are
+/// strictly increasing and every stored value is nonzero; both invariants are
+/// enforced by [`SparseInstance::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseInstance {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseInstance {
+    /// Builds a sparse instance, validating that indices are strictly
+    /// increasing. Zero-valued entries are dropped.
+    pub fn new(indices: Vec<u32>, values: Vec<f32>) -> Result<Self, DataError> {
+        if indices.len() != values.len() {
+            return Err(DataError::LengthMismatch {
+                what: "indices/values",
+                left: indices.len(),
+                right: values.len(),
+            });
+        }
+        for (pos, w) in indices.windows(2).enumerate() {
+            if w[0] >= w[1] {
+                return Err(DataError::UnsortedIndices { position: pos + 1 });
+            }
+        }
+        let (indices, values) = indices
+            .into_iter()
+            .zip(values)
+            .filter(|&(_, v)| v != 0.0)
+            .unzip();
+        Ok(Self { indices, values })
+    }
+
+    /// Builds from possibly-unsorted pairs, sorting (and validating
+    /// uniqueness) on the way in.
+    pub fn from_pairs(mut pairs: Vec<(u32, f32)>) -> Result<Self, DataError> {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let (indices, values): (Vec<u32>, Vec<f32>) = pairs.into_iter().unzip();
+        Self::new(indices, values)
+    }
+
+    /// An instance with no nonzero features.
+    pub fn empty() -> Self {
+        Self { indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Sorted feature indices of the nonzero entries.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Values parallel to [`Self::indices`].
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterates `(feature, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Value of feature `f`, or `0.0` when absent (binary search).
+    pub fn get(&self, f: u32) -> f32 {
+        match self.indices.binary_search(&f) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Converts to a dense vector of length `num_features`.
+    pub fn to_dense(&self, num_features: usize) -> DenseInstance {
+        let mut v = vec![0.0; num_features];
+        for (i, x) in self.iter() {
+            v[i as usize] = x;
+        }
+        DenseInstance::new(v)
+    }
+}
+
+/// A dense training instance: one value per feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseInstance {
+    values: Vec<f32>,
+}
+
+impl DenseInstance {
+    /// Wraps a dense value vector.
+    pub fn new(values: Vec<f32>) -> Self {
+        Self { values }
+    }
+
+    /// Number of features (including zeros).
+    pub fn num_features(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The dense value array.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Converts to the sparse representation, dropping zeros.
+    pub fn to_sparse(&self) -> SparseInstance {
+        let (indices, values) = self
+            .values
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i as u32, v))
+            .unzip();
+        SparseInstance { indices, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_unsorted() {
+        let err = SparseInstance::new(vec![3, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, DataError::UnsortedIndices { position: 1 }));
+    }
+
+    #[test]
+    fn new_rejects_duplicates() {
+        let err = SparseInstance::new(vec![2, 2], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, DataError::UnsortedIndices { .. }));
+    }
+
+    #[test]
+    fn new_rejects_length_mismatch() {
+        let err = SparseInstance::new(vec![1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, DataError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn new_drops_explicit_zeros() {
+        let inst = SparseInstance::new(vec![0, 1, 2], vec![1.0, 0.0, 3.0]).unwrap();
+        assert_eq!(inst.nnz(), 2);
+        assert_eq!(inst.indices(), &[0, 2]);
+    }
+
+    #[test]
+    fn from_pairs_sorts() {
+        let inst = SparseInstance::from_pairs(vec![(5, 1.0), (2, 2.0)]).unwrap();
+        assert_eq!(inst.indices(), &[2, 5]);
+        assert_eq!(inst.values(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let inst = SparseInstance::new(vec![1, 7], vec![0.5, -0.5]).unwrap();
+        assert_eq!(inst.get(1), 0.5);
+        assert_eq!(inst.get(7), -0.5);
+        assert_eq!(inst.get(3), 0.0);
+    }
+
+    #[test]
+    fn dense_sparse_roundtrip() {
+        let dense = DenseInstance::new(vec![0.0, 1.5, 0.0, -2.0]);
+        let sparse = dense.to_sparse();
+        assert_eq!(sparse.nnz(), 2);
+        assert_eq!(sparse.to_dense(4), dense);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = SparseInstance::empty();
+        assert_eq!(inst.nnz(), 0);
+        assert_eq!(inst.get(0), 0.0);
+    }
+}

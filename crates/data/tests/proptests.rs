@@ -1,0 +1,111 @@
+//! Property-based tests for the dataset layer.
+
+use dimboost_data::libsvm::{read_libsvm, write_libsvm, LibsvmOptions};
+use dimboost_data::partition::{partition_rows, train_test_split};
+use dimboost_data::synthetic::{generate, SparseGenConfig};
+use dimboost_data::{Dataset, SparseInstance};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy producing a small random dataset.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..40, 1usize..30).prop_flat_map(|(rows, features)| {
+        vec(
+            (vec((0u32..features as u32, -10.0f32..10.0), 0..features), any::<bool>()),
+            rows..=rows,
+        )
+        .prop_map(move |raw| {
+            let mut instances = Vec::new();
+            let mut labels = Vec::new();
+            for (pairs, label) in raw {
+                let mut pairs = pairs;
+                pairs.sort_unstable_by_key(|&(i, _)| i);
+                pairs.dedup_by_key(|&mut (i, _)| i);
+                instances.push(SparseInstance::from_pairs(pairs).unwrap());
+                labels.push(if label { 1.0 } else { 0.0 });
+            }
+            Dataset::from_instances(&instances, labels, features).unwrap()
+        })
+    })
+}
+
+proptest! {
+    /// Partitioning preserves every row exactly once, in order.
+    #[test]
+    fn partition_is_exact_cover(ds in arb_dataset(), w in 1usize..8) {
+        let shards = partition_rows(&ds, w).unwrap();
+        let total: usize = shards.iter().map(|s| s.num_rows()).sum();
+        prop_assert_eq!(total, ds.num_rows());
+        let mut row = 0;
+        for shard in &shards {
+            for i in 0..shard.num_rows() {
+                prop_assert_eq!(shard.label(i), ds.label(row));
+                prop_assert_eq!(shard.row(i).indices(), ds.row(row).indices());
+                prop_assert_eq!(shard.row(i).values(), ds.row(row).values());
+                row += 1;
+            }
+        }
+        // Shard sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.num_rows()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Train/test split is a permutation partition of the rows.
+    #[test]
+    fn split_is_permutation(ds in arb_dataset(), seed in any::<u64>()) {
+        let (train, test) = train_test_split(&ds, 0.25, seed).unwrap();
+        prop_assert_eq!(train.num_rows() + test.num_rows(), ds.num_rows());
+        // Multiset of (label, nnz) pairs is preserved.
+        let mut orig: Vec<(u32, usize)> =
+            (0..ds.num_rows()).map(|i| (ds.label(i).to_bits(), ds.row(i).nnz())).collect();
+        let mut got: Vec<(u32, usize)> = (0..train.num_rows())
+            .map(|i| (train.label(i).to_bits(), train.row(i).nnz()))
+            .chain((0..test.num_rows()).map(|i| (test.label(i).to_bits(), test.row(i).nnz())))
+            .collect();
+        orig.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(orig, got);
+    }
+
+    /// LibSVM write → read is lossless for binary-labelled data.
+    #[test]
+    fn libsvm_roundtrip(ds in arb_dataset()) {
+        let mut buf = Vec::new();
+        write_libsvm(&mut buf, &ds).unwrap();
+        let opts = LibsvmOptions {
+            num_features: Some(ds.num_features()),
+            ..Default::default()
+        };
+        let back = read_libsvm(buf.as_slice(), opts).unwrap();
+        prop_assert_eq!(back, ds);
+    }
+
+    /// restrict_features never increases nnz and keeps row count and labels.
+    #[test]
+    fn restrict_features_monotone(ds in arb_dataset(), m in 1usize..30) {
+        let m = m.min(ds.num_features());
+        let r = ds.restrict_features(m);
+        prop_assert_eq!(r.num_rows(), ds.num_rows());
+        prop_assert_eq!(r.num_features(), m);
+        prop_assert!(r.nnz() <= ds.nnz());
+        prop_assert_eq!(r.labels(), ds.labels());
+        for i in 0..r.num_rows() {
+            prop_assert!(r.row(i).indices().iter().all(|&f| (f as usize) < m));
+        }
+    }
+
+    /// The generator respects the declared shape for arbitrary configs.
+    #[test]
+    fn generator_shape(rows in 1usize..200, features in 2usize..300, nnz in 1usize..50, seed in any::<u64>()) {
+        let cfg = SparseGenConfig::new(rows, features, nnz.min(features), seed);
+        let ds = generate(&cfg);
+        prop_assert_eq!(ds.num_rows(), rows);
+        prop_assert_eq!(ds.num_features(), features);
+        for i in 0..ds.num_rows() {
+            let idx = ds.row(i).indices();
+            prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(idx.iter().all(|&f| (f as usize) < features));
+        }
+    }
+}

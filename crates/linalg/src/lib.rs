@@ -1,0 +1,331 @@
+//! Sparse principal component analysis by power iteration.
+//!
+//! The paper's Table 6 asks what happens if the high-dimensional dataset is
+//! first reduced with PCA (their experiment uses Spark MLlib's PCA) and then
+//! trained in the lower dimension. This crate provides the substitute: a
+//! from-scratch PCA that works directly on the CSR dataset without ever
+//! densifying it. Covariance–vector products are computed as
+//! `C·v = Xᵀ(X·v)/n − μ·(μᵀ·v)`, so each power-iteration step costs
+//! `O(nnz + M)`; components are extracted one at a time with Gram–Schmidt
+//! re-orthogonalization.
+
+use dimboost_data::{Dataset, DatasetBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted PCA transform: `k` orthonormal components over `M` features plus
+/// the column means used for centering.
+///
+/// ```
+/// use dimboost_linalg::{Pca, PcaConfig};
+/// use dimboost_data::synthetic::{generate, SparseGenConfig};
+///
+/// let ds = generate(&SparseGenConfig::new(200, 30, 8, 1));
+/// let pca = Pca::fit(&ds, &PcaConfig { components: 4, iterations: 20, seed: 1 }).unwrap();
+/// let reduced = pca.transform(&ds);
+/// assert_eq!(reduced.num_features(), 4);
+/// assert_eq!(reduced.num_rows(), 200);
+/// assert_eq!(reduced.labels(), ds.labels());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    components: Vec<Vec<f32>>,
+    /// Variance captured by each component (eigenvalues of the covariance).
+    eigenvalues: Vec<f64>,
+    means: Vec<f32>,
+}
+
+/// Configuration for [`Pca::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct PcaConfig {
+    /// Number of components to extract.
+    pub components: usize,
+    /// Power-iteration steps per component.
+    pub iterations: usize,
+    /// Seed for the random starting vectors.
+    pub seed: u64,
+}
+
+impl Default for PcaConfig {
+    fn default() -> Self {
+        Self { components: 2, iterations: 30, seed: 7 }
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+fn norm(v: &[f32]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+impl Pca {
+    /// Fits `config.components` principal components to the dataset.
+    ///
+    /// # Errors
+    /// Fails on an empty dataset or when more components than features are
+    /// requested.
+    pub fn fit(dataset: &Dataset, config: &PcaConfig) -> Result<Self, String> {
+        let n = dataset.num_rows();
+        let m = dataset.num_features();
+        if n == 0 {
+            return Err("cannot fit PCA on an empty dataset".into());
+        }
+        if config.components == 0 || config.components > m {
+            return Err(format!(
+                "components must be in 1..={m}, got {}",
+                config.components
+            ));
+        }
+
+        // Column means.
+        let mut means = vec![0.0f32; m];
+        for (row, _) in dataset.iter_rows() {
+            for (f, v) in row.iter() {
+                means[f as usize] += v;
+            }
+        }
+        for mu in &mut means {
+            *mu /= n as f32;
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut components: Vec<Vec<f32>> = Vec::with_capacity(config.components);
+        let mut eigenvalues = Vec::with_capacity(config.components);
+
+        for _ in 0..config.components {
+            // Random start, orthogonal to previous components.
+            let mut v: Vec<f32> = (0..m).map(|_| rng.random::<f32>() - 0.5).collect();
+            let mut eigenvalue = 0.0f64;
+            for _ in 0..config.iterations.max(1) {
+                let w = cov_mul(dataset, &means, &v);
+                let mut w: Vec<f32> = w;
+                // Re-orthogonalize against already-extracted components.
+                for c in &components {
+                    let proj = dot(&w, c);
+                    for (wi, &ci) in w.iter_mut().zip(c) {
+                        *wi -= (proj * ci as f64) as f32;
+                    }
+                }
+                let len = norm(&w);
+                if len < 1e-12 {
+                    // Degenerate direction (zero variance left): stop here.
+                    break;
+                }
+                eigenvalue = len; // ||C v|| -> eigenvalue for a unit v.
+                for wi in &mut w {
+                    *wi = (*wi as f64 / len) as f32;
+                }
+                v = w;
+            }
+            eigenvalues.push(eigenvalue);
+            components.push(v);
+        }
+
+        Ok(Self { components, eigenvalues, means })
+    }
+
+    /// The orthonormal components (k × M).
+    pub fn components(&self) -> &[Vec<f32>] {
+        &self.components
+    }
+
+    /// Variance captured by each component.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Projects one sparse row onto the components (centered).
+    pub fn project_row(&self, row: dimboost_data::RowView<'_>) -> Vec<f32> {
+        self.components
+            .iter()
+            .map(|c| {
+                let mut acc = 0.0f64;
+                for (f, v) in row.iter() {
+                    acc += v as f64 * c[f as usize] as f64;
+                }
+                // Centering: subtract μᵀc once.
+                let mu_c = dot(&self.means, c);
+                (acc - mu_c) as f32
+            })
+            .collect()
+    }
+
+    /// Transforms a dataset into the `k`-dimensional component space,
+    /// keeping labels.
+    pub fn transform(&self, dataset: &Dataset) -> Dataset {
+        let k = self.k();
+        // Precompute μᵀc per component.
+        let mu_c: Vec<f64> = self.components.iter().map(|c| dot(&self.means, c)).collect();
+        let mut builder = DatasetBuilder::with_capacity(k, dataset.num_rows(), dataset.num_rows() * k);
+        let mut indices: Vec<u32> = (0..k as u32).collect();
+        for (row, label) in dataset.iter_rows() {
+            let values: Vec<f32> = self
+                .components
+                .iter()
+                .zip(&mu_c)
+                .map(|(c, &mc)| {
+                    let mut acc = 0.0f64;
+                    for (f, v) in row.iter() {
+                        acc += v as f64 * c[f as usize] as f64;
+                    }
+                    (acc - mc) as f32
+                })
+                .collect();
+            // Dense projection: keep all k values (zeros are meaningful but
+            // rare; the builder drops exact zeros harmlessly).
+            indices.truncate(k);
+            builder
+                .push_raw(&indices, &values, label)
+                .expect("projection rows are sorted and in range");
+        }
+        builder.finish().expect("projection produces consistent arrays")
+    }
+}
+
+/// Covariance–vector product without densifying `X`:
+/// `C·v = Xᵀ(X·v)/n − μ·(μᵀ·v)`.
+fn cov_mul(dataset: &Dataset, means: &[f32], v: &[f32]) -> Vec<f32> {
+    let n = dataset.num_rows() as f64;
+    let m = dataset.num_features();
+    let mut out = vec![0.0f32; m];
+    // Xᵀ(X v)
+    for (row, _) in dataset.iter_rows() {
+        let mut y = 0.0f64;
+        for (f, x) in row.iter() {
+            y += x as f64 * v[f as usize] as f64;
+        }
+        let y = y / n;
+        for (f, x) in row.iter() {
+            out[f as usize] += (x as f64 * y) as f32;
+        }
+    }
+    // − μ (μᵀ v)
+    let mu_v = dot(means, v);
+    for (o, &mu) in out.iter_mut().zip(means) {
+        *o -= (mu as f64 * mu_v) as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimboost_data::synthetic::{generate, SparseGenConfig};
+    use dimboost_data::SparseInstance;
+
+    /// Dense 2-feature dataset stretched along the (1, 1) direction.
+    fn correlated() -> Dataset {
+        let mut instances = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let t = (i as f32 / 100.0) - 1.0; // [-1, 1)
+            let jitter = ((i * 37 % 17) as f32 / 17.0 - 0.5) * 0.1;
+            instances.push(
+                SparseInstance::new(vec![0, 1], vec![3.0 * t + jitter, 3.0 * t - jitter])
+                    .unwrap(),
+            );
+            labels.push(0.0);
+        }
+        Dataset::from_instances(&instances, labels, 2).unwrap()
+    }
+
+    #[test]
+    fn first_component_follows_correlation() {
+        let pca = Pca::fit(&correlated(), &PcaConfig { components: 1, iterations: 50, seed: 1 })
+            .unwrap();
+        let c = &pca.components()[0];
+        // Should align with (1,1)/sqrt(2) up to sign.
+        let target = 1.0 / 2.0f32.sqrt();
+        assert!(
+            (c[0].abs() - target).abs() < 0.05 && (c[1].abs() - target).abs() < 0.05,
+            "component {c:?}"
+        );
+        assert_eq!(c[0].signum(), c[1].signum());
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let ds = generate(&SparseGenConfig::new(500, 30, 8, 5));
+        let pca =
+            Pca::fit(&ds, &PcaConfig { components: 4, iterations: 40, seed: 2 }).unwrap();
+        for i in 0..4 {
+            let ni = norm(&pca.components()[i]);
+            assert!((ni - 1.0).abs() < 1e-3, "component {i} norm {ni}");
+            for j in 0..i {
+                let d = dot(&pca.components()[i], &pca.components()[j]);
+                assert!(d.abs() < 1e-2, "components {i},{j} not orthogonal: {d}");
+            }
+        }
+        // Eigenvalues come out in non-increasing order (up to small noise).
+        let ev = pca.eigenvalues();
+        for w in ev.windows(2) {
+            assert!(w[1] <= w[0] * 1.05 + 1e-9, "eigenvalues not sorted: {ev:?}");
+        }
+    }
+
+    #[test]
+    fn transform_shapes_and_labels() {
+        let ds = generate(&SparseGenConfig::new(100, 20, 5, 9));
+        let pca = Pca::fit(&ds, &PcaConfig { components: 3, iterations: 20, seed: 3 }).unwrap();
+        let proj = pca.transform(&ds);
+        assert_eq!(proj.num_rows(), 100);
+        assert_eq!(proj.num_features(), 3);
+        assert_eq!(proj.labels(), ds.labels());
+    }
+
+    #[test]
+    fn projection_captures_variance() {
+        // Projected variance along PC1 of the correlated set ≈ its
+        // eigenvalue, and is most of the total variance.
+        let ds = correlated();
+        let pca = Pca::fit(&ds, &PcaConfig { components: 2, iterations: 60, seed: 4 }).unwrap();
+        let proj = pca.transform(&ds);
+        let var = |vals: Vec<f32>| {
+            let n = vals.len() as f64;
+            let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / n;
+            vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n
+        };
+        let v1 = var((0..proj.num_rows()).map(|i| proj.row(i).get(0)).collect());
+        let v2 = var((0..proj.num_rows()).map(|i| proj.row(i).get(1)).collect());
+        assert!(v1 > 50.0 * v2, "PC1 var {v1} should dominate PC2 var {v2}");
+        assert!((v1 - pca.eigenvalues()[0]).abs() / v1 < 0.05);
+    }
+
+    #[test]
+    fn project_row_matches_transform() {
+        let ds = generate(&SparseGenConfig::new(50, 15, 4, 11));
+        let pca = Pca::fit(&ds, &PcaConfig { components: 2, iterations: 20, seed: 5 }).unwrap();
+        let proj = pca.transform(&ds);
+        for i in 0..5 {
+            let direct = pca.project_row(ds.row(i));
+            for (j, &d) in direct.iter().enumerate() {
+                assert!((proj.row(i).get(j as u32) - d).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = generate(&SparseGenConfig::new(100, 10, 3, 2));
+        let cfg = PcaConfig { components: 2, iterations: 15, seed: 6 };
+        let a = Pca::fit(&ds, &cfg).unwrap();
+        let b = Pca::fit(&ds, &cfg).unwrap();
+        assert_eq!(a.components(), b.components());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ds = generate(&SparseGenConfig::new(10, 5, 2, 1));
+        assert!(Pca::fit(&ds, &PcaConfig { components: 0, ..Default::default() }).is_err());
+        assert!(Pca::fit(&ds, &PcaConfig { components: 6, ..Default::default() }).is_err());
+        let empty = Dataset::empty(5);
+        assert!(Pca::fit(&empty, &PcaConfig::default()).is_err());
+    }
+}

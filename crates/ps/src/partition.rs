@@ -1,0 +1,184 @@
+use std::ops::Range;
+
+/// The hybrid range-hash partitioner of Section 4.3.
+///
+/// A parameter vector (here: the feature axis of a histogram row) is first
+/// split into `num_partitions` contiguous *ranges* — preserving fast range
+/// queries — and each range is then assigned to a server by *hash*, which
+/// balances load across servers. The default partition count equals the
+/// number of servers, as in the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeHashPartitioner {
+    ranges: Vec<Range<usize>>,
+    server_of: Vec<usize>,
+    num_servers: usize,
+    len: usize,
+}
+
+/// Fibonacci-style multiplicative hash for partition ids.
+fn hash_id(id: u64) -> u64 {
+    id.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31) ^ id.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+impl RangeHashPartitioner {
+    /// Partitions `len` items into `num_partitions` contiguous ranges and
+    /// assigns each range to one of `num_servers` servers.
+    ///
+    /// Assignment sorts partitions by hash and deals them round-robin, which
+    /// randomizes placement (hash partition) while guaranteeing servers
+    /// differ by at most one partition (the balance the paper wants from
+    /// hashing, made deterministic).
+    ///
+    /// # Panics
+    /// Panics if `num_partitions` or `num_servers` is zero.
+    pub fn new(len: usize, num_partitions: usize, num_servers: usize) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        assert!(num_servers > 0, "need at least one server");
+        let base = len / num_partitions;
+        let extra = len % num_partitions;
+        let mut ranges = Vec::with_capacity(num_partitions);
+        let mut start = 0;
+        for p in 0..num_partitions {
+            let size = base + usize::from(p < extra);
+            ranges.push(start..start + size);
+            start += size;
+        }
+        let mut order: Vec<usize> = (0..num_partitions).collect();
+        order.sort_unstable_by_key(|&p| (hash_id(p as u64), p));
+        let mut server_of = vec![0; num_partitions];
+        for (slot, &p) in order.iter().enumerate() {
+            server_of[p] = slot % num_servers;
+        }
+        Self { ranges, server_of, num_servers, len }
+    }
+
+    /// Convenience: one partition per server (the paper's default).
+    pub fn per_server(len: usize, num_servers: usize) -> Self {
+        Self::new(len, num_servers, num_servers)
+    }
+
+    /// Total item count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the partitioned space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// The contiguous item range of partition `p`.
+    pub fn range(&self, p: usize) -> Range<usize> {
+        self.ranges[p].clone()
+    }
+
+    /// All ranges, in partition order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// The server that owns partition `p`.
+    pub fn server_of(&self, p: usize) -> usize {
+        self.server_of[p]
+    }
+
+    /// The partition containing item `i` (binary search over ranges).
+    pub fn partition_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.len, "item {i} out of range {}", self.len);
+        self.ranges.partition_point(|r| r.end <= i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        let p = RangeHashPartitioner::new(103, 7, 3);
+        assert_eq!(p.num_partitions(), 7);
+        let mut pos = 0;
+        for i in 0..7 {
+            let r = p.range(i);
+            assert_eq!(r.start, pos);
+            pos = r.end;
+        }
+        assert_eq!(pos, 103);
+    }
+
+    #[test]
+    fn per_server_is_balanced_bijection() {
+        let p = RangeHashPartitioner::per_server(100, 8);
+        let mut counts = vec![0; 8];
+        for i in 0..8 {
+            counts[p.server_of(i)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1), "counts={counts:?}");
+    }
+
+    #[test]
+    fn many_partitions_balanced_across_servers() {
+        let p = RangeHashPartitioner::new(1000, 40, 7);
+        let mut counts = vec![0usize; 7];
+        for i in 0..40 {
+            counts[p.server_of(i)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "counts={counts:?}");
+    }
+
+    #[test]
+    fn assignment_is_hash_shuffled() {
+        // The hash step should not degenerate to identity assignment.
+        let p = RangeHashPartitioner::per_server(64, 16);
+        let identity = (0..16).all(|i| p.server_of(i) == i);
+        assert!(!identity, "hash assignment degenerated to identity");
+    }
+
+    #[test]
+    fn partition_of_matches_ranges() {
+        let p = RangeHashPartitioner::new(50, 6, 2);
+        for i in 0..50 {
+            let part = p.partition_of(i);
+            assert!(p.range(part).contains(&i), "item {i} not in partition {part}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = RangeHashPartitioner::new(77, 5, 5);
+        let b = RangeHashPartitioner::new(77, 5, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_servers_than_partitions() {
+        let p = RangeHashPartitioner::new(10, 2, 5);
+        assert!(p.server_of(0) < 5);
+        assert!(p.server_of(1) < 5);
+        assert_ne!(p.server_of(0), p.server_of(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn rejects_zero_partitions() {
+        RangeHashPartitioner::new(10, 0, 1);
+    }
+
+    #[test]
+    fn empty_space() {
+        let p = RangeHashPartitioner::new(0, 3, 3);
+        assert!(p.is_empty());
+        assert!(p.ranges().iter().all(|r| r.is_empty()));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the parameter server: quantization soundness and
+//! two-phase split exactness on arbitrary histograms.
+
+use dimboost_ps::quantize::quantize;
+use dimboost_ps::split::best_split_in_range;
+use dimboost_ps::{HistogramLayout, NodeSplit, ParameterServer, PsConfig, SplitParams};
+use dimboost_simnet::CostModel;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy for (layout, one valid histogram row): G entries arbitrary,
+/// H entries nonnegative, with consistent per-feature totals so that the
+/// "derive totals from the first feature" trick is exercised honestly.
+fn arb_layout_row() -> impl Strategy<Value = (HistogramLayout, Vec<f32>)> {
+    (1usize..6, 2u32..8).prop_flat_map(|(nf, nb)| {
+        // Per-feature bucket counts in 2..=nb+1.
+        vec(2u32..=nb + 1, nf..=nf).prop_flat_map(move |buckets| {
+            // Gradient pairs per instance-bucket; we synthesize per-feature
+            // distributions over shared instance mass.
+            let layout = HistogramLayout::new(buckets.clone());
+            let total_pairs = 12usize;
+            vec((-5.0f32..5.0, 0.01f32..2.0), total_pairs).prop_flat_map(move |pairs| {
+                let buckets = buckets.clone();
+                let layout = layout.clone();
+                // For each feature, a bucket assignment for every pair.
+                vec(vec(0usize..buckets.iter().copied().max().unwrap() as usize, total_pairs), buckets.len())
+                    .prop_map(move |assignments| {
+                        let mut row = vec![0.0f32; layout.row_len()];
+                        for (f, assign) in assignments.iter().enumerate() {
+                            let nb = layout.num_buckets(f);
+                            for (i, &(g, h)) in pairs.iter().enumerate() {
+                                let b = assign[i] % nb;
+                                row[layout.g_index(f, b)] += g;
+                                row[layout.h_index(f, b)] += h;
+                            }
+                        }
+                        (layout.clone(), row)
+                    })
+            })
+        })
+    })
+}
+
+proptest! {
+    /// Two-phase exactness: for any shard partitioning, max over shard
+    /// winners equals the full-scan winner.
+    #[test]
+    fn sharded_split_equals_full((layout, row) in arb_layout_row(), cut in 0usize..6) {
+        let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 0.0, ..SplitParams::default() };
+        let nf = layout.num_features();
+        let cut = cut.min(nf);
+        let full = best_split_in_range(&row, &layout, 0..nf, None, &params);
+        let totals = Some((full.total_g, full.total_h));
+        let left = best_split_in_range(&row[layout.elem_range(0..cut)], &layout, 0..cut, totals, &params);
+        let right = best_split_in_range(&row[layout.elem_range(cut..nf)], &layout, cut..nf, totals, &params);
+        prop_assert_eq!(NodeSplit::better(left.best, right.best), full.best);
+    }
+
+    /// Every reported split is internally consistent: positive gain matches
+    /// recomputation from its own child sums, and children obey
+    /// min_child_weight.
+    #[test]
+    fn reported_split_is_consistent((layout, row) in arb_layout_row()) {
+        let params = SplitParams { lambda: 1.0, gamma: 0.1, min_child_weight: 0.05, ..SplitParams::default() };
+        let nf = layout.num_features();
+        let res = best_split_in_range(&row, &layout, 0..nf, None, &params);
+        if let Some(s) = res.best {
+            let gr = res.total_g - s.left_g;
+            let hr = res.total_h - s.left_h;
+            prop_assert!(s.left_h >= params.min_child_weight);
+            prop_assert!(hr >= params.min_child_weight);
+            let gain = params.gain(s.left_g, s.left_h, gr, hr);
+            prop_assert!((gain - s.gain).abs() < 1e-6);
+            prop_assert!(s.gain > 0.0);
+        }
+    }
+
+    /// Server push/pull through any partitioning reproduces the sum of rows.
+    #[test]
+    fn server_accumulates_any_partitioning(
+        (layout, row) in arb_layout_row(),
+        servers in 1usize..5,
+        pushes in 1usize..4,
+    ) {
+        let ps = ParameterServer::new(
+            layout.num_features(),
+            PsConfig { num_servers: servers, num_partitions: 0, cost_model: CostModel::FREE },
+        );
+        ps.init_tree(layout.clone());
+        for _ in 0..pushes {
+            ps.push_histogram(0, &row);
+        }
+        let got = ps.pull_histogram(0);
+        for (g, r) in got.iter().zip(&row) {
+            prop_assert!((g - r * pushes as f32).abs() < 1e-3);
+        }
+    }
+
+    /// Quantization error is bounded by one quantization step per element.
+    #[test]
+    fn quantize_error_bound(values in vec(-100.0f32..100.0, 1..200), bits in 2u8..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = quantize(&values, bits, &mut rng);
+        let back = q.dequantize();
+        let step = q.scale() / ((1u32 << (bits - 1)) - 1) as f32;
+        for (v, b) in values.iter().zip(&back) {
+            prop_assert!((v - b).abs() <= step + 1e-4, "v={} b={} step={}", v, b, step);
+        }
+    }
+
+    /// Quantized codes always fit the declared bit width.
+    #[test]
+    fn quantize_codes_in_range(values in vec(-10.0f32..10.0, 1..100), bits in 2u8..16, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = quantize(&values, bits, &mut rng);
+        let max_code = 2 * ((1u32 << (bits - 1)) - 1);
+        for &c in q.codes() {
+            prop_assert!((c as u32) <= max_code);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// Accumulated communication statistics: what moved, how many packages, and
+/// how much simulated time it cost. Used by the trainer to decompose run
+/// time into computation and communication (Figure 13 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Total payload bytes moved over the simulated network.
+    pub bytes: u64,
+    /// Number of packages (point-to-point messages).
+    pub packages: u64,
+    /// Simulated communication time. Parallel transfers within one
+    /// collective are already collapsed to the critical path.
+    pub sim_time: SimTime,
+}
+
+impl CommStats {
+    /// A zeroed record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one logical transfer event.
+    pub fn record(&mut self, bytes: u64, packages: u64, time: SimTime) {
+        self.bytes += bytes;
+        self.packages += packages;
+        self.sim_time += time;
+    }
+
+    /// Adds another record into this one.
+    pub fn absorb(&mut self, other: &CommStats) {
+        self.bytes += other.bytes;
+        self.packages += other.packages;
+        self.sim_time += other.sim_time;
+    }
+}
+
+/// A thread-safe, shareable [`CommStats`] accumulator. The parameter server
+/// and the collectives all record into one of these so a training run ends
+/// with a single communication ledger.
+#[derive(Debug, Clone, Default)]
+pub struct StatsRecorder {
+    inner: Arc<Mutex<CommStats>>,
+}
+
+impl StatsRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event.
+    pub fn record(&self, bytes: u64, packages: u64, time: SimTime) {
+        self.inner.lock().record(bytes, packages, time);
+    }
+
+    /// Adds a whole [`CommStats`] (e.g. a collective's report).
+    pub fn absorb(&self, stats: &CommStats) {
+        self.inner.lock().absorb(stats);
+    }
+
+    /// Snapshot of the current totals.
+    pub fn snapshot(&self) -> CommStats {
+        *self.inner.lock()
+    }
+
+    /// Resets the totals to zero and returns what was accumulated.
+    pub fn take(&self) -> CommStats {
+        std::mem::take(&mut *self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_absorb() {
+        let mut a = CommStats::new();
+        a.record(100, 2, SimTime(0.5));
+        let mut b = CommStats::new();
+        b.record(50, 1, SimTime(0.25));
+        a.absorb(&b);
+        assert_eq!(a.bytes, 150);
+        assert_eq!(a.packages, 3);
+        assert!((a.sim_time.seconds() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_is_shared() {
+        let r = StatsRecorder::new();
+        let r2 = r.clone();
+        r.record(10, 1, SimTime(0.1));
+        r2.record(20, 1, SimTime(0.2));
+        let snap = r.snapshot();
+        assert_eq!(snap.bytes, 30);
+        assert_eq!(snap.packages, 2);
+    }
+
+    #[test]
+    fn recorder_concurrent_updates() {
+        let r = StatsRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        r.record(1, 1, SimTime(0.001));
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.bytes, 8000);
+        assert_eq!(snap.packages, 8000);
+        assert!((snap.sim_time.seconds() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn take_resets() {
+        let r = StatsRecorder::new();
+        r.record(5, 1, SimTime(1.0));
+        let taken = r.take();
+        assert_eq!(taken.bytes, 5);
+        assert_eq!(r.snapshot(), CommStats::default());
+    }
+}

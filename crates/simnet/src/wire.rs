@@ -1,0 +1,97 @@
+//! Minimal wire encoding for simulated network payloads.
+//!
+//! Collectives and the parameter server move `f32` histograms and `u8`
+//! quantized histograms. This module provides the little-endian framing used
+//! to count *actual serialized bytes* (the simulated clock charges per byte
+//! on the wire, so compressed payloads must really be smaller).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serializes an `f32` slice (little endian).
+pub fn encode_f32(values: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + values.len() * 4);
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes an `f32` slice produced by [`encode_f32`].
+///
+/// # Panics
+/// Panics if the buffer is malformed (the simulated network never corrupts
+/// frames; a malformed frame is a programming error).
+pub fn decode_f32(mut bytes: Bytes) -> Vec<f32> {
+    let len = bytes.get_u32_le() as usize;
+    assert!(bytes.remaining() >= len * 4, "truncated f32 frame");
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(bytes.get_f32_le());
+    }
+    out
+}
+
+/// Serializes a quantized histogram frame: the max-abs scalar `c` followed by
+/// the `u8` codes (Section 6.1's low-precision representation: the compressed
+/// integers *and* `c` are sent to the PS).
+pub fn encode_quantized(c: f32, codes: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + codes.len());
+    buf.put_f32_le(c);
+    buf.put_u32_le(codes.len() as u32);
+    buf.put_slice(codes);
+    buf.freeze()
+}
+
+/// Deserializes a frame produced by [`encode_quantized`].
+pub fn decode_quantized(mut bytes: Bytes) -> (f32, Vec<u8>) {
+    let c = bytes.get_f32_le();
+    let len = bytes.get_u32_le() as usize;
+    assert!(bytes.remaining() >= len, "truncated quantized frame");
+    let mut codes = vec![0u8; len];
+    bytes.copy_to_slice(&mut codes);
+    (c, codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let values = vec![1.5, -2.25, 0.0, f32::MAX, f32::MIN_POSITIVE];
+        let encoded = encode_f32(&values);
+        assert_eq!(encoded.len(), 4 + values.len() * 4);
+        assert_eq!(decode_f32(encoded), values);
+    }
+
+    #[test]
+    fn f32_empty() {
+        assert_eq!(decode_f32(encode_f32(&[])), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn quantized_roundtrip() {
+        let codes = vec![0u8, 127, 255, 3];
+        let encoded = encode_quantized(3.5, &codes);
+        assert_eq!(encoded.len(), 8 + codes.len());
+        let (c, back) = decode_quantized(encoded);
+        assert_eq!(c, 3.5);
+        assert_eq!(back, codes);
+    }
+
+    #[test]
+    fn quantized_is_smaller_than_f32() {
+        let n = 1000;
+        let f32_frame = encode_f32(&vec![1.0; n]);
+        let q_frame = encode_quantized(1.0, &vec![1; n]);
+        assert!(q_frame.len() * 3 < f32_frame.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_frame_panics() {
+        let frame = encode_f32(&[1.0, 2.0]);
+        decode_f32(frame.slice(0..6));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests: all four aggregation strategies compute the same
+//! sum on arbitrary inputs, and their cost formulas respect the paper's
+//! ordering claims.
+
+use dimboost_simnet::collectives::{
+    allreduce_binomial, partition_ranges, ps_batch_exchange, reduce_scatter_halving,
+    reduce_to_one,
+};
+use dimboost_simnet::CostModel;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_buffers() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (1usize..10, 1usize..80).prop_flat_map(|(w, len)| {
+        vec(vec(-100.0f32..100.0, len..=len), w..=w)
+    })
+}
+
+proptest! {
+    /// Data-path equivalence across all strategies.
+    #[test]
+    fn strategies_compute_identical_sums(buffers in arb_buffers(), servers in 1usize..6) {
+        let m = CostModel::FREE;
+        let len = buffers[0].len();
+        let mut expected = vec![0.0f64; len];
+        for b in &buffers {
+            for (e, &v) in expected.iter_mut().zip(b) {
+                *e += v as f64;
+            }
+        }
+        let close = |got: &[f32]| -> bool {
+            got.iter().zip(&expected).all(|(g, e)| (*g as f64 - e).abs() < 1e-2)
+        };
+        let (r, _) = reduce_to_one(&buffers, 0, &m);
+        prop_assert!(close(&r));
+        let (a, _) = allreduce_binomial(&buffers, &m);
+        prop_assert!(close(&a));
+        let (s, _) = reduce_scatter_halving(&buffers, &m);
+        prop_assert!(close(&s.assemble()));
+        let (p, _) = ps_batch_exchange(&buffers, servers, &m);
+        prop_assert!(close(&p.assemble()));
+    }
+
+    /// Scatter results always partition the index space exactly.
+    #[test]
+    fn scatter_partitions_indices(buffers in arb_buffers()) {
+        let (s, _) = reduce_scatter_halving(&buffers, &CostModel::FREE);
+        let len = buffers[0].len();
+        let mut seen = vec![0u8; len];
+        for seg in &s.segments {
+            prop_assert_eq!(seg.data.len(), seg.range.len());
+            for i in seg.range.clone() {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// partition_ranges is an exact, near-equal cover.
+    #[test]
+    fn partition_ranges_properties(len in 0usize..1000, parts in 1usize..20) {
+        let ranges = partition_ranges(len, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        prop_assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), len);
+        let mut pos = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, pos);
+            pos = r.end;
+        }
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Cost-model ordering for large messages: PS exchange never loses to
+    /// all-to-one reduce or binomial allreduce once the bandwidth term
+    /// dominates latency.
+    #[test]
+    fn large_message_ordering(w in 2usize..64, h_mb in 8usize..128) {
+        let m = CostModel::GIGABIT_LAN;
+        let h = h_mb << 20;
+        let dim = m.t_ps_exchange(h, w).seconds();
+        let mllib = m.t_reduce_to_one(h, w).seconds();
+        let xgb = m.t_allreduce_binomial(h, w).seconds();
+        prop_assert!(dim <= mllib + 1e-9);
+        prop_assert!(dim <= xgb + 1e-9);
+    }
+
+    /// The p-server generalization is monotone: more servers never slow the
+    /// exchange, and p = w matches the co-located closed form (Table 4's
+    /// mechanism).
+    #[test]
+    fn ps_exchange_monotone_in_servers(w in 2usize..64, h_mb in 1usize..64, p in 1usize..64) {
+        let m = CostModel::GIGABIT_LAN;
+        let h = h_mb << 20;
+        let p = p.min(w);
+        let t_p = m.t_ps_exchange_p(h, w, p).seconds();
+        if p > 1 {
+            let t_fewer = m.t_ps_exchange_p(h, w, p - 1).seconds();
+            prop_assert!(t_p <= t_fewer + 1e-9, "p={} {} vs p-1 {}", p, t_p, t_fewer);
+        }
+        let t_full = m.t_ps_exchange_p(h, w, w).seconds();
+        prop_assert!((t_full - m.t_ps_exchange(h, w).seconds()).abs() < 1e-12);
+        prop_assert!(t_p + 1e-9 >= t_full);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the GK sketch and candidate proposal.
+
+use dimboost_sketch::{propose_candidates, GkSketch, SplitCandidates};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// The sketch answers every queried quantile with rank error <= eps*n
+    /// (+1 for ceiling effects) on arbitrary small inputs.
+    #[test]
+    fn rank_error_bound(values in vec(-1e6f32..1e6, 1..3000), eps in 0.01f64..0.2) {
+        let mut sketch = GkSketch::new(eps);
+        sketch.extend(values.iter().copied());
+        let mut sorted = values.clone();
+        sorted.sort_unstable_by(f32::total_cmp);
+        let n = sorted.len() as f64;
+        for k in 0..=10 {
+            let phi = k as f64 / 10.0;
+            let q = sketch.query(phi).unwrap();
+            let lo = sorted.partition_point(|&x| x < q) as f64;
+            let hi = sorted.partition_point(|&x| x <= q) as f64;
+            let target = (phi * n).ceil().max(1.0);
+            let bound = eps * n + 1.0;
+            prop_assert!(target - hi <= bound && lo + 1.0 - target <= bound,
+                "phi={} q={} lo={} hi={} target={} bound={}", phi, q, lo, hi, target, bound);
+        }
+    }
+
+    /// Merging two sketches preserves the total count and the min/max.
+    #[test]
+    fn merge_preserves_extremes(a in vec(-1e3f32..1e3, 1..500), b in vec(-1e3f32..1e3, 1..500)) {
+        let mut sa = GkSketch::new(0.05);
+        sa.extend(a.iter().copied());
+        let mut sb = GkSketch::new(0.05);
+        sb.extend(b.iter().copied());
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), (a.len() + b.len()) as u64);
+        let min = a.iter().chain(&b).copied().fold(f32::INFINITY, f32::min);
+        let max = a.iter().chain(&b).copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(sa.min().unwrap(), min);
+        prop_assert_eq!(sa.max().unwrap(), max);
+    }
+
+    /// Queries are monotone in phi.
+    #[test]
+    fn queries_monotone(values in vec(-1e4f32..1e4, 1..2000)) {
+        let mut sketch = GkSketch::new(0.05);
+        sketch.extend(values.iter().copied());
+        let qs: Vec<f32> = (0..=20).map(|k| sketch.query(k as f64 / 20.0).unwrap()).collect();
+        prop_assert!(qs.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {:?}", qs);
+    }
+
+    /// Candidate proposal: boundaries sorted, distinct, contain zero, and
+    /// bucket() is consistent with the boundary ordering.
+    #[test]
+    fn candidates_invariants(values in vec(-100f32..100.0, 1..2000), k in 1usize..64) {
+        let mut sketch = GkSketch::new(0.02);
+        sketch.extend(values.iter().copied());
+        let c = propose_candidates(&mut sketch, k);
+        let s = c.splits();
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(s.contains(&0.0));
+        prop_assert_eq!(c.num_buckets(), s.len() + 1);
+        prop_assert_eq!(c.zero_bucket(), c.bucket(0.0));
+        for &v in values.iter().take(100) {
+            let b = c.bucket(v);
+            prop_assert!(b < c.num_buckets());
+            if b > 0 {
+                prop_assert!(v > s[b - 1]);
+            }
+            if b < s.len() {
+                prop_assert!(v <= s[b]);
+            }
+        }
+    }
+
+    /// from_boundaries is idempotent.
+    #[test]
+    fn from_boundaries_idempotent(bounds in vec(-50f32..50.0, 0..40)) {
+        let c1 = SplitCandidates::from_boundaries(bounds);
+        let c2 = SplitCandidates::from_boundaries(c1.splits().to_vec());
+        prop_assert_eq!(c1, c2);
+    }
+}

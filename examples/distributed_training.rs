@@ -1,0 +1,66 @@
+//! Distributed training on the simulated cluster: 8 workers, a co-located
+//! parameter server group, and the 1 GbE cost model — the full DimBoost
+//! execution plan of Figure 7.
+//!
+//! ```sh
+//! cargo run --release --example distributed_training
+//! ```
+
+use dimboost::core::metrics::classification_error;
+use dimboost::core::{train_distributed, GbdtConfig};
+use dimboost::data::partition::{partition_rows, train_test_split};
+use dimboost::data::synthetic::{generate, synthesis_like};
+use dimboost::ps::PsConfig;
+use dimboost::simnet::CostModel;
+
+fn main() {
+    let dataset = generate(&synthesis_like(7).with_rows(12_000).with_features(5_000));
+    let (train, test) = train_test_split(&dataset, 0.1, 7).expect("split failed");
+
+    let workers = 8;
+    let shards = partition_rows(&train, workers).expect("partitioning failed");
+    println!(
+        "cluster: {workers} workers x {} rows, {} parameter servers (co-located)",
+        shards[0].num_rows(),
+        workers
+    );
+
+    let config = GbdtConfig {
+        num_trees: 10,
+        max_depth: 5,
+        learning_rate: 0.3,
+        ..GbdtConfig::default()
+    };
+
+    let ps = PsConfig {
+        num_servers: workers,
+        num_partitions: 0, // one partition per server, the paper's default
+        cost_model: CostModel::GIGABIT_LAN,
+    };
+    let out = train_distributed(&shards, &config, ps).expect("training failed");
+
+    println!("\nrun breakdown:");
+    println!("  computation (wall, max across workers): {:.3}s", out.breakdown.compute_secs);
+    println!(
+        "  communication (simulated 1GbE): {:.3}s over {} ({} packages)",
+        out.breakdown.comm.sim_time.seconds(),
+        human_bytes(out.breakdown.comm.bytes),
+        out.breakdown.comm.packages
+    );
+
+    println!("\nconvergence:");
+    for p in &out.loss_curve {
+        println!("  tree {:>2}: train loss {:.4} at t={:.2}s", p.tree, p.train_loss, p.elapsed_secs);
+    }
+
+    let err = classification_error(&out.model.predict_dataset(&test), test.labels());
+    println!("\ntest error: {err:.4}");
+}
+
+fn human_bytes(b: u64) -> String {
+    if b > 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: train a GBDT model on a synthetic high-dimensional dataset
+//! and evaluate it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dimboost::core::metrics::{auc, classification_error, log_loss};
+use dimboost::core::{train_single_machine, GbdtConfig};
+use dimboost::data::partition::train_test_split;
+use dimboost::data::synthetic::{generate, SparseGenConfig};
+
+fn main() {
+    // 10,000 instances, 2,000 features, ~30 nonzeros per row.
+    let dataset = generate(&SparseGenConfig::new(10_000, 2_000, 30, 42));
+    println!(
+        "dataset: {} rows x {} features, {:.1} nonzeros/row ({:.3}% dense)",
+        dataset.num_rows(),
+        dataset.num_features(),
+        dataset.avg_nnz(),
+        100.0 * dataset.density()
+    );
+
+    let (train, test) = train_test_split(&dataset, 0.1, 42).expect("split failed");
+
+    let config = GbdtConfig {
+        num_trees: 15,
+        max_depth: 5,
+        learning_rate: 0.3,
+        ..GbdtConfig::default()
+    };
+
+    let model = train_single_machine(&train, &config).expect("training failed");
+    println!(
+        "trained {} trees (depth <= {}), {} leaves in tree 0",
+        model.num_trees(),
+        config.max_depth,
+        model.trees()[0].num_leaves()
+    );
+
+    let probs = model.predict_dataset(&test);
+    println!("test error: {:.4}", classification_error(&probs, test.labels()));
+    println!("test logloss: {:.4}", log_loss(&probs, test.labels()));
+    println!("test AUC: {:.4}", auc(&probs, test.labels()));
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through distributed training to evaluation, for DimBoost and every
+//! baseline.
+
+use dimboost::baselines::{train_baseline, train_tencentboost, BaselineKind};
+use dimboost::core::metrics::{auc, classification_error, log_loss};
+use dimboost::core::{train_distributed, train_single_machine, GbdtConfig};
+use dimboost::data::partition::{partition_rows, train_test_split};
+use dimboost::data::synthetic::{generate, rcv1_like, SparseGenConfig};
+use dimboost::ps::PsConfig;
+use dimboost::simnet::CostModel;
+
+fn config() -> GbdtConfig {
+    GbdtConfig {
+        num_trees: 5,
+        max_depth: 4,
+        num_candidates: 12,
+        learning_rate: 0.3,
+        num_threads: 2,
+        ..GbdtConfig::default()
+    }
+}
+
+#[test]
+fn five_system_bakeoff_on_rcv1_shape() {
+    let ds = generate(&rcv1_like(5).with_rows(3_000).with_features(600));
+    let (train, test) = train_test_split(&ds, 0.2, 5).unwrap();
+    let shards = partition_rows(&train, 4).unwrap();
+    let cfg = config();
+    let ps = PsConfig { num_servers: 4, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+
+    let dim = train_distributed(&shards, &cfg, ps).unwrap();
+    let tencent = train_tencentboost(&shards, &cfg, ps).unwrap();
+    let mut errors = vec![
+        ("DimBoost", classification_error(&dim.model.predict_dataset(&test), test.labels())),
+        (
+            "TencentBoost",
+            classification_error(&tencent.model.predict_dataset(&test), test.labels()),
+        ),
+    ];
+    for kind in [BaselineKind::Mllib, BaselineKind::Xgboost, BaselineKind::Lightgbm] {
+        let out = train_baseline(kind, &shards, &cfg, CostModel::GIGABIT_LAN).unwrap();
+        errors.push((
+            kind.name(),
+            classification_error(&out.model.predict_dataset(&test), test.labels()),
+        ));
+    }
+    for &(name, err) in &errors {
+        assert!(err < 0.45, "{name} error {err} did not beat the baseline");
+    }
+    // All systems land in the same accuracy neighbourhood.
+    let min = errors.iter().map(|&(_, e)| e).fold(f64::INFINITY, f64::min);
+    let max = errors.iter().map(|&(_, e)| e).fold(0.0, f64::max);
+    assert!(max - min < 0.08, "systems diverged: {errors:?}");
+}
+
+#[test]
+fn dimboost_moves_fewer_bytes_than_tencentboost() {
+    // The headline communication claim: compressed scatter-style pushes +
+    // O(1) split pulls vs full-precision pushes + whole-histogram pulls.
+    let ds = generate(&SparseGenConfig::new(2_000, 2_000, 25, 3));
+    let shards = partition_rows(&ds, 4).unwrap();
+    let cfg = config();
+    let ps = PsConfig { num_servers: 4, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+    let dim = train_distributed(&shards, &cfg, ps).unwrap();
+    let tencent = train_tencentboost(&shards, &cfg, ps).unwrap();
+    assert!(
+        dim.breakdown.comm.bytes * 2 < tencent.breakdown.comm.bytes,
+        "DimBoost {} vs TencentBoost {}",
+        dim.breakdown.comm.bytes,
+        tencent.breakdown.comm.bytes
+    );
+    assert!(dim.breakdown.comm.sim_time < tencent.breakdown.comm.sim_time);
+}
+
+#[test]
+fn single_machine_facade_api() {
+    // The README/docs quickstart path, end to end through the facade.
+    let dataset = generate(&SparseGenConfig::new(2_000, 400, 20, 42));
+    let (train, test) = train_test_split(&dataset, 0.1, 42).unwrap();
+    let cfg = GbdtConfig { num_trees: 8, learning_rate: 0.3, ..GbdtConfig::default() };
+    let model = train_single_machine(&train, &cfg).unwrap();
+    let probs = model.predict_dataset(&test);
+    assert!(classification_error(&probs, test.labels()) < 0.42);
+    assert!(log_loss(&probs, test.labels()) < std::f64::consts::LN_2);
+    assert!(auc(&probs, test.labels()) > 0.6);
+    assert!(model.check_consistency().is_ok());
+}
+
+#[test]
+fn worker_count_does_not_change_accuracy_materially() {
+    let ds = generate(&SparseGenConfig::new(3_000, 300, 15, 8));
+    let (train, test) = train_test_split(&ds, 0.2, 8).unwrap();
+    let cfg = config();
+    let mut errs = Vec::new();
+    for w in [1usize, 2, 5, 8] {
+        let shards = partition_rows(&train, w).unwrap();
+        let ps = PsConfig { num_servers: w, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+        let out = train_distributed(&shards, &cfg, ps).unwrap();
+        errs.push(classification_error(&out.model.predict_dataset(&test), test.labels()));
+    }
+    let min = errs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = errs.iter().copied().fold(0.0, f64::max);
+    assert!(max - min < 0.06, "accuracy varies too much with workers: {errs:?}");
+}
+
+#[test]
+fn feature_prefixes_improve_accuracy() {
+    // The Table 5 shape as an invariant: more features, better accuracy
+    // (allowing small noise at test scale).
+    let ds = generate(&SparseGenConfig::new(6_000, 2_000, 25, 13));
+    let cfg = GbdtConfig { num_trees: 8, learning_rate: 0.3, ..config() };
+    let mut errs = Vec::new();
+    for m in [100usize, 600, 2_000] {
+        let sub = ds.restrict_features(m);
+        let (train, test) = train_test_split(&sub, 0.2, 13).unwrap();
+        let model = train_single_machine(&train, &cfg).unwrap();
+        errs.push(classification_error(&model.predict_dataset(&test), test.labels()));
+    }
+    assert!(
+        errs[2] < errs[0] - 0.02,
+        "full features should clearly beat the 5% prefix: {errs:?}"
+    );
+}

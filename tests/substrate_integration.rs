@@ -1,0 +1,83 @@
+//! Integration tests exercising the substrates together: sketches feeding
+//! the PS, PCA feeding the trainer, and the LibSVM ETL feeding everything.
+
+use dimboost::core::metrics::classification_error;
+use dimboost::core::{train_single_machine, GbdtConfig};
+use dimboost::data::libsvm::{read_libsvm, write_libsvm, LibsvmOptions};
+use dimboost::data::partition::train_test_split;
+use dimboost::data::synthetic::{generate, SparseGenConfig};
+use dimboost::linalg::{Pca, PcaConfig};
+use dimboost::ps::{ParameterServer, PsConfig};
+use dimboost::sketch::{propose_candidates, GkSketch};
+
+#[test]
+fn sketch_merge_through_ps_matches_local_merge() {
+    // Two workers sketch disjoint shards; the PS-merged sketches must
+    // propose the same candidates as a local union sketch (within epsilon).
+    let ds = generate(&SparseGenConfig::new(4_000, 50, 10, 21));
+    let mid = 2_000;
+    let ps = ParameterServer::new(50, PsConfig::default());
+
+    let build = |lo: usize, hi: usize| -> Vec<GkSketch> {
+        let mut s: Vec<GkSketch> = (0..50).map(|_| GkSketch::new(0.005)).collect();
+        for i in lo..hi {
+            for (f, v) in ds.row(i).iter() {
+                s[f as usize].insert(v);
+            }
+        }
+        s
+    };
+    ps.push_sketches(build(0, mid));
+    ps.push_sketches(build(mid, ds.num_rows()));
+    let mut merged = ps.pull_sketches();
+
+    let mut local = build(0, ds.num_rows());
+    for f in 0..50 {
+        let a = propose_candidates(&mut merged[f], 10);
+        let b = propose_candidates(&mut local[f], 10);
+        // Same candidate count and close boundary values.
+        assert_eq!(a.splits().len(), b.splits().len(), "feature {f}");
+        let span = (merged[f].max().unwrap_or(1.0) - merged[f].min().unwrap_or(0.0)).abs() as f64;
+        for (x, y) in a.splits().iter().zip(b.splits()) {
+            assert!(
+                ((x - y).abs() as f64) <= 0.05 * span.max(1e-6),
+                "feature {f}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pca_pipeline_trains_in_reduced_space() {
+    let ds = generate(&SparseGenConfig::new(3_000, 500, 20, 4));
+    let (train, test) = train_test_split(&ds, 0.2, 4).unwrap();
+    let pca = Pca::fit(&train, &PcaConfig { components: 16, iterations: 10, seed: 4 }).unwrap();
+    let red_train = pca.transform(&train);
+    let red_test = pca.transform(&test);
+    assert_eq!(red_train.num_features(), 16);
+
+    let cfg = GbdtConfig { num_trees: 8, learning_rate: 0.3, ..GbdtConfig::default() };
+    let model = train_single_machine(&red_train, &cfg).unwrap();
+    let err = classification_error(&model.predict_dataset(&red_test), red_test.labels());
+    // Reduced space keeps *some* signal but (Table 6) costs accuracy vs the
+    // full space.
+    assert!(err < 0.5, "PCA-space model error {err}");
+    let full_model = train_single_machine(&train, &cfg).unwrap();
+    let full_err = classification_error(&full_model.predict_dataset(&test), test.labels());
+    assert!(full_err <= err + 0.02, "full {full_err} vs reduced {err}");
+}
+
+#[test]
+fn libsvm_etl_feeds_training() {
+    let ds = generate(&SparseGenConfig::new(1_500, 300, 15, 6));
+    let mut buf = Vec::new();
+    write_libsvm(&mut buf, &ds).unwrap();
+    let opts = LibsvmOptions { num_features: Some(300), ..Default::default() };
+    let loaded = read_libsvm(buf.as_slice(), opts).unwrap();
+    assert_eq!(loaded, ds);
+
+    let cfg = GbdtConfig { num_trees: 5, learning_rate: 0.3, ..GbdtConfig::default() };
+    let model = train_single_machine(&loaded, &cfg).unwrap();
+    let err = classification_error(&model.predict_dataset(&loaded), loaded.labels());
+    assert!(err < 0.45, "train error {err}");
+}
