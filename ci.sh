@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Repo CI gate. Run from the repo root:
+#
+#   ./ci.sh
+#
+# Mirrors what the driver enforces: formatting, lint-clean at -D warnings,
+# and the tier-1 suite (release build + the root package's tests).
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI green."

@@ -3,15 +3,12 @@ use std::time::Instant;
 use dimboost_core::hist_build::build_row;
 use dimboost_core::loss::{loss_for, GradPair};
 use dimboost_core::{
-    FeatureMeta, GbdtConfig, GbdtModel, LossPoint, NodeIndex, Optimizations, RunBreakdown,
-    Tree,
+    FeatureMeta, GbdtConfig, GbdtModel, LossPoint, NodeIndex, Optimizations, RunBreakdown, Tree,
 };
 use dimboost_data::Dataset;
 use dimboost_ps::split::{best_split_in_range, FinalSplit};
 use dimboost_ps::PsConfig;
-use dimboost_simnet::collectives::{
-    allreduce_binomial, reduce_scatter_halving, reduce_to_one,
-};
+use dimboost_simnet::collectives::{allreduce_binomial, reduce_scatter_halving, reduce_to_one};
 use dimboost_simnet::{CommStats, CostModel, SimTime};
 use dimboost_sketch::{propose_candidates, GkSketch, SplitCandidates};
 
@@ -132,8 +129,10 @@ pub fn train_baseline(
     let mut sketch_bytes = 0usize;
     let mut merged: Vec<GkSketch> = Vec::new();
     for (f, _) in (0..num_features).enumerate() {
-        let per_feature: Vec<GkSketch> =
-            sketch_sets.iter_mut().map(|set| std::mem::replace(&mut set[f], GkSketch::new(0.1))).collect();
+        let per_feature: Vec<GkSketch> = sketch_sets
+            .iter_mut()
+            .map(|set| std::mem::replace(&mut set[f], GkSketch::new(0.1)))
+            .collect();
         let mut m = GkSketch::merge_all(per_feature).expect("w >= 1 sketches");
         sketch_bytes += m.wire_bytes();
         merged.push(m);
@@ -157,12 +156,8 @@ pub fn train_baseline(
     let mut loss_curve = Vec::with_capacity(config.num_trees);
 
     for t in 0..config.num_trees {
-        let sampled = FeatureMeta::sample_features(
-            num_features,
-            config.feature_sample_ratio,
-            config.seed,
-            t,
-        );
+        let sampled =
+            FeatureMeta::sample_features(num_features, config.feature_sample_ratio, config.seed, t);
         let meta = FeatureMeta::new(sampled, &candidates);
         let mut tree = Tree::new(config.max_depth);
         let capacity = tree.capacity();
@@ -308,7 +303,11 @@ pub fn train_baseline(
             compute_secs += max;
         }
         if w > 1 {
-            comm.record(8 * w as u64, w as u64, SimTime(cost.alpha + 8.0 * w as f64 * cost.beta));
+            comm.record(
+                8 * w as u64,
+                w as u64,
+                SimTime(cost.alpha + 8.0 * w as f64 * cost.beta),
+            );
         }
 
         trees.push(tree);
@@ -375,12 +374,19 @@ mod tests {
     fn all_baselines_learn_the_signal() {
         let (train, test) = data();
         let shards = partition_rows(&train, 3).unwrap();
-        for kind in [BaselineKind::Mllib, BaselineKind::Xgboost, BaselineKind::Lightgbm] {
-            let out =
-                train_baseline(kind, &shards, &config(), CostModel::GIGABIT_LAN).unwrap();
+        for kind in [
+            BaselineKind::Mllib,
+            BaselineKind::Xgboost,
+            BaselineKind::Lightgbm,
+        ] {
+            let out = train_baseline(kind, &shards, &config(), CostModel::GIGABIT_LAN).unwrap();
             let err = classification_error(&out.model.predict_dataset(&test), test.labels());
             assert!(err < 0.42, "{}: error {err}", kind.name());
-            assert!(out.breakdown.comm.bytes > 0, "{} moved no bytes", kind.name());
+            assert!(
+                out.breakdown.comm.bytes > 0,
+                "{} moved no bytes",
+                kind.name()
+            );
         }
     }
 
@@ -409,7 +415,11 @@ mod tests {
         let (train, _) = data();
         let shards = partition_rows(&train, 2).unwrap();
         let cfg = config();
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let tencent = train_tencentboost(&shards, &cfg, ps).unwrap();
         let mut plain = cfg.clone();
         plain.opts = Optimizations::NONE;
@@ -422,10 +432,13 @@ mod tests {
         let (train, test) = data();
         let shards = partition_rows(&train, 3).unwrap();
         let cfg = config();
-        let ps = PsConfig { num_servers: 3, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 3,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let dim = train_distributed(&shards, &cfg, ps).unwrap();
-        let xgb =
-            train_baseline(BaselineKind::Xgboost, &shards, &cfg, CostModel::FREE).unwrap();
+        let xgb = train_baseline(BaselineKind::Xgboost, &shards, &cfg, CostModel::FREE).unwrap();
         let err_dim = classification_error(&dim.model.predict_dataset(&test), test.labels());
         let err_xgb = classification_error(&xgb.model.predict_dataset(&test), test.labels());
         assert!(
@@ -440,27 +453,38 @@ mod tests {
         let cfg = config();
         let shards4 = partition_rows(&train, 4).unwrap();
         let shards5 = partition_rows(&train, 5).unwrap();
-        let t4 = train_baseline(BaselineKind::Lightgbm, &shards4, &cfg, CostModel::GIGABIT_LAN)
-            .unwrap()
-            .breakdown
-            .comm
-            .sim_time
-            .seconds();
-        let t5 = train_baseline(BaselineKind::Lightgbm, &shards5, &cfg, CostModel::GIGABIT_LAN)
-            .unwrap()
-            .breakdown
-            .comm
-            .sim_time
-            .seconds();
-        assert!(t5 > 1.5 * t4, "w=5 {t5} should pay ~2x the w=4 {t4} comm time");
+        let t4 = train_baseline(
+            BaselineKind::Lightgbm,
+            &shards4,
+            &cfg,
+            CostModel::GIGABIT_LAN,
+        )
+        .unwrap()
+        .breakdown
+        .comm
+        .sim_time
+        .seconds();
+        let t5 = train_baseline(
+            BaselineKind::Lightgbm,
+            &shards5,
+            &cfg,
+            CostModel::GIGABIT_LAN,
+        )
+        .unwrap()
+        .breakdown
+        .comm
+        .sim_time
+        .seconds();
+        assert!(
+            t5 > 1.5 * t4,
+            "w=5 {t5} should pay ~2x the w=4 {t4} comm time"
+        );
     }
 
     #[test]
     fn rejects_invalid_input() {
         assert!(train_baseline(BaselineKind::Mllib, &[], &config(), CostModel::FREE).is_err());
         let empty = Dataset::empty(3);
-        assert!(
-            train_baseline(BaselineKind::Mllib, &[empty], &config(), CostModel::FREE).is_err()
-        );
+        assert!(train_baseline(BaselineKind::Mllib, &[empty], &config(), CostModel::FREE).is_err());
     }
 }

@@ -13,9 +13,7 @@ use std::time::Instant;
 
 use dimboost_core::hist_build::build_row;
 use dimboost_core::loss::loss_for;
-use dimboost_core::{
-    FeatureMeta, GbdtConfig, GbdtModel, LossPoint, NodeIndex, RunBreakdown, Tree,
-};
+use dimboost_core::{FeatureMeta, GbdtConfig, GbdtModel, LossPoint, NodeIndex, RunBreakdown, Tree};
 use dimboost_data::Dataset;
 use dimboost_ps::split::{best_split_in_range, FinalSplit};
 use dimboost_simnet::collectives::partition_ranges;
@@ -58,10 +56,14 @@ pub fn train_lightgbm_feature_parallel(
         let mut per_worker: Vec<Vec<SplitCandidates>> = Vec::with_capacity(num_workers);
         for slice in &slices {
             let start = Instant::now();
-            let mut sketches: Vec<GkSketch> =
-                slice.clone().map(|_| GkSketch::new(config.sketch_eps)).collect();
+            let mut sketches: Vec<GkSketch> = slice
+                .clone()
+                .map(|_| GkSketch::new(config.sketch_eps))
+                .collect();
             for (row, _) in dataset.iter_rows() {
-                let lo = row.indices().partition_point(|&f| (f as usize) < slice.start);
+                let lo = row
+                    .indices()
+                    .partition_point(|&f| (f as usize) < slice.start);
                 let hi = row.indices().partition_point(|&f| (f as usize) < slice.end);
                 for k in lo..hi {
                     let f = row.indices()[k] as usize - slice.start;
@@ -89,8 +91,7 @@ pub fn train_lightgbm_feature_parallel(
     let mut loss_curve = Vec::with_capacity(config.num_trees);
 
     for t in 0..config.num_trees {
-        let sampled =
-            FeatureMeta::sample_features(m, config.feature_sample_ratio, config.seed, t);
+        let sampled = FeatureMeta::sample_features(m, config.feature_sample_ratio, config.seed, t);
         let worker_metas: Vec<FeatureMeta> = slices
             .iter()
             .map(|slice| {
@@ -107,7 +108,9 @@ pub fn train_lightgbm_feature_parallel(
         let capacity = tree.capacity();
         // All workers hold the full data, so the index is shared state.
         let mut index = NodeIndex::new(n, capacity);
-        let grads: Vec<_> = (0..n).map(|i| loss.grad(preds[i], dataset.label(i))).collect();
+        let grads: Vec<_> = (0..n)
+            .map(|i| loss.grad(preds[i], dataset.label(i)))
+            .collect();
 
         let mut active: Vec<u32> = vec![0];
         for depth in 0..config.max_depth {
@@ -126,8 +129,7 @@ pub fn train_lightgbm_feature_parallel(
                     if meta.num_sampled() == 0 {
                         continue;
                     }
-                    let row =
-                        build_row(dataset, index.instances(node), &grads, meta, true);
+                    let row = build_row(dataset, index.instances(node), &grads, meta, true);
                     let res = best_split_in_range(
                         &row,
                         meta.layout(),
@@ -158,8 +160,7 @@ pub fn train_lightgbm_feature_parallel(
                 }
                 let split = best.map(|(wk, s)| FinalSplit {
                     feature: worker_metas[wk].global_id(s.feature as usize),
-                    threshold: worker_metas[wk]
-                        .threshold(s.feature as usize, s.bucket as usize),
+                    threshold: worker_metas[wk].threshold(s.feature as usize, s.bucket as usize),
                     gain: s.gain,
                     left_g: s.left_g,
                     left_h: s.left_h,
@@ -193,10 +194,8 @@ pub fn train_lightgbm_feature_parallel(
                             );
                             tree.set_leaf(
                                 rc,
-                                params.leaf_weight(
-                                    total_g - split.left_g,
-                                    total_h - split.left_h,
-                                ) as f32,
+                                params.leaf_weight(total_g - split.left_g, total_h - split.left_h)
+                                    as f32,
                             );
                         }
                     }
@@ -260,8 +259,7 @@ mod tests {
         let ds = generate(&SparseGenConfig::new(2_000, 100, 10, 31));
         let (train, test) = train_test_split(&ds, 0.2, 31).unwrap();
         let out =
-            train_lightgbm_feature_parallel(&train, 4, &config(), CostModel::GIGABIT_LAN)
-                .unwrap();
+            train_lightgbm_feature_parallel(&train, 4, &config(), CostModel::GIGABIT_LAN).unwrap();
         let err = classification_error(&out.model.predict_dataset(&test), test.labels());
         assert!(err < 0.42, "error {err}");
     }
@@ -290,7 +288,11 @@ mod tests {
         let out =
             train_lightgbm_feature_parallel(&ds, 4, &config(), CostModel::GIGABIT_LAN).unwrap();
         // Only winner exchanges: well under a megabyte.
-        assert!(out.breakdown.comm.bytes < 1 << 20, "{} bytes", out.breakdown.comm.bytes);
+        assert!(
+            out.breakdown.comm.bytes < 1 << 20,
+            "{} bytes",
+            out.breakdown.comm.bytes
+        );
         assert!(out.breakdown.comm.bytes > 0);
     }
 

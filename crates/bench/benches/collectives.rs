@@ -11,7 +11,11 @@ use std::hint::black_box;
 
 fn buffers(w: usize, elems: usize) -> Vec<Vec<f32>> {
     (0..w)
-        .map(|r| (0..elems).map(|i| ((r * 31 + i) % 13) as f32 - 6.0).collect())
+        .map(|r| {
+            (0..elems)
+                .map(|i| ((r * 31 + i) % 13) as f32 - 6.0)
+                .collect()
+        })
         .collect()
 }
 

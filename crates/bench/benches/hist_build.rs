@@ -22,7 +22,10 @@ fn setup(rows: usize, features: usize, nnz: usize) -> (Dataset, FeatureMeta, Vec
         .collect();
     let meta = FeatureMeta::all_features(&cands);
     let grads: Vec<GradPair> = (0..rows)
-        .map(|i| GradPair { g: ((i % 7) as f32 - 3.0) / 3.0, h: 0.25 })
+        .map(|i| GradPair {
+            g: ((i % 7) as f32 - 3.0) / 3.0,
+            h: 0.25,
+        })
         .collect();
     (ds, meta, grads)
 }
@@ -40,18 +43,28 @@ fn bench_dense_vs_sparse(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sparse", features), &features, |b, _| {
             b.iter(|| black_box(build_row(&ds, &instances, &grads, &meta, true)))
         });
-        let bc = BatchConfig { batch_size: 256, threads: 4, sparse: true };
-        group.bench_with_input(BenchmarkId::new("sparse_batched", features), &features, |b, _| {
-            b.iter(|| black_box(build_row_batched(&ds, &instances, &grads, &meta, &bc)))
-        });
+        let bc = BatchConfig {
+            batch_size: 256,
+            threads: 4,
+            sparse: true,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("sparse_batched", features),
+            &features,
+            |b, _| b.iter(|| black_box(build_row_batched(&ds, &instances, &grads, &meta, &bc))),
+        );
         let binned = BinnedShard::build(&ds, &meta);
-        group.bench_with_input(BenchmarkId::new("pre_binned", features), &features, |b, _| {
-            b.iter(|| {
-                let mut out = new_row(&meta);
-                binned.build_into(&instances, &grads, &mut out);
-                black_box(out)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pre_binned", features),
+            &features,
+            |b, _| {
+                b.iter(|| {
+                    let mut out = new_row(&meta);
+                    binned.build_into(&instances, &grads, &mut out);
+                    black_box(out)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -10,7 +10,9 @@ use std::hint::black_box;
 
 fn bench_quantize(c: &mut Criterion) {
     let n = 1 << 16;
-    let values: Vec<f32> = (0..n).map(|i| ((i * 37 % 1000) as f32 - 500.0) / 25.0).collect();
+    let values: Vec<f32> = (0..n)
+        .map(|i| ((i * 37 % 1000) as f32 - 500.0) / 25.0)
+        .collect();
     let mut group = c.benchmark_group("quantize_flat");
     group.throughput(Throughput::Bytes((n * 4) as u64));
     for bits in [4u8, 8, 16] {
@@ -28,7 +30,13 @@ fn bench_quantize(c: &mut Criterion) {
     let features = 1_000;
     let layout = HistogramLayout::new(vec![21; features]);
     let row: Vec<f32> = (0..layout.row_len())
-        .map(|i| if i % 21 == 0 { 500.0 } else { ((i % 13) as f32 - 6.0) / 6.0 })
+        .map(|i| {
+            if i % 21 == 0 {
+                500.0
+            } else {
+                ((i % 13) as f32 - 6.0) / 6.0
+            }
+        })
         .collect();
     let mut group = c.benchmark_group("quantize_row");
     group.throughput(Throughput::Bytes((layout.row_len() * 4) as u64));
@@ -38,7 +46,9 @@ fn bench_quantize(c: &mut Criterion) {
     });
     let mut rng = StdRng::seed_from_u64(2);
     let q = quantize_row(&row, &layout, 8, &mut rng);
-    group.bench_function("decode_8bit", |b| b.iter(|| black_box(q.dequantize(&layout))));
+    group.bench_function("decode_8bit", |b| {
+        b.iter(|| black_box(q.dequantize(&layout)))
+    });
     group.finish();
 }
 

@@ -7,19 +7,25 @@ use std::hint::black_box;
 
 fn bench_sketch(c: &mut Criterion) {
     let n = 100_000usize;
-    let values: Vec<f32> = (0..n).map(|i| ((i as u64 * 48271) % 99991) as f32).collect();
+    let values: Vec<f32> = (0..n)
+        .map(|i| ((i as u64 * 48271) % 99991) as f32)
+        .collect();
 
     let mut group = c.benchmark_group("gk_sketch");
     group.throughput(Throughput::Elements(n as u64));
     for eps in [0.05f64, 0.01, 0.001] {
-        group.bench_with_input(BenchmarkId::new("insert", format!("{eps}")), &eps, |b, &eps| {
-            b.iter(|| {
-                let mut s = GkSketch::new(eps);
-                s.extend(values.iter().copied());
-                s.flush();
-                black_box(s)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert", format!("{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let mut s = GkSketch::new(eps);
+                    s.extend(values.iter().copied());
+                    s.flush();
+                    black_box(s)
+                })
+            },
+        );
     }
 
     let make = |lo: usize, hi: usize| {

@@ -32,17 +32,21 @@ fn bench_split_scan(c: &mut Criterion) {
         // One shard of an 8-way partition (the server-side phase).
         let shard_range = 0..features / 8;
         let shard = &row[layout.elem_range(shard_range.clone())];
-        group.bench_with_input(BenchmarkId::new("one_of_8_shards", features), &features, |b, _| {
-            b.iter(|| {
-                black_box(best_split_in_range(
-                    shard,
-                    &layout,
-                    shard_range.clone(),
-                    Some((0.0, 100.0)),
-                    &params,
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("one_of_8_shards", features),
+            &features,
+            |b, _| {
+                b.iter(|| {
+                    black_box(best_split_in_range(
+                        shard,
+                        &layout,
+                        shard_range.clone(),
+                        Some((0.0, 100.0)),
+                        &params,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -9,8 +9,8 @@
 //! * early stopping — trees saved on a plateauing run.
 
 use dimboost_baselines::train_lightgbm_feature_parallel;
-use dimboost_bench::{fmt_bytes, fmt_secs, print_table, run_collective_baseline, Scale};
 use dimboost_baselines::BaselineKind;
+use dimboost_bench::{fmt_bytes, fmt_secs, print_table, run_collective_baseline, Scale};
 use dimboost_core::metrics::classification_error;
 use dimboost_core::{
     train_distributed, train_distributed_with_eval, EvalOptions, GbdtConfig, Optimizations,
@@ -45,9 +45,15 @@ fn main() {
 
     // ---- Sibling histogram subtraction. -----------------------------------
     let mut rows = Vec::new();
-    for (label, sub) in [("paper optimizations only", false), ("+ sibling subtraction", true)] {
+    for (label, sub) in [
+        ("paper optimizations only", false),
+        ("+ sibling subtraction", true),
+    ] {
         let mut cfg = base.clone();
-        cfg.opts = Optimizations { hist_subtraction: sub, ..Optimizations::ALL };
+        cfg.opts = Optimizations {
+            hist_subtraction: sub,
+            ..Optimizations::ALL
+        };
         let out = train_distributed(&shards, &cfg, ps).unwrap();
         let err = classification_error(&out.model.predict_dataset(&test), test.labels());
         rows.push(vec![
@@ -66,7 +72,10 @@ fn main() {
 
     // ---- Pre-binned construction. -------------------------------------------
     let mut rows = Vec::new();
-    for (label, binning) in [("bin per build (Algorithm 2)", false), ("+ pre-binning", true)] {
+    for (label, binning) in [
+        ("bin per build (Algorithm 2)", false),
+        ("+ pre-binning", true),
+    ] {
         let mut cfg = base.clone();
         cfg.opts.pre_binning = binning;
         let out = train_distributed(&shards, &cfg, ps).unwrap();
@@ -110,12 +119,19 @@ fn main() {
         CostModel::GIGABIT_LAN,
         Some(&test),
     );
-    let fp = train_lightgbm_feature_parallel(&train, workers, &base, CostModel::GIGABIT_LAN)
-        .unwrap();
+    let fp =
+        train_lightgbm_feature_parallel(&train, workers, &base, CostModel::GIGABIT_LAN).unwrap();
     let fp_err = classification_error(&fp.model.predict_dataset(&test), test.labels());
     print_table(
         "Extension: LightGBM feature-parallel vs data-parallel (Section 2.3)",
-        &["mode", "compute", "comm(sim)", "bytes", "test err", "memory/worker"],
+        &[
+            "mode",
+            "compute",
+            "comm(sim)",
+            "bytes",
+            "test err",
+            "memory/worker",
+        ],
         &[
             vec![
                 "data-parallel".into(),
@@ -141,7 +157,10 @@ fn main() {
     let mut cfg = base.clone();
     cfg.num_trees = scale.pick(15, 40);
     cfg.learning_rate = 0.5; // plateaus quickly
-    let ev = EvalOptions { dataset: &test, early_stopping_rounds: Some(3) };
+    let ev = EvalOptions {
+        dataset: &test,
+        early_stopping_rounds: Some(3),
+    };
     let out = train_distributed_with_eval(&shards, &cfg, ps, Some(ev)).unwrap();
     println!(
         "\nExtension: early stopping — budget {} rounds, stopped with {} trees (best round {:?})",
@@ -149,7 +168,10 @@ fn main() {
         out.model.num_trees(),
         out.best_iteration,
     );
-    let pts: Vec<String> =
-        out.eval_curve.iter().map(|p| format!("({}, {:.4})", p.tree, p.train_loss)).collect();
+    let pts: Vec<String> = out
+        .eval_curve
+        .iter()
+        .map(|p| format!("({}, {:.4})", p.tree, p.train_loss))
+        .collect();
     println!("eval curve: {}", pts.join(" "));
 }

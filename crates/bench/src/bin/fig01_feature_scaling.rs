@@ -25,7 +25,9 @@ fn main() {
     // One Gender-shaped dataset at the largest dimension; prefixes give the
     // smaller-dimension variants, exactly how the paper derives Gender-10K.
     let full = generate(
-        &gender_like(42).with_rows(rows).with_features(*dims.last().unwrap()),
+        &gender_like(42)
+            .with_rows(rows)
+            .with_features(*dims.last().unwrap()),
     );
 
     let config = GbdtConfig {

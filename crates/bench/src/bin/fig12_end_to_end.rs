@@ -79,9 +79,27 @@ fn run(setup: &Setup, scale: Scale) {
     let cost = CostModel::GIGABIT_LAN;
 
     let mut results: Vec<SystemResult> = Vec::new();
-    results.push(run_dimboost(&shards, &config, setup.workers, cost, Some(&test)));
-    results.push(run_tencentboost(&shards, &config, setup.workers, cost, Some(&test)));
-    results.push(run_collective_baseline(BaselineKind::Xgboost, &shards, &config, cost, Some(&test)));
+    results.push(run_dimboost(
+        &shards,
+        &config,
+        setup.workers,
+        cost,
+        Some(&test),
+    ));
+    results.push(run_tencentboost(
+        &shards,
+        &config,
+        setup.workers,
+        cost,
+        Some(&test),
+    ));
+    results.push(run_collective_baseline(
+        BaselineKind::Xgboost,
+        &shards,
+        &config,
+        cost,
+        Some(&test),
+    ));
     if setup.include_lightgbm {
         results.push(run_collective_baseline(
             BaselineKind::Lightgbm,
@@ -102,11 +120,19 @@ fn run(setup: &Setup, scale: Scale) {
     }
 
     let table: Vec<Vec<String>> = results.iter().map(result_row).collect();
-    print_table(&format!("Figure 12 ({}) — run time", setup.name), &RESULT_HEADER, &table);
+    print_table(
+        &format!("Figure 12 ({}) — run time", setup.name),
+        &RESULT_HEADER,
+        &table,
+    );
 
     let dim_total = results[0].total_secs();
     for r in &results[1..] {
-        println!("  DimBoost speedup vs {}: {:.1}x", r.system, r.total_secs() / dim_total);
+        println!(
+            "  DimBoost speedup vs {}: {:.1}x",
+            r.system,
+            r.total_secs() / dim_total
+        );
     }
     println!("\nconvergence (training loss vs modelled time):");
     for r in &results {

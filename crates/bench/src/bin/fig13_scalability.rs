@@ -7,7 +7,9 @@
 //! significantly with more workers (the PS exchange's bandwidth term is
 //! constant in w).
 
-use dimboost_bench::{fmt_secs, print_table, run_dimboost, timed, Scale};
+use dimboost_bench::{
+    fmt_secs, maybe_write_report, phase_rows, print_table, run_dimboost, timed, Scale, PHASE_HEADER,
+};
 use dimboost_core::GbdtConfig;
 use dimboost_data::partition::partition_rows;
 use dimboost_data::synthetic::{generate, rcv1_like, synthesis_like, SparseGenConfig};
@@ -16,6 +18,7 @@ use dimboost_simnet::CostModel;
 fn sweep(name: &str, cfg_data: &SparseGenConfig, workers: &[usize], config: &GbdtConfig) {
     let ds = generate(cfg_data);
     let mut rows = Vec::new();
+    let mut last_report = None;
     for &w in workers {
         // "Loading": materializing each worker's shard from the source
         // (stands in for the HDFS read, split evenly across machines).
@@ -29,12 +32,35 @@ fn sweep(name: &str, cfg_data: &SparseGenConfig, workers: &[usize], config: &Gbd
             fmt_secs(r.comm_secs),
             fmt_secs(load + r.total_secs()),
         ]);
+        if let Some(report) = r.report {
+            if let Some(path) =
+                maybe_write_report(&format!("fig13_{}_w{w}", name.replace(' ', "_")), &report)
+            {
+                println!("wrote {}", path.display());
+            }
+            last_report = Some((w, report));
+        }
     }
     print_table(
         &format!("Figure 13: scalability on {name}"),
-        &["workers", "loading", "computation", "communication(sim)", "total"],
+        &[
+            "workers",
+            "loading",
+            "computation",
+            "communication(sim)",
+            "total",
+        ],
         &rows,
     );
+    // Per-phase view of the widest run: where the added machines spend
+    // their time, and how skewed the workers are.
+    if let Some((w, report)) = last_report {
+        print_table(
+            &format!("Per-phase breakdown on {name} (w = {w})"),
+            &PHASE_HEADER,
+            &phase_rows(&report),
+        );
+    }
 }
 
 fn main() {
@@ -53,7 +79,12 @@ fn main() {
     let synthesis = synthesis_like(42)
         .with_rows(scale.pick(10_000, 40_000))
         .with_features(scale.pick(3_000, 10_000));
-    sweep("Synthesis-shaped", &synthesis, &scale.pick_slice(&[2, 5, 10], &[10, 20, 50]), &config);
+    sweep(
+        "Synthesis-shaped",
+        &synthesis,
+        &scale.pick_slice(&[2, 5, 10], &[10, 20, 50]),
+        &config,
+    );
 }
 
 trait PickSlice {

@@ -48,6 +48,10 @@ fn main() {
     );
     let dim = results[0].total_secs();
     for r in &results[1..] {
-        println!("  DimBoost speedup vs {}: {:.1}x", r.system, r.total_secs() / dim);
+        println!(
+            "  DimBoost speedup vs {}: {:.1}x",
+            r.system,
+            r.total_secs() / dim
+        );
     }
 }

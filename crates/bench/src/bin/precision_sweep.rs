@@ -87,6 +87,10 @@ fn main() {
     );
     println!(
         "unbiasedness: {}",
-        if max_bias < step as f64 / 10.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if max_bias < step as f64 / 10.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

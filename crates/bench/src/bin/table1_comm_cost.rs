@@ -22,8 +22,12 @@ fn main() {
     );
 
     // ---- Closed-form sweep over histogram size and worker count. ---------
-    let sizes: [(usize, &str); 4] =
-        [(256 << 10, "256KiB"), (4 << 20, "4MiB"), (32 << 20, "32MiB"), (128 << 20, "128MiB")];
+    let sizes: [(usize, &str); 4] = [
+        (256 << 10, "256KiB"),
+        (4 << 20, "4MiB"),
+        (32 << 20, "32MiB"),
+        (128 << 20, "128MiB"),
+    ];
     for (h, label) in sizes {
         let mut rows = Vec::new();
         for w in [4usize, 5, 8, 16, 32, 50] {
@@ -37,7 +41,13 @@ fn main() {
         }
         print_table(
             &format!("Table 1 closed forms, histogram = {label}"),
-            &["w", "MLlib (reduce)", "XGBoost (allreduce)", "LightGBM (reducescatter)", "DimBoost (PS)"],
+            &[
+                "w",
+                "MLlib (reduce)",
+                "XGBoost (allreduce)",
+                "LightGBM (reducescatter)",
+                "DimBoost (PS)",
+            ],
             &rows,
         );
     }
@@ -47,7 +57,11 @@ fn main() {
     let mut rows = Vec::new();
     for w in [4usize, 5, 8, 16] {
         let buffers: Vec<Vec<f32>> = (0..w)
-            .map(|r| (0..elems).map(|i| ((r * 31 + i) % 17) as f32 - 8.0).collect())
+            .map(|r| {
+                (0..elems)
+                    .map(|i| ((r * 31 + i) % 17) as f32 - 8.0)
+                    .collect()
+            })
             .collect();
         let (sum_ref, s_mllib) = reduce_to_one(&buffers, 0, &model);
         let (sum_xgb, s_xgb) = allreduce_binomial(&buffers, &model);
@@ -56,15 +70,34 @@ fn main() {
 
         let agree = |v: &[f32]| v.iter().zip(&sum_ref).all(|(a, b)| (a - b).abs() < 1e-2);
         assert!(agree(&sum_xgb), "allreduce sum mismatch at w={w}");
-        assert!(agree(&scat.assemble()), "reducescatter sum mismatch at w={w}");
+        assert!(
+            agree(&scat.assemble()),
+            "reducescatter sum mismatch at w={w}"
+        );
         assert!(agree(&ps.assemble()), "ps exchange sum mismatch at w={w}");
 
         rows.push(vec![
             w.to_string(),
-            format!("{} / {}pkg", fmt_secs(s_mllib.sim_time.seconds()), s_mllib.packages),
-            format!("{} / {}pkg", fmt_secs(s_xgb.sim_time.seconds()), s_xgb.packages),
-            format!("{} / {}pkg", fmt_secs(s_lgbm.sim_time.seconds()), s_lgbm.packages),
-            format!("{} / {}pkg", fmt_secs(s_ps.sim_time.seconds()), s_ps.packages),
+            format!(
+                "{} / {}pkg",
+                fmt_secs(s_mllib.sim_time.seconds()),
+                s_mllib.packages
+            ),
+            format!(
+                "{} / {}pkg",
+                fmt_secs(s_xgb.sim_time.seconds()),
+                s_xgb.packages
+            ),
+            format!(
+                "{} / {}pkg",
+                fmt_secs(s_lgbm.sim_time.seconds()),
+                s_lgbm.packages
+            ),
+            format!(
+                "{} / {}pkg",
+                fmt_secs(s_ps.sim_time.seconds()),
+                s_ps.packages
+            ),
         ]);
     }
     print_table(

@@ -45,17 +45,38 @@ fn main() {
     let paper_rows: Vec<Vec<String>> = paper
         .iter()
         .map(|&(n, i, f, z, s)| {
-            vec![n.into(), i.into(), f.into(), z.to_string(), "-".into(), s.into()]
+            vec![
+                n.into(),
+                i.into(),
+                f.into(),
+                z.to_string(),
+                "-".into(),
+                s.into(),
+            ]
         })
         .collect();
     print_table(
         "Table 2 (paper): datasets",
-        &["dataset", "#instances", "#features", "#nonzero", "density", "size"],
+        &[
+            "dataset",
+            "#instances",
+            "#features",
+            "#nonzero",
+            "density",
+            "size",
+        ],
         &paper_rows,
     );
     print_table(
         "Table 2 (this reproduction): shape-compatible substitutes",
-        &["dataset", "#instances", "#features", "#nonzero", "density", "in-memory"],
+        &[
+            "dataset",
+            "#instances",
+            "#features",
+            "#nonzero",
+            "density",
+            "in-memory",
+        ],
         &ours,
     );
     println!(

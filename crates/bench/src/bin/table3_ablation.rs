@@ -14,28 +14,31 @@
 //! ~2× on deep layers, and the three FIND_SPLIT optimizations progressively
 //! cut per-tree time (paper: 131 → 120 → 77 → 41 s).
 
-use dimboost_bench::{fmt_secs, print_table, timed, Scale};
+use dimboost_bench::{fmt_bytes, fmt_secs, maybe_write_report, print_table, timed, Scale};
 use dimboost_core::hist_build::build_row;
 use dimboost_core::loss::GradPair;
 use dimboost_core::parallel::{build_row_batched, BatchConfig};
-use dimboost_core::{
-    train_distributed, FeatureMeta, GbdtConfig, NodeIndex, Optimizations, Tree,
-};
+use dimboost_core::{train_distributed, FeatureMeta, GbdtConfig, NodeIndex, Optimizations, Tree};
 use dimboost_data::partition::partition_rows;
 use dimboost_data::synthetic::{gender_like, generate};
 use dimboost_data::Dataset;
 use dimboost_ps::PsConfig;
+use dimboost_simnet::{CostModel, Phase};
 use dimboost_sketch::{propose_candidates, GkSketch, SplitCandidates};
-use dimboost_simnet::CostModel;
 
 fn candidates_for(ds: &Dataset, k: usize) -> Vec<SplitCandidates> {
-    let mut sketches: Vec<GkSketch> = (0..ds.num_features()).map(|_| GkSketch::new(0.02)).collect();
+    let mut sketches: Vec<GkSketch> = (0..ds.num_features())
+        .map(|_| GkSketch::new(0.02))
+        .collect();
     for (row, _) in ds.iter_rows() {
         for (f, v) in row.iter() {
             sketches[f as usize].insert(v);
         }
     }
-    sketches.iter_mut().map(|s| propose_candidates(s, k)).collect()
+    sketches
+        .iter_mut()
+        .map(|s| propose_candidates(s, k))
+        .collect()
 }
 
 fn main() {
@@ -54,12 +57,18 @@ fn main() {
 
     let candidates = candidates_for(&ds, 20);
     let meta = FeatureMeta::all_features(&candidates);
-    let grads: Vec<GradPair> =
-        (0..ds.num_rows()).map(|i| GradPair { g: ((i % 5) as f32 - 2.0) / 2.0, h: 0.25 }).collect();
+    let grads: Vec<GradPair> = (0..ds.num_rows())
+        .map(|i| GradPair {
+            g: ((i % 5) as f32 - 2.0) / 2.0,
+            h: 0.25,
+        })
+        .collect();
     let all: Vec<u32> = (0..ds.num_rows() as u32).collect();
 
     // ---- 1. Build the root node. -----------------------------------------
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "host parallelism: {cores} core(s){}",
         if cores == 1 {
@@ -71,7 +80,11 @@ fn main() {
 
     let (_, t_dense) = timed(|| build_row(&ds, &all, &grads, &meta, false));
     let (_, t_sparse) = timed(|| build_row(&ds, &all, &grads, &meta, true));
-    let bc = BatchConfig { batch_size: 1_000, threads: 8, sparse: true };
+    let bc = BatchConfig {
+        batch_size: 1_000,
+        threads: 8,
+        sparse: true,
+    };
     let (_, t_batch) = timed(|| build_row_batched(&ds, &all, &grads, &meta, &bc));
     print_table(
         "Table 3a: build the root node",
@@ -118,7 +131,9 @@ fn main() {
             let threshold = 0.0f32;
             tree.set_internal(node, f as u32, threshold);
             let (lc, rc) = (Tree::left_child(node), Tree::right_child(node));
-            index.split(node, lc, rc, |i| ds.row(i as usize).get(f as u32) <= threshold);
+            index.split(node, lc, rc, |i| {
+                ds.row(i as usize).get(f as u32) <= threshold
+            });
             next.push(lc);
             next.push(rc);
         }
@@ -147,7 +162,11 @@ fn main() {
         "Table 3b: build the last layer",
         &["configuration", "time", "speedup"],
         &[
-            vec!["full-shard routing (no index)".into(), fmt_secs(t_scan), "1.0x".into()],
+            vec![
+                "full-shard routing (no index)".into(),
+                fmt_secs(t_scan),
+                "1.0x".into(),
+            ],
             vec![
                 "+ node-to-instance index".into(),
                 fmt_secs(t_index),
@@ -185,30 +204,56 @@ fn main() {
                 ..Optimizations::ALL
             },
         ),
-        ("+ two-phase split", Optimizations { low_precision: false, ..Optimizations::ALL }),
+        (
+            "+ two-phase split",
+            Optimizations {
+                low_precision: false,
+                ..Optimizations::ALL
+            },
+        ),
         ("+ low-precision histogram", Optimizations::ALL),
     ];
     let mut rows = Vec::new();
     let mut first_total = None;
-    for (label, opts) in steps {
+    for (step, (label, opts)) in steps.into_iter().enumerate() {
         let mut cfg = base.clone();
         cfg.opts = opts;
-        let ps =
-            PsConfig { num_servers: workers, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+        let ps = PsConfig {
+            num_servers: workers,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
         let out = train_distributed(&shards, &cfg, ps).expect("training failed");
         let total = out.breakdown.total_secs();
         let first = *first_total.get_or_insert(total);
+        // Phase-attributed bytes isolate where each optimization saves
+        // traffic: two-phase split shrinks FIND_SPLIT's pulls, low
+        // precision shrinks BUILD_HISTOGRAM's pushes.
+        let phase_bytes = |phase| out.report.phase(phase).map_or(0, |p| p.comm.bytes);
         rows.push(vec![
             label.into(),
             fmt_secs(out.breakdown.compute_secs),
             fmt_secs(out.breakdown.comm.sim_time.seconds()),
+            fmt_bytes(phase_bytes(Phase::BuildHistogram)),
+            fmt_bytes(phase_bytes(Phase::FindSplit)),
             fmt_secs(total),
             format!("{:.2}x", first / total),
         ]);
+        if let Some(path) = maybe_write_report(&format!("table3_step{step}"), &out.report) {
+            println!("wrote {}", path.display());
+        }
     }
     print_table(
         "Table 3c: build a tree (modelled time = compute + simulated comm)",
-        &["configuration", "compute", "comm(sim)", "total", "speedup"],
+        &[
+            "configuration",
+            "compute",
+            "comm(sim)",
+            "hist bytes",
+            "split bytes",
+            "total",
+            "speedup",
+        ],
         &rows,
     );
 }

@@ -47,7 +47,13 @@ fn main() {
     }
     print_table(
         &format!("Table 4: impact of #parameter servers ({workers} workers)"),
-        &["#servers", "compute", "comm(sim)", "total", "speedup vs fewest"],
+        &[
+            "#servers",
+            "compute",
+            "comm(sim)",
+            "total",
+            "speedup vs fewest",
+        ],
         &rows,
     );
 }

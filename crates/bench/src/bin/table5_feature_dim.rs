@@ -15,7 +15,9 @@ use dimboost_simnet::CostModel;
 fn main() {
     let scale = Scale::from_env();
     let full_m = scale.pick(6_000, 33_000);
-    let cfg_data = gender_like(42).with_rows(scale.pick(12_000, 40_000)).with_features(full_m);
+    let cfg_data = gender_like(42)
+        .with_rows(scale.pick(12_000, 40_000))
+        .with_features(full_m);
     let ds = generate(&cfg_data);
     let workers = scale.pick(5, 10);
 
@@ -38,7 +40,13 @@ fn main() {
         let sub = ds.restrict_features(m);
         let (train, test) = train_test_split(&sub, 0.1, 42).unwrap();
         let shards = partition_rows(&train, workers).unwrap();
-        let r = run_dimboost(&shards, &config, workers, CostModel::GIGABIT_LAN, Some(&test));
+        let r = run_dimboost(
+            &shards,
+            &config,
+            workers,
+            CostModel::GIGABIT_LAN,
+            Some(&test),
+        );
         let err = r.test_error.unwrap();
         errors.push(err);
         rows.push(vec![
@@ -55,6 +63,10 @@ fn main() {
     let monotone = errors.windows(2).all(|w| w[1] <= w[0] + 1e-9);
     println!(
         "\nshape check: error decreases with more features: {}",
-        if monotone { "REPRODUCED" } else { "NOT monotone (noise at this scale)" }
+        if monotone {
+            "REPRODUCED"
+        } else {
+            "NOT monotone (noise at this scale)"
+        }
     );
 }

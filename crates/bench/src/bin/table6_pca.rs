@@ -34,25 +34,50 @@ fn main() {
 
     // Direct training in the full dimension.
     let shards = partition_rows(&train, workers).unwrap();
-    let (direct, t_direct) =
-        timed(|| run_dimboost(&shards, &config, workers, CostModel::GIGABIT_LAN, Some(&test)));
+    let (direct, t_direct) = timed(|| {
+        run_dimboost(
+            &shards,
+            &config,
+            workers,
+            CostModel::GIGABIT_LAN,
+            Some(&test),
+        )
+    });
     let _ = t_direct;
 
     // PCA to `target_dim`, then train in the reduced space.
     let (pca, t_pca) = timed(|| {
-        Pca::fit(&train, &PcaConfig { components: target_dim, iterations: 12, seed: 42 })
-            .expect("PCA failed")
+        Pca::fit(
+            &train,
+            &PcaConfig {
+                components: target_dim,
+                iterations: 12,
+                seed: 42,
+            },
+        )
+        .expect("PCA failed")
     });
     let (reduced_sets, t_project) = timed(|| (pca.transform(&train), pca.transform(&test)));
     let (red_train, red_test) = reduced_sets;
     let red_shards = partition_rows(&red_train, workers).unwrap();
-    let reduced =
-        run_dimboost(&red_shards, &config, workers, CostModel::GIGABIT_LAN, Some(&red_test));
+    let reduced = run_dimboost(
+        &red_shards,
+        &config,
+        workers,
+        CostModel::GIGABIT_LAN,
+        Some(&red_test),
+    );
 
     let pca_total = t_pca + t_project;
     print_table(
         "Table 6: impact of dimension reduction",
-        &["method", "PCA time", "train time", "end-to-end", "test error"],
+        &[
+            "method",
+            "PCA time",
+            "train time",
+            "end-to-end",
+            "test error",
+        ],
         &[
             vec![
                 format!("PCA to {target_dim} dims + train"),
@@ -74,7 +99,15 @@ fn main() {
     let slower = pca_total + reduced.total_secs() > direct.total_secs();
     println!(
         "\nshape check: PCA pipeline slower end-to-end: {} | PCA degrades accuracy: {}",
-        if slower { "REPRODUCED" } else { "NOT reproduced at this scale" },
-        if worse_error { "REPRODUCED" } else { "NOT reproduced at this scale" },
+        if slower {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced at this scale"
+        },
+        if worse_error {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced at this scale"
+        },
     );
 }

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use dimboost_baselines::{train_baseline, train_tencentboost, BaselineKind};
 use dimboost_core::metrics::classification_error;
-use dimboost_core::{train_distributed, GbdtConfig, LossPoint};
+use dimboost_core::{train_distributed, GbdtConfig, LossPoint, RunReport};
 use dimboost_data::Dataset;
 use dimboost_ps::PsConfig;
 use dimboost_simnet::CostModel;
@@ -62,6 +62,9 @@ pub struct SystemResult {
     pub test_error: Option<f64>,
     /// Per-tree training-loss curve.
     pub curve: Vec<LossPoint>,
+    /// Structured per-phase / per-round run report (DimBoost runner only —
+    /// the baselines predate phase attribution).
+    pub report: Option<RunReport>,
 }
 
 impl SystemResult {
@@ -79,16 +82,20 @@ pub fn run_dimboost(
     cost: CostModel,
     test: Option<&Dataset>,
 ) -> SystemResult {
-    let ps = PsConfig { num_servers: servers, num_partitions: 0, cost_model: cost };
+    let ps = PsConfig {
+        num_servers: servers,
+        num_partitions: 0,
+        cost_model: cost,
+    };
     let out = train_distributed(shards, config, ps).expect("dimboost training failed");
     SystemResult {
         system: "DimBoost".into(),
         compute_secs: out.breakdown.compute_secs,
         comm_secs: out.breakdown.comm.sim_time.seconds(),
         comm_bytes: out.breakdown.comm.bytes,
-        test_error: test
-            .map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
+        test_error: test.map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
         curve: out.loss_curve,
+        report: Some(out.report),
     }
 }
 
@@ -106,9 +113,9 @@ pub fn run_collective_baseline(
         compute_secs: out.breakdown.compute_secs,
         comm_secs: out.breakdown.comm.sim_time.seconds(),
         comm_bytes: out.breakdown.comm.bytes,
-        test_error: test
-            .map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
+        test_error: test.map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
         curve: out.loss_curve,
+        report: None,
     }
 }
 
@@ -120,16 +127,69 @@ pub fn run_tencentboost(
     cost: CostModel,
     test: Option<&Dataset>,
 ) -> SystemResult {
-    let ps = PsConfig { num_servers: servers, num_partitions: 0, cost_model: cost };
+    let ps = PsConfig {
+        num_servers: servers,
+        num_partitions: 0,
+        cost_model: cost,
+    };
     let out = train_tencentboost(shards, config, ps).expect("tencentboost training failed");
     SystemResult {
         system: "TencentBoost".into(),
         compute_secs: out.breakdown.compute_secs,
         comm_secs: out.breakdown.comm.sim_time.seconds(),
         comm_bytes: out.breakdown.comm.bytes,
-        test_error: test
-            .map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
+        test_error: test.map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
         curve: out.loss_curve,
+        report: None,
+    }
+}
+
+/// Table rows for a run report's per-phase breakdown (pairs with
+/// [`PHASE_HEADER`]).
+pub fn phase_rows(report: &RunReport) -> Vec<Vec<String>> {
+    report
+        .phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.phase.name().to_string(),
+                fmt_secs(p.compute_max_secs),
+                fmt_secs(p.compute_skew_secs),
+                fmt_bytes(p.comm.bytes),
+                p.comm.packages.to_string(),
+                fmt_secs(p.comm.sim_time.seconds()),
+            ]
+        })
+        .collect()
+}
+
+/// Header matching [`phase_rows`].
+pub const PHASE_HEADER: [&str; 6] = [
+    "phase",
+    "compute(max)",
+    "skew",
+    "bytes",
+    "pkgs",
+    "comm(sim)",
+];
+
+/// When `DIMBOOST_REPORT_DIR` is set, writes the report's full JSON to
+/// `<dir>/<name>.json` and returns the path. Directories are created as
+/// needed; failures are reported, not fatal (benches keep printing tables).
+pub fn maybe_write_report(name: &str, report: &RunReport) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("DIMBOOST_REPORT_DIR")?;
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("report dir {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::write(&path, report.json()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("report {}: {e}", path.display());
+            None
+        }
     }
 }
 
@@ -152,8 +212,18 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -200,13 +270,22 @@ pub fn result_row(r: &SystemResult) -> Vec<String> {
         fmt_secs(r.total_secs()),
         fmt_bytes(r.comm_bytes),
         r.test_error.map_or("-".into(), |e| format!("{e:.4}")),
-        r.curve.last().map_or("-".into(), |p| format!("{:.4}", p.train_loss)),
+        r.curve
+            .last()
+            .map_or("-".into(), |p| format!("{:.4}", p.train_loss)),
     ]
 }
 
 /// Header matching [`result_row`].
-pub const RESULT_HEADER: [&str; 7] =
-    ["system", "compute", "comm(sim)", "total", "bytes", "test err", "train loss"];
+pub const RESULT_HEADER: [&str; 7] = [
+    "system",
+    "compute",
+    "comm(sim)",
+    "total",
+    "bytes",
+    "test err",
+    "train loss",
+];
 
 #[cfg(test)]
 mod tests {
@@ -258,5 +337,14 @@ mod tests {
         // DimBoost's compressed, scatter-style pushes move fewer bytes than
         // the XGBoost-style full-histogram allreduce path.
         assert!(dim.comm_bytes < xgb.comm_bytes);
+        // The DimBoost runner carries the structured report and it agrees
+        // with the flat fields.
+        let report = dim.report.as_ref().expect("dimboost report");
+        assert_eq!(report.comm.bytes, dim.comm_bytes);
+        assert_eq!(report.workers, 4);
+        let rows = phase_rows(report);
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.len() == PHASE_HEADER.len()));
+        assert!(xgb.report.is_none());
     }
 }

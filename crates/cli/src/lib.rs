@@ -14,10 +14,10 @@
 
 use std::path::PathBuf;
 
-use dimboost_core::metrics::{auc, classification_error, log_loss, multiclass_error, multiclass_log_loss, rmse};
-use dimboost_core::{
-    load_model_file, save_model_file, train_distributed, GbdtConfig, LossKind,
+use dimboost_core::metrics::{
+    auc, classification_error, log_loss, multiclass_error, multiclass_log_loss, rmse,
 };
+use dimboost_core::{load_model_file, save_model_file, train_distributed, GbdtConfig, LossKind};
 use dimboost_data::libsvm::{read_libsvm_file, write_libsvm, LibsvmOptions};
 use dimboost_data::partition::{partition_rows, train_test_split};
 use dimboost_data::synthetic::{generate, SparseGenConfig};
@@ -58,6 +58,9 @@ pub struct TrainArgs {
     pub zero_based: bool,
     /// Stop after this many rounds without held-out improvement.
     pub early_stop: Option<usize>,
+    /// Write the JSON run report (per-phase compute/comm, per-round
+    /// telemetry) here after training.
+    pub report: Option<PathBuf>,
     /// Hyper-parameters.
     pub config: GbdtConfig,
 }
@@ -124,7 +127,7 @@ USAGE:
                  [--feature-sample F] [--row-sample F] [--bits N]
                  [--loss logistic|square|softmax --classes K] [--seed N] [--test-fraction F]
                  [--zero-based] [--default-direction] [--pre-binning]
-                 [--hist-subtraction] [--early-stop R]
+                 [--hist-subtraction] [--early-stop R] [--report <json>]
   dimboost predict --data <libsvm> --model <file> [--output <path>] [--raw]
                  [--zero-based]
   dimboost evaluate --data <libsvm> --model <file> [--zero-based]
@@ -133,20 +136,23 @@ USAGE:
   dimboost help
 ";
 
-fn take_value<'a>(
-    flag: &str,
-    iter: &mut std::slice::Iter<'a, String>,
-) -> Result<&'a str, String> {
-    iter.next().map(|s| s.as_str()).ok_or_else(|| format!("missing value for {flag}"))
+fn take_value<'a>(flag: &str, iter: &mut std::slice::Iter<'a, String>) -> Result<&'a str, String> {
+    iter.next()
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing value for {flag}"))
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
-    value.parse().map_err(|_| format!("invalid value {value:?} for {flag}"))
+    value
+        .parse()
+        .map_err(|_| format!("invalid value {value:?} for {flag}"))
 }
 
 /// Parses a raw argument list (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
-    let Some(sub) = args.first() else { return Ok(Command::Help) };
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
     let rest = &args[1..];
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -155,7 +161,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "evaluate" => parse_evaluate(rest).map(Command::Evaluate),
         "gen" => parse_gen(rest).map(Command::Gen),
         "inspect" => parse_inspect(rest).map(Command::Inspect),
-        other => Err(format!("unknown subcommand {other:?} (try `dimboost help`)")),
+        other => Err(format!(
+            "unknown subcommand {other:?} (try `dimboost help`)"
+        )),
     }
 }
 
@@ -167,6 +175,7 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
     let mut test_fraction = 0.0f64;
     let mut zero_based = false;
     let mut early_stop: Option<usize> = None;
+    let mut report: Option<PathBuf> = None;
     let mut config = GbdtConfig::default();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -201,16 +210,13 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
                 config.loss = LossKind::Softmax { classes };
             }
             "--seed" => config.seed = parse_num(flag, take_value(flag, &mut iter)?)?,
-            "--test-fraction" => {
-                test_fraction = parse_num(flag, take_value(flag, &mut iter)?)?
-            }
+            "--test-fraction" => test_fraction = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--zero-based" => zero_based = true,
             "--default-direction" => config.learn_default_direction = true,
             "--pre-binning" => config.opts.pre_binning = true,
             "--hist-subtraction" => config.opts.hist_subtraction = true,
-            "--early-stop" => {
-                early_stop = Some(parse_num(flag, take_value(flag, &mut iter)?)?)
-            }
+            "--early-stop" => early_stop = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+            "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             other => return Err(format!("unknown flag {other:?} for train")),
         }
     }
@@ -228,6 +234,7 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
         test_fraction,
         zero_based,
         early_stop,
+        report,
         config,
     })
 }
@@ -295,7 +302,13 @@ fn parse_gen(args: &[String]) -> Result<GenArgs, String> {
             other => return Err(format!("unknown flag {other:?} for gen")),
         }
     }
-    Ok(GenArgs { out: out.ok_or("gen requires --out")?, rows, features, nnz, seed })
+    Ok(GenArgs {
+        out: out.ok_or("gen requires --out")?,
+        rows,
+        features,
+        nnz,
+        seed,
+    })
 }
 
 fn parse_inspect(args: &[String]) -> Result<InspectArgs, String> {
@@ -311,11 +324,19 @@ fn parse_inspect(args: &[String]) -> Result<InspectArgs, String> {
             other => return Err(format!("unknown flag {other:?} for inspect")),
         }
     }
-    Ok(InspectArgs { model: model.ok_or("inspect requires --model")?, top, dump_tree })
+    Ok(InspectArgs {
+        model: model.ok_or("inspect requires --model")?,
+        top,
+        dump_tree,
+    })
 }
 
 fn libsvm_opts(zero_based: bool, num_features: Option<usize>) -> LibsvmOptions {
-    LibsvmOptions { one_based: !zero_based, num_features, binarize_labels: true }
+    LibsvmOptions {
+        one_based: !zero_based,
+        num_features,
+        binarize_labels: true,
+    }
 }
 
 /// Executes a parsed command, writing human-readable output to stdout.
@@ -330,7 +351,12 @@ pub fn run(command: Command) -> Result<(), String> {
             println!(
                 "model: {} trees (depth <= {}), {} features, {} classes, lr {}, loss {:?}",
                 model.num_trees(),
-                model.trees().iter().map(|t| t.max_depth()).max().unwrap_or(0),
+                model
+                    .trees()
+                    .iter()
+                    .map(|t| t.max_depth())
+                    .max()
+                    .unwrap_or(0),
                 model.num_features(),
                 model.num_classes(),
                 model.learning_rate(),
@@ -348,14 +374,22 @@ pub fn run(command: Command) -> Result<(), String> {
                     .trees()
                     .get(i)
                     .ok_or_else(|| format!("tree {i} out of {}", model.num_trees()))?;
-                println!("
+                println!(
+                    "
 tree {i}:
-{}", tree.dump());
+{}",
+                    tree.dump()
+                );
             }
             Ok(())
         }
         Command::Gen(args) => {
-            let ds = generate(&SparseGenConfig::new(args.rows, args.features, args.nnz, args.seed));
+            let ds = generate(&SparseGenConfig::new(
+                args.rows,
+                args.features,
+                args.nnz,
+                args.seed,
+            ));
             let file =
                 std::fs::File::create(&args.out).map_err(|e| format!("create output: {e}"))?;
             write_libsvm(file, &ds).map_err(|e| e.to_string())?;
@@ -388,9 +422,12 @@ tree {i}:
             } else {
                 (full, None)
             };
-            let shards =
-                partition_rows(&train, args.workers).map_err(|e| e.to_string())?;
-            let servers = if args.servers == 0 { args.workers } else { args.servers };
+            let shards = partition_rows(&train, args.workers).map_err(|e| e.to_string())?;
+            let servers = if args.servers == 0 {
+                args.workers
+            } else {
+                args.servers
+            };
             let ps = PsConfig {
                 num_servers: servers,
                 num_partitions: 0,
@@ -402,17 +439,15 @@ tree {i}:
                         dataset: test,
                         early_stopping_rounds: Some(rounds),
                     };
-                    dimboost_core::train_distributed_with_eval(
-                        &shards,
-                        &args.config,
-                        ps,
-                        Some(ev),
-                    )?
+                    dimboost_core::train_distributed_with_eval(&shards, &args.config, ps, Some(ev))?
                 }
                 _ => train_distributed(&shards, &args.config, ps)?,
             };
             if let Some(best) = out.best_iteration {
-                println!("early stopping: best round {best}, kept {} trees", out.model.num_trees());
+                println!(
+                    "early stopping: best round {best}, kept {} trees",
+                    out.model.num_trees()
+                );
             }
             println!(
                 "trained {} trees; compute {:.2}s, simulated comm {:.2}s ({} bytes)",
@@ -421,6 +456,17 @@ tree {i}:
                 out.breakdown.comm.sim_time.seconds(),
                 out.breakdown.comm.bytes
             );
+            print!("{}", out.report.summary());
+            // Save the model before the (optional) report: an unwritable
+            // report path must not discard the training run's primary
+            // artifact.
+            save_model_file(&out.model, &args.model).map_err(|e| e.to_string())?;
+            println!("model saved to {}", args.model.display());
+            if let Some(path) = &args.report {
+                std::fs::write(path, out.report.json())
+                    .map_err(|e| format!("write report: {e}"))?;
+                println!("run report written to {}", path.display());
+            }
             if let Some(last) = out.loss_curve.last() {
                 println!("final train loss: {:.5}", last.train_loss);
             }
@@ -446,8 +492,6 @@ tree {i}:
                     }
                 }
             }
-            save_model_file(&out.model, &args.model).map_err(|e| e.to_string())?;
-            println!("model saved to {}", args.model.display());
             Ok(())
         }
         Command::Predict(args) => {
@@ -525,13 +569,41 @@ mod tests {
     #[test]
     fn parses_full_train_invocation() {
         let cmd = parse_args(&strs(&[
-            "train", "--data", "d.libsvm", "--model", "m.bin", "--trees", "7", "--depth", "3",
-            "--lr", "0.2", "--workers", "4", "--servers", "2", "--candidates", "15",
-            "--feature-sample", "0.8", "--row-sample", "0.5", "--bits", "4", "--loss", "square",
-            "--seed", "9", "--test-fraction", "0.1", "--zero-based",
+            "train",
+            "--data",
+            "d.libsvm",
+            "--model",
+            "m.bin",
+            "--trees",
+            "7",
+            "--depth",
+            "3",
+            "--lr",
+            "0.2",
+            "--workers",
+            "4",
+            "--servers",
+            "2",
+            "--candidates",
+            "15",
+            "--feature-sample",
+            "0.8",
+            "--row-sample",
+            "0.5",
+            "--bits",
+            "4",
+            "--loss",
+            "square",
+            "--seed",
+            "9",
+            "--test-fraction",
+            "0.1",
+            "--zero-based",
         ]))
         .unwrap();
-        let Command::Train(args) = cmd else { panic!("expected train") };
+        let Command::Train(args) = cmd else {
+            panic!("expected train")
+        };
         assert_eq!(args.data, PathBuf::from("d.libsvm"));
         assert_eq!(args.config.num_trees, 7);
         assert_eq!(args.config.max_depth, 3);
@@ -557,10 +629,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_numbers_and_loss() {
-        assert!(parse_args(&strs(&["train", "--data", "d", "--model", "m", "--trees", "x"]))
-            .is_err());
-        assert!(parse_args(&strs(&["train", "--data", "d", "--model", "m", "--loss", "hinge"]))
-            .is_err());
+        assert!(parse_args(&strs(&[
+            "train", "--data", "d", "--model", "m", "--trees", "x"
+        ]))
+        .is_err());
+        assert!(parse_args(&strs(&[
+            "train", "--data", "d", "--model", "m", "--loss", "hinge"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -569,25 +645,58 @@ mod tests {
         let data = dir.join("dimboost_cli_test.libsvm");
         let model = dir.join("dimboost_cli_test.model");
         let preds = dir.join("dimboost_cli_test.preds");
+        let report = dir.join("dimboost_cli_test.report.json");
 
         run(parse_args(&strs(&[
-            "gen", "--out", data.to_str().unwrap(), "--rows", "600", "--features", "80",
-            "--nnz", "8", "--seed", "5",
+            "gen",
+            "--out",
+            data.to_str().unwrap(),
+            "--rows",
+            "600",
+            "--features",
+            "80",
+            "--nnz",
+            "8",
+            "--seed",
+            "5",
         ]))
         .unwrap())
         .unwrap();
 
         run(parse_args(&strs(&[
-            "train", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--trees", "4", "--depth", "3", "--lr", "0.3", "--workers", "2",
-            "--test-fraction", "0.2",
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--trees",
+            "4",
+            "--depth",
+            "3",
+            "--lr",
+            "0.3",
+            "--workers",
+            "2",
+            "--test-fraction",
+            "0.2",
+            "--report",
+            report.to_str().unwrap(),
         ]))
         .unwrap())
         .unwrap();
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.starts_with("{\"workers\":2,"), "{json}");
+        assert!(json.contains("\"phase\":\"build_histogram\""));
+        assert!(json.contains("\"rounds\":[{\"round\":0,"));
 
         run(parse_args(&strs(&[
-            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--output", preds.to_str().unwrap(),
+            "predict",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--output",
+            preds.to_str().unwrap(),
         ]))
         .unwrap())
         .unwrap();
@@ -599,12 +708,16 @@ mod tests {
         }));
 
         run(parse_args(&strs(&[
-            "evaluate", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "evaluate",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
         ]))
         .unwrap())
         .unwrap();
 
-        for f in [&data, &model, &preds] {
+        for f in [&data, &model, &preds, &report] {
             std::fs::remove_file(f).ok();
         }
     }
@@ -612,7 +725,13 @@ mod tests {
     #[test]
     fn parses_inspect() {
         let cmd = parse_args(&strs(&[
-            "inspect", "--model", "m.bin", "--top", "3", "--dump-tree", "1",
+            "inspect",
+            "--model",
+            "m.bin",
+            "--top",
+            "3",
+            "--dump-tree",
+            "1",
         ]))
         .unwrap();
         assert_eq!(
@@ -632,19 +751,39 @@ mod tests {
         let data = dir.join("dimboost_cli_inspect.libsvm");
         let model = dir.join("dimboost_cli_inspect.model");
         run(parse_args(&strs(&[
-            "gen", "--out", data.to_str().unwrap(), "--rows", "300", "--features", "40",
-            "--nnz", "6",
+            "gen",
+            "--out",
+            data.to_str().unwrap(),
+            "--rows",
+            "300",
+            "--features",
+            "40",
+            "--nnz",
+            "6",
         ]))
         .unwrap())
         .unwrap();
         run(parse_args(&strs(&[
-            "train", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--trees", "2", "--depth", "3",
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--trees",
+            "2",
+            "--depth",
+            "3",
         ]))
         .unwrap())
         .unwrap();
         run(parse_args(&strs(&[
-            "inspect", "--model", model.to_str().unwrap(), "--top", "5", "--dump-tree", "0",
+            "inspect",
+            "--model",
+            model.to_str().unwrap(),
+            "--top",
+            "5",
+            "--dump-tree",
+            "0",
         ]))
         .unwrap())
         .unwrap();
@@ -664,8 +803,18 @@ mod tests {
     #[test]
     fn parses_extension_flags() {
         let cmd = parse_args(&strs(&[
-            "train", "--data", "d", "--model", "m", "--pre-binning", "--hist-subtraction",
-            "--default-direction", "--early-stop", "3", "--test-fraction", "0.1",
+            "train",
+            "--data",
+            "d",
+            "--model",
+            "m",
+            "--pre-binning",
+            "--hist-subtraction",
+            "--default-direction",
+            "--early-stop",
+            "3",
+            "--test-fraction",
+            "0.1",
         ]))
         .unwrap();
         let Command::Train(args) = cmd else { panic!() };
@@ -675,7 +824,13 @@ mod tests {
         assert_eq!(args.early_stop, Some(3));
         // Early stopping without a held-out fraction is rejected.
         assert!(parse_args(&strs(&[
-            "train", "--data", "d", "--model", "m", "--early-stop", "3",
+            "train",
+            "--data",
+            "d",
+            "--model",
+            "m",
+            "--early-stop",
+            "3",
         ]))
         .is_err());
     }
@@ -683,15 +838,30 @@ mod tests {
     #[test]
     fn parses_softmax_and_requires_classes() {
         let cmd = parse_args(&strs(&[
-            "train", "--data", "d", "--model", "m", "--loss", "softmax", "--classes", "4",
+            "train",
+            "--data",
+            "d",
+            "--model",
+            "m",
+            "--loss",
+            "softmax",
+            "--classes",
+            "4",
         ]))
         .unwrap();
         let Command::Train(args) = cmd else { panic!() };
         assert_eq!(args.config.loss, LossKind::Softmax { classes: 4 });
         // --classes alone also selects softmax.
-        let cmd =
-            parse_args(&strs(&["train", "--data", "d", "--model", "m", "--classes", "3"]))
-                .unwrap();
+        let cmd = parse_args(&strs(&[
+            "train",
+            "--data",
+            "d",
+            "--model",
+            "m",
+            "--classes",
+            "3",
+        ]))
+        .unwrap();
         let Command::Train(args) = cmd else { panic!() };
         assert_eq!(args.config.loss, LossKind::Softmax { classes: 3 });
         // softmax without classes is an error.

@@ -88,7 +88,14 @@ impl BinnedShard {
         let zero_h = (0..meta.num_sampled())
             .map(|sf| layout.h_index(sf, meta.candidates(sf).zero_bucket()) as u32)
             .collect();
-        Self { indptr, g_elem, h_elem, sf: sf_arr, zero_g, zero_h }
+        Self {
+            indptr,
+            g_elem,
+            h_elem,
+            sf: sf_arr,
+            zero_g,
+            zero_h,
+        }
     }
 
     /// Rows covered by this binned shard.
@@ -198,17 +205,15 @@ mod tests {
         let ds = generate(&SparseGenConfig::new(n, m, 10, 27));
         let cands: Vec<SplitCandidates> = (0..m)
             .map(|f| {
-                SplitCandidates::from_boundaries(vec![
-                    -0.5,
-                    0.2 + (f % 3) as f32 * 0.3,
-                    1.0,
-                    1.6,
-                ])
+                SplitCandidates::from_boundaries(vec![-0.5, 0.2 + (f % 3) as f32 * 0.3, 1.0, 1.6])
             })
             .collect();
         let meta = FeatureMeta::all_features(&cands);
         let grads: Vec<GradPair> = (0..n)
-            .map(|i| GradPair { g: ((i % 9) as f32 - 4.0) / 4.0, h: 0.1 + (i % 4) as f32 * 0.3 })
+            .map(|i| GradPair {
+                g: ((i % 9) as f32 - 4.0) / 4.0,
+                h: 0.1 + (i % 4) as f32 * 0.3,
+            })
             .collect();
         (ds, meta, grads)
     }
@@ -241,8 +246,9 @@ mod tests {
     #[test]
     fn binned_respects_feature_sampling() {
         let ds = generate(&SparseGenConfig::new(200, 50, 8, 5));
-        let cands: Vec<SplitCandidates> =
-            (0..50).map(|_| SplitCandidates::from_boundaries(vec![0.5, 1.2])).collect();
+        let cands: Vec<SplitCandidates> = (0..50)
+            .map(|_| SplitCandidates::from_boundaries(vec![0.5, 1.2]))
+            .collect();
         let sampled = FeatureMeta::sample_features(50, 0.4, 7, 0);
         let meta = FeatureMeta::new(sampled, &cands);
         let binned = BinnedShard::build(&ds, &meta);

@@ -195,7 +195,10 @@ impl GbdtConfig {
             return Err("num_trees must be positive".into());
         }
         if self.max_depth == 0 || self.max_depth > 20 {
-            return Err(format!("max_depth must be in 1..=20, got {}", self.max_depth));
+            return Err(format!(
+                "max_depth must be in 1..=20, got {}",
+                self.max_depth
+            ));
         }
         if self.num_candidates == 0 {
             return Err("num_candidates must be positive".into());
@@ -216,7 +219,10 @@ impl GbdtConfig {
             return Err("learning_rate must be positive".into());
         }
         if !(2..=16).contains(&self.compress_bits) {
-            return Err(format!("compress_bits must be in 2..=16, got {}", self.compress_bits));
+            return Err(format!(
+                "compress_bits must be in 2..=16, got {}",
+                self.compress_bits
+            ));
         }
         if self.batch_size == 0 {
             return Err("batch_size must be positive".into());
@@ -225,7 +231,10 @@ impl GbdtConfig {
             return Err("num_threads must be positive".into());
         }
         if !(self.sketch_eps > 0.0 && self.sketch_eps < 0.5) {
-            return Err(format!("sketch_eps must be in (0, 0.5), got {}", self.sketch_eps));
+            return Err(format!(
+                "sketch_eps must be in (0, 0.5), got {}",
+                self.sketch_eps
+            ));
         }
         if let LossKind::Softmax { classes } = self.loss {
             if classes < 2 {
@@ -248,12 +257,30 @@ mod tests {
     #[test]
     fn validation_catches_bad_values() {
         let bad = [
-            GbdtConfig { num_trees: 0, ..GbdtConfig::default() },
-            GbdtConfig { max_depth: 0, ..GbdtConfig::default() },
-            GbdtConfig { feature_sample_ratio: 1.5, ..GbdtConfig::default() },
-            GbdtConfig { instance_sample_ratio: 0.0, ..GbdtConfig::default() },
-            GbdtConfig { compress_bits: 1, ..GbdtConfig::default() },
-            GbdtConfig { sketch_eps: 0.9, ..GbdtConfig::default() },
+            GbdtConfig {
+                num_trees: 0,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                max_depth: 0,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                feature_sample_ratio: 1.5,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                instance_sample_ratio: 0.0,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                compress_bits: 1,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                sketch_eps: 0.9,
+                ..GbdtConfig::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "config should be invalid: {c:?}");

@@ -49,8 +49,7 @@ pub fn cross_validate(
 
     let mut fold_losses = Vec::with_capacity(folds);
     for fold in 0..folds {
-        let held: Vec<usize> =
-            order.iter().copied().skip(fold).step_by(folds).collect();
+        let held: Vec<usize> = order.iter().copied().skip(fold).step_by(folds).collect();
         let kept: Vec<usize> = order
             .iter()
             .copied()
@@ -88,8 +87,16 @@ pub fn cross_validate(
 
     let n = fold_losses.len() as f64;
     let mean = fold_losses.iter().sum::<f64>() / n;
-    let var = fold_losses.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n;
-    Ok(CvResult { fold_losses, mean, std: var.sqrt() })
+    let var = fold_losses
+        .iter()
+        .map(|l| (l - mean) * (l - mean))
+        .sum::<f64>()
+        / n;
+    Ok(CvResult {
+        fold_losses,
+        mean,
+        std: var.sqrt(),
+    })
 }
 
 #[cfg(test)]
@@ -99,7 +106,11 @@ mod tests {
     use dimboost_simnet::CostModel;
 
     fn ps() -> PsConfig {
-        PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE }
+        PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        }
     }
 
     fn config() -> GbdtConfig {

@@ -81,7 +81,9 @@ pub fn build_sparse(
         sum_h += gp.h as f64;
         // Lines 4-10: handle nonzero entries individually.
         for (f, v) in shard.row(i as usize).iter() {
-            let Some(sf) = meta.sampled_index(f) else { continue };
+            let Some(sf) = meta.sampled_index(f) else {
+                continue;
+            };
             let cand = meta.candidates(sf);
             let bucket = cand.bucket(v);
             let zero = cand.zero_bucket();
@@ -162,11 +164,19 @@ mod tests {
         let ds = generate(&SparseGenConfig::new(300, 50, 8, 11));
         let meta = meta_for(&ds, vec![0.25, 0.5, 1.0, 1.5]);
         let grads: Vec<GradPair> = (0..300)
-            .map(|i| GradPair { g: ((i % 7) as f32 - 3.0) / 2.0, h: 0.1 + (i % 3) as f32 })
+            .map(|i| GradPair {
+                g: ((i % 7) as f32 - 3.0) / 2.0,
+                h: 0.1 + (i % 3) as f32,
+            })
             .collect();
         let instances: Vec<u32> = (0..300).collect();
         let sparse = build_row(&ds, &instances, &grads, &meta, true);
         let dense = build_row(&ds, &instances, &grads, &meta, false);
+        // Deterministic (fixed generator seed); the tolerance only covers
+        // f32 accumulation-order differences between the two passes — the
+        // sparse pass reconstructs each zero bucket as `total − Σ nonzero`,
+        // so a bucket summing ~300 |g| ≤ 1.5 terms can differ by a few ulp
+        // of the partial sums, far below 1e-3.
         for (i, (s, d)) in sparse.iter().zip(&dense).enumerate() {
             assert!((s - d).abs() < 1e-3, "elem {i}: {s} vs {d}");
         }
@@ -187,6 +197,9 @@ mod tests {
             let h_total: f32 = (0..layout.num_buckets(sf))
                 .map(|k| row[layout.h_index(sf, k)])
                 .sum();
+            // The sparse pass cancels each nonzero's ±g against the zero
+            // bucket, so per-feature totals should reproduce the exact sums
+            // up to f32 cancellation error (sums ≤ 100), well under 1e-2.
             assert!((g_total - 100.0).abs() < 1e-2, "feature {sf}: G={g_total}");
             assert!((h_total - 50.0).abs() < 1e-2, "feature {sf}: H={h_total}");
         }
@@ -200,7 +213,9 @@ mod tests {
         let instances: Vec<u32> = (0..50).collect();
         let row = build_row(&ds, &instances, &grads, &meta, true);
         let layout = meta.layout();
-        let g_total: f32 = (0..layout.num_buckets(0)).map(|k| row[layout.g_index(0, k)]).sum();
+        let g_total: f32 = (0..layout.num_buckets(0))
+            .map(|k| row[layout.g_index(0, k)])
+            .sum();
         assert!((g_total - 50.0).abs() < 1e-3);
     }
 
@@ -208,8 +223,9 @@ mod tests {
     fn feature_sampling_restricts_row() {
         let insts = vec![SparseInstance::new(vec![0, 1, 2], vec![1.0, 1.0, 1.0]).unwrap()];
         let ds = Dataset::from_instances(&insts, vec![1.0], 3).unwrap();
-        let cands: Vec<SplitCandidates> =
-            (0..3).map(|_| SplitCandidates::from_boundaries(vec![0.5])).collect();
+        let cands: Vec<SplitCandidates> = (0..3)
+            .map(|_| SplitCandidates::from_boundaries(vec![0.5]))
+            .collect();
         let meta = FeatureMeta::new(vec![1], &cands);
         let grads = uniform_grads(1, 2.0, 1.0);
         let sparse = build_row(&ds, &[0], &grads, &meta, true);

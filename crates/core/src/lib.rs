@@ -33,18 +33,20 @@ pub mod model;
 pub mod model_io;
 pub mod node_index;
 pub mod parallel;
+pub mod report;
 pub mod scheduler;
 pub mod trainer;
 pub mod tree;
 
 pub use config::{GbdtConfig, LossKind, Optimizations};
+pub use cv::{cross_validate, CvResult};
 pub use loss::{loss_for, GradPair, Loss};
 pub use meta::FeatureMeta;
 pub use model::GbdtModel;
-pub use node_index::NodeIndex;
-pub use scheduler::RoundRobinScheduler;
-pub use cv::{cross_validate, CvResult};
 pub use model_io::{load_model, load_model_file, save_model, save_model_file, ModelIoError};
+pub use node_index::NodeIndex;
+pub use report::{NodeInstances, PhaseReport, RoundRecord, RunReport, SpanTimer};
+pub use scheduler::RoundRobinScheduler;
 pub use trainer::{
     train_distributed, train_distributed_continue, train_distributed_with_eval,
     train_single_machine, EvalOptions, LossPoint, RunBreakdown, TrainOutput,

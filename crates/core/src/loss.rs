@@ -43,13 +43,20 @@ impl Loss for LogisticLoss {
         // Numerically stable: log(1 + e^{-s}) + (1-y)·s.
         let s = score as f64;
         let y = label as f64;
-        let log1p_exp = if s > 0.0 { (-s).exp().ln_1p() } else { s.exp().ln_1p() - s };
+        let log1p_exp = if s > 0.0 {
+            (-s).exp().ln_1p()
+        } else {
+            s.exp().ln_1p() - s
+        };
         log1p_exp + (1.0 - y) * s
     }
 
     fn grad(&self, score: f32, label: f32) -> GradPair {
         let p = sigmoid(score);
-        GradPair { g: p - label, h: (p * (1.0 - p)).max(1e-16) }
+        GradPair {
+            g: p - label,
+            h: (p * (1.0 - p)).max(1e-16),
+        }
     }
 
     fn transform(&self, score: f32) -> f32 {
@@ -74,7 +81,10 @@ impl Loss for SquareLoss {
     }
 
     fn grad(&self, score: f32, label: f32) -> GradPair {
-        GradPair { g: score - label, h: 1.0 }
+        GradPair {
+            g: score - label,
+            h: 1.0,
+        }
     }
 
     fn transform(&self, score: f32) -> f32 {
@@ -124,12 +134,19 @@ pub fn softmax_inplace(scores: &mut [f32]) {
 /// per class.
 pub fn softmax_grads(scores: &[f32], label: usize, out: &mut [GradPair]) {
     debug_assert_eq!(scores.len(), out.len());
-    debug_assert!(label < scores.len(), "label {label} out of {} classes", scores.len());
+    debug_assert!(
+        label < scores.len(),
+        "label {label} out of {} classes",
+        scores.len()
+    );
     let mut probs = scores.to_vec();
     softmax_inplace(&mut probs);
     for (c, (o, &p)) in out.iter_mut().zip(&probs).enumerate() {
         let y = f32::from(c == label);
-        *o = GradPair { g: p - y, h: (p * (1.0 - p)).max(1e-16) };
+        *o = GradPair {
+            g: p - y,
+            h: (p * (1.0 - p)).max(1e-16),
+        };
     }
 }
 
@@ -138,7 +155,12 @@ pub fn softmax_loss(scores: &[f32], label: usize) -> f64 {
     debug_assert!(label < scores.len());
     // Stable log-sum-exp.
     let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
-    let lse: f64 = scores.iter().map(|&s| (s as f64 - max).exp()).sum::<f64>().ln() + max;
+    let lse: f64 = scores
+        .iter()
+        .map(|&s| (s as f64 - max).exp())
+        .sum::<f64>()
+        .ln()
+        + max;
     lse - scores[label] as f64
 }
 
@@ -249,16 +271,15 @@ mod tests {
                 plus[c] += eps;
                 let mut minus = scores;
                 minus[c] -= eps;
-                let num_g = (softmax_loss(&plus, label) - softmax_loss(&minus, label))
-                    / (2.0 * eps as f64);
+                let num_g =
+                    (softmax_loss(&plus, label) - softmax_loss(&minus, label)) / (2.0 * eps as f64);
                 assert!(
                     (num_g - grads[c].g as f64).abs() < 1e-3,
                     "label {label} class {c}: {num_g} vs {}",
                     grads[c].g
                 );
                 let l0 = softmax_loss(&scores, label);
-                let num_h = (softmax_loss(&plus, label) - 2.0 * l0
-                    + softmax_loss(&minus, label))
+                let num_h = (softmax_loss(&plus, label) - 2.0 * l0 + softmax_loss(&minus, label))
                     / (eps as f64 * eps as f64);
                 assert!(
                     (num_h - grads[c].h as f64).abs() < 1e-2,
@@ -275,7 +296,10 @@ mod tests {
         let mut grads = vec![GradPair::default(); 4];
         softmax_grads(&scores, 2, &mut grads);
         let g_sum: f32 = grads.iter().map(|p| p.g).sum();
-        assert!(g_sum.abs() < 1e-6, "softmax gradients must sum to zero: {g_sum}");
+        assert!(
+            g_sum.abs() < 1e-6,
+            "softmax gradients must sum to zero: {g_sum}"
+        );
         assert!(grads.iter().all(|p| p.h > 0.0));
     }
 

@@ -43,12 +43,20 @@ impl FeatureMeta {
         for (i, &f) in sampled.iter().enumerate() {
             map[f as usize] = i as u32;
         }
-        Self { sampled, candidates, layout, map }
+        Self {
+            sampled,
+            candidates,
+            layout,
+            map,
+        }
     }
 
     /// Metadata covering all features (σ = 1).
     pub fn all_features(global_candidates: &[SplitCandidates]) -> Self {
-        Self::new((0..global_candidates.len() as u32).collect(), global_candidates)
+        Self::new(
+            (0..global_candidates.len() as u32).collect(),
+            global_candidates,
+        )
     }
 
     /// Deterministically samples `⌈σ·M⌉` features for tree `tree_index`.
@@ -60,12 +68,16 @@ impl FeatureMeta {
         seed: u64,
         tree_index: usize,
     ) -> Vec<u32> {
-        assert!((0.0..=1.0).contains(&ratio), "sampling ratio must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "sampling ratio must be in [0, 1]"
+        );
         if ratio >= 1.0 {
             return (0..num_features as u32).collect();
         }
         let take = ((num_features as f64 * ratio).ceil() as usize).clamp(1, num_features);
-        let mut rng = StdRng::seed_from_u64(seed ^ (tree_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (tree_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let mut ids: Vec<u32> = (0..num_features as u32).collect();
         ids.shuffle(&mut rng);
         ids.truncate(take);

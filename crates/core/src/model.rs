@@ -19,7 +19,12 @@ pub struct GbdtModel {
 impl GbdtModel {
     /// Assembles a model from trained trees.
     pub fn new(trees: Vec<Tree>, learning_rate: f32, loss: LossKind, num_features: usize) -> Self {
-        Self { trees, learning_rate, loss, num_features }
+        Self {
+            trees,
+            learning_rate,
+            loss,
+            num_features,
+        }
     }
 
     /// The trees of the ensemble.
@@ -69,7 +74,11 @@ impl GbdtModel {
     /// # Panics
     /// Panics for softmax models — use [`Self::predict_scores`].
     pub fn predict_raw(&self, row: &RowView<'_>) -> f32 {
-        assert_eq!(self.num_classes(), 1, "multiclass model: use predict_scores");
+        assert_eq!(
+            self.num_classes(),
+            1,
+            "multiclass model: use predict_scores"
+        );
         self.trees
             .iter()
             .map(|t| self.learning_rate * t.predict(row))
@@ -119,17 +128,23 @@ impl GbdtModel {
 
     /// Raw scores for every row of a dataset (scalar losses only).
     pub fn predict_raw_dataset(&self, dataset: &Dataset) -> Vec<f32> {
-        (0..dataset.num_rows()).map(|i| self.predict_raw(&dataset.row(i))).collect()
+        (0..dataset.num_rows())
+            .map(|i| self.predict_raw(&dataset.row(i)))
+            .collect()
     }
 
     /// Transformed predictions for every row (see [`Self::predict`]).
     pub fn predict_dataset(&self, dataset: &Dataset) -> Vec<f32> {
-        (0..dataset.num_rows()).map(|i| self.predict(&dataset.row(i))).collect()
+        (0..dataset.num_rows())
+            .map(|i| self.predict(&dataset.row(i)))
+            .collect()
     }
 
     /// Per-class probabilities for every row.
     pub fn predict_proba_dataset(&self, dataset: &Dataset) -> Vec<Vec<f32>> {
-        (0..dataset.num_rows()).map(|i| self.predict_proba(&dataset.row(i))).collect()
+        (0..dataset.num_rows())
+            .map(|i| self.predict_proba(&dataset.row(i)))
+            .collect()
     }
 
     /// Leaf indices reached by an instance, one per tree — the "GBDT as
@@ -196,7 +211,8 @@ impl GbdtModel {
             ));
         }
         for (t, tree) in self.trees.iter().enumerate() {
-            tree.check_consistency().map_err(|e| format!("tree {t}: {e}"))?;
+            tree.check_consistency()
+                .map_err(|e| format!("tree {t}: {e}"))?;
         }
         Ok(())
     }
@@ -296,7 +312,11 @@ mod tests {
         cfg_data.informative = 5;
         cfg_data.informative_bias = 0.8;
         let ds = generate(&cfg_data);
-        let cfg = GbdtConfig { num_trees: 5, learning_rate: 0.3, ..GbdtConfig::default() };
+        let cfg = GbdtConfig {
+            num_trees: 5,
+            learning_rate: 0.3,
+            ..GbdtConfig::default()
+        };
         let model = train_single_machine(&ds, &cfg).unwrap();
         let top = model.top_features(5);
         assert!(!top.is_empty());

@@ -72,7 +72,9 @@ fn loss_from_tag(tag: u8, classes: u32) -> Result<LossKind, ModelIoError> {
         0 => Ok(LossKind::Logistic),
         1 => Ok(LossKind::Square),
         2 if classes >= 2 => Ok(LossKind::Softmax { classes }),
-        2 => Err(ModelIoError::Corrupt(format!("softmax with {classes} classes"))),
+        2 => Err(ModelIoError::Corrupt(format!(
+            "softmax with {classes} classes"
+        ))),
         t => Err(ModelIoError::Corrupt(format!("unknown loss tag {t}"))),
     }
 }
@@ -80,7 +82,11 @@ fn loss_from_tag(tag: u8, classes: u32) -> Result<LossKind, ModelIoError> {
 /// Serializes a model to bytes.
 pub fn model_to_bytes(model: &GbdtModel) -> Bytes {
     let mut buf = BytesMut::with_capacity(
-        40 + model.trees().iter().map(|t| 8 + t.capacity() * 13).sum::<usize>(),
+        40 + model
+            .trees()
+            .iter()
+            .map(|t| 8 + t.capacity() * 13)
+            .sum::<usize>(),
     );
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
@@ -101,7 +107,12 @@ pub fn model_to_bytes(model: &GbdtModel) -> Bytes {
                     buf.put_f32_le(0.0);
                     buf.put_f32_le(0.0);
                 }
-                Node::Internal { feature, threshold, gain, default_left } => {
+                Node::Internal {
+                    feature,
+                    threshold,
+                    gain,
+                    default_left,
+                } => {
                     buf.put_u8(if default_left { 3 } else { 1 });
                     buf.put_u32_le(feature);
                     buf.put_f32_le(threshold);
@@ -144,12 +155,16 @@ pub fn model_from_bytes(mut bytes: Bytes) -> Result<GbdtModel, ModelIoError> {
     let loss = loss_from_tag(tag, classes)?;
     let learning_rate = bytes.get_f32_le();
     if !learning_rate.is_finite() || learning_rate <= 0.0 {
-        return Err(ModelIoError::Corrupt(format!("bad learning rate {learning_rate}")));
+        return Err(ModelIoError::Corrupt(format!(
+            "bad learning rate {learning_rate}"
+        )));
     }
     let num_features = bytes.get_u64_le() as usize;
     let num_trees = bytes.get_u32_le() as usize;
     if num_trees > 1_000_000 {
-        return Err(ModelIoError::Corrupt(format!("implausible tree count {num_trees}")));
+        return Err(ModelIoError::Corrupt(format!(
+            "implausible tree count {num_trees}"
+        )));
     }
 
     let mut trees = Vec::with_capacity(num_trees);
@@ -158,7 +173,9 @@ pub fn model_from_bytes(mut bytes: Bytes) -> Result<GbdtModel, ModelIoError> {
         let max_depth = bytes.get_u32_le() as usize;
         let capacity = bytes.get_u32_le() as usize;
         if max_depth > 30 {
-            return Err(ModelIoError::Corrupt(format!("tree {t}: depth {max_depth} too large")));
+            return Err(ModelIoError::Corrupt(format!(
+                "tree {t}: depth {max_depth} too large"
+            )));
         }
         need(&bytes, capacity * 13)?;
         let mut nodes = Vec::with_capacity(capacity);
@@ -225,8 +242,11 @@ mod tests {
 
     fn trained_model() -> GbdtModel {
         let ds = generate(&SparseGenConfig::new(500, 60, 8, 7));
-        let cfg =
-            GbdtConfig { num_trees: 3, max_depth: 3, ..GbdtConfig::default() };
+        let cfg = GbdtConfig {
+            num_trees: 3,
+            max_depth: 3,
+            ..GbdtConfig::default()
+        };
         train_single_machine(&ds, &cfg).unwrap()
     }
 

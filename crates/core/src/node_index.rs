@@ -30,7 +30,10 @@ impl NodeIndex {
         if !ranges.is_empty() {
             ranges[0] = Some((0, instances.len() as u32));
         }
-        Self { positions: instances, ranges }
+        Self {
+            positions: instances,
+            ranges,
+        }
     }
 
     /// Instance ids of `node` (empty if the node is absent or empty).

@@ -27,7 +27,11 @@ pub struct BatchConfig {
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        Self { batch_size: 10_000, threads: 4, sparse: true }
+        Self {
+            batch_size: 10_000,
+            threads: 4,
+            sparse: true,
+        }
     }
 }
 
@@ -112,11 +116,20 @@ mod tests {
             .collect();
         let meta = FeatureMeta::all_features(&cands);
         let grads: Vec<GradPair> = (0..n)
-            .map(|i| GradPair { g: ((i % 5) as f32 - 2.0), h: 0.5 + (i % 2) as f32 })
+            .map(|i| GradPair {
+                g: ((i % 5) as f32 - 2.0),
+                h: 0.5 + (i % 2) as f32,
+            })
             .collect();
         (ds, meta, grads)
     }
 
+    // Both builders are deterministic (fixed synthetic seeds, partials
+    // merged by batch index — never completion order), so this tolerance
+    // covers only f32 associativity: batching reorders the additions into
+    // per-batch partial sums. With |g| ≤ 2 over ≤ 500 instances the sums
+    // stay within ±1000, where reordering error is bounded well below
+    // 1e-2; the bound catches real regressions without ever flaking.
     fn assert_rows_close(a: &[f32], b: &[f32]) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
@@ -131,7 +144,11 @@ mod tests {
         let seq = build_row(&ds, &instances, &grads, &meta, true);
         for threads in [1, 2, 4, 8] {
             for batch_size in [7, 64, 100, 1000] {
-                let cfg = BatchConfig { batch_size, threads, sparse: true };
+                let cfg = BatchConfig {
+                    batch_size,
+                    threads,
+                    sparse: true,
+                };
                 let par = build_row_batched(&ds, &instances, &grads, &meta, &cfg);
                 assert_rows_close(&par, &seq);
             }
@@ -143,7 +160,11 @@ mod tests {
         let (ds, meta, grads) = setup(200);
         let instances: Vec<u32> = (0..200).collect();
         let seq = build_row(&ds, &instances, &grads, &meta, false);
-        let cfg = BatchConfig { batch_size: 33, threads: 3, sparse: false };
+        let cfg = BatchConfig {
+            batch_size: 33,
+            threads: 3,
+            sparse: false,
+        };
         let par = build_row_batched(&ds, &instances, &grads, &meta, &cfg);
         assert_rows_close(&par, &seq);
     }
@@ -153,7 +174,11 @@ mod tests {
         let (ds, meta, grads) = setup(300);
         let instances: Vec<u32> = (100..250).collect();
         let seq = build_row(&ds, &instances, &grads, &meta, true);
-        let cfg = BatchConfig { batch_size: 20, threads: 4, sparse: true };
+        let cfg = BatchConfig {
+            batch_size: 20,
+            threads: 4,
+            sparse: true,
+        };
         let par = build_row_batched(&ds, &instances, &grads, &meta, &cfg);
         assert_rows_close(&par, &seq);
     }
@@ -170,7 +195,11 @@ mod tests {
     #[should_panic(expected = "batch_size")]
     fn rejects_zero_batch_size() {
         let (ds, meta, grads) = setup(10);
-        let cfg = BatchConfig { batch_size: 0, threads: 1, sparse: true };
+        let cfg = BatchConfig {
+            batch_size: 0,
+            threads: 1,
+            sparse: true,
+        };
         build_row_batched(&ds, &[0], &grads, &meta, &cfg);
     }
 }

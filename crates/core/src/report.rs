@@ -1,0 +1,539 @@
+//! Structured observability for training runs.
+//!
+//! Three layers, all plain structs filled in by the trainer:
+//!
+//! * [`SpanTimer`] — wall-clock spans per execution-plan phase *per worker*.
+//!   The distributed wall time of a phase is the max across workers (they
+//!   run concurrently on separate machines); keeping every worker's time
+//!   also exposes the *skew* (max − min), the straggler signal the paper's
+//!   load-balancing sections care about.
+//! * [`RoundRecord`] — per-boosting-round training telemetry: histogram
+//!   bytes before/after quantization, quantization scales, chosen split
+//!   gains, and instance counts per built node.
+//! * [`RunReport`] — the assembled per-phase / per-round report attached to
+//!   `TrainOutput`, serializable to JSON with a stable field order.
+//!
+//! Wall-clock fields vary run to run; [`RunReport::canonical_json`] omits
+//! them so that two runs with the same config and seed produce *identical*
+//! documents (the determinism tests diff exactly that form).
+
+use std::time::Instant;
+
+use dimboost_simnet::{CommLedger, CommStats, Phase};
+
+/// Accumulates per-phase, per-worker wall-clock seconds.
+///
+/// The running `total_secs` sums, per timed span, the maximum across
+/// workers — the same quantity the old aggregate breakdown reported — while
+/// the per-worker table feeds the per-phase max/skew in the run report.
+#[derive(Debug, Clone)]
+pub struct SpanTimer {
+    num_workers: usize,
+    total_secs: f64,
+    /// `[phase][worker]` accumulated seconds.
+    per_phase_worker: Vec<Vec<f64>>,
+    /// Max-across-workers seconds accumulated per boosting round.
+    round_secs: Vec<f64>,
+    current_round: Option<usize>,
+}
+
+impl SpanTimer {
+    /// A timer for `num_workers` simulated workers.
+    pub fn new(num_workers: usize) -> Self {
+        Self {
+            num_workers,
+            total_secs: 0.0,
+            per_phase_worker: vec![vec![0.0; num_workers]; Phase::COUNT],
+            round_secs: Vec::new(),
+            current_round: None,
+        }
+    }
+
+    /// Marks the start of boosting round `round`; subsequent spans also
+    /// accrue to that round's compute total.
+    pub fn begin_round(&mut self, round: usize) {
+        self.current_round = Some(round);
+        if self.round_secs.len() <= round {
+            self.round_secs.resize(round + 1, 0.0);
+        }
+    }
+
+    /// Times `f` once per worker slot under `phase`, recording each
+    /// worker's wall time, and adds the maximum to the run total (workers
+    /// run concurrently on separate machines in the real deployment).
+    pub fn phase<W, T>(
+        &mut self,
+        phase: Phase,
+        workers: &mut [W],
+        mut f: impl FnMut(&mut W) -> T,
+    ) -> Vec<T> {
+        debug_assert_eq!(workers.len(), self.num_workers);
+        let mut max = 0.0f64;
+        let mut outs = Vec::with_capacity(workers.len());
+        for (slot, w) in workers.iter_mut().enumerate() {
+            let start = Instant::now();
+            outs.push(f(w));
+            let secs = start.elapsed().as_secs_f64();
+            self.per_phase_worker[phase.index()][slot] += secs;
+            max = max.max(secs);
+        }
+        self.total_secs += max;
+        if let Some(round) = self.current_round {
+            self.round_secs[round] += max;
+        }
+        outs
+    }
+
+    /// Total compute seconds (per span, the max across workers, summed).
+    pub fn total_secs(&self) -> f64 {
+        self.total_secs
+    }
+
+    /// Compute seconds accrued to round `round` (0.0 if never timed).
+    pub fn round_secs(&self, round: usize) -> f64 {
+        self.round_secs.get(round).copied().unwrap_or(0.0)
+    }
+
+    /// Per-worker accumulated seconds for one phase.
+    pub fn worker_secs(&self, phase: Phase) -> &[f64] {
+        &self.per_phase_worker[phase.index()]
+    }
+
+    /// `(max, skew)` across workers for one phase, where skew is max − min.
+    pub fn phase_compute(&self, phase: Phase) -> (f64, f64) {
+        let secs = self.worker_secs(phase);
+        if secs.is_empty() {
+            return (0.0, 0.0);
+        }
+        let max = secs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = secs.iter().cloned().fold(f64::MAX, f64::min);
+        (max, max - min)
+    }
+}
+
+/// Instance count of one tree node when its histogram was built, summed
+/// across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInstances {
+    /// Node id within its tree (heap order).
+    pub node: u32,
+    /// Instances that reached the node, across all shards.
+    pub instances: u64,
+}
+
+/// Telemetry for one boosting round (all of the round's trees, so `k`
+/// trees under softmax).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Zero-based boosting round.
+    pub round: usize,
+    /// Trees in the ensemble after this round.
+    pub trees: usize,
+    /// Mean training loss after this round.
+    pub train_loss: f64,
+    /// Wall-clock compute seconds accrued to this round (max across
+    /// workers per span). Varies run to run; omitted from canonical JSON.
+    pub compute_secs: f64,
+    /// Histogram row bytes as full-precision `f32` (what an uncompressed
+    /// push would have moved), summed over workers, nodes, and layers.
+    pub hist_bytes_raw: u64,
+    /// Histogram row bytes actually pushed (equals `hist_bytes_raw` at
+    /// full precision; the quantized wire size under low precision).
+    pub hist_bytes_wire: u64,
+    /// Largest per-block quantization scale (max-abs `c`) observed this
+    /// round; 0 when quantization is off.
+    pub max_quant_scale: f32,
+    /// Gain of every accepted split, in decision order.
+    pub split_gains: Vec<f32>,
+    /// Instance counts of the nodes whose histograms were built, in build
+    /// order.
+    pub node_instances: Vec<NodeInstances>,
+}
+
+impl RoundRecord {
+    /// An empty record for `round`.
+    pub fn new(round: usize) -> Self {
+        Self {
+            round,
+            trees: 0,
+            train_loss: 0.0,
+            compute_secs: 0.0,
+            hist_bytes_raw: 0,
+            hist_bytes_wire: 0,
+            max_quant_scale: 0.0,
+            split_gains: Vec::new(),
+            node_instances: Vec::new(),
+        }
+    }
+}
+
+/// One phase's line in the run report: compute max/skew across workers and
+/// the phase's slice of the communication ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Which phase.
+    pub phase: Phase,
+    /// Accumulated wall seconds of the slowest worker in this phase.
+    pub compute_max_secs: f64,
+    /// Straggler skew: slowest minus fastest worker, in seconds.
+    pub compute_skew_secs: f64,
+    /// Communication attributed to this phase.
+    pub comm: CommStats,
+}
+
+/// The structured result of a training run: per-phase compute and
+/// communication plus per-round training telemetry.
+///
+/// Invariant (tested): the per-phase `comm` entries sum to exactly the
+/// aggregate `CommStats` the breakdown reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Simulated worker count.
+    pub workers: usize,
+    /// Parameter-server count.
+    pub servers: usize,
+    /// Total compute seconds (max across workers per span, summed).
+    pub compute_secs: f64,
+    /// Aggregate communication over all phases.
+    pub comm: CommStats,
+    /// Per-phase breakdown, in execution-plan order; phases with no
+    /// activity are omitted.
+    pub phases: Vec<PhaseReport>,
+    /// Per-round telemetry, one entry per boosting round trained.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl RunReport {
+    /// Assembles a report from the trainer's span timer, the parameter
+    /// server's ledger, and the collected round records.
+    pub fn assemble(
+        workers: usize,
+        servers: usize,
+        timer: &SpanTimer,
+        ledger: &CommLedger,
+        rounds: Vec<RoundRecord>,
+    ) -> Self {
+        let phases = Phase::ALL
+            .into_iter()
+            .filter_map(|phase| {
+                let (max, skew) = timer.phase_compute(phase);
+                let comm = *ledger.phase(phase);
+                if max == 0.0 && comm.is_empty() {
+                    return None;
+                }
+                Some(PhaseReport {
+                    phase,
+                    compute_max_secs: max,
+                    compute_skew_secs: skew,
+                    comm,
+                })
+            })
+            .collect();
+        Self {
+            workers,
+            servers,
+            compute_secs: timer.total_secs(),
+            comm: ledger.total(),
+            phases,
+            rounds,
+        }
+    }
+
+    /// This phase's report line, if the phase saw any activity.
+    pub fn phase(&self, phase: Phase) -> Option<&PhaseReport> {
+        self.phases.iter().find(|p| p.phase == phase)
+    }
+
+    /// Full JSON document, wall-clock timings included.
+    pub fn json(&self) -> String {
+        self.to_json(true)
+    }
+
+    /// JSON with the wall-clock compute fields omitted: byte counts,
+    /// packages, simulated time, scales, gains, and instance counts are all
+    /// deterministic in `(config, seed, shards)`, so two identical runs
+    /// produce byte-identical canonical documents.
+    pub fn canonical_json(&self) -> String {
+        self.to_json(false)
+    }
+
+    fn to_json(&self, timings: bool) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_field(&mut out, "workers", &self.workers.to_string(), true);
+        push_field(&mut out, "servers", &self.servers.to_string(), false);
+        if timings {
+            push_field(&mut out, "compute_secs", &fmt_f64(self.compute_secs), false);
+        }
+        out.push_str(",\"comm\":");
+        push_comm(&mut out, &self.comm);
+        out.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_field(&mut out, "phase", &format!("\"{}\"", p.phase.name()), true);
+            if timings {
+                push_field(
+                    &mut out,
+                    "compute_max_secs",
+                    &fmt_f64(p.compute_max_secs),
+                    false,
+                );
+                push_field(
+                    &mut out,
+                    "compute_skew_secs",
+                    &fmt_f64(p.compute_skew_secs),
+                    false,
+                );
+            }
+            out.push_str(",\"comm\":");
+            push_comm(&mut out, &p.comm);
+            out.push('}');
+        }
+        out.push_str("],\"rounds\":[");
+        for (i, r) in self.rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_field(&mut out, "round", &r.round.to_string(), true);
+            push_field(&mut out, "trees", &r.trees.to_string(), false);
+            push_field(&mut out, "train_loss", &fmt_f64(r.train_loss), false);
+            if timings {
+                push_field(&mut out, "compute_secs", &fmt_f64(r.compute_secs), false);
+            }
+            push_field(
+                &mut out,
+                "hist_bytes_raw",
+                &r.hist_bytes_raw.to_string(),
+                false,
+            );
+            push_field(
+                &mut out,
+                "hist_bytes_wire",
+                &r.hist_bytes_wire.to_string(),
+                false,
+            );
+            push_field(
+                &mut out,
+                "max_quant_scale",
+                &fmt_f32(r.max_quant_scale),
+                false,
+            );
+            out.push_str(",\"split_gains\":[");
+            for (j, g) in r.split_gains.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&fmt_f32(*g));
+            }
+            out.push_str("],\"node_instances\":[");
+            for (j, n) in r.node_instances.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{},\"instances\":{}}}",
+                    n.node, n.instances
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Multi-line human-readable summary (per-phase table), for the CLI.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run report: {} worker(s), {} server(s), compute {:.3}s, comm {} bytes / {} pkgs / {:.3}s simulated\n",
+            self.workers,
+            self.servers,
+            self.compute_secs,
+            self.comm.bytes,
+            self.comm.packages,
+            self.comm.sim_time.seconds(),
+        ));
+        out.push_str("phase            compute-max  skew       comm-bytes  pkgs    sim-secs\n");
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<16} {:>10.4}s {:>8.4}s {:>11} {:>6} {:>9.4}\n",
+                p.phase.name(),
+                p.compute_max_secs,
+                p.compute_skew_secs,
+                p.comm.bytes,
+                p.comm.packages,
+                p.comm.sim_time.seconds(),
+            ));
+        }
+        out
+    }
+}
+
+/// Sum of the per-phase communication entries (should equal `comm`).
+pub fn sum_phase_comm(report: &RunReport) -> CommStats {
+    let mut total = CommStats::new();
+    for p in &report.phases {
+        total.absorb(&p.comm);
+    }
+    total
+}
+
+fn push_field(out: &mut String, key: &str, value: &str, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(value);
+}
+
+fn push_comm(out: &mut String, c: &CommStats) {
+    out.push_str(&format!(
+        "{{\"bytes\":{},\"packages\":{},\"sim_time_secs\":{}}}",
+        c.bytes,
+        c.packages,
+        fmt_f64(c.sim_time.seconds())
+    ));
+}
+
+/// Shortest round-trip decimal form — `f64` Display is deterministic and
+/// platform-independent, which the canonical JSON relies on.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn fmt_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimboost_simnet::SimTime;
+
+    fn sample_report() -> RunReport {
+        let mut timer = SpanTimer::new(2);
+        timer.begin_round(0);
+        timer.phase(Phase::BuildHistogram, &mut [0u8, 1], |w| {
+            // Unequal busy-wait so worker times differ measurably.
+            let spin = 1_000 * (*w as u64 + 1);
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+        let mut ledger = CommLedger::new();
+        ledger.record(Phase::BuildHistogram, 1000, 4, SimTime(0.25));
+        ledger.record(Phase::FindSplit, 96, 2, SimTime(0.01));
+        let mut round = RoundRecord::new(0);
+        round.trees = 1;
+        round.train_loss = 0.5;
+        round.compute_secs = timer.round_secs(0);
+        round.hist_bytes_raw = 4000;
+        round.hist_bytes_wire = 1000;
+        round.max_quant_scale = 1.5;
+        round.split_gains = vec![2.25, 0.5];
+        round.node_instances = vec![NodeInstances {
+            node: 0,
+            instances: 100,
+        }];
+        RunReport::assemble(2, 2, &timer, &ledger, vec![round])
+    }
+
+    #[test]
+    fn span_timer_tracks_max_and_skew() {
+        let mut timer = SpanTimer::new(3);
+        timer.phase(Phase::NewTree, &mut [0u32; 3], |_| {});
+        let (max, skew) = timer.phase_compute(Phase::NewTree);
+        assert!(max >= 0.0 && skew >= 0.0 && skew <= max);
+        assert!(timer.total_secs() >= max);
+        // Untimed phases are zero.
+        assert_eq!(timer.phase_compute(Phase::Finish), (0.0, 0.0));
+    }
+
+    #[test]
+    fn span_timer_accrues_rounds() {
+        let mut timer = SpanTimer::new(1);
+        timer.phase(Phase::CreateSketch, &mut [0u8], |_| {}); // pre-round
+        timer.begin_round(0);
+        timer.phase(Phase::NewTree, &mut [0u8], |_| {});
+        timer.begin_round(1);
+        timer.phase(Phase::NewTree, &mut [0u8], |_| {});
+        assert!(timer.round_secs(0) >= 0.0);
+        assert!(timer.round_secs(1) >= 0.0);
+        assert!((timer.round_secs(0) + timer.round_secs(1)) <= timer.total_secs() + 1e-9);
+        assert_eq!(timer.round_secs(7), 0.0);
+    }
+
+    #[test]
+    fn report_phases_sum_to_total_comm() {
+        let report = sample_report();
+        assert_eq!(sum_phase_comm(&report), report.comm);
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let report = sample_report();
+        let json = report.json();
+        assert!(json.starts_with("{\"workers\":2,\"servers\":2,\"compute_secs\":"));
+        assert!(json.contains("\"phase\":\"build_histogram\""));
+        assert!(json.contains("\"hist_bytes_raw\":4000"));
+        assert!(json.contains("\"split_gains\":[2.25,0.5]"));
+        assert!(json.contains("{\"node\":0,\"instances\":100}"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_json_omits_wall_clock() {
+        let report = sample_report();
+        let canonical = report.canonical_json();
+        assert!(!canonical.contains("compute_secs"));
+        assert!(!canonical.contains("compute_max_secs"));
+        // But keeps all deterministic fields.
+        assert!(canonical.contains("\"sim_time_secs\":0.25"));
+        assert!(canonical.contains("\"train_loss\":0.5"));
+
+        // Same data with different wall-clock values → same canonical form.
+        let mut other = report.clone();
+        other.compute_secs += 1.0;
+        for p in &mut other.phases {
+            p.compute_max_secs *= 2.0;
+            p.compute_skew_secs += 0.1;
+        }
+        for r in &mut other.rounds {
+            r.compute_secs += 3.0;
+        }
+        assert_eq!(other.canonical_json(), canonical);
+        assert_ne!(other.json(), report.json());
+    }
+
+    #[test]
+    fn summary_lists_active_phases() {
+        let report = sample_report();
+        let text = report.summary();
+        assert!(text.contains("build_histogram"));
+        assert!(text.contains("find_split"));
+        assert!(!text.contains("pull_sketch"));
+    }
+}

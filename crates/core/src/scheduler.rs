@@ -18,13 +18,19 @@ impl RoundRobinScheduler {
     /// A scheduler dealing nodes across `num_workers` workers.
     pub fn new(num_workers: usize) -> Self {
         assert!(num_workers > 0, "need at least one worker");
-        Self { num_workers, round_robin: true }
+        Self {
+            num_workers,
+            round_robin: true,
+        }
     }
 
     /// The ablation configuration: every node goes to worker 0.
     pub fn single_agent(num_workers: usize) -> Self {
         assert!(num_workers > 0, "need at least one worker");
-        Self { num_workers, round_robin: false }
+        Self {
+            num_workers,
+            round_robin: false,
+        }
     }
 
     /// Worker responsible for the `position`-th entry of the active-node
@@ -40,7 +46,9 @@ impl RoundRobinScheduler {
     /// The positions (into the active-node array) assigned to `worker` —
     /// what a worker computes by scanning the state array (Figure 10).
     pub fn assignments(&self, worker: usize, num_active: usize) -> Vec<usize> {
-        (0..num_active).filter(|&i| self.worker_for(i) == worker).collect()
+        (0..num_active)
+            .filter(|&i| self.worker_for(i) == worker)
+            .collect()
     }
 
     /// Maximum number of nodes any one worker is responsible for — the

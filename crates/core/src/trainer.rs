@@ -9,8 +9,6 @@
 //! the Table 1 cost formulas. Every optimization of Sections 5–6 is a
 //! config toggle so the Table 3 ablation can enable them one at a time.
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,7 +16,7 @@ use dimboost_data::Dataset;
 use dimboost_ps::quantize::quantize_row;
 use dimboost_ps::split::{best_split_in_range, FinalSplit, PullSplitResult, SplitDecision};
 use dimboost_ps::{ParameterServer, PsConfig};
-use dimboost_simnet::{CommStats, SimTime};
+use dimboost_simnet::{CommStats, Phase, SimTime};
 use dimboost_sketch::{propose_candidates, GkSketch, SplitCandidates};
 
 use crate::config::{GbdtConfig, LossKind};
@@ -28,6 +26,7 @@ use crate::meta::FeatureMeta;
 use crate::model::GbdtModel;
 use crate::node_index::NodeIndex;
 use crate::parallel::{build_row_batched, BatchConfig};
+use crate::report::{NodeInstances, RoundRecord, RunReport, SpanTimer};
 use crate::scheduler::RoundRobinScheduler;
 use crate::tree::Tree;
 
@@ -75,6 +74,9 @@ pub struct TrainOutput {
     pub eval_curve: Vec<LossPoint>,
     /// Zero-based index of the best tree on the eval set, when evaluating.
     pub best_iteration: Option<usize>,
+    /// Structured per-phase / per-round run report (see [`crate::report`]).
+    /// Its aggregate communication always equals `breakdown.comm`.
+    pub report: RunReport,
 }
 
 /// Validation configuration for [`train_distributed_with_eval`].
@@ -105,36 +107,10 @@ struct Worker {
     rng: StdRng,
 }
 
-/// Tracks the max-across-workers wall time of the current phase.
-#[derive(Default)]
-struct PhaseTimer {
-    total_secs: f64,
-}
-
-impl PhaseTimer {
-    /// Times `f` for each worker slot and adds the maximum to the total.
-    fn phase<T>(&mut self, workers: &mut [Worker], mut f: impl FnMut(&mut Worker) -> T) -> Vec<T> {
-        let mut max = 0.0f64;
-        let mut outs = Vec::with_capacity(workers.len());
-        for w in workers.iter_mut() {
-            let start = Instant::now();
-            outs.push(f(w));
-            max = max.max(start.elapsed().as_secs_f64());
-        }
-        self.total_secs += max;
-        outs
-    }
-}
-
 /// Routes every local instance through the partially-built tree to find the
 /// ones currently sitting at `node` — the full-shard scan the
 /// node-to-instance index replaces (Table 3's "Node-to-instance Index" row).
-fn scan_instances(
-    shard: &Dataset,
-    tree: &Tree,
-    node: u32,
-    mask: Option<&[bool]>,
-) -> Vec<u32> {
+fn scan_instances(shard: &Dataset, tree: &Tree, node: u32, mask: Option<&[bool]>) -> Vec<u32> {
     (0..shard.num_rows() as u32)
         .filter(|&i| mask.is_none_or(|m| m[i as usize]))
         .filter(|&i| tree.route(&shard.row(i as usize), 0) == node)
@@ -266,7 +242,8 @@ fn train_impl(
     let cost = ps_config.cost_model;
     let p = ps_config.partitions();
     let params = config.split_params();
-    let mut timer = PhaseTimer::default();
+    let mut timer = SpanTimer::new(w);
+    let mut rounds: Vec<RoundRecord> = Vec::with_capacity(config.num_trees);
 
     let mut workers: Vec<Worker> = shards
         .iter()
@@ -295,7 +272,7 @@ fn train_impl(
     // ---- CREATE_SKETCH: local sketches pushed to the PS. -----------------
     // Budget the rank error for the PS-side balanced merge of w sketches.
     let worker_eps = config.sketch_eps / ((w as f64).log2() + 2.0).max(2.0);
-    let locals = timer.phase(&mut workers, |wk| {
+    let locals = timer.phase(Phase::CreateSketch, &mut workers, |wk| {
         build_local_sketches(&shards[wk.shard_id], num_features, worker_eps)
     });
     let mut sketch_bytes = 0usize;
@@ -304,7 +281,10 @@ fn train_impl(
         ps.push_sketches(local);
     }
     if w > 1 {
-        ps.charge(cost.t_ps_exchange_p(sketch_bytes / w.max(1), w, ps_config.num_servers));
+        ps.charge(
+            Phase::CreateSketch,
+            cost.t_ps_exchange_p(sketch_bytes / w.max(1), w, ps_config.num_servers),
+        );
     }
 
     // ---- PULL_SKETCH: merged sketches -> split candidates per feature. ---
@@ -312,7 +292,10 @@ fn train_impl(
     if w > 1 {
         let merged_bytes: usize = merged.iter_mut().map(|s| s.wire_bytes()).sum();
         // All workers pull in parallel over their own links.
-        ps.charge(SimTime(cost.alpha + merged_bytes as f64 * cost.beta));
+        ps.charge(
+            Phase::PullSketch,
+            SimTime(cost.alpha + merged_bytes as f64 * cost.beta),
+        );
     }
     let candidates: Vec<SplitCandidates> = merged
         .iter_mut()
@@ -348,9 +331,11 @@ fn train_impl(
     let mut best_iteration: Option<usize> = None;
 
     for round in 0..config.num_trees {
+        timer.begin_round(round);
+        let mut record = RoundRecord::new(round);
         // ---- Round gradients for every class (softmax computes each
         // instance's probability vector once per round). ----------------------
-        timer.phase(&mut workers, |wk| {
+        timer.phase(Phase::NewTree, &mut workers, |wk| {
             let shard = &shards[wk.shard_id];
             match scalar_loss {
                 Some(loss) => {
@@ -370,307 +355,366 @@ fn train_impl(
             }
         });
 
-      for class in 0..k {
-        let t = round * k + class;
-        // ---- NEW_TREE ------------------------------------------------------
-        let sampled = FeatureMeta::sample_features(
-            num_features,
-            config.feature_sample_ratio,
-            config.seed,
-            t,
-        );
-        ps.publish_sampled(sampled.clone());
-        let meta = FeatureMeta::new(ps.pull_sampled(), &candidates);
-        ps.init_tree(meta.layout().clone());
-        let mut tree = Tree::new(config.max_depth);
-        let capacity = tree.capacity();
+        for class in 0..k {
+            let t = round * k + class;
+            // ---- NEW_TREE ------------------------------------------------------
+            let sampled = FeatureMeta::sample_features(
+                num_features,
+                config.feature_sample_ratio,
+                config.seed,
+                t,
+            );
+            ps.publish_sampled(sampled.clone());
+            let meta = FeatureMeta::new(ps.pull_sampled(), &candidates);
+            ps.init_tree(meta.layout().clone());
+            let mut tree = Tree::new(config.max_depth);
+            let capacity = tree.capacity();
 
-        let subsample = config.instance_sample_ratio < 1.0;
-        timer.phase(&mut workers, |wk| {
-            let shard = &shards[wk.shard_id];
-            for i in 0..shard.num_rows() {
-                wk.grads[i] = wk.grads_all[i * k + class];
-            }
-            if config.opts.pre_binning {
-                // With sigma = 1 the sampled set (and so the binning) is the
-                // same for every tree; rebuild only when sampling changes it.
-                if wk.binned.is_none() || config.feature_sample_ratio < 1.0 {
-                    wk.binned = Some(crate::binned::BinnedShard::build(shard, &meta));
-                }
-            } else {
-                wk.binned = None;
-            }
-            if subsample {
-                // Stochastic gradient boosting: each tree sees a Bernoulli
-                // subsample of the rows; unsampled rows still receive the
-                // tree's predictions afterwards.
-                let mask: Vec<bool> = (0..shard.num_rows())
-                    .map(|_| wk.rng.random::<f64>() < config.instance_sample_ratio)
-                    .collect();
-                let sampled: Vec<u32> = (0..shard.num_rows() as u32)
-                    .filter(|&i| mask[i as usize])
-                    .collect();
-                wk.index = NodeIndex::from_instances(sampled, capacity);
-                wk.sample_mask = Some(mask);
-            } else {
-                wk.index = NodeIndex::new(shard.num_rows(), capacity);
-                wk.sample_mask = None;
-            }
-        });
-
-        let mut active: Vec<u32> = vec![0];
-        let row_len = meta.layout().row_len();
-        let scheduler = if config.opts.task_scheduler {
-            RoundRobinScheduler::new(w)
-        } else {
-            RoundRobinScheduler::single_agent(w)
-        };
-
-        // Sibling-subtraction bookkeeping: `(parent, small, big)` triples for
-        // the current layer (extension, see `Optimizations::hist_subtraction`).
-        let mut pairs: Vec<(u32, u32, u32)> = Vec::new();
-
-        for depth in 0..config.max_depth {
-            if active.is_empty() {
-                break;
-            }
-
-            // With subtraction on, only the smaller child of each pair is
-            // built; its sibling is derived on the servers afterwards.
-            let use_subtraction = config.opts.hist_subtraction && !pairs.is_empty();
-            let build_nodes: Vec<u32> = if use_subtraction {
-                pairs.iter().map(|&(_, small, _)| small).collect()
-            } else {
-                active.clone()
-            };
-
-            // ---- BUILD_HISTOGRAM -------------------------------------------
-            let local_rows: Vec<Vec<(u32, Vec<f32>)>> = timer.phase(&mut workers, |wk| {
+            let subsample = config.instance_sample_ratio < 1.0;
+            timer.phase(Phase::NewTree, &mut workers, |wk| {
                 let shard = &shards[wk.shard_id];
-                build_nodes
-                    .iter()
-                    .map(|&node| {
-                        let owned;
-                        let instances: &[u32] = if config.opts.node_index {
-                            wk.index.instances(node)
-                        } else {
-                            owned = scan_instances(shard, &tree, node, wk.sample_mask.as_deref());
-                            &owned
-                        };
-                        let row = if let Some(binned) = &wk.binned {
-                            if config.opts.parallel_batch {
-                                binned.build_row_batched(
-                                    instances,
-                                    &wk.grads,
-                                    &meta,
-                                    config.batch_size,
-                                    config.num_threads,
-                                )
-                            } else {
-                                let mut out = crate::hist_build::new_row(&meta);
-                                binned.build_into(instances, &wk.grads, &mut out);
-                                out
-                            }
-                        } else if config.opts.parallel_batch {
-                            let bc = BatchConfig {
-                                batch_size: config.batch_size,
-                                threads: config.num_threads,
-                                sparse: config.opts.sparse_hist,
-                            };
-                            build_row_batched(shard, instances, &wk.grads, &meta, &bc)
-                        } else {
-                            build_row(shard, instances, &wk.grads, &meta, config.opts.sparse_hist)
-                        };
-                        (node, row)
-                    })
-                    .collect()
+                for i in 0..shard.num_rows() {
+                    wk.grads[i] = wk.grads_all[i * k + class];
+                }
+                if config.opts.pre_binning {
+                    // With sigma = 1 the sampled set (and so the binning) is the
+                    // same for every tree; rebuild only when sampling changes it.
+                    if wk.binned.is_none() || config.feature_sample_ratio < 1.0 {
+                        wk.binned = Some(crate::binned::BinnedShard::build(shard, &meta));
+                    }
+                } else {
+                    wk.binned = None;
+                }
+                if subsample {
+                    // Stochastic gradient boosting: each tree sees a Bernoulli
+                    // subsample of the rows; unsampled rows still receive the
+                    // tree's predictions afterwards.
+                    let mask: Vec<bool> = (0..shard.num_rows())
+                        .map(|_| wk.rng.random::<f64>() < config.instance_sample_ratio)
+                        .collect();
+                    let sampled: Vec<u32> = (0..shard.num_rows() as u32)
+                        .filter(|&i| mask[i as usize])
+                        .collect();
+                    wk.index = NodeIndex::from_instances(sampled, capacity);
+                    wk.sample_mask = Some(mask);
+                } else {
+                    wk.index = NodeIndex::new(shard.num_rows(), capacity);
+                    wk.sample_mask = None;
+                }
             });
 
-            // ---- FIND_SPLIT: push local histograms. -------------------------
-            let mut pushed_bytes_per_worker = 0usize;
-            for (wk, rows) in workers.iter_mut().zip(local_rows) {
-                for (node, row) in rows {
-                    if config.opts.low_precision {
-                        let q = quantize_row(&row, meta.layout(), config.compress_bits, &mut wk.rng);
-                        pushed_bytes_per_worker = pushed_bytes_per_worker.max(q.wire_bytes());
-                        ps.push_histogram_quantized(node, &q);
-                    } else {
-                        pushed_bytes_per_worker = pushed_bytes_per_worker.max(4 * row.len());
-                        ps.push_histogram(node, &row);
-                    }
-                }
-            }
-            if w > 1 {
-                ps.charge(cost.t_ps_exchange_p(
-                    pushed_bytes_per_worker * build_nodes.len(),
-                    w,
-                    ps_config.num_servers,
-                ));
-            }
-            if use_subtraction {
-                // Server-local: parent − built child = sibling; no traffic.
-                for &(parent, small, big) in &pairs {
-                    ps.derive_sibling(parent, small, big);
-                    ps.clear_node(parent);
-                }
-            }
-
-            // ---- FIND_SPLIT: scheduled workers pull splits & publish. -------
-            for (pos, &node) in active.iter().enumerate() {
-                let _assigned_worker = scheduler.worker_for(pos);
-                let result: PullSplitResult = if config.opts.two_phase_split {
-                    ps.pull_split(node, &params)
-                } else {
-                    let row = ps.pull_histogram(node);
-                    best_split_in_range(&row, meta.layout(), 0..meta.num_sampled(), None, &params)
-                };
-                let split = result.best.map(|s| FinalSplit {
-                    feature: meta.global_id(s.feature as usize),
-                    threshold: meta.threshold(s.feature as usize, s.bucket as usize),
-                    gain: s.gain,
-                    left_g: s.left_g,
-                    left_h: s.left_h,
-                    default_left: s.default_left,
-                });
-                ps.publish_decision(SplitDecision {
-                    node,
-                    split,
-                    total_g: result.total_g,
-                    total_h: result.total_h,
-                });
-            }
-            if w > 1 {
-                let per_node_pull = if config.opts.two_phase_split {
-                    // p O(1)-sized replies fetched in one batch.
-                    SimTime(cost.alpha + (p * 48) as f64 * cost.beta)
-                } else {
-                    // The whole merged row crosses the wire and is scanned.
-                    SimTime(
-                        cost.alpha * p as f64
-                            + (4 * row_len) as f64 * (cost.beta + cost.gamma),
-                    )
-                };
-                let pulls = scheduler.max_load(active.len()) as f64;
-                ps.charge(SimTime(pulls * per_node_pull.seconds()));
-                // Publishing decisions: tiny messages, serialized per worker.
-                ps.charge(SimTime(pulls * (cost.alpha + 64.0 * cost.beta)));
-            }
-
-            // ---- SPLIT_TREE --------------------------------------------------
-            let decisions = ps.pull_decisions(&active);
-            if w > 1 {
-                ps.charge(SimTime(cost.alpha + (64 * active.len()) as f64 * cost.beta));
-            }
-            let mut next_active = Vec::new();
-            let mut next_pairs = Vec::new();
-            for decision in &decisions {
-                let node = decision.node;
-                // Parents feeding next layer's sibling subtraction must keep
-                // their merged rows on the servers until the derive step.
-                let mut keep_row = false;
-                match decision.split {
-                    Some(split) => {
-                        tree.set_internal_full(
-                            node,
-                            split.feature,
-                            split.threshold,
-                            split.gain as f32,
-                            split.default_left,
-                        );
-                        let (lc, rc) = (Tree::left_child(node), Tree::right_child(node));
-                        if config.opts.node_index {
-                            timer.phase(&mut workers, |wk| {
-                                let shard = &shards[wk.shard_id];
-                                wk.index.split(node, lc, rc, |i| {
-                                    split.goes_left(shard.row(i as usize).get(split.feature))
-                                });
-                            });
-                        }
-                        if depth + 1 < config.max_depth {
-                            next_active.push(lc);
-                            next_active.push(rc);
-                            if config.opts.hist_subtraction {
-                                let right_h = decision.total_h - split.left_h;
-                                let (small, big) =
-                                    if split.left_h <= right_h { (lc, rc) } else { (rc, lc) };
-                                next_pairs.push((node, small, big));
-                                keep_row = true;
-                            }
-                        } else {
-                            // Children at maximal depth become leaves using
-                            // the split's child statistics.
-                            let (gl, hl) = (split.left_g, split.left_h);
-                            let (gr, hr) =
-                                (decision.total_g - gl, decision.total_h - hl);
-                            tree.set_leaf(lc, params.leaf_weight(gl, hl) as f32);
-                            tree.set_leaf(rc, params.leaf_weight(gr, hr) as f32);
-                        }
-                    }
-                    None => {
-                        tree.set_leaf(
-                            node,
-                            params.leaf_weight(decision.total_g, decision.total_h) as f32,
-                        );
-                    }
-                }
-                if !keep_row {
-                    ps.clear_node(node);
-                }
-            }
-            ps.clear_decisions();
-            active = next_active;
-            pairs = next_pairs;
-        }
-
-        debug_assert!(tree.check_consistency().is_ok(), "tree inconsistent after build");
-
-        // ---- Update this class's score column. -------------------------------
-        let eta = config.learning_rate;
-        timer.phase(&mut workers, |wk| {
-            let shard = &shards[wk.shard_id];
-            // With row subsampling the index only covers sampled rows, so
-            // everything routes through the tree instead.
-            if config.opts.node_index && !subsample {
-                // Leaves have contiguous instance ranges in the index.
-                for leaf in 0..tree.capacity() as u32 {
-                    if let crate::tree::Node::Leaf { weight } = tree.node(leaf) {
-                        for &i in wk.index.instances(leaf) {
-                            wk.preds[i as usize * k + class] += eta * weight;
-                        }
-                    }
-                }
+            let mut active: Vec<u32> = vec![0];
+            let row_len = meta.layout().row_len();
+            let scheduler = if config.opts.task_scheduler {
+                RoundRobinScheduler::new(w)
             } else {
-                for i in 0..shard.num_rows() {
-                    wk.preds[i * k + class] += eta * tree.predict(&shard.row(i));
+                RoundRobinScheduler::single_agent(w)
+            };
+
+            // Sibling-subtraction bookkeeping: `(parent, small, big)` triples for
+            // the current layer (extension, see `Optimizations::hist_subtraction`).
+            let mut pairs: Vec<(u32, u32, u32)> = Vec::new();
+
+            for depth in 0..config.max_depth {
+                if active.is_empty() {
+                    break;
                 }
+
+                // With subtraction on, only the smaller child of each pair is
+                // built; its sibling is derived on the servers afterwards.
+                let use_subtraction = config.opts.hist_subtraction && !pairs.is_empty();
+                let build_nodes: Vec<u32> = if use_subtraction {
+                    pairs.iter().map(|&(_, small, _)| small).collect()
+                } else {
+                    active.clone()
+                };
+
+                // ---- BUILD_HISTOGRAM -------------------------------------------
+                let local_rows: Vec<Vec<(u32, Vec<f32>, u64)>> =
+                    timer.phase(Phase::BuildHistogram, &mut workers, |wk| {
+                        let shard = &shards[wk.shard_id];
+                        build_nodes
+                            .iter()
+                            .map(|&node| {
+                                let owned;
+                                let instances: &[u32] = if config.opts.node_index {
+                                    wk.index.instances(node)
+                                } else {
+                                    owned = scan_instances(
+                                        shard,
+                                        &tree,
+                                        node,
+                                        wk.sample_mask.as_deref(),
+                                    );
+                                    &owned
+                                };
+                                let count = instances.len() as u64;
+                                let row = if let Some(binned) = &wk.binned {
+                                    if config.opts.parallel_batch {
+                                        binned.build_row_batched(
+                                            instances,
+                                            &wk.grads,
+                                            &meta,
+                                            config.batch_size,
+                                            config.num_threads,
+                                        )
+                                    } else {
+                                        let mut out = crate::hist_build::new_row(&meta);
+                                        binned.build_into(instances, &wk.grads, &mut out);
+                                        out
+                                    }
+                                } else if config.opts.parallel_batch {
+                                    let bc = BatchConfig {
+                                        batch_size: config.batch_size,
+                                        threads: config.num_threads,
+                                        sparse: config.opts.sparse_hist,
+                                    };
+                                    build_row_batched(shard, instances, &wk.grads, &meta, &bc)
+                                } else {
+                                    build_row(
+                                        shard,
+                                        instances,
+                                        &wk.grads,
+                                        &meta,
+                                        config.opts.sparse_hist,
+                                    )
+                                };
+                                (node, row, count)
+                            })
+                            .collect()
+                    });
+
+                // ---- FIND_SPLIT: push local histograms. -------------------------
+                let mut pushed_bytes_per_worker = 0usize;
+                let mut node_counts = vec![0u64; build_nodes.len()];
+                for (wk, rows) in workers.iter_mut().zip(local_rows) {
+                    for (pos, (node, row, count)) in rows.into_iter().enumerate() {
+                        node_counts[pos] += count;
+                        record.hist_bytes_raw += 4 * row.len() as u64;
+                        if config.opts.low_precision {
+                            let q = quantize_row(
+                                &row,
+                                meta.layout(),
+                                config.compress_bits,
+                                &mut wk.rng,
+                            );
+                            pushed_bytes_per_worker = pushed_bytes_per_worker.max(q.wire_bytes());
+                            record.hist_bytes_wire += q.wire_bytes() as u64;
+                            record.max_quant_scale = record.max_quant_scale.max(q.max_scale());
+                            ps.push_histogram_quantized(node, &q);
+                        } else {
+                            pushed_bytes_per_worker = pushed_bytes_per_worker.max(4 * row.len());
+                            record.hist_bytes_wire += 4 * row.len() as u64;
+                            ps.push_histogram(node, &row);
+                        }
+                    }
+                }
+                for (pos, &node) in build_nodes.iter().enumerate() {
+                    record.node_instances.push(NodeInstances {
+                        node,
+                        instances: node_counts[pos],
+                    });
+                }
+                if w > 1 {
+                    ps.charge(
+                        Phase::BuildHistogram,
+                        cost.t_ps_exchange_p(
+                            pushed_bytes_per_worker * build_nodes.len(),
+                            w,
+                            ps_config.num_servers,
+                        ),
+                    );
+                }
+                if use_subtraction {
+                    // Server-local: parent − built child = sibling; no traffic.
+                    for &(parent, small, big) in &pairs {
+                        ps.derive_sibling(parent, small, big);
+                        ps.clear_node(parent);
+                    }
+                }
+
+                // ---- FIND_SPLIT: scheduled workers pull splits & publish. -------
+                for (pos, &node) in active.iter().enumerate() {
+                    let _assigned_worker = scheduler.worker_for(pos);
+                    let result: PullSplitResult = if config.opts.two_phase_split {
+                        ps.pull_split(node, &params)
+                    } else {
+                        let row = ps.pull_histogram(node);
+                        best_split_in_range(
+                            &row,
+                            meta.layout(),
+                            0..meta.num_sampled(),
+                            None,
+                            &params,
+                        )
+                    };
+                    let split = result.best.map(|s| FinalSplit {
+                        feature: meta.global_id(s.feature as usize),
+                        threshold: meta.threshold(s.feature as usize, s.bucket as usize),
+                        gain: s.gain,
+                        left_g: s.left_g,
+                        left_h: s.left_h,
+                        default_left: s.default_left,
+                    });
+                    ps.publish_decision(SplitDecision {
+                        node,
+                        split,
+                        total_g: result.total_g,
+                        total_h: result.total_h,
+                    });
+                }
+                if w > 1 {
+                    let per_node_pull = if config.opts.two_phase_split {
+                        // p O(1)-sized replies fetched in one batch.
+                        SimTime(cost.alpha + (p * 48) as f64 * cost.beta)
+                    } else {
+                        // The whole merged row crosses the wire and is scanned.
+                        SimTime(
+                            cost.alpha * p as f64 + (4 * row_len) as f64 * (cost.beta + cost.gamma),
+                        )
+                    };
+                    let pulls = scheduler.max_load(active.len()) as f64;
+                    ps.charge(Phase::FindSplit, SimTime(pulls * per_node_pull.seconds()));
+                    // Publishing decisions: tiny messages, serialized per worker.
+                    ps.charge(
+                        Phase::FindSplit,
+                        SimTime(pulls * (cost.alpha + 64.0 * cost.beta)),
+                    );
+                }
+
+                // ---- SPLIT_TREE --------------------------------------------------
+                let decisions = ps.pull_decisions(&active);
+                if w > 1 {
+                    ps.charge(
+                        Phase::SplitTree,
+                        SimTime(cost.alpha + (64 * active.len()) as f64 * cost.beta),
+                    );
+                }
+                let mut next_active = Vec::new();
+                let mut next_pairs = Vec::new();
+                for decision in &decisions {
+                    let node = decision.node;
+                    // Parents feeding next layer's sibling subtraction must keep
+                    // their merged rows on the servers until the derive step.
+                    let mut keep_row = false;
+                    match decision.split {
+                        Some(split) => {
+                            record.split_gains.push(split.gain as f32);
+                            tree.set_internal_full(
+                                node,
+                                split.feature,
+                                split.threshold,
+                                split.gain as f32,
+                                split.default_left,
+                            );
+                            let (lc, rc) = (Tree::left_child(node), Tree::right_child(node));
+                            if config.opts.node_index {
+                                timer.phase(Phase::SplitTree, &mut workers, |wk| {
+                                    let shard = &shards[wk.shard_id];
+                                    wk.index.split(node, lc, rc, |i| {
+                                        split.goes_left(shard.row(i as usize).get(split.feature))
+                                    });
+                                });
+                            }
+                            if depth + 1 < config.max_depth {
+                                next_active.push(lc);
+                                next_active.push(rc);
+                                if config.opts.hist_subtraction {
+                                    let right_h = decision.total_h - split.left_h;
+                                    let (small, big) = if split.left_h <= right_h {
+                                        (lc, rc)
+                                    } else {
+                                        (rc, lc)
+                                    };
+                                    next_pairs.push((node, small, big));
+                                    keep_row = true;
+                                }
+                            } else {
+                                // Children at maximal depth become leaves using
+                                // the split's child statistics.
+                                let (gl, hl) = (split.left_g, split.left_h);
+                                let (gr, hr) = (decision.total_g - gl, decision.total_h - hl);
+                                tree.set_leaf(lc, params.leaf_weight(gl, hl) as f32);
+                                tree.set_leaf(rc, params.leaf_weight(gr, hr) as f32);
+                            }
+                        }
+                        None => {
+                            tree.set_leaf(
+                                node,
+                                params.leaf_weight(decision.total_g, decision.total_h) as f32,
+                            );
+                        }
+                    }
+                    if !keep_row {
+                        ps.clear_node(node);
+                    }
+                }
+                ps.clear_decisions();
+                active = next_active;
+                pairs = next_pairs;
             }
-        });
-        trees.push(tree);
-      } // per-class trees of this round
+
+            debug_assert!(
+                tree.check_consistency().is_ok(),
+                "tree inconsistent after build"
+            );
+
+            // ---- Update this class's score column. -------------------------------
+            let eta = config.learning_rate;
+            timer.phase(Phase::Finish, &mut workers, |wk| {
+                let shard = &shards[wk.shard_id];
+                // With row subsampling the index only covers sampled rows, so
+                // everything routes through the tree instead.
+                if config.opts.node_index && !subsample {
+                    // Leaves have contiguous instance ranges in the index.
+                    for leaf in 0..tree.capacity() as u32 {
+                        if let crate::tree::Node::Leaf { weight } = tree.node(leaf) {
+                            for &i in wk.index.instances(leaf) {
+                                wk.preds[i as usize * k + class] += eta * weight;
+                            }
+                        }
+                    }
+                } else {
+                    for i in 0..shard.num_rows() {
+                        wk.preds[i * k + class] += eta * tree.predict(&shard.row(i));
+                    }
+                }
+            });
+            trees.push(tree);
+        } // per-class trees of this round
 
         // ---- Round training loss. --------------------------------------------
         let eta = config.learning_rate;
-        let worker_losses = timer.phase(&mut workers, |wk| {
+        let worker_losses = timer.phase(Phase::Finish, &mut workers, |wk| {
             let shard = &shards[wk.shard_id];
             (0..shard.num_rows())
                 .map(|i| match scalar_loss {
                     Some(loss) => loss.loss(wk.preds[i], shard.label(i)),
-                    None => softmax_loss(
-                        &wk.preds[i * k..(i + 1) * k],
-                        shard.label(i) as usize,
-                    ),
+                    None => softmax_loss(&wk.preds[i * k..(i + 1) * k], shard.label(i) as usize),
                 })
                 .sum::<f64>()
         });
         let train_loss = worker_losses.iter().sum::<f64>() / total_instances as f64;
         if w > 1 {
             // Loss aggregation: w tiny messages.
-            ps.charge(SimTime(cost.alpha + 8.0 * w as f64 * cost.beta));
+            ps.charge(
+                Phase::Finish,
+                SimTime(cost.alpha + 8.0 * w as f64 * cost.beta),
+            );
         }
 
         let comm_now = ps.comm_stats();
-        let elapsed = timer.total_secs + comm_now.sim_time.seconds();
-        loss_curve.push(LossPoint { tree: trees.len(), train_loss, elapsed_secs: elapsed });
+        let elapsed = timer.total_secs() + comm_now.sim_time.seconds();
+        loss_curve.push(LossPoint {
+            tree: trees.len(),
+            train_loss,
+            elapsed_secs: elapsed,
+        });
+
+        record.trees = trees.len();
+        record.train_loss = train_loss;
+        record.compute_secs = timer.round_secs(round);
+        rounds.push(record);
 
         // ---- Evaluation & early stopping (per round). -------------------------
         if let Some(ev) = &eval {
@@ -690,8 +734,11 @@ fn train_impl(
                 })
                 .sum::<f64>()
                 / ev.dataset.num_rows().max(1) as f64;
-            eval_curve
-                .push(LossPoint { tree: trees.len(), train_loss: eval_loss, elapsed_secs: elapsed });
+            eval_curve.push(LossPoint {
+                tree: trees.len(),
+                train_loss: eval_loss,
+                elapsed_secs: elapsed,
+            });
             if eval_loss < best_eval_loss - 1e-12 {
                 best_eval_loss = eval_loss;
                 best_iteration = Some(round);
@@ -708,8 +755,20 @@ fn train_impl(
     // ---- FINISH -------------------------------------------------------------
     let model = GbdtModel::new(trees, config.learning_rate, config.loss, num_features);
     model.check_consistency()?;
-    let breakdown = RunBreakdown { compute_secs: timer.total_secs, comm: ps.comm_stats() };
-    Ok(TrainOutput { model, breakdown, loss_curve, eval_curve, best_iteration })
+    let ledger = ps.comm_ledger();
+    let breakdown = RunBreakdown {
+        compute_secs: timer.total_secs(),
+        comm: ledger.total(),
+    };
+    let report = RunReport::assemble(w, ps_config.num_servers, &timer, &ledger, rounds);
+    Ok(TrainOutput {
+        model,
+        breakdown,
+        loss_curve,
+        eval_curve,
+        best_iteration,
+        report,
+    })
 }
 
 /// Convenience wrapper: trains on a single machine (one worker, one server,
@@ -762,14 +821,22 @@ mod tests {
     #[test]
     fn training_loss_decreases_monotonically() {
         let (train, _) = classification_data();
-        let ps = PsConfig { num_servers: 1, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 1,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let out = train_distributed(&[train], &small_config(), ps).unwrap();
         let losses: Vec<f64> = out.loss_curve.iter().map(|p| p.train_loss).collect();
         assert_eq!(losses.len(), 5);
         for w in losses.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "loss increased: {losses:?}");
         }
-        assert!(losses[4] < std::f64::consts::LN_2, "final loss {} not below ln 2", losses[4]);
+        assert!(
+            losses[4] < std::f64::consts::LN_2,
+            "final loss {} not below ln 2",
+            losses[4]
+        );
     }
 
     #[test]
@@ -778,14 +845,16 @@ mod tests {
         let config = small_config();
 
         let single = train_single_machine(&train, &config).unwrap();
-        let err_single =
-            classification_error(&single.predict_dataset(&test), test.labels());
+        let err_single = classification_error(&single.predict_dataset(&test), test.labels());
 
         let shards = partition_rows(&train, 4).unwrap();
-        let ps = PsConfig { num_servers: 4, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+        let ps = PsConfig {
+            num_servers: 4,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
         let out = train_distributed(&shards, &config, ps).unwrap();
-        let err_dist =
-            classification_error(&out.model.predict_dataset(&test), test.labels());
+        let err_dist = classification_error(&out.model.predict_dataset(&test), test.labels());
 
         assert!(
             (err_single - err_dist).abs() < 0.05,
@@ -801,11 +870,106 @@ mod tests {
         let (train, _) = classification_data();
         let shards = partition_rows(&train, 3).unwrap();
         let config = small_config();
-        let ps = PsConfig { num_servers: 3, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+        let ps = PsConfig {
+            num_servers: 3,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
         let a = train_distributed(&shards, &config, ps).unwrap();
         let b = train_distributed(&shards, &config, ps).unwrap();
         assert_eq!(a.model, b.model);
         assert_eq!(a.breakdown.comm.bytes, b.breakdown.comm.bytes);
+        // The timing-free run report is bit-identical across reruns.
+        assert_eq!(a.report.canonical_json(), b.report.canonical_json());
+    }
+
+    #[test]
+    fn report_phase_comm_sums_to_aggregate() {
+        let (train, _) = classification_data();
+        let shards = partition_rows(&train, 3).unwrap();
+        let ps = PsConfig {
+            num_servers: 3,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
+        let out = train_distributed(&shards, &small_config(), ps).unwrap();
+        assert_eq!(out.report.workers, 3);
+        assert_eq!(out.report.servers, 3);
+        // Per-phase communication entries reproduce the aggregate exactly.
+        assert_eq!(
+            crate::report::sum_phase_comm(&out.report),
+            out.breakdown.comm
+        );
+        assert_eq!(out.report.comm, out.breakdown.comm);
+        // The trainer tags every event — the legacy bucket stays empty.
+        assert!(out.report.phases.iter().all(|p| p.phase != Phase::Other));
+        // Histogram pushes dominate the traffic (the paper's premise).
+        let hist = out
+            .report
+            .phases
+            .iter()
+            .find(|p| p.phase == Phase::BuildHistogram)
+            .expect("histogram phase present");
+        assert!(
+            hist.comm.bytes * 2 > out.breakdown.comm.bytes,
+            "histogram bytes {} of {}",
+            hist.comm.bytes,
+            out.breakdown.comm.bytes
+        );
+        // Compute was measured, with a sane skew.
+        for p in &out.report.phases {
+            assert!(p.compute_max_secs >= 0.0);
+            assert!(p.compute_skew_secs >= 0.0 && p.compute_skew_secs <= p.compute_max_secs);
+        }
+        assert!(out.report.compute_secs > 0.0);
+    }
+
+    #[test]
+    fn report_rounds_capture_quantization_and_splits() {
+        let (train, _) = classification_data();
+        let shards = partition_rows(&train, 2).unwrap();
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
+
+        let mut lp = small_config();
+        lp.opts.low_precision = true;
+        lp.compress_bits = 8;
+        let out = train_distributed(&shards, &lp, ps).unwrap();
+        assert_eq!(out.report.rounds.len(), 5);
+        for (i, r) in out.report.rounds.iter().enumerate() {
+            assert_eq!(r.round, i);
+            assert_eq!(r.trees, i + 1);
+            // Quantization compresses the wire format and records its scale.
+            assert!(
+                r.hist_bytes_wire < r.hist_bytes_raw,
+                "round {i}: wire {} !< raw {}",
+                r.hist_bytes_wire,
+                r.hist_bytes_raw
+            );
+            assert!(r.max_quant_scale > 0.0);
+            assert!(!r.split_gains.is_empty());
+            assert!(r.split_gains.iter().all(|g| g.is_finite() && *g >= 0.0));
+            // The first histogram of each round is the root over all rows.
+            assert_eq!(r.node_instances[0].node, 0);
+            assert_eq!(r.node_instances[0].instances, train.num_rows() as u64);
+        }
+        // Round records agree with the loss curve.
+        for (r, pt) in out.report.rounds.iter().zip(&out.loss_curve) {
+            assert_eq!(r.train_loss, pt.train_loss);
+            assert_eq!(r.trees, pt.tree);
+        }
+
+        // Full precision: the wire format is the raw rows, no scales.
+        let mut full = small_config();
+        full.opts.low_precision = false;
+        let out = train_distributed(&shards, &full, ps).unwrap();
+        for r in &out.report.rounds {
+            assert_eq!(r.hist_bytes_wire, r.hist_bytes_raw);
+            assert_eq!(r.max_quant_scale, 0.0);
+        }
     }
 
     #[test]
@@ -815,7 +979,11 @@ mod tests {
         config.num_trees = 3;
         config.opts = Optimizations::NONE;
         let shards = partition_rows(&train, 2).unwrap();
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
         let out = train_distributed(&shards, &config, ps).unwrap();
         let err = classification_error(&out.model.predict_dataset(&test), test.labels());
         assert!(err < 0.45, "unoptimized trainer error {err}");
@@ -828,7 +996,11 @@ mod tests {
         // with each single toggle must reach similar loss.
         let ds = generate(&SparseGenConfig::new(1_200, 100, 10, 7));
         let shards = partition_rows(&ds, 2).unwrap();
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
 
         let mut base_cfg = small_config();
         base_cfg.num_trees = 3;
@@ -838,11 +1010,26 @@ mod tests {
 
         type Toggle = (&'static str, Box<dyn Fn(&mut Optimizations)>);
         let toggles: Vec<Toggle> = vec![
-            ("sparse_hist", Box::new(|o: &mut Optimizations| o.sparse_hist = true)),
-            ("parallel_batch", Box::new(|o: &mut Optimizations| o.parallel_batch = true)),
-            ("node_index", Box::new(|o: &mut Optimizations| o.node_index = true)),
-            ("task_scheduler", Box::new(|o: &mut Optimizations| o.task_scheduler = true)),
-            ("two_phase_split", Box::new(|o: &mut Optimizations| o.two_phase_split = true)),
+            (
+                "sparse_hist",
+                Box::new(|o: &mut Optimizations| o.sparse_hist = true),
+            ),
+            (
+                "parallel_batch",
+                Box::new(|o: &mut Optimizations| o.parallel_batch = true),
+            ),
+            (
+                "node_index",
+                Box::new(|o: &mut Optimizations| o.node_index = true),
+            ),
+            (
+                "task_scheduler",
+                Box::new(|o: &mut Optimizations| o.task_scheduler = true),
+            ),
+            (
+                "two_phase_split",
+                Box::new(|o: &mut Optimizations| o.two_phase_split = true),
+            ),
         ];
         for (name, toggle) in toggles {
             let mut cfg = base_cfg.clone();
@@ -861,7 +1048,11 @@ mod tests {
         let ds = generate(&SparseGenConfig::new(2_000, 150, 12, 21));
         let (train, test) = train_test_split(&ds, 0.2, 21).unwrap();
         let shards = partition_rows(&train, 2).unwrap();
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
 
         let mut full_cfg = small_config();
         full_cfg.opts.low_precision = false;
@@ -875,7 +1066,10 @@ mod tests {
         let err_full = classification_error(&full.model.predict_dataset(&test), test.labels());
         let err_lp = classification_error(&lp.model.predict_dataset(&test), test.labels());
         // Mirrors the paper's 0.2509 vs 0.2514 observation: tiny gap.
-        assert!((err_full - err_lp).abs() < 0.05, "full {err_full} vs lp {err_lp}");
+        assert!(
+            (err_full - err_lp).abs() < 0.05,
+            "full {err_full} vs lp {err_lp}"
+        );
         // And the compressed run moved substantially fewer bytes. (The
         // per-feature scale/zero metadata plus non-histogram traffic —
         // sketches, split replies — dilute the ideal 32/d ratio.)
@@ -895,7 +1089,11 @@ mod tests {
         let ds = generate(&SparseGenConfig::new(2_000, 150, 12, 19));
         let (train, test) = train_test_split(&ds, 0.2, 19).unwrap();
         let shards = partition_rows(&train, 3).unwrap();
-        let ps = PsConfig { num_servers: 3, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+        let ps = PsConfig {
+            num_servers: 3,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
 
         let mut plain_cfg = small_config();
         plain_cfg.opts.low_precision = false;
@@ -905,8 +1103,7 @@ mod tests {
         sub_cfg.opts.hist_subtraction = true;
         let sub = train_distributed(&shards, &sub_cfg, ps).unwrap();
 
-        let err_plain =
-            classification_error(&plain.model.predict_dataset(&test), test.labels());
+        let err_plain = classification_error(&plain.model.predict_dataset(&test), test.labels());
         let err_sub = classification_error(&sub.model.predict_dataset(&test), test.labels());
         assert!(
             (err_plain - err_sub).abs() < 0.03,
@@ -925,7 +1122,11 @@ mod tests {
     fn hist_subtraction_with_low_precision_still_learns() {
         let ds = generate(&SparseGenConfig::new(1_500, 100, 10, 23));
         let shards = partition_rows(&ds, 2).unwrap();
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let mut cfg = small_config();
         cfg.opts.hist_subtraction = true;
         cfg.opts.low_precision = true;
@@ -951,7 +1152,10 @@ mod tests {
         let model_rmse = rmse(&preds, test.labels());
         // Baseline: predicting the mean (≈0 for the standardized generator).
         let base_rmse = rmse(&vec![0.0; test.num_rows()], test.labels());
-        assert!(model_rmse < 0.9 * base_rmse, "rmse {model_rmse} vs baseline {base_rmse}");
+        assert!(
+            model_rmse < 0.9 * base_rmse,
+            "rmse {model_rmse} vs baseline {base_rmse}"
+        );
     }
 
     #[test]
@@ -974,7 +1178,11 @@ mod tests {
         config.instance_sample_ratio = 0.5;
         config.num_trees = 8;
         let shards = partition_rows(&train, 2).unwrap();
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let a = train_distributed(&shards, &config, ps).unwrap();
         let b = train_distributed(&shards, &config, ps).unwrap();
         assert_eq!(a.model, b.model);
@@ -992,12 +1200,19 @@ mod tests {
         use crate::trainer::EvalOptions;
         let (train, test) = classification_data();
         let shards = partition_rows(&train, 2).unwrap();
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let mut config = small_config();
         config.num_trees = 10;
 
         // Plain eval: curve recorded, same length as trees.
-        let ev = EvalOptions { dataset: &test, early_stopping_rounds: None };
+        let ev = EvalOptions {
+            dataset: &test,
+            early_stopping_rounds: None,
+        };
         let out = train_distributed_with_eval(&shards, &config, ps, Some(ev)).unwrap();
         assert_eq!(out.eval_curve.len(), 10);
         assert!(out.best_iteration.is_some());
@@ -1009,10 +1224,15 @@ mod tests {
         let flipped_labels: Vec<f32> = test.labels().iter().map(|&y| 1.0 - y).collect();
         let mut flipped = dimboost_data::DatasetBuilder::new(test.num_features());
         for (i, (row, _)) in test.iter_rows().enumerate() {
-            flipped.push_raw(row.indices(), row.values(), flipped_labels[i]).unwrap();
+            flipped
+                .push_raw(row.indices(), row.values(), flipped_labels[i])
+                .unwrap();
         }
         let flipped = flipped.finish().unwrap();
-        let ev = EvalOptions { dataset: &flipped, early_stopping_rounds: Some(2) };
+        let ev = EvalOptions {
+            dataset: &flipped,
+            early_stopping_rounds: Some(2),
+        };
         let out = train_distributed_with_eval(&shards, &config, ps, Some(ev)).unwrap();
         assert!(
             out.model.num_trees() < 10,
@@ -1027,8 +1247,15 @@ mod tests {
         use crate::trainer::EvalOptions;
         let (train, _) = classification_data();
         let other = generate(&SparseGenConfig::new(50, 7, 2, 1));
-        let ev = EvalOptions { dataset: &other, early_stopping_rounds: None };
-        let ps = PsConfig { num_servers: 1, num_partitions: 0, cost_model: CostModel::FREE };
+        let ev = EvalOptions {
+            dataset: &other,
+            early_stopping_rounds: None,
+        };
+        let ps = PsConfig {
+            num_servers: 1,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         assert!(train_distributed_with_eval(&[train], &small_config(), ps, Some(ev)).is_err());
     }
 
@@ -1119,7 +1346,11 @@ mod tests {
         // one T1+T2 run bit-for-bit.
         let (train, _) = classification_data();
         let shards = partition_rows(&train, 2).unwrap();
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let mut cfg = small_config();
         cfg.opts.low_precision = false;
 
@@ -1132,11 +1363,13 @@ mod tests {
         let first = train_distributed(&shards, &first_cfg, ps).unwrap();
         let mut cont_cfg = cfg.clone();
         cont_cfg.num_trees = 2;
-        let cont =
-            train_distributed_continue(&first.model, &shards, &cont_cfg, ps, None).unwrap();
+        let cont = train_distributed_continue(&first.model, &shards, &cont_cfg, ps, None).unwrap();
 
         assert_eq!(cont.model.num_trees(), 6);
-        assert_eq!(cont.model, long.model, "continuation must match the long run");
+        assert_eq!(
+            cont.model, long.model,
+            "continuation must match the long run"
+        );
         // Loss after the continuation matches the long run's final loss.
         let a = cont.loss_curve.last().unwrap().train_loss;
         let b = long.loss_curve.last().unwrap().train_loss;
@@ -1147,39 +1380,64 @@ mod tests {
     fn warm_start_validates_compatibility() {
         let (train, _) = classification_data();
         let cfg = small_config();
-        let ps = PsConfig { num_servers: 1, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 1,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let base = train_distributed(std::slice::from_ref(&train), &cfg, ps).unwrap();
 
         let mut bad_lr = cfg.clone();
         bad_lr.learning_rate = 0.999;
-        assert!(train_distributed_continue(&base.model, std::slice::from_ref(&train), &bad_lr, ps, None)
-            .unwrap_err()
-            .contains("learning-rate"));
+        assert!(train_distributed_continue(
+            &base.model,
+            std::slice::from_ref(&train),
+            &bad_lr,
+            ps,
+            None
+        )
+        .unwrap_err()
+        .contains("learning-rate"));
 
         let mut bad_loss = cfg.clone();
         bad_loss.loss = LossKind::Square;
-        assert!(train_distributed_continue(&base.model, std::slice::from_ref(&train), &bad_loss, ps, None)
-            .unwrap_err()
-            .contains("loss"));
+        assert!(train_distributed_continue(
+            &base.model,
+            std::slice::from_ref(&train),
+            &bad_loss,
+            ps,
+            None
+        )
+        .unwrap_err()
+        .contains("loss"));
 
         let other = generate(&SparseGenConfig::new(50, 7, 2, 1));
-        assert!(train_distributed_continue(&base.model, &[other], &cfg, ps, None)
-            .unwrap_err()
-            .contains("dimensionality"));
+        assert!(
+            train_distributed_continue(&base.model, &[other], &cfg, ps, None)
+                .unwrap_err()
+                .contains("dimensionality")
+        );
     }
 
     #[test]
     fn pre_binning_produces_identical_models() {
         let (train, _) = classification_data();
         let shards = partition_rows(&train, 3).unwrap();
-        let ps = PsConfig { num_servers: 3, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 3,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let mut plain = small_config();
         plain.opts.low_precision = false;
         let mut binned = plain.clone();
         binned.opts.pre_binning = true;
         let a = train_distributed(&shards, &plain, ps).unwrap();
         let b = train_distributed(&shards, &binned, ps).unwrap();
-        assert_eq!(a.model, b.model, "pre-binning must be a pure performance change");
+        assert_eq!(
+            a.model, b.model,
+            "pre-binning must be a pure performance change"
+        );
 
         // Also identical under feature sampling (per-tree rebinning path).
         plain.feature_sample_ratio = 0.6;
@@ -1234,7 +1492,10 @@ mod tests {
             err_natural >= 0.24,
             "without default learning one depth-1 split cannot separate: {err_natural}"
         );
-        assert_eq!(err_learned, 0.0, "learned default direction separates exactly");
+        assert_eq!(
+            err_learned, 0.0,
+            "learned default direction separates exactly"
+        );
         // The learned tree routes zeros right.
         match learned.trees()[0].node(0) {
             crate::tree::Node::Internal { default_left, .. } => assert!(!default_left),
@@ -1253,7 +1514,11 @@ mod tests {
         let mut config = small_config();
         config.loss = LossKind::Softmax { classes: 3 };
         config.num_trees = 8; // rounds: 24 trees total
-        let ps = PsConfig { num_servers: 3, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+        let ps = PsConfig {
+            num_servers: 3,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
         let out = train_distributed(&shards, &config, ps).unwrap();
 
         assert_eq!(out.model.num_trees(), 24);
@@ -1266,14 +1531,22 @@ mod tests {
         assert!(err < 0.5, "multiclass error {err}");
 
         let probas = out.model.predict_proba_dataset(&test);
-        assert!(probas.iter().all(|p| (p.iter().sum::<f32>() - 1.0).abs() < 1e-4));
+        assert!(probas
+            .iter()
+            .all(|p| (p.iter().sum::<f32>() - 1.0).abs() < 1e-4));
         let mll = multiclass_log_loss(&probas, test.labels());
-        assert!(mll < 3.0f64.ln(), "mlogloss {mll} not below uniform baseline");
+        assert!(
+            mll < 3.0f64.ln(),
+            "mlogloss {mll} not below uniform baseline"
+        );
 
         // Training loss decreases per round.
         let losses: Vec<f64> = out.loss_curve.iter().map(|p| p.train_loss).collect();
         assert_eq!(losses.len(), 8);
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{losses:?}"
+        );
     }
 
     #[test]
@@ -1281,16 +1554,20 @@ mod tests {
         let ds = generate(&SparseGenConfig::new(100, 20, 5, 1)); // binary labels 0/1 are valid class ids
         let mut config = small_config();
         config.loss = LossKind::Softmax { classes: 3 };
-        let ps = PsConfig { num_servers: 1, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 1,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         assert!(train_distributed(&[ds], &config, ps).is_ok());
 
         // Labels outside 0..classes must be rejected.
         let cfg_data = SparseGenConfig::new(100, 20, 5, 2)
             .with_label_kind(LabelKind::Multiclass { classes: 5 });
         let bad = generate(&cfg_data);
-        assert!(
-            train_distributed(&[bad], &config, ps).unwrap_err().contains("class indices"),
-        );
+        assert!(train_distributed(&[bad], &config, ps)
+            .unwrap_err()
+            .contains("class indices"),);
     }
 
     #[test]
@@ -1303,10 +1580,21 @@ mod tests {
         let mut config = small_config();
         config.loss = LossKind::Softmax { classes: 3 };
         config.num_trees = 6;
-        let ps = PsConfig { num_servers: 1, num_partitions: 0, cost_model: CostModel::FREE };
-        let ev = EvalOptions { dataset: &test, early_stopping_rounds: Some(1) };
+        let ps = PsConfig {
+            num_servers: 1,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
+        let ev = EvalOptions {
+            dataset: &test,
+            early_stopping_rounds: Some(1),
+        };
         let out = train_distributed_with_eval(&[train], &config, ps, Some(ev)).unwrap();
-        assert_eq!(out.model.num_trees() % 3, 0, "truncation must keep whole rounds");
+        assert_eq!(
+            out.model.num_trees() % 3,
+            0,
+            "truncation must keep whole rounds"
+        );
         assert!(out.model.check_consistency().is_ok());
     }
 
@@ -1336,7 +1624,11 @@ mod tests {
         let mut config = small_config();
         config.num_trees = 2;
         config.min_child_weight = 0.0;
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let out = train_distributed(&shards, &config, ps).unwrap();
         assert_eq!(out.model.num_trees(), 2);
         // Sanity on the larger set too.
@@ -1349,7 +1641,11 @@ mod tests {
         let (train, _) = classification_data();
         let mut config = small_config();
         config.num_trees = 12;
-        let ps = PsConfig { num_servers: 1, num_partitions: 0, cost_model: CostModel::FREE };
+        let ps = PsConfig {
+            num_servers: 1,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
         let out = train_distributed(&[train], &config, ps).unwrap();
         let first = out.loss_curve.first().unwrap().train_loss;
         let last = out.loss_curve.last().unwrap().train_loss;
@@ -1360,7 +1656,11 @@ mod tests {
     fn breakdown_accumulates() {
         let (train, _) = classification_data();
         let shards = partition_rows(&train, 2).unwrap();
-        let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
         let out = train_distributed(&shards, &small_config(), ps).unwrap();
         assert!(out.breakdown.compute_secs > 0.0);
         assert!(out.breakdown.comm.packages > 0);

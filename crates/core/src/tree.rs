@@ -42,7 +42,10 @@ impl Tree {
     /// (leaves live at depth `max_depth`).
     pub fn new(max_depth: usize) -> Self {
         let capacity = (1usize << (max_depth + 1)) - 1;
-        Self { nodes: vec![Node::Unused; capacity], max_depth }
+        Self {
+            nodes: vec![Node::Unused; capacity],
+            max_depth,
+        }
     }
 
     /// Reconstructs a tree from a full node array (deserialization path).
@@ -131,7 +134,12 @@ impl Tree {
             Self::depth_of(id),
             self.max_depth
         );
-        self.nodes[id as usize] = Node::Internal { feature, threshold, gain, default_left };
+        self.nodes[id as usize] = Node::Internal {
+            feature,
+            threshold,
+            gain,
+            default_left,
+        };
     }
 
     /// Marks `id` as a leaf with the given weight.
@@ -141,12 +149,18 @@ impl Tree {
 
     /// Number of leaves currently in the tree.
     pub fn num_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 
     /// Number of internal nodes currently in the tree.
     pub fn num_internal(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Internal { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Internal { .. }))
+            .count()
     }
 
     /// Routes an instance from node `from` downward until it reaches a node
@@ -157,10 +171,23 @@ impl Tree {
         let mut id = from;
         loop {
             match self.nodes[id as usize] {
-                Node::Internal { feature, threshold, default_left, .. } => {
+                Node::Internal {
+                    feature,
+                    threshold,
+                    default_left,
+                    ..
+                } => {
                     let v = row.get(feature);
-                    let left = if v == 0.0 { default_left } else { v <= threshold };
-                    id = if left { Self::left_child(id) } else { Self::right_child(id) };
+                    let left = if v == 0.0 {
+                        default_left
+                    } else {
+                        v <= threshold
+                    };
+                    id = if left {
+                        Self::left_child(id)
+                    } else {
+                        Self::right_child(id)
+                    };
                 }
                 _ => return id,
             }
@@ -190,7 +217,12 @@ impl Tree {
         let pad = "  ".repeat(depth);
         match self.nodes[id as usize] {
             Node::Unused => {}
-            Node::Internal { feature, threshold, gain, default_left } => {
+            Node::Internal {
+                feature,
+                threshold,
+                gain,
+                default_left,
+            } => {
                 out.push_str(&format!(
                     "{pad}#{id} [f{feature} <= {threshold}] gain={gain:.4} zeros={}\n",
                     if default_left { "left" } else { "right" }

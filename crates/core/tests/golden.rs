@@ -45,14 +45,22 @@ fn golden_config() -> GbdtConfig {
         min_child_weight: 0.0,
         loss: LossKind::Square,
         sketch_eps: 0.01,
-        opts: Optimizations { low_precision: false, ..Optimizations::ALL },
+        opts: Optimizations {
+            low_precision: false,
+            ..Optimizations::ALL
+        },
         ..GbdtConfig::default()
     }
 }
 
 fn assert_golden_tree(tree: &Tree) {
     match tree.node(0) {
-        Node::Internal { feature, threshold, gain, .. } => {
+        Node::Internal {
+            feature,
+            threshold,
+            gain,
+            ..
+        } => {
             assert_eq!(feature, 0);
             assert!((threshold - 2.0).abs() < 1e-6, "threshold {threshold}");
             assert!((gain as f64 - 4.0 / 15.0).abs() < 1e-5, "gain {gain}");
@@ -61,7 +69,10 @@ fn assert_golden_tree(tree: &Tree) {
     }
     match tree.node(1) {
         Node::Leaf { weight } => {
-            assert!((weight as f64 - 2.0 / 3.0).abs() < 1e-6, "left weight {weight}")
+            assert!(
+                (weight as f64 - 2.0 / 3.0).abs() < 1e-6,
+                "left weight {weight}"
+            )
         }
         other => panic!("left child should be a leaf, got {other:?}"),
     }
@@ -76,9 +87,12 @@ fn assert_golden_tree(tree: &Tree) {
 #[test]
 fn trainer_reproduces_hand_computed_tree() {
     let ds = golden_dataset();
-    let ps = PsConfig { num_servers: 1, num_partitions: 0, cost_model: CostModel::FREE };
-    let out =
-        train_distributed(std::slice::from_ref(&ds), &golden_config(), ps).unwrap();
+    let ps = PsConfig {
+        num_servers: 1,
+        num_partitions: 0,
+        cost_model: CostModel::FREE,
+    };
+    let out = train_distributed(std::slice::from_ref(&ds), &golden_config(), ps).unwrap();
 
     assert_eq!(out.model.num_trees(), 1);
     assert_golden_tree(&out.model.trees()[0]);
@@ -110,7 +124,10 @@ fn golden_tree_survives_distribution_and_every_optimization() {
     let shard_a = ds.subset(&[0, 3]);
     let shard_b = ds.subset(&[1, 2]);
     for opts in [
-        Optimizations { low_precision: false, ..Optimizations::ALL },
+        Optimizations {
+            low_precision: false,
+            ..Optimizations::ALL
+        },
         Optimizations::NONE,
         Optimizations {
             hist_subtraction: true,
@@ -125,18 +142,26 @@ fn golden_tree_survives_distribution_and_every_optimization() {
             num_partitions: 0,
             cost_model: CostModel::GIGABIT_LAN,
         };
-        let out =
-            train_distributed(&[shard_a.clone(), shard_b.clone()], &config, ps).unwrap();
+        let out = train_distributed(&[shard_a.clone(), shard_b.clone()], &config, ps).unwrap();
         assert_golden_tree(&out.model.trees()[0]);
     }
 
     // Low precision: same split point, gain within one quantization step.
     let mut config = golden_config();
     config.opts = Optimizations::ALL;
-    let ps = PsConfig { num_servers: 2, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+    let ps = PsConfig {
+        num_servers: 2,
+        num_partitions: 0,
+        cost_model: CostModel::GIGABIT_LAN,
+    };
     let out = train_distributed(&[shard_a, shard_b], &config, ps).unwrap();
     match out.model.trees()[0].node(0) {
-        Node::Internal { feature, threshold, gain, .. } => {
+        Node::Internal {
+            feature,
+            threshold,
+            gain,
+            ..
+        } => {
             assert_eq!(feature, 0);
             assert!((threshold - 2.0).abs() < 1e-6, "threshold {threshold}");
             assert!((gain as f64 - 4.0 / 15.0).abs() < 0.05, "gain {gain}");

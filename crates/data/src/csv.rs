@@ -26,7 +26,12 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        Self { delimiter: ',', has_header: true, label_column: 0, binarize_labels: true }
+        Self {
+            delimiter: ',',
+            has_header: true,
+            label_column: 0,
+            binarize_labels: true,
+        }
     }
 }
 
@@ -67,10 +72,7 @@ pub fn read_csv<R: Read>(reader: R, opts: CsvOptions) -> Result<Dataset, DataErr
                 if fields.len() != expected_fields {
                     return Err(DataError::Parse {
                         line: line_no + 1,
-                        message: format!(
-                            "expected {expected_fields} fields, got {}",
-                            fields.len()
-                        ),
+                        message: format!("expected {expected_fields} fields, got {}", fields.len()),
                     });
                 }
                 b
@@ -82,10 +84,12 @@ pub fn read_csv<R: Read>(reader: R, opts: CsvOptions) -> Result<Dataset, DataErr
             }
         };
 
-        let raw_label: f32 = fields[opts.label_column].parse().map_err(|_| DataError::Parse {
-            line: line_no + 1,
-            message: format!("bad label {:?}", fields[opts.label_column]),
-        })?;
+        let raw_label: f32 = fields[opts.label_column]
+            .parse()
+            .map_err(|_| DataError::Parse {
+                line: line_no + 1,
+                message: format!("bad label {:?}", fields[opts.label_column]),
+            })?;
         let label = if opts.binarize_labels {
             if raw_label <= 0.0 {
                 0.0
@@ -113,10 +117,11 @@ pub fn read_csv<R: Read>(reader: R, opts: CsvOptions) -> Result<Dataset, DataErr
             }
             feature += 1;
         }
-        b.push_raw(&indices, &values, label).map_err(|e| DataError::Parse {
-            line: line_no + 1,
-            message: e.to_string(),
-        })?;
+        b.push_raw(&indices, &values, label)
+            .map_err(|e| DataError::Parse {
+                line: line_no + 1,
+                message: e.to_string(),
+            })?;
     }
 
     match builder {
@@ -157,7 +162,10 @@ label,f1,f2,f3
     #[test]
     fn label_column_in_the_middle() {
         let text = "a,y,b\n1.0,1,2.0\n3.0,-1,4.0\n";
-        let opts = CsvOptions { label_column: 1, ..Default::default() };
+        let opts = CsvOptions {
+            label_column: 1,
+            ..Default::default()
+        };
         let ds = read_csv(text.as_bytes(), opts).unwrap();
         assert_eq!(ds.num_features(), 2);
         assert_eq!(ds.labels(), &[1.0, 0.0]);
@@ -168,7 +176,11 @@ label,f1,f2,f3
     #[test]
     fn no_header_and_semicolons() {
         let text = "1;2.5;0\n0;0;3.5\n";
-        let opts = CsvOptions { has_header: false, delimiter: ';', ..Default::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            delimiter: ';',
+            ..Default::default()
+        };
         let ds = read_csv(text.as_bytes(), opts).unwrap();
         assert_eq!(ds.num_rows(), 2);
         assert_eq!(ds.row(0).get(0), 2.5);
@@ -178,7 +190,10 @@ label,f1,f2,f3
     #[test]
     fn raw_labels_kept_when_not_binarizing() {
         let text = "y,x\n2.5,1\n-3,2\n";
-        let opts = CsvOptions { binarize_labels: false, ..Default::default() };
+        let opts = CsvOptions {
+            binarize_labels: false,
+            ..Default::default()
+        };
         let ds = read_csv(text.as_bytes(), opts).unwrap();
         assert_eq!(ds.labels(), &[2.5, -3.0]);
     }
@@ -208,8 +223,11 @@ label,f1,f2,f3
     #[test]
     fn rejects_label_column_out_of_range() {
         let text = "1,2\n";
-        let opts =
-            CsvOptions { label_column: 5, has_header: false, ..Default::default() };
+        let opts = CsvOptions {
+            label_column: 5,
+            has_header: false,
+            ..Default::default()
+        };
         assert!(read_csv(text.as_bytes(), opts).is_err());
     }
 

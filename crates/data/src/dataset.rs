@@ -26,7 +26,10 @@ impl<'a> RowView<'a> {
 
     /// Iterates `(feature, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + 'a {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Value of feature `f`, or `0.0` when absent.
@@ -58,7 +61,11 @@ pub struct ColumnStats {
 
 impl Default for ColumnStats {
     fn default() -> Self {
-        Self { min: f32::INFINITY, max: f32::NEG_INFINITY, nnz: 0 }
+        Self {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+            nnz: 0,
+        }
     }
 }
 
@@ -145,7 +152,10 @@ impl Dataset {
     /// Borrowed view of row `i`.
     pub fn row(&self, i: usize) -> RowView<'_> {
         let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
-        RowView { indices: &self.indices[lo..hi], values: &self.values[lo..hi] }
+        RowView {
+            indices: &self.indices[lo..hi],
+            values: &self.values[lo..hi],
+        }
     }
 
     /// Label of row `i`.
@@ -174,7 +184,9 @@ impl Dataset {
                 .push_raw(&row.indices[..cut], &row.values[..cut], label)
                 .expect("restricting a valid dataset cannot fail");
         }
-        builder.finish().expect("restricting a valid dataset cannot fail")
+        builder
+            .finish()
+            .expect("restricting a valid dataset cannot fail")
     }
 
     /// Copies the selected rows into a new dataset (used for partitioning and
@@ -187,7 +199,9 @@ impl Dataset {
                 .push_raw(row.indices, row.values, self.label(i))
                 .expect("subset of a valid dataset cannot fail");
         }
-        builder.finish().expect("subset of a valid dataset cannot fail")
+        builder
+            .finish()
+            .expect("subset of a valid dataset cannot fail")
     }
 
     /// Per-column min/max/nnz statistics over nonzero entries.
@@ -249,7 +263,12 @@ impl DatasetBuilder {
     }
 
     /// Appends a row from raw parallel slices, validating order and range.
-    pub fn push_raw(&mut self, indices: &[u32], values: &[f32], label: f32) -> Result<(), DataError> {
+    pub fn push_raw(
+        &mut self,
+        indices: &[u32],
+        values: &[f32],
+        label: f32,
+    ) -> Result<(), DataError> {
         if indices.len() != values.len() {
             return Err(DataError::LengthMismatch {
                 what: "indices/values",
@@ -329,7 +348,13 @@ mod tests {
     fn builder_rejects_out_of_range() {
         let mut b = DatasetBuilder::new(3);
         let err = b.push_raw(&[5], &[1.0], 0.0).unwrap_err();
-        assert!(matches!(err, DataError::FeatureOutOfRange { index: 5, num_features: 3 }));
+        assert!(matches!(
+            err,
+            DataError::FeatureOutOfRange {
+                index: 5,
+                num_features: 3
+            }
+        ));
     }
 
     #[test]

@@ -42,17 +42,25 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::FeatureOutOfRange { index, num_features } => write!(
+            DataError::FeatureOutOfRange {
+                index,
+                num_features,
+            } => write!(
                 f,
                 "feature index {index} out of range for {num_features} features"
             ),
             DataError::UnsortedIndices { position } => {
-                write!(f, "sparse indices not strictly increasing at position {position}")
+                write!(
+                    f,
+                    "sparse indices not strictly increasing at position {position}"
+                )
             }
             DataError::LengthMismatch { what, left, right } => {
                 write!(f, "length mismatch in {what}: {left} vs {right}")
             }
-            DataError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             DataError::Io(e) => write!(f, "I/O error: {e}"),
             DataError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             DataError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),

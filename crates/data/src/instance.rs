@@ -45,7 +45,10 @@ impl SparseInstance {
 
     /// An instance with no nonzero features.
     pub fn empty() -> Self {
-        Self { indices: Vec::new(), values: Vec::new() }
+        Self {
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Number of stored (nonzero) entries.
@@ -65,7 +68,10 @@ impl SparseInstance {
 
     /// Iterates `(feature, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Value of feature `f`, or `0.0` when absent (binary search).

@@ -27,7 +27,11 @@ pub struct LibsvmOptions {
 
 impl Default for LibsvmOptions {
     fn default() -> Self {
-        Self { one_based: true, num_features: None, binarize_labels: true }
+        Self {
+            one_based: true,
+            num_features: None,
+            binarize_labels: true,
+        }
     }
 }
 
@@ -92,7 +96,11 @@ pub fn read_libsvm<R: Read>(reader: R, opts: LibsvmOptions) -> Result<Dataset, D
         rows.push((indices, values, label));
     }
 
-    let dim_seen = if rows.iter().all(|(i, _, _)| i.is_empty()) { 0 } else { max_index + 1 };
+    let dim_seen = if rows.iter().all(|(i, _, _)| i.is_empty()) {
+        0
+    } else {
+        max_index + 1
+    };
     let num_features = match opts.num_features {
         Some(m) => {
             if dim_seen > m {
@@ -114,23 +122,31 @@ pub fn read_libsvm<R: Read>(reader: R, opts: LibsvmOptions) -> Result<Dataset, D
     for (line_no, (mut indices, mut values, label)) in rows.into_iter().enumerate() {
         // LibSVM files are usually sorted; tolerate unsorted lines by sorting.
         if indices.windows(2).any(|w| w[0] >= w[1]) {
-            let mut pairs: Vec<(u32, f32)> =
-                indices.iter().copied().zip(values.iter().copied()).collect();
+            let mut pairs: Vec<(u32, f32)> = indices
+                .iter()
+                .copied()
+                .zip(values.iter().copied())
+                .collect();
             pairs.sort_unstable_by_key(|&(i, _)| i);
             pairs.dedup_by_key(|&mut (i, _)| i);
             indices = pairs.iter().map(|&(i, _)| i).collect();
             values = pairs.iter().map(|&(_, v)| v).collect();
         }
-        builder.push_raw(&indices, &values, label).map_err(|e| DataError::Parse {
-            line: line_no + 1,
-            message: e.to_string(),
-        })?;
+        builder
+            .push_raw(&indices, &values, label)
+            .map_err(|e| DataError::Parse {
+                line: line_no + 1,
+                message: e.to_string(),
+            })?;
     }
     builder.finish()
 }
 
 /// Reads a LibSVM-format dataset from a file path.
-pub fn read_libsvm_file<P: AsRef<Path>>(path: P, opts: LibsvmOptions) -> Result<Dataset, DataError> {
+pub fn read_libsvm_file<P: AsRef<Path>>(
+    path: P,
+    opts: LibsvmOptions,
+) -> Result<Dataset, DataError> {
     let file = std::fs::File::open(path)?;
     read_libsvm(file, opts)
 }
@@ -176,27 +192,39 @@ mod tests {
 
     #[test]
     fn respects_feature_override() {
-        let opts = LibsvmOptions { num_features: Some(10), ..Default::default() };
+        let opts = LibsvmOptions {
+            num_features: Some(10),
+            ..Default::default()
+        };
         let ds = read_libsvm(SAMPLE.as_bytes(), opts).unwrap();
         assert_eq!(ds.num_features(), 10);
     }
 
     #[test]
     fn rejects_too_small_override() {
-        let opts = LibsvmOptions { num_features: Some(2), ..Default::default() };
+        let opts = LibsvmOptions {
+            num_features: Some(2),
+            ..Default::default()
+        };
         assert!(read_libsvm(SAMPLE.as_bytes(), opts).is_err());
     }
 
     #[test]
     fn keeps_raw_labels_when_not_binarizing() {
-        let opts = LibsvmOptions { binarize_labels: false, ..Default::default() };
+        let opts = LibsvmOptions {
+            binarize_labels: false,
+            ..Default::default()
+        };
         let ds = read_libsvm("2.5 1:1.0\n".as_bytes(), opts).unwrap();
         assert_eq!(ds.label(0), 2.5);
     }
 
     #[test]
     fn zero_based_indices() {
-        let opts = LibsvmOptions { one_based: false, ..Default::default() };
+        let opts = LibsvmOptions {
+            one_based: false,
+            ..Default::default()
+        };
         let ds = read_libsvm("1 0:1.0 2:2.0\n".as_bytes(), opts).unwrap();
         assert_eq!(ds.num_features(), 3);
         assert_eq!(ds.row(0).get(0), 1.0);
@@ -219,7 +247,10 @@ mod tests {
         let ds = read_libsvm(SAMPLE.as_bytes(), LibsvmOptions::default()).unwrap();
         let mut buf = Vec::new();
         write_libsvm(&mut buf, &ds).unwrap();
-        let opts = LibsvmOptions { num_features: Some(ds.num_features()), ..Default::default() };
+        let opts = LibsvmOptions {
+            num_features: Some(ds.num_features()),
+            ..Default::default()
+        };
         let ds2 = read_libsvm(buf.as_slice(), opts).unwrap();
         assert_eq!(ds, ds2);
     }

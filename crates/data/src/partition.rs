@@ -16,7 +16,9 @@ use crate::{DataError, Dataset};
 /// differ by at most one row.
 pub fn partition_rows(dataset: &Dataset, num_workers: usize) -> Result<Vec<Dataset>, DataError> {
     if num_workers == 0 {
-        return Err(DataError::InvalidConfig("num_workers must be positive".into()));
+        return Err(DataError::InvalidConfig(
+            "num_workers must be positive".into(),
+        ));
     }
     let n = dataset.num_rows();
     let mut shards = Vec::with_capacity(num_workers);
@@ -115,6 +117,9 @@ mod tests {
     #[test]
     fn split_rejects_empty() {
         let ds = Dataset::empty(4);
-        assert!(matches!(train_test_split(&ds, 0.1, 0), Err(DataError::EmptyDataset)));
+        assert!(matches!(
+            train_test_split(&ds, 0.1, 0),
+            Err(DataError::EmptyDataset)
+        ));
     }
 }

@@ -149,7 +149,11 @@ pub fn generate(config: &SparseGenConfig) -> Dataset {
     let mut truth: Vec<(u32, f64)> = Vec::with_capacity(informative);
     for j in 0..informative {
         let base = (j as f64 * stride) as usize;
-        let jitter = if stride >= 2.0 { rng.random_range(0..stride as usize) } else { 0 };
+        let jitter = if stride >= 2.0 {
+            rng.random_range(0..stride as usize)
+        } else {
+            0
+        };
         let f = (base + jitter).min(m - 1) as u32;
         truth.push((f, normal(&mut rng)));
     }
@@ -181,8 +185,7 @@ pub fn generate(config: &SparseGenConfig) -> Dataset {
         // Row sparsity ~ N(avg, avg/4), clamped to [1, m].
         let nnz_f = config.avg_nnz as f64 + normal(&mut rng) * (config.avg_nnz as f64 / 4.0);
         let nnz = (nnz_f.round().max(1.0) as usize).min(m);
-        let n_inf =
-            ((nnz as f64 * config.informative_bias) as usize).min(informative_ids.len());
+        let n_inf = ((nnz as f64 * config.informative_bias) as usize).min(informative_ids.len());
 
         scratch.clear();
         for _ in 0..n_inf {
@@ -222,16 +225,17 @@ pub fn generate(config: &SparseGenConfig) -> Dataset {
     let mut stds = vec![0.0f64; n_logits];
     for c in 0..n_logits {
         let mean = logits.iter().map(|l| l[c]).sum::<f64>() / n;
-        let var = logits.iter().map(|l| (l[c] - mean) * (l[c] - mean)).sum::<f64>() / n;
+        let var = logits
+            .iter()
+            .map(|l| (l[c] - mean) * (l[c] - mean))
+            .sum::<f64>()
+            / n;
         means[c] = mean;
         stds[c] = var.sqrt().max(1e-12);
     }
 
-    let mut builder = DatasetBuilder::with_capacity(
-        m,
-        rows.len(),
-        rows.iter().map(|(i, _)| i.len()).sum(),
-    );
+    let mut builder =
+        DatasetBuilder::with_capacity(m, rows.len(), rows.iter().map(|(i, _)| i.len()).sum());
     for ((indices, values), row_logits) in rows.into_iter().zip(logits) {
         let z = |c: usize| 2.0 * (row_logits[c] - means[c]) / stds[c];
         let label = match config.label_kind {
@@ -262,7 +266,9 @@ pub fn generate(config: &SparseGenConfig) -> Dataset {
             .push_raw(&indices, &values, label)
             .expect("generated rows are sorted and in range");
     }
-    builder.finish().expect("generator produces consistent arrays")
+    builder
+        .finish()
+        .expect("generator produces consistent arrays")
 }
 
 #[cfg(test)]
@@ -318,7 +324,10 @@ mod tests {
         let ds = generate(&cfg);
         let mut counts = [0usize; 4];
         for &y in ds.labels() {
-            assert!(y >= 0.0 && y.fract() == 0.0 && (y as usize) < 4, "bad label {y}");
+            assert!(
+                y >= 0.0 && y.fract() == 0.0 && (y as usize) < 4,
+                "bad label {y}"
+            );
             counts[y as usize] += 1;
         }
         // Argmax over standardized symmetric logits -> roughly balanced.
@@ -391,6 +400,9 @@ mod tests {
                 best = best.max((cov / (vx.sqrt() * vy.sqrt())).abs());
             }
         }
-        assert!(best > 0.15, "max |corr| {best} too weak — no embedded signal");
+        assert!(
+            best > 0.15,
+            "max |corr| {best} too weak — no embedded signal"
+        );
     }
 }

@@ -11,7 +11,10 @@ use proptest::prelude::*;
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (1usize..40, 1usize..30).prop_flat_map(|(rows, features)| {
         vec(
-            (vec((0u32..features as u32, -10.0f32..10.0), 0..features), any::<bool>()),
+            (
+                vec((0u32..features as u32, -10.0f32..10.0), 0..features),
+                any::<bool>(),
+            ),
             rows..=rows,
         )
         .prop_map(move |raw| {

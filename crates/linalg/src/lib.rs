@@ -48,7 +48,11 @@ pub struct PcaConfig {
 
 impl Default for PcaConfig {
     fn default() -> Self {
-        Self { components: 2, iterations: 30, seed: 7 }
+        Self {
+            components: 2,
+            iterations: 30,
+            seed: 7,
+        }
     }
 }
 
@@ -123,7 +127,11 @@ impl Pca {
             components.push(v);
         }
 
-        Ok(Self { components, eigenvalues, means })
+        Ok(Self {
+            components,
+            eigenvalues,
+            means,
+        })
     }
 
     /// The orthonormal components (k × M).
@@ -162,8 +170,13 @@ impl Pca {
     pub fn transform(&self, dataset: &Dataset) -> Dataset {
         let k = self.k();
         // Precompute μᵀc per component.
-        let mu_c: Vec<f64> = self.components.iter().map(|c| dot(&self.means, c)).collect();
-        let mut builder = DatasetBuilder::with_capacity(k, dataset.num_rows(), dataset.num_rows() * k);
+        let mu_c: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| dot(&self.means, c))
+            .collect();
+        let mut builder =
+            DatasetBuilder::with_capacity(k, dataset.num_rows(), dataset.num_rows() * k);
         let mut indices: Vec<u32> = (0..k as u32).collect();
         for (row, label) in dataset.iter_rows() {
             let values: Vec<f32> = self
@@ -185,7 +198,9 @@ impl Pca {
                 .push_raw(&indices, &values, label)
                 .expect("projection rows are sorted and in range");
         }
-        builder.finish().expect("projection produces consistent arrays")
+        builder
+            .finish()
+            .expect("projection produces consistent arrays")
     }
 }
 
@@ -228,8 +243,7 @@ mod tests {
             let t = (i as f32 / 100.0) - 1.0; // [-1, 1)
             let jitter = ((i * 37 % 17) as f32 / 17.0 - 0.5) * 0.1;
             instances.push(
-                SparseInstance::new(vec![0, 1], vec![3.0 * t + jitter, 3.0 * t - jitter])
-                    .unwrap(),
+                SparseInstance::new(vec![0, 1], vec![3.0 * t + jitter, 3.0 * t - jitter]).unwrap(),
             );
             labels.push(0.0);
         }
@@ -238,8 +252,15 @@ mod tests {
 
     #[test]
     fn first_component_follows_correlation() {
-        let pca = Pca::fit(&correlated(), &PcaConfig { components: 1, iterations: 50, seed: 1 })
-            .unwrap();
+        let pca = Pca::fit(
+            &correlated(),
+            &PcaConfig {
+                components: 1,
+                iterations: 50,
+                seed: 1,
+            },
+        )
+        .unwrap();
         let c = &pca.components()[0];
         // Should align with (1,1)/sqrt(2) up to sign.
         let target = 1.0 / 2.0f32.sqrt();
@@ -253,8 +274,15 @@ mod tests {
     #[test]
     fn components_are_orthonormal() {
         let ds = generate(&SparseGenConfig::new(500, 30, 8, 5));
-        let pca =
-            Pca::fit(&ds, &PcaConfig { components: 4, iterations: 40, seed: 2 }).unwrap();
+        let pca = Pca::fit(
+            &ds,
+            &PcaConfig {
+                components: 4,
+                iterations: 40,
+                seed: 2,
+            },
+        )
+        .unwrap();
         for i in 0..4 {
             let ni = norm(&pca.components()[i]);
             assert!((ni - 1.0).abs() < 1e-3, "component {i} norm {ni}");
@@ -273,7 +301,15 @@ mod tests {
     #[test]
     fn transform_shapes_and_labels() {
         let ds = generate(&SparseGenConfig::new(100, 20, 5, 9));
-        let pca = Pca::fit(&ds, &PcaConfig { components: 3, iterations: 20, seed: 3 }).unwrap();
+        let pca = Pca::fit(
+            &ds,
+            &PcaConfig {
+                components: 3,
+                iterations: 20,
+                seed: 3,
+            },
+        )
+        .unwrap();
         let proj = pca.transform(&ds);
         assert_eq!(proj.num_rows(), 100);
         assert_eq!(proj.num_features(), 3);
@@ -285,7 +321,15 @@ mod tests {
         // Projected variance along PC1 of the correlated set ≈ its
         // eigenvalue, and is most of the total variance.
         let ds = correlated();
-        let pca = Pca::fit(&ds, &PcaConfig { components: 2, iterations: 60, seed: 4 }).unwrap();
+        let pca = Pca::fit(
+            &ds,
+            &PcaConfig {
+                components: 2,
+                iterations: 60,
+                seed: 4,
+            },
+        )
+        .unwrap();
         let proj = pca.transform(&ds);
         let var = |vals: Vec<f32>| {
             let n = vals.len() as f64;
@@ -301,7 +345,15 @@ mod tests {
     #[test]
     fn project_row_matches_transform() {
         let ds = generate(&SparseGenConfig::new(50, 15, 4, 11));
-        let pca = Pca::fit(&ds, &PcaConfig { components: 2, iterations: 20, seed: 5 }).unwrap();
+        let pca = Pca::fit(
+            &ds,
+            &PcaConfig {
+                components: 2,
+                iterations: 20,
+                seed: 5,
+            },
+        )
+        .unwrap();
         let proj = pca.transform(&ds);
         for i in 0..5 {
             let direct = pca.project_row(ds.row(i));
@@ -314,7 +366,11 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = generate(&SparseGenConfig::new(100, 10, 3, 2));
-        let cfg = PcaConfig { components: 2, iterations: 15, seed: 6 };
+        let cfg = PcaConfig {
+            components: 2,
+            iterations: 15,
+            seed: 6,
+        };
         let a = Pca::fit(&ds, &cfg).unwrap();
         let b = Pca::fit(&ds, &cfg).unwrap();
         assert_eq!(a.components(), b.components());
@@ -323,8 +379,22 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let ds = generate(&SparseGenConfig::new(10, 5, 2, 1));
-        assert!(Pca::fit(&ds, &PcaConfig { components: 0, ..Default::default() }).is_err());
-        assert!(Pca::fit(&ds, &PcaConfig { components: 6, ..Default::default() }).is_err());
+        assert!(Pca::fit(
+            &ds,
+            &PcaConfig {
+                components: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(Pca::fit(
+            &ds,
+            &PcaConfig {
+                components: 6,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let empty = Dataset::empty(5);
         assert!(Pca::fit(&empty, &PcaConfig::default()).is_err());
     }

@@ -48,7 +48,11 @@ impl HistogramLayout {
             acc += 2 * b as usize;
             offsets.push(acc);
         }
-        Self { offsets, buckets, zero_buckets }
+        Self {
+            offsets,
+            buckets,
+            zero_buckets,
+        }
     }
 
     /// The zero-bucket index of feature `f`.
@@ -64,7 +68,10 @@ impl HistogramLayout {
 
     /// Total element count of one histogram row.
     pub fn row_len(&self) -> usize {
-        *self.offsets.last().expect("offsets always has a final entry")
+        *self
+            .offsets
+            .last()
+            .expect("offsets always has a final entry")
     }
 
     /// Bucket count of feature `f`.

@@ -49,7 +49,12 @@ impl RangeHashPartitioner {
         for (slot, &p) in order.iter().enumerate() {
             server_of[p] = slot % num_servers;
         }
-        Self { ranges, server_of, num_servers, len }
+        Self {
+            ranges,
+            server_of,
+            num_servers,
+            len,
+        }
     }
 
     /// Convenience: one partition per server (the paper's default).
@@ -150,7 +155,10 @@ mod tests {
         let p = RangeHashPartitioner::new(50, 6, 2);
         for i in 0..50 {
             let part = p.partition_of(i);
-            assert!(p.range(part).contains(&i), "item {i} not in partition {part}");
+            assert!(
+                p.range(part).contains(&i),
+                "item {i} not in partition {part}"
+            );
         }
     }
 

@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use parking_lot::{Mutex, RwLock};
 
-use dimboost_simnet::{CommStats, CostModel, SimTime, StatsRecorder};
+use dimboost_simnet::{CommLedger, CommStats, CostModel, Phase, SimTime, StatsRecorder};
 use dimboost_sketch::GkSketch;
 
 use crate::quantize::QuantizedRow;
@@ -23,7 +23,11 @@ pub struct PsConfig {
 
 impl Default for PsConfig {
     fn default() -> Self {
-        Self { num_servers: 1, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN }
+        Self {
+            num_servers: 1,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        }
     }
 }
 
@@ -52,8 +56,10 @@ struct HistState {
 /// are individually locked so concurrent worker threads pushing different
 /// shards (or the same shard — pushes merge) never block each other for
 /// long. All push/pull methods record the bytes and packages they would put
-/// on the wire; phase-level simulated time is charged by the caller via
-/// [`ParameterServer::charge`], using the Table 1 closed forms.
+/// on the wire, tagged with the execution-plan [`Phase`] that caused them
+/// (histogram pushes count toward BUILD_HISTOGRAM, split pulls toward
+/// FIND_SPLIT, and so on); phase-level simulated time is charged by the
+/// caller via [`ParameterServer::charge`], using the Table 1 closed forms.
 pub struct ParameterServer {
     config: PsConfig,
     num_global_features: usize,
@@ -99,15 +105,20 @@ impl ParameterServer {
         &self.recorder
     }
 
-    /// Snapshot of accumulated communication statistics.
+    /// Snapshot of accumulated communication statistics (all phases).
     pub fn comm_stats(&self) -> CommStats {
         self.recorder.snapshot()
     }
 
-    /// Charges simulated communication time for a phase (the caller computes
+    /// Snapshot of the per-phase communication ledger.
+    pub fn comm_ledger(&self) -> CommLedger {
+        self.recorder.ledger()
+    }
+
+    /// Charges simulated communication time to `phase` (the caller computes
     /// it from the cost model, typically `t_ps_exchange`).
-    pub fn charge(&self, time: SimTime) {
-        self.recorder.record(0, 0, time);
+    pub fn charge(&self, phase: Phase, time: SimTime) {
+        self.recorder.record_tagged(phase, 0, 0, time);
     }
 
     // ---- QtSk ------------------------------------------------------------
@@ -132,14 +143,24 @@ impl ParameterServer {
                 m.merge(l);
             }
         }
-        self.recorder.record(bytes as u64, self.config.partitions() as u64, SimTime::ZERO);
+        self.recorder.record_tagged(
+            Phase::CreateSketch,
+            bytes as u64,
+            self.config.partitions() as u64,
+            SimTime::ZERO,
+        );
     }
 
     /// PULL_SKETCH: returns the merged per-feature sketches.
     pub fn pull_sketches(&self) -> Vec<GkSketch> {
         let mut merged = self.sketches.lock();
         let bytes: usize = merged.iter_mut().map(|s| s.wire_bytes()).sum();
-        self.recorder.record(bytes as u64, self.config.partitions() as u64, SimTime::ZERO);
+        self.recorder.record_tagged(
+            Phase::PullSketch,
+            bytes as u64,
+            self.config.partitions() as u64,
+            SimTime::ZERO,
+        );
         merged.clone()
     }
 
@@ -147,14 +168,16 @@ impl ParameterServer {
 
     /// NEW_TREE: the leader worker publishes the sampled feature ids.
     pub fn publish_sampled(&self, features: Vec<u32>) {
-        self.recorder.record(4 * features.len() as u64, 1, SimTime::ZERO);
+        self.recorder
+            .record_tagged(Phase::NewTree, 4 * features.len() as u64, 1, SimTime::ZERO);
         *self.sampled.lock() = features;
     }
 
     /// BUILD_HISTOGRAM: workers pull the sampled feature ids.
     pub fn pull_sampled(&self) -> Vec<u32> {
         let sampled = self.sampled.lock();
-        self.recorder.record(4 * sampled.len() as u64, 1, SimTime::ZERO);
+        self.recorder
+            .record_tagged(Phase::NewTree, 4 * sampled.len() as u64, 1, SimTime::ZERO);
         sampled.clone()
     }
 
@@ -163,18 +186,27 @@ impl ParameterServer {
     /// NEW_TREE: installs the histogram layout for the coming tree and
     /// clears all per-node state.
     pub fn init_tree(&self, layout: HistogramLayout) {
-        let partitioner =
-            RangeHashPartitioner::new(layout.num_features(), self.config.partitions(), self.config.num_servers);
+        let partitioner = RangeHashPartitioner::new(
+            layout.num_features(),
+            self.config.partitions(),
+            self.config.num_servers,
+        );
         let partitions = (0..partitioner.num_partitions())
             .map(|_| Mutex::new(HashMap::new()))
             .collect();
-        *self.hist.write() = Some(HistState { layout, partitioner, partitions });
+        *self.hist.write() = Some(HistState {
+            layout,
+            partitioner,
+            partitions,
+        });
         self.decisions.lock().clear();
     }
 
     fn with_hist<R>(&self, f: impl FnOnce(&HistState) -> R) -> R {
         let guard = self.hist.read();
-        let state = guard.as_ref().expect("init_tree must be called before histogram ops");
+        let state = guard
+            .as_ref()
+            .expect("init_tree must be called before histogram ops");
         f(state)
     }
 
@@ -200,7 +232,12 @@ impl ParameterServer {
                 }
                 bytes += 4 * elems.len() as u64;
             }
-            self.recorder.record(bytes, state.partitioner.num_partitions() as u64, SimTime::ZERO);
+            self.recorder.record_tagged(
+                Phase::BuildHistogram,
+                bytes,
+                state.partitioner.num_partitions() as u64,
+                SimTime::ZERO,
+            );
         });
     }
 
@@ -227,7 +264,12 @@ impl ParameterServer {
                 q.add_features_into(&state.layout, features, acc);
                 bytes += wire * elems.len() as u64 / row_len as u64;
             }
-            self.recorder.record(bytes, state.partitioner.num_partitions() as u64, SimTime::ZERO);
+            self.recorder.record_tagged(
+                Phase::BuildHistogram,
+                bytes,
+                state.partitioner.num_partitions() as u64,
+                SimTime::ZERO,
+            );
         });
     }
 
@@ -246,16 +288,23 @@ impl ParameterServer {
                     continue;
                 }
                 let part = state.partitions[p].lock();
-                let Some(shard) = part.get(&node) else { continue };
+                let Some(shard) = part.get(&node) else {
+                    continue;
+                };
                 let res = best_split_in_range(shard, &state.layout, features, totals, params);
                 totals = Some((res.total_g, res.total_h));
                 best = NodeSplit::better(best, res.best);
                 packages += 1;
             }
             // ~48 bytes per partition reply (feature, bucket, gain, G_L, H_L, totals).
-            self.recorder.record(48 * packages, packages, SimTime::ZERO);
+            self.recorder
+                .record_tagged(Phase::FindSplit, 48 * packages, packages, SimTime::ZERO);
             let (total_g, total_h) = totals.unwrap_or((0.0, 0.0));
-            PullSplitResult { best, total_g, total_h }
+            PullSplitResult {
+                best,
+                total_g,
+                total_h,
+            }
         })
     }
 
@@ -276,8 +325,12 @@ impl ParameterServer {
                 }
                 packages += 1;
             }
-            self.recorder
-                .record(4 * row.len() as u64, packages, SimTime::ZERO);
+            self.recorder.record_tagged(
+                Phase::FindSplit,
+                4 * row.len() as u64,
+                packages,
+                SimTime::ZERO,
+            );
             row
         })
     }
@@ -324,7 +377,8 @@ impl ParameterServer {
 
     /// The assigned worker publishes the final decision for a node.
     pub fn publish_decision(&self, decision: SplitDecision) {
-        self.recorder.record(64, 1, SimTime::ZERO);
+        self.recorder
+            .record_tagged(Phase::FindSplit, 64, 1, SimTime::ZERO);
         self.decisions.lock().insert(decision.node, decision);
     }
 
@@ -335,7 +389,12 @@ impl ParameterServer {
     /// synchronization bug in the caller.
     pub fn pull_decisions(&self, nodes: &[u32]) -> Vec<SplitDecision> {
         let map = self.decisions.lock();
-        self.recorder.record(64 * nodes.len() as u64, nodes.len() as u64, SimTime::ZERO);
+        self.recorder.record_tagged(
+            Phase::SplitTree,
+            64 * nodes.len() as u64,
+            nodes.len() as u64,
+            SimTime::ZERO,
+        );
         nodes
             .iter()
             .map(|n| {
@@ -361,7 +420,11 @@ mod tests {
     fn ps_with_layout(buckets: Vec<u32>, servers: usize) -> ParameterServer {
         let ps = ParameterServer::new(
             buckets.len(),
-            PsConfig { num_servers: servers, num_partitions: 0, cost_model: CostModel::FREE },
+            PsConfig {
+                num_servers: servers,
+                num_partitions: 0,
+                cost_model: CostModel::FREE,
+            },
         );
         ps.init_tree(HistogramLayout::new(buckets));
         ps
@@ -418,15 +481,15 @@ mod tests {
             0.0, 0.0, 0.0, 11.0, 0.0, 0.0, // feature 1
         ];
         ps.push_histogram(0, &row);
-        let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 0.0, ..SplitParams::default() };
+        let params = SplitParams {
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let res = ps.pull_split(0, &params);
-        let full = best_split_in_range(
-            &row,
-            &HistogramLayout::new(vec![3, 3]),
-            0..2,
-            None,
-            &params,
-        );
+        let full =
+            best_split_in_range(&row, &HistogramLayout::new(vec![3, 3]), 0..2, None, &params);
         assert_eq!(res.best, full.best);
         assert_eq!(res.total_g, full.total_g);
         assert_eq!(res.total_h, full.total_h);
@@ -460,13 +523,18 @@ mod tests {
         // And the wire accounting shows ~4x compression on the push path.
         // Per-feature scale/zero metadata eats part of the ideal 32/d ratio;
         // at 8 buckets/feature the honest win is ~2x (larger K approaches 4x).
-        assert!(quant_bytes * 2 < full_bytes, "{quant_bytes} vs {full_bytes}");
+        assert!(
+            quant_bytes * 2 < full_bytes,
+            "{quant_bytes} vs {full_bytes}"
+        );
     }
 
     #[test]
     fn derive_sibling_is_exact_subtraction() {
         let ps = ps_with_layout(vec![3, 3], 2);
-        let parent = vec![10.0, 20.0, 30.0, 1.0, 2.0, 3.0, 5.0, 5.0, 5.0, 4.0, 4.0, 4.0];
+        let parent = vec![
+            10.0, 20.0, 30.0, 1.0, 2.0, 3.0, 5.0, 5.0, 5.0, 4.0, 4.0, 4.0,
+        ];
         let child = vec![4.0, 8.0, 12.0, 0.5, 1.0, 1.5, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0];
         ps.push_histogram(0, &parent);
         ps.push_histogram(1, &child);
@@ -476,7 +544,12 @@ mod tests {
             assert!((s - (p - c)).abs() < 1e-5, "{s} vs {}", p - c);
         }
         // And split finding on the derived node works.
-        let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 0.0, ..SplitParams::default() };
+        let params = SplitParams {
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let res = ps.pull_split(2, &params);
         assert!((res.total_g - (60.0 - 24.0)).abs() < 1e-4);
     }
@@ -569,12 +642,24 @@ mod tests {
     fn more_partitions_than_features_is_fine() {
         let ps = ParameterServer::new(
             2,
-            PsConfig { num_servers: 8, num_partitions: 0, cost_model: CostModel::FREE },
+            PsConfig {
+                num_servers: 8,
+                num_partitions: 0,
+                cost_model: CostModel::FREE,
+            },
         );
         ps.init_tree(HistogramLayout::new(vec![2, 2]));
         ps.push_histogram(0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
-        assert_eq!(ps.pull_histogram(0), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
-        let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 0.0, ..SplitParams::default() };
+        assert_eq!(
+            ps.pull_histogram(0),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        );
+        let params = SplitParams {
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let res = ps.pull_split(0, &params);
         assert!((res.total_g - 3.0).abs() < 1e-6);
     }

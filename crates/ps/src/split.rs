@@ -246,7 +246,11 @@ pub fn best_split_in_range(
             // prefix); evaluate it first so ties prefer it.
             let natural_left = zb <= k;
             let placements: &[bool] = if params.learn_default_direction {
-                if natural_left { &[true, false] } else { &[false, true] }
+                if natural_left {
+                    &[true, false]
+                } else {
+                    &[false, true]
+                }
             } else if natural_left {
                 &[true]
             } else {
@@ -264,8 +268,7 @@ pub fn best_split_in_range(
                     continue;
                 }
                 let gain = 0.5
-                    * (params.leaf_objective(gl, hl) + params.leaf_objective(gr, hr)
-                        - parent_obj)
+                    * (params.leaf_objective(gl, hl) + params.leaf_objective(gr, hr) - parent_obj)
                     - params.gamma;
                 if gain > 0.0 {
                     let cand = NodeSplit {
@@ -282,7 +285,11 @@ pub fn best_split_in_range(
         }
     }
 
-    PullSplitResult { best, total_g, total_h }
+    PullSplitResult {
+        best,
+        total_g,
+        total_h,
+    }
 }
 
 #[cfg(test)]
@@ -304,7 +311,12 @@ mod tests {
             -10.0, 10.0, 0.0, 5.0, 5.0, 1.0, // feature 0
             0.0, 0.0, 0.0, 11.0, 0.0, 0.0, // feature 1 (all in bucket 0)
         ];
-        let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 0.0, ..SplitParams::default() };
+        let params = SplitParams {
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let res = best_split_in_range(&row, &layout, 0..2, None, &params);
         assert!((res.total_g - 0.0).abs() < 1e-9);
         assert!((res.total_h - 11.0).abs() < 1e-9);
@@ -322,8 +334,7 @@ mod tests {
     fn no_split_on_flat_histogram() {
         let layout = layout2x3();
         let row = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
-        let res =
-            best_split_in_range(&row, &layout, 0..2, None, &SplitParams::default());
+        let res = best_split_in_range(&row, &layout, 0..2, None, &SplitParams::default());
         assert!(res.best.is_none());
     }
 
@@ -331,11 +342,23 @@ mod tests {
     fn gamma_suppresses_weak_splits() {
         let layout = HistogramLayout::new(vec![2]);
         let row = vec![-1.0, 1.0, 5.0, 5.0];
-        let weak = SplitParams { lambda: 1.0, gamma: 10.0, min_child_weight: 0.0, ..SplitParams::default() };
+        let weak = SplitParams {
+            lambda: 1.0,
+            gamma: 10.0,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let res = best_split_in_range(&row, &layout, 0..1, None, &weak);
         assert!(res.best.is_none());
-        let strong = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 0.0, ..SplitParams::default() };
-        assert!(best_split_in_range(&row, &layout, 0..1, None, &strong).best.is_some());
+        let strong = SplitParams {
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
+        assert!(best_split_in_range(&row, &layout, 0..1, None, &strong)
+            .best
+            .is_some());
     }
 
     #[test]
@@ -343,7 +366,12 @@ mod tests {
         let layout = HistogramLayout::new(vec![2]);
         // Left child would have H = 0.1.
         let row = vec![-5.0, 5.0, 0.1, 10.0];
-        let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 1.0, ..SplitParams::default() };
+        let params = SplitParams {
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            ..SplitParams::default()
+        };
         let res = best_split_in_range(&row, &layout, 0..1, None, &params);
         assert!(res.best.is_none());
     }
@@ -355,7 +383,12 @@ mod tests {
             -3.0, 1.0, 2.0, 2.0, 2.0, 2.0, // feature 0: G sums to 0, H to 6
             -3.0, 3.0, 0.0, 3.0, 3.0, 0.0, // feature 1: same totals
         ];
-        let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 0.0, ..SplitParams::default() };
+        let params = SplitParams {
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let derived = best_split_in_range(&row, &layout, 0..2, None, &params);
         let supplied = best_split_in_range(&row, &layout, 0..2, Some((0.0, 6.0)), &params);
         assert_eq!(derived, supplied);
@@ -377,7 +410,12 @@ mod tests {
                 row[idx] = row[idx].abs() + 0.5;
             }
         }
-        let params = SplitParams { lambda: 1.0, gamma: 0.0, min_child_weight: 0.0, ..SplitParams::default() };
+        let params = SplitParams {
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let full = best_split_in_range(&row, &layout, 0..4, None, &params);
 
         // Shard into feature ranges [0..2) and [2..4).
@@ -415,7 +453,10 @@ mod tests {
             -1.0, 1.0, 1.0, -1.0, 0.0, // G
             1.0, 1.0, 1.0, 1.0, 0.0, // H
         ];
-        let natural = SplitParams { min_child_weight: 0.0, ..SplitParams::default() };
+        let natural = SplitParams {
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let res = best_split_in_range(&row, &layout, 0..1, None, &natural);
         let best_natural = res.best.expect("natural scan finds some split");
         assert!(
@@ -454,7 +495,10 @@ mod tests {
                 row[idx] = row[idx].abs() + 0.1;
             }
         }
-        let params = SplitParams { min_child_weight: 0.0, ..SplitParams::default() };
+        let params = SplitParams {
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let res = best_split_in_range(&row, &layout, 0..2, None, &params);
         let s = res.best.expect("some split exists on this histogram");
         let zb = layout.zero_bucket(s.feature as usize) as u32;
@@ -475,7 +519,10 @@ mod tests {
         assert!(split.goes_left(-5.0));
         assert!(!split.goes_left(2.0));
         assert!(!split.goes_left(0.0), "zeros follow default_left = false");
-        let natural = FinalSplit { default_left: true, ..split };
+        let natural = FinalSplit {
+            default_left: true,
+            ..split
+        };
         assert!(natural.goes_left(0.0));
     }
 
@@ -506,7 +553,11 @@ mod tests {
 
     #[test]
     fn l1_regularization_soft_thresholds() {
-        let p = SplitParams { alpha: 2.0, min_child_weight: 0.0, ..SplitParams::default() };
+        let p = SplitParams {
+            alpha: 2.0,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         // |G| <= alpha: weight and objective collapse to zero.
         assert_eq!(p.leaf_weight(1.5, 4.0), 0.0);
         assert_eq!(p.leaf_objective(-2.0, 4.0), 0.0);
@@ -514,7 +565,10 @@ mod tests {
         assert!((p.leaf_weight(5.0, 4.0) - (-(5.0 - 2.0) / 5.0)).abs() < 1e-12);
         assert!((p.leaf_weight(-5.0, 4.0) - ((5.0 - 2.0) / 5.0)).abs() < 1e-12);
         // alpha = 0 is the paper's objective.
-        let plain = SplitParams { min_child_weight: 0.0, ..SplitParams::default() };
+        let plain = SplitParams {
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         assert_eq!(plain.leaf_weight(5.0, 4.0), -1.0);
     }
 
@@ -523,19 +577,33 @@ mod tests {
         let layout = HistogramLayout::new(vec![3]);
         // Weak signal: G buckets sum to 0 with small per-side sums.
         let row = vec![-1.0, 1.0, 0.0, 3.0, 3.0, 1.0];
-        let plain = SplitParams { min_child_weight: 0.0, ..SplitParams::default() };
-        assert!(best_split_in_range(&row, &layout, 0..1, None, &plain).best.is_some());
-        let l1 = SplitParams { alpha: 1.5, min_child_weight: 0.0, ..SplitParams::default() };
-        assert!(best_split_in_range(&row, &layout, 0..1, None, &l1).best.is_none());
+        let plain = SplitParams {
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
+        assert!(best_split_in_range(&row, &layout, 0..1, None, &plain)
+            .best
+            .is_some());
+        let l1 = SplitParams {
+            alpha: 1.5,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
+        assert!(best_split_in_range(&row, &layout, 0..1, None, &l1)
+            .best
+            .is_none());
     }
 
     #[test]
     fn gain_formula_matches_paper() {
-        let p = SplitParams { lambda: 2.0, gamma: 1.5, min_child_weight: 0.0, ..SplitParams::default() };
+        let p = SplitParams {
+            lambda: 2.0,
+            gamma: 1.5,
+            min_child_weight: 0.0,
+            ..SplitParams::default()
+        };
         let (gl, hl, gr, hr) = (3.0, 4.0, -2.0, 5.0);
-        let expected = 0.5
-            * (9.0 / 6.0 + 4.0 / 7.0 - (1.0f64).powi(2) / 11.0)
-            - 1.5;
+        let expected = 0.5 * (9.0 / 6.0 + 4.0 / 7.0 - (1.0f64).powi(2) / 11.0) - 1.5;
         assert!((p.gain(gl, hl, gr, hr) - expected).abs() < 1e-12);
         assert!((p.leaf_weight(3.0, 4.0) + 0.5).abs() < 1e-12);
     }

@@ -25,19 +25,25 @@ fn arb_layout_row() -> impl Strategy<Value = (HistogramLayout, Vec<f32>)> {
                 let buckets = buckets.clone();
                 let layout = layout.clone();
                 // For each feature, a bucket assignment for every pair.
-                vec(vec(0usize..buckets.iter().copied().max().unwrap() as usize, total_pairs), buckets.len())
-                    .prop_map(move |assignments| {
-                        let mut row = vec![0.0f32; layout.row_len()];
-                        for (f, assign) in assignments.iter().enumerate() {
-                            let nb = layout.num_buckets(f);
-                            for (i, &(g, h)) in pairs.iter().enumerate() {
-                                let b = assign[i] % nb;
-                                row[layout.g_index(f, b)] += g;
-                                row[layout.h_index(f, b)] += h;
-                            }
+                vec(
+                    vec(
+                        0usize..buckets.iter().copied().max().unwrap() as usize,
+                        total_pairs,
+                    ),
+                    buckets.len(),
+                )
+                .prop_map(move |assignments| {
+                    let mut row = vec![0.0f32; layout.row_len()];
+                    for (f, assign) in assignments.iter().enumerate() {
+                        let nb = layout.num_buckets(f);
+                        for (i, &(g, h)) in pairs.iter().enumerate() {
+                            let b = assign[i] % nb;
+                            row[layout.g_index(f, b)] += g;
+                            row[layout.h_index(f, b)] += h;
                         }
-                        (layout.clone(), row)
-                    })
+                    }
+                    (layout.clone(), row)
+                })
             })
         })
     })

@@ -161,13 +161,21 @@ pub fn reduce_scatter_halving(buffers: &[Vec<f32>], model: &CostModel) -> (Scatt
         return (
             Scattered {
                 len,
-                segments: vec![Segment { owner: 0, range: 0..len, data: buffers[0].clone() }],
+                segments: vec![Segment {
+                    owner: 0,
+                    range: 0..len,
+                    data: buffers[0].clone(),
+                }],
             },
             stats,
         );
     }
 
-    let pow2 = if w.is_power_of_two() { w } else { w.next_power_of_two() / 2 };
+    let pow2 = if w.is_power_of_two() {
+        w
+    } else {
+        w.next_power_of_two() / 2
+    };
     let extra = w - pow2;
     let mut work: Vec<Vec<f32>> = buffers.to_vec();
 
@@ -258,7 +266,11 @@ pub fn ps_batch_exchange(
                     stats.packages += 1;
                 }
             }
-            Segment { owner: server, range: range.clone(), data }
+            Segment {
+                owner: server,
+                range: range.clone(),
+                data,
+            }
         })
         .collect();
 
@@ -417,6 +429,9 @@ mod tests {
         assert_close(&s.assemble(), &expected);
         assert_eq!(s.segments.len(), 4);
         // Charged the doubled non-power-of-two time.
-        assert_eq!(stats.sim_time, CostModel::GIGABIT_LAN.t_reduce_scatter(32 * 4, 6));
+        assert_eq!(
+            stats.sim_time,
+            CostModel::GIGABIT_LAN.t_reduce_scatter(32 * 4, 6)
+        );
     }
 }

@@ -69,13 +69,25 @@ pub struct CostModel {
 impl CostModel {
     /// A 1 Gb Ethernet profile matching the paper's clusters: 1 ms package
     /// latency, 8 ns/byte transfer (1 Gbit/s), 1 ns/byte merge.
-    pub const GIGABIT_LAN: CostModel = CostModel { alpha: 1e-3, beta: 8e-9, gamma: 1e-9 };
+    pub const GIGABIT_LAN: CostModel = CostModel {
+        alpha: 1e-3,
+        beta: 8e-9,
+        gamma: 1e-9,
+    };
 
     /// A 10 Gb datacenter profile (for sensitivity sweeps).
-    pub const TEN_GIGABIT_LAN: CostModel = CostModel { alpha: 1e-4, beta: 8e-10, gamma: 1e-9 };
+    pub const TEN_GIGABIT_LAN: CostModel = CostModel {
+        alpha: 1e-4,
+        beta: 8e-10,
+        gamma: 1e-9,
+    };
 
     /// A model that charges nothing — disables communication accounting.
-    pub const FREE: CostModel = CostModel { alpha: 0.0, beta: 0.0, gamma: 0.0 };
+    pub const FREE: CostModel = CostModel {
+        alpha: 0.0,
+        beta: 0.0,
+        gamma: 0.0,
+    };
 
     /// Time to move one package of `bytes` over a link.
     pub fn send(&self, bytes: usize) -> SimTime {
@@ -110,8 +122,8 @@ impl CostModel {
     pub fn t_reduce_scatter(&self, h: usize, w: usize) -> SimTime {
         let w_f = w.max(1) as f64;
         let steps = w_f.log2().ceil();
-        let base = (w_f - 1.0) / w_f * h as f64 * self.beta
-            + (self.alpha + h as f64 * self.gamma) * steps;
+        let base =
+            (w_f - 1.0) / w_f * h as f64 * self.beta + (self.alpha + h as f64 * self.gamma) * steps;
         if w.is_power_of_two() {
             SimTime(base)
         } else {
@@ -189,7 +201,10 @@ mod tests {
         let big = 256 << 20;
         let lgbm_bw = nm.t_reduce_scatter(big, w).seconds();
         let dim_bw = nm.t_ps_exchange(big, w).seconds();
-        assert!((dim_bw - lgbm_bw).abs() / lgbm_bw < 0.05, "dim={dim_bw} lgbm={lgbm_bw}");
+        assert!(
+            (dim_bw - lgbm_bw).abs() / lgbm_bw < 0.05,
+            "dim={dim_bw} lgbm={lgbm_bw}"
+        );
     }
 
     #[test]

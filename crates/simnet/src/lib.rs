@@ -28,4 +28,4 @@ mod stats;
 pub mod wire;
 
 pub use cost::{CostModel, SimTime};
-pub use stats::{CommStats, StatsRecorder};
+pub use stats::{CommLedger, CommStats, Phase, StatsRecorder};

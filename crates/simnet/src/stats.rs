@@ -5,6 +5,76 @@ use serde::{Deserialize, Serialize};
 
 use crate::SimTime;
 
+/// The seven phases of the DimBoost worker execution plan (Figure 7), used
+/// to attribute communication and computation to the step that caused it.
+///
+/// [`Phase::Other`] is the catch-all for events recorded through untagged
+/// legacy entry points; a fully instrumented run leaves it empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Workers build local per-feature quantile sketches and push them.
+    CreateSketch,
+    /// Workers pull the merged sketches and derive split candidates.
+    PullSketch,
+    /// Tree setup: feature sampling, layout install, gradient computation.
+    NewTree,
+    /// Local histogram construction and the push to the servers.
+    BuildHistogram,
+    /// Server-side split scans, pulls of the winners, decision publishing.
+    FindSplit,
+    /// Decision broadcast and node-to-instance index updates.
+    SplitTree,
+    /// End-of-round work: score updates, loss aggregation.
+    Finish,
+    /// Untagged events (legacy [`StatsRecorder::record`] / `absorb`).
+    Other,
+}
+
+impl Phase {
+    /// Number of distinct phases (the size of a per-phase table).
+    pub const COUNT: usize = 8;
+
+    /// Every phase, in execution-plan order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::CreateSketch,
+        Phase::PullSketch,
+        Phase::NewTree,
+        Phase::BuildHistogram,
+        Phase::FindSplit,
+        Phase::SplitTree,
+        Phase::Finish,
+        Phase::Other,
+    ];
+
+    /// Stable snake_case name, used in reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::CreateSketch => "create_sketch",
+            Phase::PullSketch => "pull_sketch",
+            Phase::NewTree => "new_tree",
+            Phase::BuildHistogram => "build_histogram",
+            Phase::FindSplit => "find_split",
+            Phase::SplitTree => "split_tree",
+            Phase::Finish => "finish",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Dense index into a `[T; Phase::COUNT]` table.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::CreateSketch => 0,
+            Phase::PullSketch => 1,
+            Phase::NewTree => 2,
+            Phase::BuildHistogram => 3,
+            Phase::FindSplit => 4,
+            Phase::SplitTree => 5,
+            Phase::Finish => 6,
+            Phase::Other => 7,
+        }
+    }
+}
+
 /// Accumulated communication statistics: what moved, how many packages, and
 /// how much simulated time it cost. Used by the trainer to decompose run
 /// time into computation and communication (Figure 13 of the paper).
@@ -38,14 +108,82 @@ impl CommStats {
         self.packages += other.packages;
         self.sim_time += other.sim_time;
     }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0 && self.packages == 0 && self.sim_time.seconds() == 0.0
+    }
 }
 
-/// A thread-safe, shareable [`CommStats`] accumulator. The parameter server
+/// A communication ledger broken down by [`Phase`].
+///
+/// Only the per-phase buckets are stored; [`CommLedger::total`] folds them
+/// in [`Phase::ALL`] order. That makes the invariant *sum of per-phase
+/// entries == total* structural — any consumer that re-sums the buckets in
+/// plan order reproduces the aggregate bit-for-bit, including the `f64`
+/// simulated time (summing in event order instead could differ in the last
+/// ulp).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommLedger {
+    per_phase: [CommStats; Phase::COUNT],
+}
+
+impl CommLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event under `phase`.
+    pub fn record(&mut self, phase: Phase, bytes: u64, packages: u64, time: SimTime) {
+        self.per_phase[phase.index()].record(bytes, packages, time);
+    }
+
+    /// Adds a whole [`CommStats`] under `phase`.
+    pub fn absorb(&mut self, phase: Phase, stats: &CommStats) {
+        self.per_phase[phase.index()].absorb(stats);
+    }
+
+    /// Merges another ledger into this one, phase by phase.
+    pub fn absorb_ledger(&mut self, other: &CommLedger) {
+        for phase in Phase::ALL {
+            self.absorb(phase, other.phase(phase));
+        }
+    }
+
+    /// The aggregate over all phases (folded in plan order).
+    pub fn total(&self) -> CommStats {
+        let mut total = CommStats::new();
+        for stats in &self.per_phase {
+            total.absorb(stats);
+        }
+        total
+    }
+
+    /// One phase's accumulated statistics.
+    pub fn phase(&self, phase: Phase) -> &CommStats {
+        &self.per_phase[phase.index()]
+    }
+
+    /// `(phase, stats)` pairs with activity, in execution-plan order.
+    pub fn entries(&self) -> impl Iterator<Item = (Phase, &CommStats)> {
+        Phase::ALL
+            .into_iter()
+            .map(|p| (p, self.phase(p)))
+            .filter(|(_, s)| !s.is_empty())
+    }
+}
+
+/// A thread-safe, shareable [`CommLedger`] accumulator. The parameter server
 /// and the collectives all record into one of these so a training run ends
-/// with a single communication ledger.
+/// with a single communication ledger, attributed by phase.
+///
+/// The untagged [`StatsRecorder::record`] / [`StatsRecorder::absorb`] entry
+/// points remain for callers that predate phase attribution; they file
+/// events under [`Phase::Other`].
 #[derive(Debug, Clone, Default)]
 pub struct StatsRecorder {
-    inner: Arc<Mutex<CommStats>>,
+    inner: Arc<Mutex<CommLedger>>,
 }
 
 impl StatsRecorder {
@@ -54,24 +192,40 @@ impl StatsRecorder {
         Self::default()
     }
 
-    /// Records one event.
+    /// Records one event without attribution (files under [`Phase::Other`]).
     pub fn record(&self, bytes: u64, packages: u64, time: SimTime) {
-        self.inner.lock().record(bytes, packages, time);
+        self.record_tagged(Phase::Other, bytes, packages, time);
     }
 
-    /// Adds a whole [`CommStats`] (e.g. a collective's report).
+    /// Records one event under `phase`.
+    pub fn record_tagged(&self, phase: Phase, bytes: u64, packages: u64, time: SimTime) {
+        self.inner.lock().record(phase, bytes, packages, time);
+    }
+
+    /// Adds a whole [`CommStats`] (e.g. a collective's report) without
+    /// attribution.
     pub fn absorb(&self, stats: &CommStats) {
-        self.inner.lock().absorb(stats);
+        self.absorb_tagged(Phase::Other, stats);
     }
 
-    /// Snapshot of the current totals.
+    /// Adds a whole [`CommStats`] under `phase`.
+    pub fn absorb_tagged(&self, phase: Phase, stats: &CommStats) {
+        self.inner.lock().absorb(phase, stats);
+    }
+
+    /// Snapshot of the current totals (aggregate over all phases).
     pub fn snapshot(&self) -> CommStats {
-        *self.inner.lock()
+        self.inner.lock().total()
     }
 
-    /// Resets the totals to zero and returns what was accumulated.
+    /// Snapshot of the full per-phase ledger.
+    pub fn ledger(&self) -> CommLedger {
+        self.inner.lock().clone()
+    }
+
+    /// Resets the ledger and returns the aggregate that was accumulated.
     pub fn take(&self) -> CommStats {
-        std::mem::take(&mut *self.inner.lock())
+        std::mem::take(&mut *self.inner.lock()).total()
     }
 }
 
@@ -128,5 +282,67 @@ mod tests {
         let taken = r.take();
         assert_eq!(taken.bytes, 5);
         assert_eq!(r.snapshot(), CommStats::default());
+    }
+
+    #[test]
+    fn ledger_sums_to_total() {
+        let mut ledger = CommLedger::new();
+        ledger.record(Phase::CreateSketch, 100, 1, SimTime(0.1));
+        ledger.record(Phase::BuildHistogram, 400, 4, SimTime(0.4));
+        ledger.record(Phase::BuildHistogram, 600, 2, SimTime(0.2));
+        ledger.record(Phase::FindSplit, 48, 3, SimTime(0.05));
+        let mut summed = CommStats::new();
+        for phase in Phase::ALL {
+            summed.absorb(ledger.phase(phase));
+        }
+        assert_eq!(summed, ledger.total());
+        assert_eq!(ledger.phase(Phase::BuildHistogram).bytes, 1000);
+        assert_eq!(ledger.phase(Phase::SplitTree), &CommStats::default());
+    }
+
+    #[test]
+    fn untagged_records_land_in_other() {
+        let r = StatsRecorder::new();
+        r.record(10, 1, SimTime(0.1));
+        let mut extra = CommStats::new();
+        extra.record(5, 1, SimTime(0.05));
+        r.absorb(&extra);
+        let ledger = r.ledger();
+        assert_eq!(ledger.phase(Phase::Other).bytes, 15);
+        assert_eq!(ledger.total().bytes, 15);
+    }
+
+    #[test]
+    fn ledger_entries_skip_empty_phases() {
+        let r = StatsRecorder::new();
+        r.record_tagged(Phase::NewTree, 4, 1, SimTime::ZERO);
+        r.record_tagged(Phase::SplitTree, 64, 1, SimTime(0.2));
+        let ledger = r.ledger();
+        let entries: Vec<(Phase, CommStats)> = ledger.entries().map(|(p, s)| (p, *s)).collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, Phase::NewTree);
+        assert_eq!(entries[1].0, Phase::SplitTree);
+    }
+
+    #[test]
+    fn absorb_ledger_merges_per_phase() {
+        let mut a = CommLedger::new();
+        a.record(Phase::FindSplit, 10, 1, SimTime(0.1));
+        let mut b = CommLedger::new();
+        b.record(Phase::FindSplit, 20, 2, SimTime(0.2));
+        b.record(Phase::Finish, 8, 1, SimTime::ZERO);
+        a.absorb_ledger(&b);
+        assert_eq!(a.phase(Phase::FindSplit).bytes, 30);
+        assert_eq!(a.phase(Phase::Finish).bytes, 8);
+        assert_eq!(a.total().bytes, 38);
+    }
+
+    #[test]
+    fn phase_names_and_indices_are_stable() {
+        for (i, phase) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(phase.index(), i);
+        }
+        assert_eq!(Phase::BuildHistogram.name(), "build_histogram");
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
     }
 }

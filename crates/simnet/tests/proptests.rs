@@ -3,17 +3,14 @@
 //! ordering claims.
 
 use dimboost_simnet::collectives::{
-    allreduce_binomial, partition_ranges, ps_batch_exchange, reduce_scatter_halving,
-    reduce_to_one,
+    allreduce_binomial, partition_ranges, ps_batch_exchange, reduce_scatter_halving, reduce_to_one,
 };
 use dimboost_simnet::CostModel;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 fn arb_buffers() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    (1usize..10, 1usize..80).prop_flat_map(|(w, len)| {
-        vec(vec(-100.0f32..100.0, len..=len), w..=w)
-    })
+    (1usize..10, 1usize..80).prop_flat_map(|(w, len)| vec(vec(-100.0f32..100.0, len..=len), w..=w))
 }
 
 proptest! {

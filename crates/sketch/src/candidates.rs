@@ -42,7 +42,10 @@ impl SplitCandidates {
         splits.sort_unstable_by(f32::total_cmp);
         splits.dedup();
         let zero_bucket = splits.partition_point(|&s| s < 0.0);
-        Self { splits, zero_bucket }
+        Self {
+            splits,
+            zero_bucket,
+        }
     }
 
     /// The sorted boundary values.

@@ -146,7 +146,11 @@ impl GkSketch {
             } else {
                 ((2.0 * self.epsilon * self.count as f64).floor() as u64).saturating_sub(1)
             };
-            merged.push(Entry { v, g: weight, delta });
+            merged.push(Entry {
+                v,
+                g: weight,
+                delta,
+            });
         }
         merged.extend_from_slice(&self.entries[ei..]);
         self.entries = merged;
@@ -169,7 +173,11 @@ impl GkSketch {
                 // Absorb `last` into `e` (keep the larger value).
                 let g = last.g + e.g;
                 out.pop();
-                out.push(Entry { v: e.v, g, delta: e.delta });
+                out.push(Entry {
+                    v: e.v,
+                    g,
+                    delta: e.delta,
+                });
             } else {
                 out.push(e);
             }
@@ -199,12 +207,24 @@ impl GkSketch {
         }
         let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
         let (mut i, mut j) = (0, 0);
+        // Sort-merge with delta inflation (Agarwal et al., "Mergeable
+        // Summaries"): an entry taken from one summary inherits the rank
+        // uncertainty contributed by the *other* summary's surrounding gap,
+        // `g(succ) + delta(succ) - 1` for its successor there. Keeping the
+        // original deltas would understate uncertainty and let `compress`
+        // silently push the true error past the ε-invariant.
         while i < self.entries.len() && j < other.entries.len() {
             if self.entries[i].v <= other.entries[j].v {
-                merged.push(self.entries[i]);
+                let mut e = self.entries[i];
+                let succ = other.entries[j];
+                e.delta += succ.g + succ.delta - 1;
+                merged.push(e);
                 i += 1;
             } else {
-                merged.push(other.entries[j]);
+                let mut e = other.entries[j];
+                let succ = self.entries[i];
+                e.delta += succ.g + succ.delta - 1;
+                merged.push(e);
                 j += 1;
             }
         }
@@ -351,7 +371,9 @@ mod tests {
     fn rank_error_uniform_stream() {
         let eps = 0.01;
         let mut s = GkSketch::new(eps);
-        let mut values: Vec<f32> = (0..50_000).map(|i| ((i * 2654435761u64 as usize) % 99991) as f32).collect();
+        let mut values: Vec<f32> = (0..50_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 99991) as f32)
+            .collect();
         s.extend(values.iter().copied());
         check_rank_error(&mut values, &mut s, eps);
     }
@@ -390,7 +412,10 @@ mod tests {
             s.insert((i % 100_003) as f32);
         }
         let entries = s.num_entries();
-        assert!(entries < 4_000, "summary kept {entries} tuples for 200k values");
+        assert!(
+            entries < 4_000,
+            "summary kept {entries} tuples for 200k values"
+        );
     }
 
     #[test]

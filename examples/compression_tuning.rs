@@ -17,7 +17,11 @@ fn main() {
     let dataset = generate(&SparseGenConfig::new(8_000, 3_000, 40, 11));
     let (train, test) = train_test_split(&dataset, 0.1, 11).expect("split failed");
     let shards = partition_rows(&train, 4).expect("partitioning failed");
-    let ps = PsConfig { num_servers: 4, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+    let ps = PsConfig {
+        num_servers: 4,
+        num_partitions: 0,
+        cost_model: CostModel::GIGABIT_LAN,
+    };
 
     let base = GbdtConfig {
         num_trees: 8,
@@ -26,7 +30,10 @@ fn main() {
         ..GbdtConfig::default()
     };
 
-    println!("{:<14} {:>10} {:>12} {:>10}", "bits", "test err", "bytes", "comm time");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "bits", "test err", "bytes", "comm time"
+    );
     // Full precision reference.
     let mut cfg = base.clone();
     cfg.opts.low_precision = false;

@@ -40,7 +40,10 @@ fn main() {
     let out = train_distributed(&shards, &config, ps).expect("training failed");
 
     println!("\nrun breakdown:");
-    println!("  computation (wall, max across workers): {:.3}s", out.breakdown.compute_secs);
+    println!(
+        "  computation (wall, max across workers): {:.3}s",
+        out.breakdown.compute_secs
+    );
     println!(
         "  communication (simulated 1GbE): {:.3}s over {} ({} packages)",
         out.breakdown.comm.sim_time.seconds(),
@@ -50,7 +53,10 @@ fn main() {
 
     println!("\nconvergence:");
     for p in &out.loss_curve {
-        println!("  tree {:>2}: train loss {:.4} at t={:.2}s", p.tree, p.train_loss, p.elapsed_secs);
+        println!(
+            "  tree {:>2}: train loss {:.4} at t={:.2}s",
+            p.tree, p.train_loss, p.elapsed_secs
+        );
     }
 
     let err = classification_error(&out.model.predict_dataset(&test), test.labels());

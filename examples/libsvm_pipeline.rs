@@ -21,7 +21,12 @@ fn main() {
         write_libsvm(file, &dataset).expect("write libsvm");
     }
     let size = std::fs::metadata(&path).expect("stat").len();
-    println!("wrote {} ({} rows) to {}", human(size), dataset.num_rows(), path.display());
+    println!(
+        "wrote {} ({} rows) to {}",
+        human(size),
+        dataset.num_rows(),
+        path.display()
+    );
 
     // ETL: read with 1-based indices and binarized labels, declaring the
     // true dimensionality (trailing all-zero columns are not inferable).
@@ -35,7 +40,11 @@ fn main() {
     println!("reloaded dataset matches the original bit-for-bit");
 
     let (train, test) = train_test_split(&loaded, 0.1, 9).expect("split");
-    let config = GbdtConfig { num_trees: 10, learning_rate: 0.3, ..GbdtConfig::default() };
+    let config = GbdtConfig {
+        num_trees: 10,
+        learning_rate: 0.3,
+        ..GbdtConfig::default()
+    };
     let model = train_single_machine(&train, &config).expect("training failed");
     let err = classification_error(&model.predict_dataset(&test), test.labels());
     println!("test error after 10 trees: {err:.4}");

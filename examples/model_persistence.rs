@@ -7,9 +7,7 @@
 //! cargo run --release --example model_persistence
 //! ```
 
-use dimboost::core::{
-    load_model_file, save_model_file, train_single_machine, GbdtConfig,
-};
+use dimboost::core::{load_model_file, save_model_file, train_single_machine, GbdtConfig};
 use dimboost::data::synthetic::{generate, SparseGenConfig};
 
 fn main() {
@@ -30,7 +28,12 @@ fn main() {
     let path = std::env::temp_dir().join("dimboost_persistence_example.model");
     save_model_file(&model, &path).expect("save failed");
     let size = std::fs::metadata(&path).expect("stat").len();
-    println!("saved {} trees to {} ({} bytes)", model.num_trees(), path.display(), size);
+    println!(
+        "saved {} trees to {} ({} bytes)",
+        model.num_trees(),
+        path.display(),
+        size
+    );
 
     let reloaded = load_model_file(&path).expect("load failed");
     assert_eq!(reloaded, model, "roundtrip must be lossless");

@@ -34,10 +34,16 @@ fn main() {
         loss: LossKind::Softmax { classes },
         ..GbdtConfig::default()
     };
-    let ps = PsConfig { num_servers: 4, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
-    let ev = EvalOptions { dataset: &test, early_stopping_rounds: Some(4) };
-    let out = train_distributed_with_eval(&shards, &config, ps, Some(ev))
-        .expect("training failed");
+    let ps = PsConfig {
+        num_servers: 4,
+        num_partitions: 0,
+        cost_model: CostModel::GIGABIT_LAN,
+    };
+    let ev = EvalOptions {
+        dataset: &test,
+        early_stopping_rounds: Some(4),
+    };
+    let out = train_distributed_with_eval(&shards, &config, ps, Some(ev)).expect("training failed");
 
     println!(
         "trained {} trees ({} rounds x {} classes), best round {:?}",
@@ -65,6 +71,10 @@ fn main() {
     );
     println!(
         "top features by gain: {:?}",
-        out.model.top_features(5).iter().map(|&(f, _)| f).collect::<Vec<_>>()
+        out.model
+            .top_features(5)
+            .iter()
+            .map(|&(f, _)| f)
+            .collect::<Vec<_>>()
     );
 }

@@ -39,7 +39,10 @@ fn main() {
     );
 
     let probs = model.predict_dataset(&test);
-    println!("test error: {:.4}", classification_error(&probs, test.labels()));
+    println!(
+        "test error: {:.4}",
+        classification_error(&probs, test.labels())
+    );
     println!("test logloss: {:.4}", log_loss(&probs, test.labels()));
     println!("test AUC: {:.4}", auc(&probs, test.labels()));
 }

@@ -28,22 +28,28 @@ fn main() {
 
     // Propose split candidates from per-feature sketches (CREATE_SKETCH /
     // PULL_SKETCH), then build the feature metadata.
-    let mut sketches: Vec<GkSketch> =
-        (0..dataset.num_features()).map(|_| GkSketch::new(0.01)).collect();
+    let mut sketches: Vec<GkSketch> = (0..dataset.num_features())
+        .map(|_| GkSketch::new(0.01))
+        .collect();
     for (row, _) in dataset.iter_rows() {
         for (f, v) in row.iter() {
             sketches[f as usize].insert(v);
         }
     }
-    let candidates: Vec<_> =
-        sketches.iter_mut().map(|s| propose_candidates(s, 20)).collect();
+    let candidates: Vec<_> = sketches
+        .iter_mut()
+        .map(|s| propose_candidates(s, 20))
+        .collect();
     let meta = FeatureMeta::all_features(&candidates);
     println!("histogram row: {} f32 values", meta.layout().row_len());
 
     // Root-node gradients (logistic loss at score 0).
     let loss = loss_for(LossKind::Logistic);
-    let grads: Vec<_> =
-        dataset.labels().iter().map(|&y| loss.grad(0.0, y)).collect();
+    let grads: Vec<_> = dataset
+        .labels()
+        .iter()
+        .map(|&y| loss.grad(0.0, y))
+        .collect();
     let instances: Vec<u32> = (0..dataset.num_rows() as u32).collect();
 
     let t = Instant::now();
@@ -61,7 +67,10 @@ fn main() {
         .fold(0.0f32, f32::max);
     println!("\ndense pass (O(M*N)):          {:.3}s", t_dense);
     println!("sparsity-aware (O(z*N + M)):  {:.3}s", t_sparse);
-    println!("speedup: {:.0}x, max element difference: {max_diff:.2e}", t_dense / t_sparse);
+    println!(
+        "speedup: {:.0}x, max element difference: {max_diff:.2e}",
+        t_dense / t_sparse
+    );
     assert!(max_diff < 1e-2, "builders diverged");
     println!("\nboth passes produce the same histogram — Algorithm 2 is exact.");
 }

@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and model types
+//! but never drives an actual serde serializer (persistence goes through the
+//! hand-rolled binary codec in `model_io` and the JSON report writer in
+//! `dimboost-core::report`). This shim keeps those derives and trait bounds
+//! compiling without the real crate: the traits are empty markers,
+//! blanket-implemented for all types, and the derive macros expand to
+//! nothing.
+
+/// Marker trait; every type implements it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; every type implements it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned variant mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

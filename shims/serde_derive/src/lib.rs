@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The shim's traits are blanket-implemented for every type, so the derive
+//! has nothing to generate — it exists purely so `#[derive(Serialize,
+//! Deserialize)]` attributes on workspace types keep compiling verbatim.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

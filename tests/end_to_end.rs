@@ -27,18 +27,29 @@ fn five_system_bakeoff_on_rcv1_shape() {
     let (train, test) = train_test_split(&ds, 0.2, 5).unwrap();
     let shards = partition_rows(&train, 4).unwrap();
     let cfg = config();
-    let ps = PsConfig { num_servers: 4, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+    let ps = PsConfig {
+        num_servers: 4,
+        num_partitions: 0,
+        cost_model: CostModel::GIGABIT_LAN,
+    };
 
     let dim = train_distributed(&shards, &cfg, ps).unwrap();
     let tencent = train_tencentboost(&shards, &cfg, ps).unwrap();
     let mut errors = vec![
-        ("DimBoost", classification_error(&dim.model.predict_dataset(&test), test.labels())),
+        (
+            "DimBoost",
+            classification_error(&dim.model.predict_dataset(&test), test.labels()),
+        ),
         (
             "TencentBoost",
             classification_error(&tencent.model.predict_dataset(&test), test.labels()),
         ),
     ];
-    for kind in [BaselineKind::Mllib, BaselineKind::Xgboost, BaselineKind::Lightgbm] {
+    for kind in [
+        BaselineKind::Mllib,
+        BaselineKind::Xgboost,
+        BaselineKind::Lightgbm,
+    ] {
         let out = train_baseline(kind, &shards, &cfg, CostModel::GIGABIT_LAN).unwrap();
         errors.push((
             kind.name(),
@@ -61,7 +72,11 @@ fn dimboost_moves_fewer_bytes_than_tencentboost() {
     let ds = generate(&SparseGenConfig::new(2_000, 2_000, 25, 3));
     let shards = partition_rows(&ds, 4).unwrap();
     let cfg = config();
-    let ps = PsConfig { num_servers: 4, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+    let ps = PsConfig {
+        num_servers: 4,
+        num_partitions: 0,
+        cost_model: CostModel::GIGABIT_LAN,
+    };
     let dim = train_distributed(&shards, &cfg, ps).unwrap();
     let tencent = train_tencentboost(&shards, &cfg, ps).unwrap();
     assert!(
@@ -78,7 +93,11 @@ fn single_machine_facade_api() {
     // The README/docs quickstart path, end to end through the facade.
     let dataset = generate(&SparseGenConfig::new(2_000, 400, 20, 42));
     let (train, test) = train_test_split(&dataset, 0.1, 42).unwrap();
-    let cfg = GbdtConfig { num_trees: 8, learning_rate: 0.3, ..GbdtConfig::default() };
+    let cfg = GbdtConfig {
+        num_trees: 8,
+        learning_rate: 0.3,
+        ..GbdtConfig::default()
+    };
     let model = train_single_machine(&train, &cfg).unwrap();
     let probs = model.predict_dataset(&test);
     assert!(classification_error(&probs, test.labels()) < 0.42);
@@ -95,13 +114,23 @@ fn worker_count_does_not_change_accuracy_materially() {
     let mut errs = Vec::new();
     for w in [1usize, 2, 5, 8] {
         let shards = partition_rows(&train, w).unwrap();
-        let ps = PsConfig { num_servers: w, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN };
+        let ps = PsConfig {
+            num_servers: w,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
         let out = train_distributed(&shards, &cfg, ps).unwrap();
-        errs.push(classification_error(&out.model.predict_dataset(&test), test.labels()));
+        errs.push(classification_error(
+            &out.model.predict_dataset(&test),
+            test.labels(),
+        ));
     }
     let min = errs.iter().copied().fold(f64::INFINITY, f64::min);
     let max = errs.iter().copied().fold(0.0, f64::max);
-    assert!(max - min < 0.06, "accuracy varies too much with workers: {errs:?}");
+    assert!(
+        max - min < 0.06,
+        "accuracy varies too much with workers: {errs:?}"
+    );
 }
 
 #[test]
@@ -109,13 +138,20 @@ fn feature_prefixes_improve_accuracy() {
     // The Table 5 shape as an invariant: more features, better accuracy
     // (allowing small noise at test scale).
     let ds = generate(&SparseGenConfig::new(6_000, 2_000, 25, 13));
-    let cfg = GbdtConfig { num_trees: 8, learning_rate: 0.3, ..config() };
+    let cfg = GbdtConfig {
+        num_trees: 8,
+        learning_rate: 0.3,
+        ..config()
+    };
     let mut errs = Vec::new();
     for m in [100usize, 600, 2_000] {
         let sub = ds.restrict_features(m);
         let (train, test) = train_test_split(&sub, 0.2, 13).unwrap();
         let model = train_single_machine(&train, &cfg).unwrap();
-        errs.push(classification_error(&model.predict_dataset(&test), test.labels()));
+        errs.push(classification_error(
+            &model.predict_dataset(&test),
+            test.labels(),
+        ));
     }
     assert!(
         errs[2] < errs[0] - 0.02,

@@ -12,7 +12,11 @@ use dimboost::ps::PsConfig;
 use dimboost::simnet::CostModel;
 
 fn ps(workers: usize) -> PsConfig {
-    PsConfig { num_servers: workers, num_partitions: 0, cost_model: CostModel::GIGABIT_LAN }
+    PsConfig {
+        num_servers: workers,
+        num_partitions: 0,
+        cost_model: CostModel::GIGABIT_LAN,
+    }
 }
 
 #[test]
@@ -29,10 +33,17 @@ fn full_extension_stack_trains_and_roundtrips() {
         learning_rate: 0.3,
         instance_sample_ratio: 0.8,
         learn_default_direction: true,
-        opts: Optimizations { hist_subtraction: true, pre_binning: true, ..Optimizations::ALL },
+        opts: Optimizations {
+            hist_subtraction: true,
+            pre_binning: true,
+            ..Optimizations::ALL
+        },
         ..GbdtConfig::default()
     };
-    let ev = EvalOptions { dataset: &test, early_stopping_rounds: Some(4) };
+    let ev = EvalOptions {
+        dataset: &test,
+        early_stopping_rounds: Some(4),
+    };
     let out = train_distributed_with_eval(&shards, &config, ps(4), Some(ev)).unwrap();
     let err = classification_error(&out.model.predict_dataset(&test), test.labels());
     assert!(err < 0.42, "extension stack error {err}");
@@ -42,7 +53,10 @@ fn full_extension_stack_trains_and_roundtrips() {
     save_model(&out.model, &mut buf).unwrap();
     let back = load_model(buf.as_slice()).unwrap();
     assert_eq!(back, out.model);
-    assert_eq!(back.predict_dataset(&test), out.model.predict_dataset(&test));
+    assert_eq!(
+        back.predict_dataset(&test),
+        out.model.predict_dataset(&test)
+    );
 }
 
 #[test]
@@ -65,19 +79,25 @@ fn multiclass_distributed_with_warm_start() {
     assert_eq!(first.model.num_trees(), 12); // 4 rounds x 3 classes
 
     // Continue for 4 more rounds and check it helps (or at least not hurts).
-    let cont =
-        train_distributed_continue(&first.model, &shards, &config, ps(3), None).unwrap();
+    let cont = train_distributed_continue(&first.model, &shards, &config, ps(3), None).unwrap();
     assert_eq!(cont.model.num_trees(), 24);
     let err_first = multiclass_error(&first.model.predict_dataset(&test), test.labels());
     let err_cont = multiclass_error(&cont.model.predict_dataset(&test), test.labels());
-    assert!(err_cont <= err_first + 0.02, "warm start regressed: {err_first} -> {err_cont}");
+    assert!(
+        err_cont <= err_first + 0.02,
+        "warm start regressed: {err_first} -> {err_cont}"
+    );
     assert!(err_cont < 2.0 / 3.0, "beats random 3-class guessing");
 }
 
 #[test]
 fn feature_importance_is_stable_across_serialization() {
     let ds = generate(&SparseGenConfig::new(1_500, 100, 10, 7));
-    let config = GbdtConfig { num_trees: 5, learning_rate: 0.3, ..GbdtConfig::default() };
+    let config = GbdtConfig {
+        num_trees: 5,
+        learning_rate: 0.3,
+        ..GbdtConfig::default()
+    };
     let shards = partition_rows(&ds, 2).unwrap();
     let out = train_distributed(&shards, &config, ps(2)).unwrap();
     let mut buf = Vec::new();

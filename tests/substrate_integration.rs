@@ -51,12 +51,24 @@ fn sketch_merge_through_ps_matches_local_merge() {
 fn pca_pipeline_trains_in_reduced_space() {
     let ds = generate(&SparseGenConfig::new(3_000, 500, 20, 4));
     let (train, test) = train_test_split(&ds, 0.2, 4).unwrap();
-    let pca = Pca::fit(&train, &PcaConfig { components: 16, iterations: 10, seed: 4 }).unwrap();
+    let pca = Pca::fit(
+        &train,
+        &PcaConfig {
+            components: 16,
+            iterations: 10,
+            seed: 4,
+        },
+    )
+    .unwrap();
     let red_train = pca.transform(&train);
     let red_test = pca.transform(&test);
     assert_eq!(red_train.num_features(), 16);
 
-    let cfg = GbdtConfig { num_trees: 8, learning_rate: 0.3, ..GbdtConfig::default() };
+    let cfg = GbdtConfig {
+        num_trees: 8,
+        learning_rate: 0.3,
+        ..GbdtConfig::default()
+    };
     let model = train_single_machine(&red_train, &cfg).unwrap();
     let err = classification_error(&model.predict_dataset(&red_test), red_test.labels());
     // Reduced space keeps *some* signal but (Table 6) costs accuracy vs the
@@ -72,11 +84,18 @@ fn libsvm_etl_feeds_training() {
     let ds = generate(&SparseGenConfig::new(1_500, 300, 15, 6));
     let mut buf = Vec::new();
     write_libsvm(&mut buf, &ds).unwrap();
-    let opts = LibsvmOptions { num_features: Some(300), ..Default::default() };
+    let opts = LibsvmOptions {
+        num_features: Some(300),
+        ..Default::default()
+    };
     let loaded = read_libsvm(buf.as_slice(), opts).unwrap();
     assert_eq!(loaded, ds);
 
-    let cfg = GbdtConfig { num_trees: 5, learning_rate: 0.3, ..GbdtConfig::default() };
+    let cfg = GbdtConfig {
+        num_trees: 5,
+        learning_rate: 0.3,
+        ..GbdtConfig::default()
+    };
     let model = train_single_machine(&loaded, &cfg).unwrap();
     let err = classification_error(&model.predict_dataset(&loaded), loaded.labels());
     assert!(err < 0.45, "train error {err}");
