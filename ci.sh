@@ -19,4 +19,35 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> observability smoke: determinism gate + trace check"
+cargo build --release -q -p dimboost-cli -p dimboost-bench
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+BIN=target/release
+"$BIN/dimboost" gen --out "$SMOKE/train.libsvm" --rows 600 --features 60 --nnz 12 --seed 7
+
+# Two identical runs must agree byte for byte: canonical reports, canonical
+# traces, and a report_diff exit status of 0.
+for run in a b; do
+  "$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_$run.json" \
+    --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+    --report-canonical "$SMOKE/report_$run.json" \
+    --trace "$SMOKE/trace_$run.json" \
+    --trace-canonical "$SMOKE/trace_$run.canonical.json" > /dev/null
+done
+cmp "$SMOKE/report_a.json" "$SMOKE/report_b.json"
+cmp "$SMOKE/trace_a.canonical.json" "$SMOKE/trace_b.canonical.json"
+"$BIN/report_diff" "$SMOKE/report_a.json" "$SMOKE/report_b.json"
+"$BIN/trace_check" --workers 3 --servers 2 \
+  "$SMOKE/trace_a.json" "$SMOKE/trace_a.canonical.json"
+
+# A differing configuration (low-precision wire format) must be flagged.
+"$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_lp.json" \
+  --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 --bits 4 \
+  --report-canonical "$SMOKE/report_lp.json" > /dev/null
+if "$BIN/report_diff" --quiet "$SMOKE/report_a.json" "$SMOKE/report_lp.json" 2> /dev/null; then
+  echo "report_diff failed to flag a low-precision vs full-precision run" >&2
+  exit 1
+fi
+
 echo "CI green."

@@ -8,7 +8,8 @@
 //! constant in w).
 
 use dimboost_bench::{
-    fmt_secs, maybe_write_report, phase_rows, print_table, run_dimboost, timed, Scale, PHASE_HEADER,
+    fmt_secs, maybe_write_report, maybe_write_trace, phase_rows, print_table, run_dimboost, timed,
+    Scale, PHASE_HEADER,
 };
 use dimboost_core::GbdtConfig;
 use dimboost_data::partition::partition_rows;
@@ -32,6 +33,13 @@ fn sweep(name: &str, cfg_data: &SparseGenConfig, workers: &[usize], config: &Gbd
             fmt_secs(r.comm_secs),
             fmt_secs(load + r.total_secs()),
         ]);
+        if let Some(trace) = &r.trace {
+            if let Some(path) =
+                maybe_write_trace(&format!("fig13_{}_w{w}", name.replace(' ', "_")), trace)
+            {
+                println!("wrote {}", path.display());
+            }
+        }
         if let Some(report) = r.report {
             if let Some(path) =
                 maybe_write_report(&format!("fig13_{}_w{w}", name.replace(' ', "_")), &report)

@@ -1,0 +1,110 @@
+//! Compares two run-report JSON documents field by field with declared
+//! tolerances — the regression gate `ci.sh` runs over canonical reports.
+//!
+//! ```text
+//! report_diff <a.json> <b.json> [--tolerances <file>] [--strict-wall] [--quiet]
+//! ```
+//!
+//! Exit status: 0 when the reports agree (within tolerances), 1 when any
+//! field regresses, 2 on usage or I/O errors.
+//!
+//! The tolerance file has one rule per line, `<pattern> <tolerance|ignore>`
+//! (`#` comments). Patterns are `*`-globs over flattened paths such as
+//! `phases.build_histogram.comm.bytes` or `percentiles.sim/ps_requests.p99`;
+//! the last matching rule wins and unmatched fields must match exactly.
+//! Wall-clock fields (`compute*_secs`, `percentiles.wall/*`) are ignored by
+//! default; `--strict-wall` compares them too.
+
+use std::process::ExitCode;
+
+use dimboost_bench::diff::{default_rules, diff_reports, parse_rules, Rule};
+use dimboost_bench::json;
+
+const USAGE: &str =
+    "usage: report_diff <a.json> <b.json> [--tolerances <file>] [--strict-wall] [--quiet]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("report_diff: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance_file: Option<String> = None;
+    let mut strict_wall = false;
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tolerances" => match iter.next() {
+                Some(path) => tolerance_file = Some(path.clone()),
+                None => return fail("missing value for --tolerances"),
+            },
+            "--strict-wall" => strict_wall = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag {flag:?}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [a_path, b_path] = paths.as_slice() else {
+        return fail("expected exactly two report paths");
+    };
+
+    let mut rules: Vec<Rule> = if strict_wall {
+        Vec::new()
+    } else {
+        default_rules()
+    };
+    if let Some(path) = &tolerance_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => return fail(&format!("read {path}: {e}")),
+        };
+        match parse_rules(&text) {
+            Ok(extra) => rules.extend(extra),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+
+    let load = |path: &str| -> Result<json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let a = match load(a_path) {
+        Ok(doc) => doc,
+        Err(e) => return fail(&e),
+    };
+    let b = match load(b_path) {
+        Ok(doc) => doc,
+        Err(e) => return fail(&e),
+    };
+
+    let result = diff_reports(&a, &b, &rules);
+    if result.is_match() {
+        if !quiet {
+            println!(
+                "report_diff: {} fields match ({} ignored)",
+                result.compared, result.ignored
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "report_diff: {} difference(s) between {a_path} and {b_path} \
+             ({} fields compared, {} ignored):",
+            result.differences.len(),
+            result.compared,
+            result.ignored
+        );
+        for d in &result.differences {
+            eprintln!("  {}: {}", d.path, d.detail);
+        }
+        ExitCode::FAILURE
+    }
+}

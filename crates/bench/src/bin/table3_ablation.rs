@@ -14,7 +14,9 @@
 //! ~2× on deep layers, and the three FIND_SPLIT optimizations progressively
 //! cut per-tree time (paper: 131 → 120 → 77 → 41 s).
 
-use dimboost_bench::{fmt_bytes, fmt_secs, maybe_write_report, print_table, timed, Scale};
+use dimboost_bench::{
+    fmt_bytes, fmt_secs, maybe_write_report, maybe_write_trace, print_table, timed, Scale,
+};
 use dimboost_core::hist_build::build_row;
 use dimboost_core::loss::GradPair;
 use dimboost_core::parallel::{build_row_batched, BatchConfig};
@@ -218,6 +220,7 @@ fn main() {
     for (step, (label, opts)) in steps.into_iter().enumerate() {
         let mut cfg = base.clone();
         cfg.opts = opts;
+        cfg.collect_trace = std::env::var_os("DIMBOOST_TRACE_DIR").is_some();
         let ps = PsConfig {
             num_servers: workers,
             num_partitions: 0,
@@ -241,6 +244,11 @@ fn main() {
         ]);
         if let Some(path) = maybe_write_report(&format!("table3_step{step}"), &out.report) {
             println!("wrote {}", path.display());
+        }
+        if let Some(trace) = &out.trace {
+            if let Some(path) = maybe_write_trace(&format!("table3_step{step}"), trace) {
+                println!("wrote {}", path.display());
+            }
         }
     }
     print_table(

@@ -1,0 +1,85 @@
+//! Validates exported Chrome-trace-event JSON files: balanced B/E nesting
+//! per lane, monotone timestamps, phase tags, strictly increasing sequence
+//! numbers, and (optionally) the expected track layout.
+//!
+//! ```text
+//! trace_check [--workers N] [--servers N] <trace.json>...
+//! ```
+//!
+//! Exit status: 0 when every file validates, 1 when any fails, 2 on usage
+//! or I/O errors.
+
+use std::process::ExitCode;
+
+use dimboost_bench::check::{check_chrome_trace, check_track_layout};
+
+const USAGE: &str = "usage: trace_check [--workers N] [--servers N] <trace.json>...";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut workers: Option<usize> = None;
+    let mut servers: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = Some(n),
+                None => return fail("--workers needs a count"),
+            },
+            "--servers" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => servers = Some(n),
+                None => return fail("--servers needs a count"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag {flag:?}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return fail("expected at least one trace file");
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => return fail(&format!("read {path}: {e}")),
+        };
+        match check_chrome_trace(&text) {
+            Ok(stats) => {
+                let layout = check_track_layout(&stats, workers.unwrap_or(0), servers.unwrap_or(0));
+                match layout {
+                    Ok(()) => println!(
+                        "{path}: ok ({} entries, {} intervals, {} tracks)",
+                        stats.entries,
+                        stats.intervals,
+                        stats.tracks.len()
+                    ),
+                    Err(e) => {
+                        eprintln!("{path}: bad track layout: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

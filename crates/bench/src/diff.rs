@@ -1,0 +1,398 @@
+//! Field-by-field comparison of two run reports with declared tolerances —
+//! the regression gate behind the `report_diff` binary.
+//!
+//! Reports are flattened to `path → leaf` maps. Array elements are keyed by
+//! their identity field when they have one (`phase`, `name`, `round`,
+//! `node`) and by index otherwise, so "the build_histogram phase" in run A
+//! lines up with the same phase in run B even if another phase appears or
+//! disappears.
+//!
+//! Tolerances come from rule lines (`<pattern> <tolerance|ignore>`); the
+//! *last* matching rule wins, the default is exact equality. Patterns are
+//! globs where `*` matches any run of characters. Wall-clock fields
+//! (`compute*_secs`, `percentiles.wall/*`) are ignored by built-in rules —
+//! they differ on every run by construction; pass `--strict-wall` to
+//! `report_diff` to drop those defaults.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// A flattened leaf value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Leaf {
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Leaf {
+    fn render(&self) -> String {
+        match self {
+            Leaf::Num(v) => format!("{v}"),
+            Leaf::Str(s) => format!("{s:?}"),
+            Leaf::Bool(b) => b.to_string(),
+            Leaf::Null => "null".into(),
+        }
+    }
+}
+
+/// Array-element identity fields, in lookup order.
+const KEY_FIELDS: [&str; 4] = ["phase", "name", "round", "node"];
+
+/// Flattens a JSON document into `path → leaf` (paths `.`-joined, array
+/// elements keyed per the module docs).
+pub fn flatten(doc: &Json) -> BTreeMap<String, Leaf> {
+    let mut out = BTreeMap::new();
+    flatten_into(doc, String::new(), &mut out);
+    out
+}
+
+fn element_key(item: &Json, index: usize) -> String {
+    for field in KEY_FIELDS {
+        match item.get(field) {
+            Some(Json::Str(s)) => return s.clone(),
+            Some(Json::Num(v)) => return format!("{v}"),
+            _ => {}
+        }
+    }
+    index.to_string()
+}
+
+fn flatten_into(value: &Json, path: String, out: &mut BTreeMap<String, Leaf>) {
+    let join = |segment: &str| {
+        if path.is_empty() {
+            segment.to_string()
+        } else {
+            format!("{path}.{segment}")
+        }
+    };
+    match value {
+        Json::Obj(members) => {
+            for (k, v) in members {
+                flatten_into(v, join(k), out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten_into(item, join(&element_key(item, i)), out);
+            }
+        }
+        Json::Num(v) => {
+            out.insert(path, Leaf::Num(*v));
+        }
+        Json::Str(s) => {
+            out.insert(path, Leaf::Str(s.clone()));
+        }
+        Json::Bool(b) => {
+            out.insert(path, Leaf::Bool(*b));
+        }
+        Json::Null => {
+            out.insert(path, Leaf::Null);
+        }
+    }
+}
+
+/// One tolerance rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Glob pattern over flattened paths (`*` matches any run of chars).
+    pub pattern: String,
+    /// Allowed relative difference; `None` skips the field entirely.
+    pub tolerance: Option<f64>,
+}
+
+/// Built-in rules: skip wall-clock fields, which differ on every run.
+pub fn default_rules() -> Vec<Rule> {
+    [
+        "*compute_secs",
+        "*compute_max_secs",
+        "*compute_p50_secs",
+        "*compute_p99_secs",
+        "*compute_skew_secs",
+        "percentiles.wall/*",
+    ]
+    .into_iter()
+    .map(|p| Rule {
+        pattern: p.to_string(),
+        tolerance: None,
+    })
+    .collect()
+}
+
+/// Parses a tolerance file: one `<pattern> <tolerance|ignore>` rule per
+/// line, `#` comments, blank lines skipped.
+pub fn parse_rules(text: &str) -> Result<Vec<Rule>, String> {
+    let mut rules = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(pattern), Some(spec), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "line {}: expected `<pattern> <tolerance|ignore>`, got {line:?}",
+                lineno + 1
+            ));
+        };
+        let tolerance = if spec.eq_ignore_ascii_case("ignore") {
+            None
+        } else {
+            let tol: f64 = spec
+                .parse()
+                .map_err(|_| format!("line {}: invalid tolerance {spec:?}", lineno + 1))?;
+            if tol.is_nan() || tol < 0.0 {
+                return Err(format!("line {}: tolerance must be >= 0", lineno + 1));
+            }
+            Some(tol)
+        };
+        rules.push(Rule {
+            pattern: pattern.to_string(),
+            tolerance,
+        });
+    }
+    Ok(rules)
+}
+
+/// Glob match: `*` matches any (possibly empty) run of characters.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[u8], t: &[u8]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some((b'*', rest)) => (0..=t.len()).any(|skip| rec(rest, &t[skip..])),
+            Some((c, rest)) => t
+                .split_first()
+                .is_some_and(|(tc, tr)| tc == c && rec(rest, tr)),
+        }
+    }
+    rec(pattern.as_bytes(), text.as_bytes())
+}
+
+/// How the rules treat one path: `None` → ignore, `Some(tol)` → compare
+/// with relative tolerance `tol` (0 = exact). Last matching rule wins;
+/// unmatched paths are exact.
+fn tolerance_for(path: &str, rules: &[Rule]) -> Option<f64> {
+    let mut result = Some(0.0);
+    for rule in rules {
+        if glob_match(&rule.pattern, path) {
+            result = rule.tolerance;
+        }
+    }
+    result
+}
+
+/// One field-level disagreement.
+#[derive(Debug, Clone)]
+pub struct Difference {
+    /// Flattened path of the field.
+    pub path: String,
+    /// What went wrong, human-readable.
+    pub detail: String,
+}
+
+/// Outcome of a report comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DiffResult {
+    /// Fields that disagree beyond tolerance (empty → reports match).
+    pub differences: Vec<Difference>,
+    /// Fields compared (present on both sides, not ignored).
+    pub compared: usize,
+    /// Fields skipped by `ignore` rules.
+    pub ignored: usize,
+}
+
+impl DiffResult {
+    /// True when no field disagreed.
+    pub fn is_match(&self) -> bool {
+        self.differences.is_empty()
+    }
+}
+
+/// Compares two parsed reports field by field under `rules`.
+pub fn diff_reports(a: &Json, b: &Json, rules: &[Rule]) -> DiffResult {
+    let fa = flatten(a);
+    let fb = flatten(b);
+    let mut result = DiffResult::default();
+    let mut paths: Vec<&String> = fa.keys().collect();
+    for k in fb.keys() {
+        if !fa.contains_key(k) {
+            paths.push(k);
+        }
+    }
+    paths.sort();
+    for path in paths {
+        let Some(tol) = tolerance_for(path, rules) else {
+            result.ignored += 1;
+            continue;
+        };
+        match (fa.get(path), fb.get(path)) {
+            (Some(va), None) => result.differences.push(Difference {
+                path: path.clone(),
+                detail: format!("only in first report (= {})", va.render()),
+            }),
+            (None, Some(vb)) => result.differences.push(Difference {
+                path: path.clone(),
+                detail: format!("only in second report (= {})", vb.render()),
+            }),
+            (Some(va), Some(vb)) => {
+                result.compared += 1;
+                match (va, vb) {
+                    (Leaf::Num(x), Leaf::Num(y)) => {
+                        if !nums_match(*x, *y, tol) {
+                            let rel = rel_diff(*x, *y);
+                            result.differences.push(Difference {
+                                path: path.clone(),
+                                detail: format!(
+                                    "{x} vs {y} (relative diff {rel:.3e}, tolerance {tol:.3e})"
+                                ),
+                            });
+                        }
+                    }
+                    _ => {
+                        if va != vb {
+                            result.differences.push(Difference {
+                                path: path.clone(),
+                                detail: format!("{} vs {}", va.render(), vb.render()),
+                            });
+                        }
+                    }
+                }
+            }
+            (None, None) => unreachable!("path came from one of the maps"),
+        }
+    }
+    result
+}
+
+fn rel_diff(x: f64, y: f64) -> f64 {
+    let denom = x.abs().max(y.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (x - y).abs() / denom
+    }
+}
+
+fn nums_match(x: f64, y: f64, tol: f64) -> bool {
+    if x == y {
+        return true;
+    }
+    if !x.is_finite() || !y.is_finite() {
+        // Both emitters write null for non-finite; a NaN here means the
+        // documents already differ structurally.
+        return false;
+    }
+    tol > 0.0 && rel_diff(x, y) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn glob_patterns() {
+        assert!(glob_match("*compute_secs", "compute_secs"));
+        assert!(glob_match("*compute_secs", "rounds.0.compute_secs"));
+        assert!(!glob_match("*compute_secs", "compute_max_secs"));
+        assert!(glob_match(
+            "percentiles.wall/*",
+            "percentiles.wall/phase_secs/finish.p50"
+        ));
+        assert!(!glob_match(
+            "percentiles.wall/*",
+            "percentiles.sim/ps_requests.value"
+        ));
+        assert!(glob_match("comm.bytes", "comm.bytes"));
+        assert!(!glob_match("comm.bytes", "comm.bytes2"));
+    }
+
+    #[test]
+    fn flatten_keys_arrays_by_identity() {
+        let doc = parse(
+            r#"{"phases":[{"phase":"new_tree","comm":{"bytes":5}}],
+                "rounds":[{"round":0,"split_gains":[1.5,2.5]}],
+                "percentiles":[{"name":"sim/x","p50":3}]}"#,
+        )
+        .unwrap();
+        let flat = flatten(&doc);
+        assert_eq!(
+            flat.get("phases.new_tree.comm.bytes"),
+            Some(&Leaf::Num(5.0))
+        );
+        assert_eq!(flat.get("rounds.0.split_gains.1"), Some(&Leaf::Num(2.5)));
+        assert_eq!(flat.get("percentiles.sim/x.p50"), Some(&Leaf::Num(3.0)));
+    }
+
+    #[test]
+    fn rule_parsing_and_precedence() {
+        let rules = parse_rules(
+            "# comment\n\
+             *               0.05  # everything loose\n\
+             comm.bytes      0     # but bytes exact\n\
+             rounds.*        ignore\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(
+            tolerance_for("phases.new_tree.comm.sim_time_secs", &rules),
+            Some(0.05)
+        );
+        assert_eq!(tolerance_for("comm.bytes", &rules), Some(0.0));
+        assert_eq!(tolerance_for("rounds.0.train_loss", &rules), None);
+
+        assert!(parse_rules("pattern").is_err());
+        assert!(parse_rules("pattern x").is_err());
+        assert!(parse_rules("pattern -0.5").is_err());
+    }
+
+    #[test]
+    fn identical_reports_match() {
+        let a = parse(r#"{"workers":2,"comm":{"bytes":10,"sim_time_secs":0.5}}"#).unwrap();
+        let r = diff_reports(&a, &a.clone(), &default_rules());
+        assert!(r.is_match());
+        assert_eq!(r.compared, 3);
+    }
+
+    #[test]
+    fn differences_and_tolerances() {
+        let a = parse(r#"{"comm":{"bytes":1000,"sim_time_secs":0.50}}"#).unwrap();
+        let b = parse(r#"{"comm":{"bytes":1000,"sim_time_secs":0.51}}"#).unwrap();
+        // Exact: sim_time differs.
+        let r = diff_reports(&a, &b, &default_rules());
+        assert_eq!(r.differences.len(), 1);
+        assert!(r.differences[0].path.ends_with("sim_time_secs"));
+        // 5% relative tolerance passes.
+        let mut rules = default_rules();
+        rules.extend(parse_rules("comm.sim_time_secs 0.05").unwrap());
+        assert!(diff_reports(&a, &b, &rules).is_match());
+        // ...but 1% does not.
+        let mut rules = default_rules();
+        rules.extend(parse_rules("comm.sim_time_secs 0.01").unwrap());
+        assert!(!diff_reports(&a, &b, &rules).is_match());
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let a = parse(r#"{"comm":{"bytes":1}}"#).unwrap();
+        let b = parse(r#"{"comm":{"bytes":1,"packages":2}}"#).unwrap();
+        let r = diff_reports(&a, &b, &[]);
+        assert_eq!(r.differences.len(), 1);
+        assert!(r.differences[0].detail.contains("only in second"));
+    }
+
+    #[test]
+    fn wall_clock_defaults_are_skipped() {
+        let a = parse(r#"{"compute_secs":1.0,"comm":{"bytes":5}}"#).unwrap();
+        let b = parse(r#"{"compute_secs":9.0,"comm":{"bytes":5}}"#).unwrap();
+        let r = diff_reports(&a, &b, &default_rules());
+        assert!(r.is_match());
+        assert_eq!(r.ignored, 1);
+    }
+}

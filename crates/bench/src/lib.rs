@@ -14,10 +14,14 @@ use std::time::Instant;
 
 use dimboost_baselines::{train_baseline, train_tencentboost, BaselineKind};
 use dimboost_core::metrics::classification_error;
-use dimboost_core::{train_distributed, GbdtConfig, LossPoint, RunReport};
+use dimboost_core::{train_distributed, GbdtConfig, LossPoint, RunReport, Trace};
 use dimboost_data::Dataset;
 use dimboost_ps::PsConfig;
 use dimboost_simnet::CostModel;
+
+pub mod check;
+pub mod diff;
+pub mod json;
 
 /// Experiment scale, selected by the `DIMBOOST_SCALE` environment variable
 /// (`quick` default, `full` for larger paper-shaped runs).
@@ -65,6 +69,9 @@ pub struct SystemResult {
     /// Structured per-phase / per-round run report (DimBoost runner only —
     /// the baselines predate phase attribution).
     pub report: Option<RunReport>,
+    /// Event-level trace (DimBoost runner only, and only when
+    /// `DIMBOOST_TRACE_DIR` requested one).
+    pub trace: Option<Trace>,
 }
 
 impl SystemResult {
@@ -87,7 +94,11 @@ pub fn run_dimboost(
         num_partitions: 0,
         cost_model: cost,
     };
-    let out = train_distributed(shards, config, ps).expect("dimboost training failed");
+    let mut config = config.clone();
+    // Event traces are opt-in per experiment run via the same env-var
+    // convention as reports: collecting them costs memory per event.
+    config.collect_trace = std::env::var_os("DIMBOOST_TRACE_DIR").is_some();
+    let out = train_distributed(shards, &config, ps).expect("dimboost training failed");
     SystemResult {
         system: "DimBoost".into(),
         compute_secs: out.breakdown.compute_secs,
@@ -96,6 +107,7 @@ pub fn run_dimboost(
         test_error: test.map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
         curve: out.loss_curve,
         report: Some(out.report),
+        trace: out.trace,
     }
 }
 
@@ -116,6 +128,7 @@ pub fn run_collective_baseline(
         test_error: test.map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
         curve: out.loss_curve,
         report: None,
+        trace: None,
     }
 }
 
@@ -141,6 +154,7 @@ pub fn run_tencentboost(
         test_error: test.map(|t| classification_error(&out.model.predict_dataset(t), t.labels())),
         curve: out.loss_curve,
         report: None,
+        trace: None,
     }
 }
 
@@ -154,6 +168,8 @@ pub fn phase_rows(report: &RunReport) -> Vec<Vec<String>> {
             vec![
                 p.phase.name().to_string(),
                 fmt_secs(p.compute_max_secs),
+                fmt_secs(p.compute_p50_secs),
+                fmt_secs(p.compute_p99_secs),
                 fmt_secs(p.compute_skew_secs),
                 fmt_bytes(p.comm.bytes),
                 p.comm.packages.to_string(),
@@ -164,9 +180,11 @@ pub fn phase_rows(report: &RunReport) -> Vec<Vec<String>> {
 }
 
 /// Header matching [`phase_rows`].
-pub const PHASE_HEADER: [&str; 6] = [
+pub const PHASE_HEADER: [&str; 8] = [
     "phase",
     "compute(max)",
+    "p50",
+    "p99",
     "skew",
     "bytes",
     "pkgs",
@@ -191,6 +209,29 @@ pub fn maybe_write_report(name: &str, report: &RunReport) -> Option<std::path::P
             None
         }
     }
+}
+
+/// When `DIMBOOST_TRACE_DIR` is set, writes the trace's Chrome-trace JSON
+/// to `<dir>/<name>.trace.json` (plus the canonical form to
+/// `<dir>/<name>.trace.canonical.json`) and returns the first path. Same
+/// non-fatal error policy as [`maybe_write_report`].
+pub fn maybe_write_trace(name: &str, trace: &Trace) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("DIMBOOST_TRACE_DIR")?;
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("trace dir {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.trace.json"));
+    if let Err(e) = std::fs::write(&path, trace.chrome_json()) {
+        eprintln!("trace {}: {e}", path.display());
+        return None;
+    }
+    let canonical = dir.join(format!("{name}.trace.canonical.json"));
+    if let Err(e) = std::fs::write(&canonical, trace.canonical_chrome_json()) {
+        eprintln!("trace {}: {e}", canonical.display());
+    }
+    Some(path)
 }
 
 /// Prints an aligned text table.

@@ -27,8 +27,8 @@ use dimboost_simnet::CostModel;
 /// A fully-parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Train a model from a LibSVM file.
-    Train(TrainArgs),
+    /// Train a model from a LibSVM file (boxed: much larger than the rest).
+    Train(Box<TrainArgs>),
     /// Score a LibSVM file with a saved model.
     Predict(PredictArgs),
     /// Evaluate a saved model on a LibSVM file.
@@ -61,6 +61,14 @@ pub struct TrainArgs {
     /// Write the JSON run report (per-phase compute/comm, per-round
     /// telemetry) here after training.
     pub report: Option<PathBuf>,
+    /// Write the canonical (timing-free, rerun-stable) run report here.
+    pub report_canonical: Option<PathBuf>,
+    /// Write a Chrome-trace-event JSON of the run (load in Perfetto or
+    /// `chrome://tracing`) and print the plain-text timeline summary.
+    pub trace: Option<PathBuf>,
+    /// Write the canonical trace: pure simulated clock, no wall-clock
+    /// annotations, byte-identical across reruns.
+    pub trace_canonical: Option<PathBuf>,
     /// Hyper-parameters.
     pub config: GbdtConfig,
 }
@@ -128,6 +136,8 @@ USAGE:
                  [--loss logistic|square|softmax --classes K] [--seed N] [--test-fraction F]
                  [--zero-based] [--default-direction] [--pre-binning]
                  [--hist-subtraction] [--early-stop R] [--report <json>]
+                 [--report-canonical <json>] [--trace <json>]
+                 [--trace-canonical <json>]
   dimboost predict --data <libsvm> --model <file> [--output <path>] [--raw]
                  [--zero-based]
   dimboost evaluate --data <libsvm> --model <file> [--zero-based]
@@ -156,7 +166,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let rest = &args[1..];
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "train" => parse_train(rest).map(Command::Train),
+        "train" => parse_train(rest).map(|args| Command::Train(Box::new(args))),
         "predict" => parse_predict(rest).map(Command::Predict),
         "evaluate" => parse_evaluate(rest).map(Command::Evaluate),
         "gen" => parse_gen(rest).map(Command::Gen),
@@ -176,6 +186,9 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
     let mut zero_based = false;
     let mut early_stop: Option<usize> = None;
     let mut report: Option<PathBuf> = None;
+    let mut report_canonical: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut trace_canonical: Option<PathBuf> = None;
     let mut config = GbdtConfig::default();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -217,9 +230,17 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
             "--hist-subtraction" => config.opts.hist_subtraction = true,
             "--early-stop" => early_stop = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
             "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--report-canonical" => {
+                report_canonical = Some(PathBuf::from(take_value(flag, &mut iter)?))
+            }
+            "--trace" => trace = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--trace-canonical" => {
+                trace_canonical = Some(PathBuf::from(take_value(flag, &mut iter)?))
+            }
             other => return Err(format!("unknown flag {other:?} for train")),
         }
     }
+    config.collect_trace = trace.is_some() || trace_canonical.is_some();
     if matches!(config.loss, LossKind::Softmax { classes: 0 }) {
         return Err("--loss softmax requires --classes K".into());
     }
@@ -235,6 +256,9 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
         zero_based,
         early_stop,
         report,
+        report_canonical,
+        trace,
+        trace_canonical,
         config,
     })
 }
@@ -466,6 +490,24 @@ tree {i}:
                 std::fs::write(path, out.report.json())
                     .map_err(|e| format!("write report: {e}"))?;
                 println!("run report written to {}", path.display());
+            }
+            if let Some(path) = &args.report_canonical {
+                std::fs::write(path, out.report.canonical_json())
+                    .map_err(|e| format!("write canonical report: {e}"))?;
+                println!("canonical report written to {}", path.display());
+            }
+            if let Some(trace) = &out.trace {
+                print!("{}", trace.timeline());
+                if let Some(path) = &args.trace {
+                    std::fs::write(path, trace.chrome_json())
+                        .map_err(|e| format!("write trace: {e}"))?;
+                    println!("trace written to {} (load in Perfetto)", path.display());
+                }
+                if let Some(path) = &args.trace_canonical {
+                    std::fs::write(path, trace.canonical_chrome_json())
+                        .map_err(|e| format!("write canonical trace: {e}"))?;
+                    println!("canonical trace written to {}", path.display());
+                }
             }
             if let Some(last) = out.loss_curve.last() {
                 println!("final train loss: {:.5}", last.train_loss);
@@ -718,6 +760,70 @@ mod tests {
         .unwrap();
 
         for f in [&data, &model, &preds, &report] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn train_writes_trace_artifacts() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("dimboost_cli_trace.libsvm");
+        let model = dir.join("dimboost_cli_trace.model");
+        let trace = dir.join("dimboost_cli_trace.trace.json");
+        let canon = dir.join("dimboost_cli_trace.canonical.json");
+        let report_canon = dir.join("dimboost_cli_trace.report.json");
+
+        run(parse_args(&strs(&[
+            "gen",
+            "--out",
+            data.to_str().unwrap(),
+            "--rows",
+            "400",
+            "--features",
+            "50",
+            "--nnz",
+            "6",
+        ]))
+        .unwrap())
+        .unwrap();
+
+        let cmd = parse_args(&strs(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--trees",
+            "2",
+            "--depth",
+            "3",
+            "--workers",
+            "3",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-canonical",
+            canon.to_str().unwrap(),
+            "--report-canonical",
+            report_canon.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let Command::Train(args) = &cmd else { panic!() };
+        assert!(args.config.collect_trace);
+        run(cmd.clone()).unwrap();
+
+        let full = std::fs::read_to_string(&trace).unwrap();
+        assert!(full.starts_with('['), "{full}");
+        assert!(full.contains("\"thread_name\""));
+        assert!(full.contains("\"wall_ms\""));
+        let canonical = std::fs::read_to_string(&canon).unwrap();
+        assert!(!canonical.contains("wall_ms"));
+        // Canonical artifacts are rerun-stable: train again, compare bytes.
+        run(cmd).unwrap();
+        assert_eq!(canonical, std::fs::read_to_string(&canon).unwrap());
+        let report = std::fs::read_to_string(&report_canon).unwrap();
+        assert!(report.contains("\"percentiles\":["), "{report}");
+
+        for f in [&data, &model, &trace, &canon, &report_canon] {
             std::fs::remove_file(f).ok();
         }
     }

@@ -149,6 +149,11 @@ pub struct GbdtConfig {
     pub seed: u64,
     /// Optimization toggles (Table 3).
     pub opts: Optimizations,
+    /// Record an event-level trace of the run on the simulated clock
+    /// (see [`dimboost_simnet::trace`]). Off by default: events cost
+    /// memory proportional to rounds × nodes. Metrics percentiles are
+    /// collected either way.
+    pub collect_trace: bool,
 }
 
 impl Default for GbdtConfig {
@@ -172,6 +177,7 @@ impl Default for GbdtConfig {
             loss: LossKind::Logistic,
             seed: 42,
             opts: Optimizations::ALL,
+            collect_trace: false,
         }
     }
 }

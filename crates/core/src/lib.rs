@@ -56,3 +56,7 @@ pub use tree::{Node, Tree};
 // Re-export the PS-side pieces that form part of the public training API.
 pub use dimboost_ps::split::{FinalSplit, PullSplitResult, SplitDecision};
 pub use dimboost_ps::{NodeSplit, SplitParams};
+
+// Re-export the simnet observability types surfaced by `TrainOutput` and
+// `RunReport` so consumers need not depend on the simnet crate directly.
+pub use dimboost_simnet::{MetricExport, Trace, TraceBus, TraceEvent};

@@ -19,7 +19,8 @@
 
 use std::time::Instant;
 
-use dimboost_simnet::{CommLedger, CommStats, Phase};
+use dimboost_simnet::registry::MetricExport;
+use dimboost_simnet::{CommLedger, CommStats, FixedHistogram, Phase, TraceBus};
 
 /// Accumulates per-phase, per-worker wall-clock seconds.
 ///
@@ -35,6 +36,9 @@ pub struct SpanTimer {
     /// Max-across-workers seconds accumulated per boosting round.
     round_secs: Vec<f64>,
     current_round: Option<usize>,
+    /// Optional trace bus: every worker slice is mirrored as a Compute
+    /// event (wall seconds annotated, zero simulated duration).
+    trace: Option<TraceBus>,
 }
 
 impl SpanTimer {
@@ -46,7 +50,14 @@ impl SpanTimer {
             per_phase_worker: vec![vec![0.0; num_workers]; Phase::COUNT],
             round_secs: Vec::new(),
             current_round: None,
+            trace: None,
         }
+    }
+
+    /// Mirrors every subsequent timed span onto `bus` as Compute events and
+    /// into its `wall/phase_secs/*` histograms.
+    pub fn attach_trace(&mut self, bus: TraceBus) {
+        self.trace = Some(bus);
     }
 
     /// Marks the start of boosting round `round`; subsequent spans also
@@ -75,6 +86,9 @@ impl SpanTimer {
             outs.push(f(w));
             let secs = start.elapsed().as_secs_f64();
             self.per_phase_worker[phase.index()][slot] += secs;
+            if let Some(bus) = &self.trace {
+                bus.on_compute(slot as u32, phase, secs);
+            }
             max = max.max(secs);
         }
         self.total_secs += max;
@@ -175,6 +189,11 @@ pub struct PhaseReport {
     pub phase: Phase,
     /// Accumulated wall seconds of the slowest worker in this phase.
     pub compute_max_secs: f64,
+    /// Median per-worker wall seconds (interpolated from a fixed-bucket
+    /// histogram over the worker times).
+    pub compute_p50_secs: f64,
+    /// 99th-percentile per-worker wall seconds (≈ the straggler).
+    pub compute_p99_secs: f64,
     /// Straggler skew: slowest minus fastest worker, in seconds.
     pub compute_skew_secs: f64,
     /// Communication attributed to this phase.
@@ -201,6 +220,11 @@ pub struct RunReport {
     pub phases: Vec<PhaseReport>,
     /// Per-round telemetry, one entry per boosting round trained.
     pub rounds: Vec<RoundRecord>,
+    /// Flat metric exports (counters, gauges, histogram percentiles) from
+    /// the run's metrics registry, sorted by name. Deterministic `sim/`
+    /// metrics appear in the canonical document; wall-clock `wall/` metrics
+    /// only in the full one.
+    pub percentiles: Vec<MetricExport>,
 }
 
 impl RunReport {
@@ -213,6 +237,19 @@ impl RunReport {
         ledger: &CommLedger,
         rounds: Vec<RoundRecord>,
     ) -> Self {
+        Self::assemble_with_metrics(workers, servers, timer, ledger, rounds, Vec::new())
+    }
+
+    /// [`RunReport::assemble`] plus the run's flat metric exports (the
+    /// `percentiles` section).
+    pub fn assemble_with_metrics(
+        workers: usize,
+        servers: usize,
+        timer: &SpanTimer,
+        ledger: &CommLedger,
+        rounds: Vec<RoundRecord>,
+        percentiles: Vec<MetricExport>,
+    ) -> Self {
         let phases = Phase::ALL
             .into_iter()
             .filter_map(|phase| {
@@ -221,9 +258,12 @@ impl RunReport {
                 if max == 0.0 && comm.is_empty() {
                     return None;
                 }
+                let (p50, p99) = worker_percentiles(timer.worker_secs(phase));
                 Some(PhaseReport {
                     phase,
                     compute_max_secs: max,
+                    compute_p50_secs: p50,
+                    compute_p99_secs: p99,
                     compute_skew_secs: skew,
                     comm,
                 })
@@ -236,6 +276,7 @@ impl RunReport {
             comm: ledger.total(),
             phases,
             rounds,
+            percentiles,
         }
     }
 
@@ -279,6 +320,18 @@ impl RunReport {
                     &mut out,
                     "compute_max_secs",
                     &fmt_f64(p.compute_max_secs),
+                    false,
+                );
+                push_field(
+                    &mut out,
+                    "compute_p50_secs",
+                    &fmt_f64(p.compute_p50_secs),
+                    false,
+                );
+                push_field(
+                    &mut out,
+                    "compute_p99_secs",
+                    &fmt_f64(p.compute_p99_secs),
                     false,
                 );
                 push_field(
@@ -341,6 +394,28 @@ impl RunReport {
             }
             out.push_str("]}");
         }
+        out.push_str("],\"percentiles\":[");
+        let mut first_metric = true;
+        for m in &self.percentiles {
+            if !timings && !m.deterministic {
+                continue;
+            }
+            if !first_metric {
+                out.push(',');
+            }
+            first_metric = false;
+            out.push('{');
+            push_field(&mut out, "name", &format!("\"{}\"", m.name), true);
+            push_field(&mut out, "kind", &format!("\"{}\"", m.kind), false);
+            push_field(&mut out, "count", &m.count.to_string(), false);
+            push_field(&mut out, "value", &fmt_f64(m.value), false);
+            push_field(&mut out, "min", &fmt_f64(m.min), false);
+            push_field(&mut out, "max", &fmt_f64(m.max), false);
+            push_field(&mut out, "p50", &fmt_f64(m.p50), false);
+            push_field(&mut out, "p95", &fmt_f64(m.p95), false);
+            push_field(&mut out, "p99", &fmt_f64(m.p99), false);
+            out.push('}');
+        }
         out.push_str("]}");
         out
     }
@@ -357,12 +432,16 @@ impl RunReport {
             self.comm.packages,
             self.comm.sim_time.seconds(),
         ));
-        out.push_str("phase            compute-max  skew       comm-bytes  pkgs    sim-secs\n");
+        out.push_str(
+            "phase            compute-max  p50        p99        skew       comm-bytes  pkgs    sim-secs\n",
+        );
         for p in &self.phases {
             out.push_str(&format!(
-                "{:<16} {:>10.4}s {:>8.4}s {:>11} {:>6} {:>9.4}\n",
+                "{:<16} {:>10.4}s {:>8.4}s {:>8.4}s {:>8.4}s {:>11} {:>6} {:>9.4}\n",
                 p.phase.name(),
                 p.compute_max_secs,
+                p.compute_p50_secs,
+                p.compute_p99_secs,
                 p.compute_skew_secs,
                 p.comm.bytes,
                 p.comm.packages,
@@ -380,6 +459,18 @@ pub fn sum_phase_comm(report: &RunReport) -> CommStats {
         total.absorb(&p.comm);
     }
     total
+}
+
+/// `(p50, p99)` of the per-worker wall seconds for one phase, estimated
+/// through the same fixed-bucket histogram the metrics registry uses.
+fn worker_percentiles(secs: &[f64]) -> (f64, f64) {
+    let mut hist = FixedHistogram::log_spaced(1e-9, 1e4, 3);
+    for &s in secs {
+        // Zero (untimed slot) still counts: a worker that did no work in a
+        // phase is the far end of the straggler distribution.
+        hist.observe(s.max(0.0));
+    }
+    (hist.quantile(0.50), hist.quantile(0.99))
 }
 
 fn push_field(out: &mut String, key: &str, value: &str, first: bool) {
@@ -535,5 +626,51 @@ mod tests {
         assert!(text.contains("build_histogram"));
         assert!(text.contains("find_split"));
         assert!(!text.contains("pull_sketch"));
+        assert!(text.contains("p50"));
+        assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn phase_percentiles_bracket_max() {
+        let report = sample_report();
+        let p = report.phase(Phase::BuildHistogram).unwrap();
+        assert!(p.compute_p50_secs <= p.compute_p99_secs + 1e-12);
+        assert!(p.compute_p99_secs <= p.compute_max_secs + 1e-12);
+        let json = report.json();
+        assert!(json.contains("compute_p50_secs"));
+        assert!(json.contains("compute_p99_secs"));
+    }
+
+    #[test]
+    fn percentiles_section_filters_wall_metrics_from_canonical() {
+        use dimboost_simnet::MetricsRegistry;
+
+        let base = sample_report();
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("sim/ps_requests", 7);
+        registry.observe("sim/ps_service_secs", 0.002);
+        registry.observe("wall/phase_secs/build_histogram", 0.1);
+        let mut report = base.clone();
+        report.percentiles = registry.export();
+
+        let full = report.json();
+        assert!(full.contains("\"name\":\"sim/ps_requests\""));
+        assert!(full.contains("\"name\":\"wall/phase_secs/build_histogram\""));
+        assert!(full.contains("\"kind\":\"histogram\""));
+
+        let canonical = report.canonical_json();
+        assert!(canonical.contains("\"name\":\"sim/ps_requests\""));
+        assert!(canonical.contains("\"p95\":"));
+        assert!(!canonical.contains("wall/"));
+
+        // Differing wall metrics do not perturb the canonical form.
+        let mut other = report.clone();
+        let mut reg2 = MetricsRegistry::new();
+        reg2.counter_add("sim/ps_requests", 7);
+        reg2.observe("sim/ps_service_secs", 0.002);
+        reg2.observe("wall/phase_secs/build_histogram", 99.0);
+        other.percentiles = reg2.export();
+        assert_eq!(other.canonical_json(), canonical);
+        assert_ne!(other.json(), full);
     }
 }

@@ -16,7 +16,7 @@ use dimboost_data::Dataset;
 use dimboost_ps::quantize::quantize_row;
 use dimboost_ps::split::{best_split_in_range, FinalSplit, PullSplitResult, SplitDecision};
 use dimboost_ps::{ParameterServer, PsConfig};
-use dimboost_simnet::{CommStats, Phase, SimTime};
+use dimboost_simnet::{CommStats, Phase, SimTime, Trace, TraceBus};
 use dimboost_sketch::{propose_candidates, GkSketch, SplitCandidates};
 
 use crate::config::{GbdtConfig, LossKind};
@@ -77,6 +77,10 @@ pub struct TrainOutput {
     /// Structured per-phase / per-round run report (see [`crate::report`]).
     /// Its aggregate communication always equals `breakdown.comm`.
     pub report: RunReport,
+    /// Event-level trace of the run on the simulated clock, recorded when
+    /// [`GbdtConfig::collect_trace`] is set (`None` otherwise). The trace's
+    /// communication events fold back to `report.comm` bit-exactly.
+    pub trace: Option<Trace>,
 }
 
 /// Validation configuration for [`train_distributed_with_eval`].
@@ -242,7 +246,13 @@ fn train_impl(
     let cost = ps_config.cost_model;
     let p = ps_config.partitions();
     let params = config.split_params();
+    // The trace bus rides along on every PS interaction (through the shared
+    // StatsRecorder) and on every timed compute phase. With collect_trace
+    // off it still aggregates metrics percentiles, just no event log.
+    let bus = TraceBus::new(w, ps_config.num_servers, cost, config.collect_trace);
+    ps.attach_trace(bus.clone());
     let mut timer = SpanTimer::new(w);
+    timer.attach_trace(bus.clone());
     let mut rounds: Vec<RoundRecord> = Vec::with_capacity(config.num_trees);
 
     let mut workers: Vec<Worker> = shards
@@ -276,10 +286,12 @@ fn train_impl(
         build_local_sketches(&shards[wk.shard_id], num_features, worker_eps)
     });
     let mut sketch_bytes = 0usize;
-    for mut local in locals {
+    for (wi, mut local) in locals.into_iter().enumerate() {
+        bus.set_worker(Some(wi as u32));
         sketch_bytes += local.iter_mut().map(|s| s.wire_bytes()).sum::<usize>();
         ps.push_sketches(local);
     }
+    bus.set_worker(None);
     if w > 1 {
         ps.charge(
             Phase::CreateSketch,
@@ -488,6 +500,7 @@ fn train_impl(
                 let mut pushed_bytes_per_worker = 0usize;
                 let mut node_counts = vec![0u64; build_nodes.len()];
                 for (wk, rows) in workers.iter_mut().zip(local_rows) {
+                    bus.set_worker(Some(wk.shard_id as u32));
                     for (pos, (node, row, count)) in rows.into_iter().enumerate() {
                         node_counts[pos] += count;
                         record.hist_bytes_raw += 4 * row.len() as u64;
@@ -509,6 +522,7 @@ fn train_impl(
                         }
                     }
                 }
+                bus.set_worker(None);
                 for (pos, &node) in build_nodes.iter().enumerate() {
                     record.node_instances.push(NodeInstances {
                         node,
@@ -535,7 +549,7 @@ fn train_impl(
 
                 // ---- FIND_SPLIT: scheduled workers pull splits & publish. -------
                 for (pos, &node) in active.iter().enumerate() {
-                    let _assigned_worker = scheduler.worker_for(pos);
+                    bus.set_worker(Some(scheduler.worker_for(pos) as u32));
                     let result: PullSplitResult = if config.opts.two_phase_split {
                         ps.pull_split(node, &params)
                     } else {
@@ -563,6 +577,7 @@ fn train_impl(
                         total_h: result.total_h,
                     });
                 }
+                bus.set_worker(None);
                 if w > 1 {
                     let per_node_pull = if config.opts.two_phase_split {
                         // p O(1)-sized replies fetched in one batch.
@@ -756,11 +771,26 @@ fn train_impl(
     let model = GbdtModel::new(trees, config.learning_rate, config.loss, num_features);
     model.check_consistency()?;
     let ledger = ps.comm_ledger();
+    // Every PS interaction in the plan above is phase-tagged; nothing may
+    // fall through to the legacy `Other` bucket.
+    debug_assert!(
+        ledger.phase(Phase::Other).is_empty(),
+        "trainer left comm in the legacy Other bucket: {:?}",
+        ledger.phase(Phase::Other)
+    );
     let breakdown = RunBreakdown {
         compute_secs: timer.total_secs(),
         comm: ledger.total(),
     };
-    let report = RunReport::assemble(w, ps_config.num_servers, &timer, &ledger, rounds);
+    let report = RunReport::assemble_with_metrics(
+        w,
+        ps_config.num_servers,
+        &timer,
+        &ledger,
+        rounds,
+        bus.export_metrics(),
+    );
+    let trace = config.collect_trace.then(|| bus.finish());
     Ok(TrainOutput {
         model,
         breakdown,
@@ -768,6 +798,7 @@ fn train_impl(
         eval_curve,
         best_iteration,
         report,
+        trace,
     })
 }
 

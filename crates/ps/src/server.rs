@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use parking_lot::{Mutex, RwLock};
 
-use dimboost_simnet::{CommLedger, CommStats, CostModel, Phase, SimTime, StatsRecorder};
+use dimboost_simnet::{CommLedger, CommStats, CostModel, Phase, SimTime, StatsRecorder, TraceBus};
 use dimboost_sketch::GkSketch;
 
 use crate::quantize::QuantizedRow;
@@ -118,7 +118,13 @@ impl ParameterServer {
     /// Charges simulated communication time to `phase` (the caller computes
     /// it from the cost model, typically `t_ps_exchange`).
     pub fn charge(&self, phase: Phase, time: SimTime) {
-        self.recorder.record_tagged(phase, 0, 0, time);
+        self.recorder.charge(phase, time);
+    }
+
+    /// Mirrors every subsequent record onto `bus` as a trace event (the
+    /// per-operation view of the ledger).
+    pub fn attach_trace(&self, bus: TraceBus) {
+        self.recorder.attach_trace(bus);
     }
 
     // ---- QtSk ------------------------------------------------------------
@@ -143,8 +149,9 @@ impl ParameterServer {
                 m.merge(l);
             }
         }
-        self.recorder.record_tagged(
+        self.recorder.record_named(
             Phase::CreateSketch,
+            "push_sketches",
             bytes as u64,
             self.config.partitions() as u64,
             SimTime::ZERO,
@@ -155,8 +162,9 @@ impl ParameterServer {
     pub fn pull_sketches(&self) -> Vec<GkSketch> {
         let mut merged = self.sketches.lock();
         let bytes: usize = merged.iter_mut().map(|s| s.wire_bytes()).sum();
-        self.recorder.record_tagged(
+        self.recorder.record_named(
             Phase::PullSketch,
+            "pull_sketches",
             bytes as u64,
             self.config.partitions() as u64,
             SimTime::ZERO,
@@ -168,16 +176,26 @@ impl ParameterServer {
 
     /// NEW_TREE: the leader worker publishes the sampled feature ids.
     pub fn publish_sampled(&self, features: Vec<u32>) {
-        self.recorder
-            .record_tagged(Phase::NewTree, 4 * features.len() as u64, 1, SimTime::ZERO);
+        self.recorder.record_named(
+            Phase::NewTree,
+            "publish_sampled",
+            4 * features.len() as u64,
+            1,
+            SimTime::ZERO,
+        );
         *self.sampled.lock() = features;
     }
 
     /// BUILD_HISTOGRAM: workers pull the sampled feature ids.
     pub fn pull_sampled(&self) -> Vec<u32> {
         let sampled = self.sampled.lock();
-        self.recorder
-            .record_tagged(Phase::NewTree, 4 * sampled.len() as u64, 1, SimTime::ZERO);
+        self.recorder.record_named(
+            Phase::NewTree,
+            "pull_sampled",
+            4 * sampled.len() as u64,
+            1,
+            SimTime::ZERO,
+        );
         sampled.clone()
     }
 
@@ -232,8 +250,9 @@ impl ParameterServer {
                 }
                 bytes += 4 * elems.len() as u64;
             }
-            self.recorder.record_tagged(
+            self.recorder.record_named(
                 Phase::BuildHistogram,
+                "push_histogram",
                 bytes,
                 state.partitioner.num_partitions() as u64,
                 SimTime::ZERO,
@@ -264,8 +283,9 @@ impl ParameterServer {
                 q.add_features_into(&state.layout, features, acc);
                 bytes += wire * elems.len() as u64 / row_len as u64;
             }
-            self.recorder.record_tagged(
+            self.recorder.record_named(
                 Phase::BuildHistogram,
+                "push_histogram_quantized",
                 bytes,
                 state.partitioner.num_partitions() as u64,
                 SimTime::ZERO,
@@ -297,8 +317,13 @@ impl ParameterServer {
                 packages += 1;
             }
             // ~48 bytes per partition reply (feature, bucket, gain, G_L, H_L, totals).
-            self.recorder
-                .record_tagged(Phase::FindSplit, 48 * packages, packages, SimTime::ZERO);
+            self.recorder.record_named(
+                Phase::FindSplit,
+                "pull_split",
+                48 * packages,
+                packages,
+                SimTime::ZERO,
+            );
             let (total_g, total_h) = totals.unwrap_or((0.0, 0.0));
             PullSplitResult {
                 best,
@@ -325,8 +350,9 @@ impl ParameterServer {
                 }
                 packages += 1;
             }
-            self.recorder.record_tagged(
+            self.recorder.record_named(
                 Phase::FindSplit,
+                "pull_histogram",
                 4 * row.len() as u64,
                 packages,
                 SimTime::ZERO,
@@ -378,7 +404,7 @@ impl ParameterServer {
     /// The assigned worker publishes the final decision for a node.
     pub fn publish_decision(&self, decision: SplitDecision) {
         self.recorder
-            .record_tagged(Phase::FindSplit, 64, 1, SimTime::ZERO);
+            .record_named(Phase::FindSplit, "publish_decision", 64, 1, SimTime::ZERO);
         self.decisions.lock().insert(decision.node, decision);
     }
 
@@ -389,8 +415,9 @@ impl ParameterServer {
     /// synchronization bug in the caller.
     pub fn pull_decisions(&self, nodes: &[u32]) -> Vec<SplitDecision> {
         let map = self.decisions.lock();
-        self.recorder.record_tagged(
+        self.recorder.record_named(
             Phase::SplitTree,
+            "pull_decisions",
             64 * nodes.len() as u64,
             nodes.len() as u64,
             SimTime::ZERO,

@@ -21,11 +21,20 @@
 //! [`CommStats`] accumulates bytes, packages, and simulated seconds so the
 //! trainer can decompose run time into computation and communication
 //! (Figure 13).
+//!
+//! On top of the aggregates, [`trace`] records an event-level timeline on
+//! the simulated clock (exportable as Chrome-trace-event JSON) and
+//! [`registry`] collects counters/gauges/histograms with deterministic
+//! percentile exports.
 
 pub mod collectives;
 mod cost;
+pub mod registry;
 mod stats;
+pub mod trace;
 pub mod wire;
 
 pub use cost::{CostModel, SimTime};
+pub use registry::{FixedHistogram, Metric, MetricExport, MetricsRegistry};
 pub use stats::{CommLedger, CommStats, Phase, StatsRecorder};
+pub use trace::{Trace, TraceBus, TraceEvent};

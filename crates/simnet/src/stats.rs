@@ -3,6 +3,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::trace::TraceBus;
 use crate::SimTime;
 
 /// The seven phases of the DimBoost worker execution plan (Figure 7), used
@@ -181,15 +182,26 @@ impl CommLedger {
 /// The untagged [`StatsRecorder::record`] / [`StatsRecorder::absorb`] entry
 /// points remain for callers that predate phase attribution; they file
 /// events under [`Phase::Other`].
+///
+/// When a [`TraceBus`] is attached, every record additionally emits exactly
+/// one trace event with the same `(phase, bytes, packages, sim_time)` — this
+/// single funnel is what makes "trace comm events sum to the ledger
+/// bit-exactly" hold by construction rather than by convention.
 #[derive(Debug, Clone, Default)]
 pub struct StatsRecorder {
     inner: Arc<Mutex<CommLedger>>,
+    trace: Arc<Mutex<Option<TraceBus>>>,
 }
 
 impl StatsRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Mirrors every subsequent record onto `bus` as a trace event.
+    pub fn attach_trace(&self, bus: TraceBus) {
+        *self.trace.lock() = Some(bus);
     }
 
     /// Records one event without attribution (files under [`Phase::Other`]).
@@ -199,7 +211,33 @@ impl StatsRecorder {
 
     /// Records one event under `phase`.
     pub fn record_tagged(&self, phase: Phase, bytes: u64, packages: u64, time: SimTime) {
+        self.record_named(phase, phase.name(), bytes, packages, time);
+    }
+
+    /// Records one event under `phase` with an operation name for the trace
+    /// (e.g. `push_histogram`). The ledger ignores the name.
+    pub fn record_named(
+        &self,
+        phase: Phase,
+        name: &'static str,
+        bytes: u64,
+        packages: u64,
+        time: SimTime,
+    ) {
         self.inner.lock().record(phase, bytes, packages, time);
+        if let Some(bus) = &*self.trace.lock() {
+            bus.on_request(phase, name, bytes, packages, time);
+        }
+    }
+
+    /// Records a pure simulated-time charge (no bytes, no packages) under
+    /// `phase`. On the trace this is a barrier that advances the global
+    /// simulated clock.
+    pub fn charge(&self, phase: Phase, time: SimTime) {
+        self.inner.lock().record(phase, 0, 0, time);
+        if let Some(bus) = &*self.trace.lock() {
+            bus.on_charge(phase, time);
+        }
     }
 
     /// Adds a whole [`CommStats`] (e.g. a collective's report) without
@@ -210,7 +248,16 @@ impl StatsRecorder {
 
     /// Adds a whole [`CommStats`] under `phase`.
     pub fn absorb_tagged(&self, phase: Phase, stats: &CommStats) {
+        self.absorb_named(phase, phase.name(), stats);
+    }
+
+    /// Adds a whole [`CommStats`] under `phase` with an operation name for
+    /// the trace.
+    pub fn absorb_named(&self, phase: Phase, name: &'static str, stats: &CommStats) {
         self.inner.lock().absorb(phase, stats);
+        if let Some(bus) = &*self.trace.lock() {
+            bus.on_request(phase, name, stats.bytes, stats.packages, stats.sim_time);
+        }
     }
 
     /// Snapshot of the current totals (aggregate over all phases).
@@ -335,6 +382,34 @@ mod tests {
         assert_eq!(a.phase(Phase::FindSplit).bytes, 30);
         assert_eq!(a.phase(Phase::Finish).bytes, 8);
         assert_eq!(a.total().bytes, 38);
+    }
+
+    #[test]
+    fn attached_trace_mirrors_every_record() {
+        use crate::trace::{comm_totals, TraceBus};
+        use crate::CostModel;
+
+        let r = StatsRecorder::new();
+        let bus = TraceBus::new(2, 2, CostModel::GIGABIT_LAN, true);
+        r.attach_trace(bus.clone());
+        bus.set_worker(Some(0));
+        r.record_named(
+            Phase::BuildHistogram,
+            "push_histogram",
+            4096,
+            2,
+            SimTime::ZERO,
+        );
+        bus.set_worker(None);
+        r.charge(Phase::BuildHistogram, SimTime(0.125));
+        let mut extra = CommStats::new();
+        extra.record(64, 1, SimTime(0.001));
+        r.absorb_named(Phase::FindSplit, "pull_split", &extra);
+        r.record_tagged(Phase::Finish, 8, 1, SimTime::ZERO);
+
+        let events = bus.snapshot_events();
+        assert_eq!(comm_totals(&events), r.ledger());
+        crate::trace::validate_events(&events).unwrap();
     }
 
     #[test]

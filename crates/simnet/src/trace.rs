@@ -1,0 +1,856 @@
+//! Event-level tracing on the simulated clock.
+//!
+//! Aggregates (the per-phase [`CommLedger`], SpanTimer max/skew) say *how
+//! much* each phase cost; the trace says *when* and *where* — which worker
+//! straggles, how PS queues back up during the batched FIND_SPLIT pulls,
+//! whether a change moved the tail or the mean. The [`TraceBus`] records one
+//! event per ledger record (plus annotation events that carry no cost), each
+//! stamped with a deterministic sequence number, so the canonical export is
+//! byte-identical across reruns.
+//!
+//! # Clock model
+//!
+//! The trainer is barrier-synchronous: simulated time advances only through
+//! explicit charges (`StatsRecorder::charge`), which act as barriers across
+//! all workers. The bus therefore keeps a single global cursor `now`:
+//!
+//! * **Collective** events (charges) occupy `[now, now + t]` on the `net`
+//!   track and advance `now`.
+//! * **Request** events (PS push/pull operations) are stamped at `now` on
+//!   the issuing worker's track with the exact `sim_time` the ledger was
+//!   charged (usually zero — the trainer charges batched exchanges, not
+//!   individual requests).
+//! * **Service** events model each server's share of a request: the
+//!   request's bytes split near-evenly across servers, each server merging
+//!   its share at `γ` seconds/byte behind a per-server busy cursor. These
+//!   derived events expose queueing (wait = start − arrival) and are
+//!   *excluded* from the ledger-sum invariant — they re-describe work whose
+//!   cost the charges already account for.
+//! * **Compute** events mark worker phase slices at `now` with zero
+//!   simulated duration and the measured wall seconds attached as an
+//!   annotation (wall time is nondeterministic and never moves the clock).
+//! * **Step** events annotate the internal rounds of a collective
+//!   (halving levels, binomial rounds, per-server batches); like service
+//!   events they carry no ledger cost.
+//!
+//! # Invariants (enforced by [`validate_events`] and proptests)
+//!
+//! * sequence numbers are exactly `0..n` in emission order;
+//! * per track, events are non-overlapping with non-decreasing begin times;
+//! * folding Request + Collective events into a [`CommLedger`] in sequence
+//!   order reproduces the recorder's ledger **bit-exactly** (same f64 fold
+//!   order, exact u64 byte/package counts).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::registry::{FixedHistogram, MetricExport, MetricsRegistry};
+use crate::{CommLedger, CostModel, Phase, SimTime};
+
+/// One horizontal lane of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// A worker's lane: PS requests it issues, its compute slices.
+    Worker(u32),
+    /// A server's lane: derived service events with queueing.
+    Server(u32),
+    /// The shared network lane: barrier charges and collective steps.
+    Net,
+}
+
+impl Track {
+    /// Stable display name (also the Chrome thread name).
+    pub fn label(self) -> String {
+        match self {
+            Track::Worker(w) => format!("worker {w}"),
+            Track::Server(s) => format!("server {s}"),
+            Track::Net => "net".to_string(),
+        }
+    }
+
+    /// Stable Chrome `tid`. Net is 0, workers start at 1, servers at 1001.
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Net => 0,
+            Track::Worker(w) => 1 + w as u64,
+            Track::Server(s) => 1001 + s as u64,
+        }
+    }
+}
+
+/// What kind of activity an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A worker phase slice (wall-clock annotation, zero simulated time).
+    Compute,
+    /// A PS push/pull operation as the ledger saw it.
+    Request,
+    /// A derived per-server service slice (queueing view).
+    Service,
+    /// A simulated-time charge: a barrier on the net track.
+    Collective,
+    /// An internal round of a collective (annotation only).
+    Step,
+}
+
+impl EventKind {
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Compute => "compute",
+            EventKind::Request => "request",
+            EventKind::Service => "service",
+            EventKind::Collective => "collective",
+            EventKind::Step => "step",
+        }
+    }
+
+    /// True for the kinds whose `(bytes, packages, sim_dur)` fold into the
+    /// [`CommLedger`]-sum invariant.
+    pub fn counts_toward_ledger(self) -> bool {
+        matches!(self, EventKind::Request | EventKind::Collective)
+    }
+}
+
+/// One begin/end interval on the simulated clock.
+///
+/// The end time is `begin + sim_dur`; the duration is stored explicitly
+/// rather than as a second timestamp so the ledger-sum invariant can compare
+/// the *recorded* durations bit-exactly (recomputing `end − begin` would
+/// lose ulps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Deterministic sequence number: position in emission order.
+    pub seq: u64,
+    /// Lane the event belongs to.
+    pub track: Track,
+    /// Activity kind.
+    pub kind: EventKind,
+    /// Execution-plan phase the event is attributed to.
+    pub phase: Phase,
+    /// Operation name (e.g. `push_histogram`, `allreduce_round`).
+    pub name: &'static str,
+    /// Begin time on the simulated clock.
+    pub begin: SimTime,
+    /// Simulated duration (exactly what the ledger was charged, for
+    /// Request/Collective events).
+    pub sim_dur: SimTime,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Package count.
+    pub packages: u64,
+    /// Measured wall seconds (Compute events only; nondeterministic).
+    pub wall_secs: f64,
+}
+
+impl TraceEvent {
+    /// End time on the simulated clock.
+    pub fn end(&self) -> SimTime {
+        SimTime(self.begin.0 + self.sim_dur.0)
+    }
+}
+
+#[derive(Debug)]
+struct BusState {
+    capture: bool,
+    events: Vec<TraceEvent>,
+    seq: u64,
+    /// Worker currently issuing PS requests (None → attributed to net).
+    origin: Option<u32>,
+    /// Global simulated clock; advanced only by charges (barriers).
+    now: f64,
+    server_busy: Vec<f64>,
+    server_pending: Vec<u64>,
+    gamma: f64,
+    metrics: MetricsRegistry,
+}
+
+impl BusState {
+    #[allow(clippy::too_many_arguments)] // private funnel mirroring TraceEvent's fields
+    fn push(
+        &mut self,
+        track: Track,
+        kind: EventKind,
+        phase: Phase,
+        name: &'static str,
+        begin: f64,
+        sim_dur: f64,
+        bytes: u64,
+        packages: u64,
+        wall_secs: f64,
+    ) {
+        if !self.capture {
+            // Sequence numbers still advance so metrics-only runs and
+            // capturing runs agree on counters.
+            self.seq += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            seq: self.seq,
+            track,
+            kind,
+            phase,
+            name,
+            begin: SimTime(begin),
+            sim_dur: SimTime(sim_dur),
+            bytes,
+            packages,
+            wall_secs,
+        });
+        self.seq += 1;
+    }
+
+    /// Derived per-server service slices for one request's payload.
+    fn serve(&mut self, phase: Phase, name: &'static str, bytes: u64) {
+        let servers = self.server_busy.len();
+        if servers == 0 || bytes == 0 {
+            return;
+        }
+        let base = bytes / servers as u64;
+        let extra = bytes % servers as u64;
+        for s in 0..servers {
+            let share = base + u64::from((s as u64) < extra);
+            if share == 0 {
+                continue;
+            }
+            let arrival = self.now;
+            let start = self.server_busy[s].max(arrival);
+            let wait = start - arrival;
+            let dur = self.gamma * share as f64;
+            if start > arrival {
+                self.server_pending[s] += 1;
+            } else {
+                self.server_pending[s] = 0;
+            }
+            self.server_busy[s] = start + dur;
+            let depth = self.server_pending[s];
+            self.metrics
+                .observe_with("sim/ps_service_secs", dur, secs_buckets);
+            self.metrics
+                .observe_with("sim/ps_queue_wait_secs", wait, secs_buckets);
+            self.metrics
+                .observe_with("sim/ps_queue_depth", depth as f64, depth_buckets);
+            self.push(
+                Track::Server(s as u32),
+                EventKind::Service,
+                phase,
+                name,
+                start,
+                dur,
+                share,
+                1,
+                0.0,
+            );
+        }
+    }
+}
+
+fn secs_buckets() -> FixedHistogram {
+    FixedHistogram::log_spaced(1e-9, 1e4, 3)
+}
+
+fn depth_buckets() -> FixedHistogram {
+    FixedHistogram::log_spaced(1.0, 1e4, 3)
+}
+
+fn bytes_buckets() -> FixedHistogram {
+    FixedHistogram::log_spaced(1.0, 1e12, 3)
+}
+
+/// The shared, clonable event bus. One per training run; every recorder,
+/// timer, and collective that should appear in the trace holds a clone.
+#[derive(Debug, Clone)]
+pub struct TraceBus {
+    workers: usize,
+    servers: usize,
+    inner: Arc<Mutex<BusState>>,
+}
+
+impl TraceBus {
+    /// A bus for `workers` workers and `servers` servers under `cost`.
+    /// With `capture == false` only the metrics registry is fed — no events
+    /// are stored (the cheap always-on mode).
+    pub fn new(workers: usize, servers: usize, cost: CostModel, capture: bool) -> Self {
+        TraceBus {
+            workers,
+            servers,
+            inner: Arc::new(Mutex::new(BusState {
+                capture,
+                events: Vec::new(),
+                seq: 0,
+                origin: None,
+                now: 0.0,
+                server_busy: vec![0.0; servers],
+                server_pending: vec![0; servers],
+                gamma: cost.gamma,
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// True when events are being stored (not just metrics).
+    pub fn capturing(&self) -> bool {
+        self.inner.lock().capture
+    }
+
+    /// Declares which worker issues the PS requests that follow
+    /// (`None` → attribute to the net track).
+    pub fn set_worker(&self, worker: Option<u32>) {
+        self.inner.lock().origin = worker;
+    }
+
+    /// A PS request/response as the ledger recorded it. Called by
+    /// `StatsRecorder` for every tagged record, with identical arguments —
+    /// that single funnel is what makes the ledger-sum invariant structural.
+    pub fn on_request(
+        &self,
+        phase: Phase,
+        name: &'static str,
+        bytes: u64,
+        packages: u64,
+        time: SimTime,
+    ) {
+        let mut st = self.inner.lock();
+        let track = match st.origin {
+            Some(w) => Track::Worker(w),
+            None => Track::Net,
+        };
+        let begin = st.now;
+        st.metrics.counter_add("sim/ps_requests", 1);
+        st.metrics
+            .observe_with("sim/ps_request_bytes", bytes as f64, bytes_buckets);
+        st.push(
+            track,
+            EventKind::Request,
+            phase,
+            name,
+            begin,
+            time.0,
+            bytes,
+            packages,
+            0.0,
+        );
+        if st.origin.is_some() {
+            st.serve(phase, name, bytes);
+        }
+        // A request recorded with nonzero simulated time is a synchronous
+        // operation in the barrier model: it, too, advances the clock
+        // (otherwise the next event on the same track would overlap it).
+        st.now += time.0;
+    }
+
+    /// A simulated-time charge: a barrier that advances the global clock.
+    pub fn on_charge(&self, phase: Phase, time: SimTime) {
+        let mut st = self.inner.lock();
+        let begin = st.now;
+        st.push(
+            Track::Net,
+            EventKind::Collective,
+            phase,
+            phase.name(),
+            begin,
+            time.0,
+            0,
+            0,
+            0.0,
+        );
+        st.now += time.0;
+        let now = st.now;
+        // The barrier drains every server queue.
+        for s in 0..st.server_busy.len() {
+            st.server_busy[s] = st.server_busy[s].max(now);
+            st.server_pending[s] = 0;
+        }
+        st.metrics.gauge_set("sim/clock_secs", now);
+    }
+
+    /// An internal collective round (annotation only; no ledger cost).
+    pub fn on_step(&self, phase: Phase, name: &'static str, bytes: u64, packages: u64) {
+        let mut st = self.inner.lock();
+        let begin = st.now;
+        st.push(
+            Track::Net,
+            EventKind::Step,
+            phase,
+            name,
+            begin,
+            0.0,
+            bytes,
+            packages,
+            0.0,
+        );
+    }
+
+    /// A worker phase slice measured on the wall clock.
+    pub fn on_compute(&self, worker: u32, phase: Phase, wall_secs: f64) {
+        let mut st = self.inner.lock();
+        let begin = st.now;
+        st.metrics.observe_with(
+            &format!("wall/phase_secs/{}", phase.name()),
+            wall_secs,
+            secs_buckets,
+        );
+        st.push(
+            Track::Worker(worker),
+            EventKind::Compute,
+            phase,
+            "compute",
+            begin,
+            0.0,
+            0,
+            0,
+            wall_secs,
+        );
+    }
+
+    /// Flat export of the metrics registry (sorted by name).
+    pub fn export_metrics(&self) -> Vec<MetricExport> {
+        self.inner.lock().metrics.export()
+    }
+
+    /// A copy of the events recorded so far (tests, checks).
+    pub fn snapshot_events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Drains the bus into a finished [`Trace`].
+    pub fn finish(&self) -> Trace {
+        let mut st = self.inner.lock();
+        Trace {
+            workers: self.workers,
+            servers: self.servers,
+            events: std::mem::take(&mut st.events),
+        }
+    }
+}
+
+/// A finished event trace for one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Worker count (one track each).
+    pub workers: usize,
+    /// Server count (one track each).
+    pub servers: usize,
+    /// Events in emission (sequence) order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Full Chrome-trace-event JSON, loadable in Perfetto / `chrome://tracing`.
+    ///
+    /// Compute events are rendered with their measured *wall* duration so
+    /// straggler slices are visible; to keep each track's timeline monotone
+    /// the exporter replays events against a per-track wall offset (the sum
+    /// of wall durations already rendered on that track). Timestamps are
+    /// therefore a visualization aid; `args.sim_us`/`args.sim_dur_us` carry
+    /// the exact simulated times. Because wall durations differ across
+    /// reruns, this export is **not** canonical.
+    pub fn chrome_json(&self) -> String {
+        self.chrome_json_impl(true)
+    }
+
+    /// Canonical Chrome-trace-event JSON: pure simulated clock, wall-clock
+    /// annotations omitted. Byte-identical across reruns of the same
+    /// configuration.
+    pub fn canonical_chrome_json(&self) -> String {
+        self.chrome_json_impl(false)
+    }
+
+    fn chrome_json_impl(&self, with_wall: bool) -> String {
+        let mut out = String::with_capacity(256 + self.events.len() * 160);
+        out.push('[');
+        let mut first = true;
+        let mut emit = |s: String, out: &mut String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&s);
+        };
+
+        emit(
+            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"dimboost sim\"}}"
+                .to_string(),
+            &mut out,
+        );
+        for track in self.tracks() {
+            emit(
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    track.tid(),
+                    track.label()
+                ),
+                &mut out,
+            );
+        }
+
+        // Wall replay offsets and the last emitted timestamp, per track.
+        let mut offsets: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        let mut cursor: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        for e in &self.events {
+            let tid = e.track.tid();
+            let offset = if with_wall {
+                *offsets.get(&tid).unwrap_or(&0.0)
+            } else {
+                0.0
+            };
+            let dur = if with_wall && e.kind == EventKind::Compute {
+                e.wall_secs
+            } else {
+                e.sim_dur.0
+            };
+            // Clamp to the track's last timestamp: `(b + off) + d` and
+            // `b + (off + d)` round differently, so without this the next
+            // begin can land one ulp before the previous end.
+            let last = *cursor.get(&tid).unwrap_or(&0.0);
+            let begin_us = ((e.begin.0 + offset) * 1e6).max(last);
+            let end_us = ((e.begin.0 + offset + dur) * 1e6).max(begin_us);
+            cursor.insert(tid, end_us);
+            let mut args = format!(
+                "\"seq\":{},\"kind\":\"{}\",\"phase\":\"{}\",\"bytes\":{},\"packages\":{},\
+                 \"sim_us\":{},\"sim_dur_us\":{}",
+                e.seq,
+                e.kind.name(),
+                e.phase.name(),
+                e.bytes,
+                e.packages,
+                json_num(e.begin.0 * 1e6),
+                json_num(e.sim_dur.0 * 1e6),
+            );
+            if with_wall && e.kind == EventKind::Compute {
+                args.push_str(&format!(",\"wall_ms\":{}", json_num(e.wall_secs * 1e3)));
+            }
+            emit(
+                format!(
+                    "{{\"ph\":\"B\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":0,\"tid\":{},\
+                     \"ts\":{},\"args\":{{{}}}}}",
+                    e.name,
+                    e.phase.name(),
+                    tid,
+                    json_num(begin_us),
+                    args
+                ),
+                &mut out,
+            );
+            emit(
+                format!(
+                    "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{}}}",
+                    tid,
+                    json_num(end_us)
+                ),
+                &mut out,
+            );
+            if with_wall && e.kind == EventKind::Compute {
+                offsets.insert(tid, offset + e.wall_secs);
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Every track that can appear, in stable order: net, workers, servers.
+    pub fn tracks(&self) -> Vec<Track> {
+        let mut tracks = vec![Track::Net];
+        tracks.extend((0..self.workers as u32).map(Track::Worker));
+        tracks.extend((0..self.servers as u32).map(Track::Server));
+        tracks
+    }
+
+    /// Plain-text timeline summary: per-track activity and the head of the
+    /// event stream.
+    pub fn timeline(&self) -> String {
+        let end: f64 = self.events.iter().map(|e| e.end().0).fold(0.0f64, f64::max);
+        let mut out = format!(
+            "trace: {} events, {} workers + {} servers + net, sim clock ends at {:.4}s\n",
+            self.events.len(),
+            self.workers,
+            self.servers,
+            end
+        );
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>12} {:>14}\n",
+            "track", "events", "busy(sim s)", "bytes"
+        ));
+        for track in self.tracks() {
+            let mut n = 0u64;
+            let mut busy = 0.0f64;
+            let mut bytes = 0u64;
+            for e in self.events.iter().filter(|e| e.track == track) {
+                n += 1;
+                busy += e.sim_dur.0;
+                bytes += e.bytes;
+            }
+            if n == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>12.4} {:>14}\n",
+                track.label(),
+                n,
+                busy,
+                bytes
+            ));
+        }
+        let head = 12.min(self.events.len());
+        if head > 0 {
+            out.push_str("first events:\n");
+            for e in &self.events[..head] {
+                out.push_str(&format!(
+                    "  [{:>4}] t={:<10.6} {:<10} {:<15} {:<24} bytes={:<10} dur={:.6}s\n",
+                    e.seq,
+                    e.begin.0,
+                    e.track.label(),
+                    e.phase.name(),
+                    format!("{}:{}", e.kind.name(), e.name),
+                    e.bytes,
+                    e.sim_dur.0
+                ));
+            }
+        }
+        out
+    }
+
+    /// Runs [`validate_events`] over this trace.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_events(&self.events)
+    }
+}
+
+/// Shortest-round-trip JSON number (non-finite values become `null`).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Structural well-formedness of an event stream:
+///
+/// * sequence numbers are exactly `0..n` in order;
+/// * no negative times or durations;
+/// * per track, begin times are non-decreasing and events do not overlap
+///   (every implicit begin has its matching end before the next begin).
+pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
+    let mut last_end: std::collections::HashMap<u64, (f64, f64)> = std::collections::HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.seq != i as u64 {
+            return Err(format!("event {i}: seq {} != position {i}", e.seq));
+        }
+        let bad = |v: f64| v.is_nan() || v < 0.0;
+        if bad(e.begin.0) || bad(e.sim_dur.0) || bad(e.wall_secs) {
+            return Err(format!(
+                "event {i}: negative or NaN time (begin={}, dur={}, wall={})",
+                e.begin.0, e.sim_dur.0, e.wall_secs
+            ));
+        }
+        let tid = e.track.tid();
+        if let Some(&(prev_begin, prev_end)) = last_end.get(&tid) {
+            if e.begin.0 < prev_begin {
+                return Err(format!(
+                    "event {i}: track {} begin {} precedes previous begin {}",
+                    e.track.label(),
+                    e.begin.0,
+                    prev_begin
+                ));
+            }
+            if e.begin.0 < prev_end {
+                return Err(format!(
+                    "event {i}: track {} begin {} overlaps previous end {}",
+                    e.track.label(),
+                    e.begin.0,
+                    prev_end
+                ));
+            }
+        }
+        last_end.insert(tid, (e.begin.0, e.end().0));
+    }
+    Ok(())
+}
+
+/// Folds the ledger-relevant events (Request + Collective) into a
+/// [`CommLedger`] in sequence order. For a trace produced through
+/// `StatsRecorder` this reproduces the recorder's ledger **bit-exactly**:
+/// same per-phase f64 fold order, exact byte/package counts.
+pub fn comm_totals(events: &[TraceEvent]) -> CommLedger {
+    let mut ledger = CommLedger::new();
+    for e in events {
+        if e.kind.counts_toward_ledger() {
+            ledger.record(e.phase, e.bytes, e.packages, e.sim_dur);
+        }
+    }
+    ledger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> TraceBus {
+        TraceBus::new(2, 2, CostModel::GIGABIT_LAN, true)
+    }
+
+    #[test]
+    fn requests_and_charges_build_a_valid_trace() {
+        let b = bus();
+        b.set_worker(Some(0));
+        b.on_request(
+            Phase::BuildHistogram,
+            "push_histogram",
+            4000,
+            2,
+            SimTime::ZERO,
+        );
+        b.set_worker(Some(1));
+        b.on_request(
+            Phase::BuildHistogram,
+            "push_histogram",
+            4000,
+            2,
+            SimTime::ZERO,
+        );
+        b.set_worker(None);
+        b.on_charge(Phase::BuildHistogram, SimTime(0.25));
+        b.on_request(Phase::FindSplit, "pull_split", 96, 2, SimTime::ZERO);
+        b.on_charge(Phase::FindSplit, SimTime(0.05));
+        let trace = b.finish();
+        trace.validate().unwrap();
+        // 2 requests + 2*2 service + 2 charges + 1 net request = 9 events.
+        assert_eq!(trace.events.len(), 9);
+        // The second charge begins where the first ended.
+        let charges: Vec<&TraceEvent> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Collective)
+            .collect();
+        assert_eq!(charges[0].begin, SimTime::ZERO);
+        assert_eq!(charges[1].begin, SimTime(0.25));
+    }
+
+    #[test]
+    fn comm_totals_match_direct_ledger() {
+        let b = bus();
+        let mut direct = CommLedger::new();
+        b.set_worker(Some(0));
+        for i in 0..10u64 {
+            let t = SimTime(i as f64 * 1e-4);
+            b.on_request(Phase::CreateSketch, "push_sketches", 100 + i, 3, t);
+            direct.record(Phase::CreateSketch, 100 + i, 3, t);
+        }
+        b.set_worker(None);
+        b.on_charge(Phase::CreateSketch, SimTime(0.125));
+        direct.record(Phase::CreateSketch, 0, 0, SimTime(0.125));
+        let trace = b.finish();
+        assert_eq!(comm_totals(&trace.events), direct);
+    }
+
+    #[test]
+    fn service_events_queue_behind_busy_servers() {
+        let b = bus();
+        b.set_worker(Some(0));
+        b.on_request(
+            Phase::BuildHistogram,
+            "push_histogram",
+            1_000_000,
+            1,
+            SimTime::ZERO,
+        );
+        b.set_worker(Some(1));
+        b.on_request(
+            Phase::BuildHistogram,
+            "push_histogram",
+            1_000_000,
+            1,
+            SimTime::ZERO,
+        );
+        let trace = b.finish();
+        trace.validate().unwrap();
+        let services: Vec<&TraceEvent> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Service)
+            .collect();
+        assert_eq!(services.len(), 4);
+        // Second request's service on server 0 starts after the first ends.
+        let s0: Vec<&&TraceEvent> = services
+            .iter()
+            .filter(|e| e.track == Track::Server(0))
+            .collect();
+        assert_eq!(s0.len(), 2);
+        assert_eq!(s0[1].begin, s0[0].end());
+        assert!(s0[1].begin.0 > 0.0);
+    }
+
+    #[test]
+    fn canonical_export_is_deterministic_and_omits_wall() {
+        let run = || {
+            let b = bus();
+            b.on_compute(0, Phase::BuildHistogram, 0.123);
+            b.set_worker(Some(0));
+            b.on_request(
+                Phase::BuildHistogram,
+                "push_histogram",
+                64,
+                1,
+                SimTime::ZERO,
+            );
+            b.set_worker(None);
+            b.on_charge(Phase::BuildHistogram, SimTime(0.5));
+            b.finish()
+        };
+        let a = run().canonical_chrome_json();
+        let c = run().canonical_chrome_json();
+        assert_eq!(a, c);
+        assert!(!a.contains("wall_ms"));
+        assert!(a.contains("\"ph\":\"B\""));
+        assert!(a.contains("\"thread_name\""));
+        // The full export carries the wall annotation.
+        assert!(run().chrome_json().contains("wall_ms"));
+    }
+
+    #[test]
+    fn capture_off_records_metrics_but_no_events() {
+        let b = TraceBus::new(1, 1, CostModel::GIGABIT_LAN, false);
+        b.set_worker(Some(0));
+        b.on_request(Phase::FindSplit, "pull_split", 48, 1, SimTime::ZERO);
+        b.on_charge(Phase::FindSplit, SimTime(0.1));
+        assert!(b.finish().events.is_empty());
+        let metrics = b.export_metrics();
+        assert!(metrics.iter().any(|m| m.name == "sim/ps_requests"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order_tracks() {
+        let mk = |seq: u64, begin: f64| TraceEvent {
+            seq,
+            track: Track::Net,
+            kind: EventKind::Collective,
+            phase: Phase::Finish,
+            name: "x",
+            begin: SimTime(begin),
+            sim_dur: SimTime::ZERO,
+            bytes: 0,
+            packages: 0,
+            wall_secs: 0.0,
+        };
+        assert!(validate_events(&[mk(0, 1.0), mk(1, 0.5)]).is_err());
+        assert!(validate_events(&[mk(0, 0.5), mk(1, 1.0)]).is_ok());
+        assert!(validate_events(&[mk(1, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn timeline_names_tracks() {
+        let b = bus();
+        b.set_worker(Some(1));
+        b.on_request(Phase::FindSplit, "pull_split", 480, 10, SimTime::ZERO);
+        b.set_worker(None);
+        b.on_charge(Phase::FindSplit, SimTime(0.01));
+        let t = b.finish().timeline();
+        assert!(t.contains("worker 1"));
+        assert!(t.contains("net"));
+        assert!(t.contains("find_split"));
+    }
+}

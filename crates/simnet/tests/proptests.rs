@@ -3,14 +3,86 @@
 //! ordering claims.
 
 use dimboost_simnet::collectives::{
-    allreduce_binomial, partition_ranges, ps_batch_exchange, reduce_scatter_halving, reduce_to_one,
+    allreduce_binomial, allreduce_binomial_traced, partition_ranges, ps_batch_exchange,
+    ps_batch_exchange_traced, reduce_scatter_halving, reduce_scatter_halving_traced, reduce_to_one,
 };
-use dimboost_simnet::CostModel;
+use dimboost_simnet::trace::{comm_totals, validate_events};
+use dimboost_simnet::{CommLedger, CostModel, Phase, SimTime, TraceBus};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 fn arb_buffers() -> impl Strategy<Value = Vec<Vec<f32>>> {
     (1usize..10, 1usize..80).prop_flat_map(|(w, len)| vec(vec(-100.0f32..100.0, len..=len), w..=w))
+}
+
+const WORKERS: usize = 3;
+const SERVERS: usize = 2;
+
+/// One abstract operation on a [`TraceBus`], the full instrumentation
+/// surface the trainer exercises.
+#[derive(Debug, Clone)]
+enum BusOp {
+    /// `(worker origin, phase index, bytes, packages, sim seconds)`
+    Request(Option<u32>, usize, u64, u64, f64),
+    /// `(phase index, sim seconds)` — a barrier charge.
+    Charge(usize, f64),
+    /// `(phase index, bytes)` — a zero-cost collective annotation.
+    Step(usize, u64),
+    /// `(worker, phase index, wall seconds)` — a compute slice.
+    Compute(u32, usize, f64),
+}
+
+fn arb_bus_ops() -> impl Strategy<Value = Vec<BusOp>> {
+    // `(kind, origin, phase, bytes, packages, secs)` flattened into one
+    // tuple (the shim has no `prop_oneof`): `origin` 0 means "no worker".
+    let op = (
+        0usize..4,
+        0usize..WORKERS + 1,
+        0usize..Phase::COUNT,
+        0u64..1 << 20,
+        1u64..16,
+        0.0f64..0.05,
+    )
+        .prop_map(|(kind, origin, p, bytes, packages, secs)| match kind {
+            0 => BusOp::Request(
+                origin.checked_sub(1).map(|w| w as u32),
+                p,
+                bytes,
+                packages,
+                secs,
+            ),
+            1 => BusOp::Charge(p, secs),
+            2 => BusOp::Step(p, bytes),
+            _ => BusOp::Compute((origin % WORKERS) as u32, p, secs),
+        });
+    vec(op, 0..60)
+}
+
+/// Applies `ops` to the bus and (optionally) mirrors the ledger-visible
+/// subset into a [`CommLedger`] the way `StatsRecorder` would.
+fn apply_ops(bus: &TraceBus, ops: &[BusOp], mut mirror: Option<&mut CommLedger>) {
+    for op in ops {
+        match *op {
+            BusOp::Request(worker, p, bytes, packages, secs) => {
+                let phase = Phase::ALL[p];
+                bus.set_worker(worker);
+                bus.on_request(phase, "op", bytes, packages, SimTime(secs));
+                bus.set_worker(None);
+                if let Some(ledger) = mirror.as_deref_mut() {
+                    ledger.record(phase, bytes, packages, SimTime(secs));
+                }
+            }
+            BusOp::Charge(p, secs) => {
+                let phase = Phase::ALL[p];
+                bus.on_charge(phase, SimTime(secs));
+                if let Some(ledger) = mirror.as_deref_mut() {
+                    ledger.record(phase, 0, 0, SimTime(secs));
+                }
+            }
+            BusOp::Step(p, bytes) => bus.on_step(Phase::ALL[p], "step", bytes, 1),
+            BusOp::Compute(w, p, secs) => bus.on_compute(w, Phase::ALL[p], secs),
+        }
+    }
 }
 
 proptest! {
@@ -81,6 +153,48 @@ proptest! {
         let xgb = m.t_allreduce_binomial(h, w).seconds();
         prop_assert!(dim <= mllib + 1e-9);
         prop_assert!(dim <= xgb + 1e-9);
+    }
+
+    /// Any sequence of bus operations yields a well-formed trace whose
+    /// communication events sum — per phase, bit-exactly — to the ledger a
+    /// direct mirror of the same sequence accumulates. This is the structural
+    /// invariant behind `StatsRecorder`'s single instrumentation funnel.
+    #[test]
+    fn trace_events_well_formed_and_sum_to_ledger(ops in arb_bus_ops()) {
+        let bus = TraceBus::new(WORKERS, SERVERS, CostModel::GIGABIT_LAN, true);
+        let mut mirror = CommLedger::default();
+        apply_ops(&bus, &ops, Some(&mut mirror));
+        let trace = bus.finish();
+        prop_assert!(trace.validate().is_ok(), "{:?}", trace.validate());
+        prop_assert!(validate_events(&trace.events).is_ok());
+        prop_assert_eq!(comm_totals(&trace.events), mirror);
+    }
+
+    /// Replaying the same operation sequence produces a byte-identical
+    /// canonical trace: the export depends only on simulated-clock state.
+    #[test]
+    fn canonical_trace_deterministic(ops in arb_bus_ops()) {
+        let render = || {
+            let bus = TraceBus::new(WORKERS, SERVERS, CostModel::GIGABIT_LAN, true);
+            apply_ops(&bus, &ops, None);
+            bus.finish().canonical_chrome_json()
+        };
+        prop_assert_eq!(render(), render());
+    }
+
+    /// The traced collective variants only add annotation events — the
+    /// resulting stream still validates and charges nothing to the ledger.
+    #[test]
+    fn traced_collectives_are_well_formed(buffers in arb_buffers(), servers in 1usize..6) {
+        let m = CostModel::GIGABIT_LAN;
+        let bus = TraceBus::new(buffers.len(), servers, m, true);
+        let hook = Some((&bus, Phase::BuildHistogram));
+        allreduce_binomial_traced(&buffers, &m, hook);
+        reduce_scatter_halving_traced(&buffers, &m, hook);
+        ps_batch_exchange_traced(&buffers, servers, &m, hook);
+        let trace = bus.finish();
+        prop_assert!(validate_events(&trace.events).is_ok());
+        prop_assert!(comm_totals(&trace.events).total().is_empty());
     }
 
     /// The p-server generalization is monotone: more servers never slow the

@@ -29,6 +29,7 @@ fn main() {
         num_trees: 10,
         max_depth: 5,
         learning_rate: 0.3,
+        collect_trace: true,
         ..GbdtConfig::default()
     };
 
@@ -61,6 +62,21 @@ fn main() {
 
     let err = classification_error(&out.model.predict_dataset(&test), test.labels());
     println!("\ntest error: {err:.4}");
+
+    println!("\nper-phase summary (p50/p99 across workers):");
+    print!("{}", out.report.summary());
+
+    if let Some(trace) = &out.trace {
+        print!("\n{}", trace.timeline());
+        let path = std::env::temp_dir().join("distributed_training.trace.json");
+        match std::fs::write(&path, trace.chrome_json()) {
+            Ok(()) => println!(
+                "wrote {} — load it in Perfetto (ui.perfetto.dev) or chrome://tracing",
+                path.display()
+            ),
+            Err(e) => eprintln!("could not write trace {}: {e}", path.display()),
+        }
+    }
 }
 
 fn human_bytes(b: u64) -> String {

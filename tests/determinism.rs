@@ -40,6 +40,7 @@ fn identical_runs_produce_identical_models_and_reports() {
     };
     config.opts.low_precision = true;
     config.instance_sample_ratio = 0.8;
+    config.collect_trace = true;
     let ps = PsConfig {
         num_servers: 3,
         num_partitions: 0,
@@ -72,6 +73,10 @@ fn identical_runs_produce_identical_models_and_reports() {
     }
     // The canonical JSON document (timings omitted) is byte-identical.
     assert_eq!(a.report.canonical_json(), b.report.canonical_json());
+    // So is the canonical trace: every event runs on the simulated clock,
+    // so reruns replay the same event stream byte for byte.
+    let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    assert_eq!(ta.canonical_chrome_json(), tb.canonical_chrome_json());
 
     // A different seed produces a different run (guards against the
     // stochastic paths silently ignoring the seed).

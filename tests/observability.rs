@@ -1,0 +1,118 @@
+//! Observability guarantees, end to end: the event trace a training run
+//! records must be internally well-formed, agree bit-exactly with the
+//! communication ledger the run reports, and never leave comm in the
+//! legacy untagged bucket. The metrics registry must surface the
+//! deterministic `sim/` percentiles in the run report.
+
+use dimboost::core::{train_distributed, GbdtConfig, TrainOutput};
+use dimboost::data::partition::partition_rows;
+use dimboost::data::synthetic::{generate, SparseGenConfig};
+use dimboost::ps::PsConfig;
+use dimboost::simnet::trace::{comm_totals, validate_events, EventKind};
+use dimboost::simnet::{CostModel, Phase};
+
+fn traced_run() -> TrainOutput {
+    let ds = generate(&SparseGenConfig::new(1_500, 200, 10, 5));
+    let shards = partition_rows(&ds, 3).unwrap();
+    let mut config = GbdtConfig {
+        num_trees: 3,
+        max_depth: 4,
+        num_candidates: 10,
+        collect_trace: true,
+        ..GbdtConfig::default()
+    };
+    // Cover the wire-compression path too: low precision changes what the
+    // ledger records, and the trace must follow it exactly.
+    config.opts.low_precision = true;
+    let ps = PsConfig {
+        num_servers: 2,
+        num_partitions: 0,
+        cost_model: CostModel::GIGABIT_LAN,
+    };
+    train_distributed(&shards, &config, ps).unwrap()
+}
+
+#[test]
+fn trainer_never_uses_the_legacy_other_bucket() {
+    let out = traced_run();
+    // Every recorded event must be phase-attributed: nothing in the report,
+    // and no trace event, may land in `Phase::Other`.
+    assert!(
+        out.report.phase(Phase::Other).is_none(),
+        "report carries an Other-phase bucket: {:?}",
+        out.report.phase(Phase::Other)
+    );
+    let trace = out.trace.as_ref().unwrap();
+    assert!(
+        trace.events.iter().all(|e| e.phase != Phase::Other),
+        "trace contains Other-phase events"
+    );
+}
+
+#[test]
+fn trace_is_well_formed_and_sums_to_the_ledger() {
+    let out = traced_run();
+    let trace = out.trace.as_ref().unwrap();
+    trace.validate().expect("trace must validate");
+    validate_events(&trace.events).expect("event stream must validate");
+
+    // The comm-bearing events fold back to exactly the per-phase ledger the
+    // report carries — same f64 sums, bit for bit, because both sides are
+    // fed by the single StatsRecorder funnel.
+    let totals = comm_totals(&trace.events);
+    assert_eq!(totals.total(), out.report.comm);
+    for p in &out.report.phases {
+        assert_eq!(
+            *totals.phase(p.phase),
+            p.comm,
+            "phase {} disagrees between trace and report",
+            p.phase.name()
+        );
+    }
+
+    // The run exercises every event kind except the legacy bucket.
+    for kind in [
+        EventKind::Compute,
+        EventKind::Request,
+        EventKind::Collective,
+    ] {
+        assert!(
+            trace.events.iter().any(|e| e.kind == kind),
+            "no {} events recorded",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn report_carries_deterministic_percentiles() {
+    let out = traced_run();
+    let names: Vec<&str> = out
+        .report
+        .percentiles
+        .iter()
+        .map(|m| m.name.as_str())
+        .collect();
+    for expected in [
+        "sim/ps_requests",
+        "sim/ps_request_bytes",
+        "sim/ps_service_secs",
+    ] {
+        assert!(names.contains(&expected), "missing metric {expected}");
+    }
+    // Deterministic metrics survive into the canonical document; wall-clock
+    // ones must not (they differ across reruns).
+    let canonical = out.report.canonical_json();
+    assert!(canonical.contains("\"sim/ps_requests\""));
+    assert!(!canonical.contains("\"wall/"));
+    // Histogram percentiles are ordered and bounded by the observed range.
+    for m in &out.report.percentiles {
+        if m.kind == "histogram" && m.count > 0 {
+            assert!(
+                m.min <= m.p50 && m.p50 <= m.p95 && m.p95 <= m.p99 && m.p99 <= m.max,
+                "metric {} has inconsistent percentiles: {m:?}",
+                m.name
+            );
+        }
+    }
+}
