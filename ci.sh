@@ -50,4 +50,40 @@ if "$BIN/report_diff" --quiet "$SMOKE/report_a.json" "$SMOKE/report_lp.json" 2> 
   exit 1
 fi
 
+echo "==> chaos: faults + crash/resume must change timing, never the model"
+cat > "$SMOKE/plan.txt" <<'EOF'
+# Canned chaos: lossy network, a histogram-phase straggler, a server
+# outage window, and a scripted worker crash at round 2.
+seed 77
+drop 0.15
+ack_drop 0.1
+dup 0.1
+straggler worker=1 factor=3.0 phase=build_histogram
+outage server=0 start=0.01 dur=0.05
+crash round=2
+EOF
+# The faulted leg dies at the scripted crash (exit 3, not a real failure)...
+set +e
+"$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_chaos.json" \
+  --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+  --fault-plan "$SMOKE/plan.txt" --checkpoint-dir "$SMOKE/ckpt" > /dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 3 ]; then
+  echo "expected the scripted crash to exit with status 3, got $status" >&2
+  exit 1
+fi
+# ...and resumes from the checkpoint to completion.
+"$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_chaos.json" \
+  --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+  --fault-plan "$SMOKE/plan.txt" --checkpoint-dir "$SMOKE/ckpt" --resume \
+  --report-canonical "$SMOKE/report_chaos.json" \
+  --trace-canonical "$SMOKE/trace_chaos.canonical.json" > /dev/null
+# Exactness invariant: same model bytes as the clean run, and the report
+# agrees on everything but timing and the fault counters.
+cmp "$SMOKE/model_a.json" "$SMOKE/model_chaos.json"
+"$BIN/report_diff" --faults "$SMOKE/report_a.json" "$SMOKE/report_chaos.json"
+"$BIN/trace_check" --workers 3 --servers 2 --expect-faults \
+  "$SMOKE/trace_chaos.canonical.json"
+
 echo "CI green."

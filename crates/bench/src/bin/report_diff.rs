@@ -2,7 +2,7 @@
 //! tolerances — the regression gate `ci.sh` runs over canonical reports.
 //!
 //! ```text
-//! report_diff <a.json> <b.json> [--tolerances <file>] [--strict-wall] [--quiet]
+//! report_diff <a.json> <b.json> [--tolerances <file>] [--strict-wall] [--faults] [--quiet]
 //! ```
 //!
 //! Exit status: 0 when the reports agree (within tolerances), 1 when any
@@ -14,14 +14,19 @@
 //! the last matching rule wins and unmatched fields must match exactly.
 //! Wall-clock fields (`compute*_secs`, `percentiles.wall/*`) are ignored by
 //! default; `--strict-wall` compares them too.
+//!
+//! `--faults` compares a faulted run against a clean baseline: simulated
+//! time, the `faults` counters, and the resume marker are ignored (faults
+//! stretch the clock by design) while bytes, packages, and per-round
+//! telemetry remain strict — the chaos gate `ci.sh` runs.
 
 use std::process::ExitCode;
 
-use dimboost_bench::diff::{default_rules, diff_reports, parse_rules, Rule};
+use dimboost_bench::diff::{default_rules, diff_reports, fault_rules, parse_rules, Rule};
 use dimboost_bench::json;
 
-const USAGE: &str =
-    "usage: report_diff <a.json> <b.json> [--tolerances <file>] [--strict-wall] [--quiet]";
+const USAGE: &str = "usage: report_diff <a.json> <b.json> \
+                     [--tolerances <file>] [--strict-wall] [--faults] [--quiet]";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("report_diff: {msg}");
@@ -34,6 +39,7 @@ fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut tolerance_file: Option<String> = None;
     let mut strict_wall = false;
+    let mut faults = false;
     let mut quiet = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
                 None => return fail("missing value for --tolerances"),
             },
             "--strict-wall" => strict_wall = true,
+            "--faults" => faults = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -61,6 +68,9 @@ fn main() -> ExitCode {
     } else {
         default_rules()
     };
+    if faults {
+        rules.extend(fault_rules());
+    }
     if let Some(path) = &tolerance_file {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,

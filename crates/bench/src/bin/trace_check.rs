@@ -3,17 +3,22 @@
 //! numbers, and (optionally) the expected track layout.
 //!
 //! ```text
-//! trace_check [--workers N] [--servers N] <trace.json>...
+//! trace_check [--workers N] [--servers N] [--expect-faults] <trace.json>...
 //! ```
+//!
+//! `--expect-faults` requires the `faults` lane (fault-injected runs emit
+//! one); without the flag the lane must be absent (clean runs never declare
+//! it).
 //!
 //! Exit status: 0 when every file validates, 1 when any fails, 2 on usage
 //! or I/O errors.
 
 use std::process::ExitCode;
 
-use dimboost_bench::check::{check_chrome_trace, check_track_layout};
+use dimboost_bench::check::{check_chrome_trace, check_fault_track, check_track_layout};
 
-const USAGE: &str = "usage: trace_check [--workers N] [--servers N] <trace.json>...";
+const USAGE: &str =
+    "usage: trace_check [--workers N] [--servers N] [--expect-faults] <trace.json>...";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("trace_check: {msg}");
@@ -26,6 +31,7 @@ fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut workers: Option<usize> = None;
     let mut servers: Option<usize> = None;
+    let mut expect_faults = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -37,6 +43,7 @@ fn main() -> ExitCode {
                 Some(n) => servers = Some(n),
                 None => return fail("--servers needs a count"),
             },
+            "--expect-faults" => expect_faults = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -57,7 +64,8 @@ fn main() -> ExitCode {
         };
         match check_chrome_trace(&text) {
             Ok(stats) => {
-                let layout = check_track_layout(&stats, workers.unwrap_or(0), servers.unwrap_or(0));
+                let layout = check_track_layout(&stats, workers.unwrap_or(0), servers.unwrap_or(0))
+                    .and_then(|()| check_fault_track(&stats, expect_faults));
                 match layout {
                     Ok(()) => println!(
                         "{path}: ok ({} entries, {} intervals, {} tracks)",

@@ -164,6 +164,17 @@ pub fn check_track_layout(
     Ok(())
 }
 
+/// Checks the `faults` lane against expectation: a fault-injected run must
+/// declare it (the plan's effects are visible on the timeline), a clean run
+/// must not (the exporter only declares tracks that carry events).
+pub fn check_fault_track(stats: &TraceStats, expect_faults: bool) -> Result<(), String> {
+    match (stats.has_track("faults"), expect_faults) {
+        (false, true) => Err("missing \"faults\" track (fault plan had no visible effect?)".into()),
+        (true, false) => Err("unexpected \"faults\" track in a clean-run trace".into()),
+        _ => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +217,24 @@ mod tests {
             check_track_layout(&stats, 2, 2).unwrap();
             assert!(check_track_layout(&stats, 3, 2).is_err());
         }
+    }
+
+    #[test]
+    fn fault_track_expectation() {
+        // Clean trace: no faults lane.
+        let stats = check_chrome_trace(&sample_trace_json(true)).unwrap();
+        check_fault_track(&stats, false).unwrap();
+        assert!(check_fault_track(&stats, true).is_err());
+
+        // Faulted trace: the lane appears and is a well-formed track.
+        let bus = TraceBus::new(1, 1, CostModel::GIGABIT_LAN, true);
+        bus.set_worker(Some(0));
+        bus.on_fault(Phase::BuildHistogram, "retry_backoff", SimTime(0.02), 0, 1);
+        bus.set_worker(None);
+        bus.on_charge(Phase::BuildHistogram, SimTime(0.05));
+        let stats = check_chrome_trace(&bus.finish().canonical_chrome_json()).unwrap();
+        check_fault_track(&stats, true).unwrap();
+        assert!(check_fault_track(&stats, false).is_err());
     }
 
     #[test]

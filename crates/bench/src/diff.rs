@@ -125,6 +125,28 @@ pub fn default_rules() -> Vec<Rule> {
     .collect()
 }
 
+/// Rules for comparing a faulted run against a clean baseline: faults must
+/// change *timing only*, never the learned model or the communicated data.
+///
+/// Everything on the simulated clock is ignored (retries and stragglers
+/// legitimately stretch it), as are the fault counters themselves and the
+/// resume marker; bytes, packages, losses, and per-round telemetry stay
+/// under the strict default and must match the clean run exactly.
+pub fn fault_rules() -> Vec<Rule> {
+    [
+        "*sim_time_secs",
+        "percentiles.*",
+        "faults.*",
+        "resumed_from_round",
+    ]
+    .into_iter()
+    .map(|p| Rule {
+        pattern: p.to_string(),
+        tolerance: None,
+    })
+    .collect()
+}
+
 /// Parses a tolerance file: one `<pattern> <tolerance|ignore>` rule per
 /// line, `#` comments, blank lines skipped.
 pub fn parse_rules(text: &str) -> Result<Vec<Rule>, String> {
@@ -385,6 +407,35 @@ mod tests {
         let r = diff_reports(&a, &b, &[]);
         assert_eq!(r.differences.len(), 1);
         assert!(r.differences[0].detail.contains("only in second"));
+    }
+
+    #[test]
+    fn fault_rules_compare_data_but_not_timing() {
+        let clean = parse(
+            r#"{"comm":{"bytes":1000,"packages":8,"sim_time_secs":0.50},
+                "rounds":[{"round":0,"train_loss":0.5}]}"#,
+        )
+        .unwrap();
+        let faulted = parse(
+            r#"{"comm":{"bytes":1000,"packages":8,"sim_time_secs":0.93},
+                "rounds":[{"round":0,"train_loss":0.5}],
+                "faults":{"plan_seed":42,"retries":7},
+                "resumed_from_round":3}"#,
+        )
+        .unwrap();
+        let mut rules = default_rules();
+        rules.extend(fault_rules());
+        let r = diff_reports(&clean, &faulted, &rules);
+        assert!(r.is_match(), "{:?}", r.differences);
+        // A byte difference is still a failure under fault rules.
+        let corrupt = parse(
+            r#"{"comm":{"bytes":1001,"packages":8,"sim_time_secs":0.93},
+                "rounds":[{"round":0,"train_loss":0.5}]}"#,
+        )
+        .unwrap();
+        let r = diff_reports(&clean, &corrupt, &rules);
+        assert_eq!(r.differences.len(), 1);
+        assert_eq!(r.differences[0].path, "comm.bytes");
     }
 
     #[test]

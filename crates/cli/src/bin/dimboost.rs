@@ -11,6 +11,6 @@ fn main() {
     };
     if let Err(e) = dimboost_cli::run(command) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code);
     }
 }

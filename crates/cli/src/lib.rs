@@ -17,7 +17,10 @@ use std::path::PathBuf;
 use dimboost_core::metrics::{
     auc, classification_error, log_loss, multiclass_error, multiclass_log_loss, rmse,
 };
-use dimboost_core::{load_model_file, save_model_file, train_distributed, GbdtConfig, LossKind};
+use dimboost_core::{
+    load_model_file, save_model_file, CheckpointOptions, FaultPlan, GbdtConfig, LossKind,
+    RobustOptions, TrainError,
+};
 use dimboost_data::libsvm::{read_libsvm_file, write_libsvm, LibsvmOptions};
 use dimboost_data::partition::{partition_rows, train_test_split};
 use dimboost_data::synthetic::{generate, SparseGenConfig};
@@ -69,6 +72,14 @@ pub struct TrainArgs {
     /// Write the canonical trace: pure simulated clock, no wall-clock
     /// annotations, byte-identical across reruns.
     pub trace_canonical: Option<PathBuf>,
+    /// Deterministic fault plan file injected into the simulated cluster.
+    pub fault_plan: Option<PathBuf>,
+    /// Directory for the rolling training checkpoint.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in boosting rounds (requires `--checkpoint-dir`).
+    pub checkpoint_every: usize,
+    /// Resume from the checkpoint in `--checkpoint-dir`.
+    pub resume: bool,
     /// Hyper-parameters.
     pub config: GbdtConfig,
 }
@@ -137,13 +148,20 @@ USAGE:
                  [--zero-based] [--default-direction] [--pre-binning]
                  [--hist-subtraction] [--early-stop R] [--report <json>]
                  [--report-canonical <json>] [--trace <json>]
-                 [--trace-canonical <json>]
+                 [--trace-canonical <json>] [--fault-plan <file>]
+                 [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
   dimboost predict --data <libsvm> --model <file> [--output <path>] [--raw]
                  [--zero-based]
   dimboost evaluate --data <libsvm> --model <file> [--zero-based]
   dimboost gen --out <path> --rows N --features M --nnz Z [--seed N]
   dimboost inspect --model <file> [--top N] [--dump-tree I]
   dimboost help
+
+A `--fault-plan` file scripts deterministic faults (stragglers, message
+drops, duplicates, server outages, a crash, permanent worker losses) into
+the simulated cluster; faults change timing only, never the learned model.
+A run that crashes under the plan exits with status 3 after writing its
+checkpoint; rerun with `--resume` to continue it bit-exactly.
 ";
 
 fn take_value<'a>(flag: &str, iter: &mut std::slice::Iter<'a, String>) -> Result<&'a str, String> {
@@ -189,6 +207,10 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
     let mut report_canonical: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut trace_canonical: Option<PathBuf> = None;
+    let mut fault_plan: Option<PathBuf> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every = 1usize;
+    let mut resume = false;
     let mut config = GbdtConfig::default();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -237,6 +259,14 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
             "--trace-canonical" => {
                 trace_canonical = Some(PathBuf::from(take_value(flag, &mut iter)?))
             }
+            "--fault-plan" => fault_plan = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(take_value(flag, &mut iter)?))
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = parse_num(flag, take_value(flag, &mut iter)?)?
+            }
+            "--resume" => resume = true,
             other => return Err(format!("unknown flag {other:?} for train")),
         }
     }
@@ -246,6 +276,12 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
     }
     if early_stop.is_some() && test_fraction <= 0.0 {
         return Err("--early-stop requires --test-fraction > 0".into());
+    }
+    if checkpoint_dir.is_none() && (resume || checkpoint_every != 1) {
+        return Err("--resume and --checkpoint-every require --checkpoint-dir".into());
+    }
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
     }
     Ok(TrainArgs {
         data: data.ok_or("train requires --data")?,
@@ -259,6 +295,10 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
         report_canonical,
         trace,
         trace_canonical,
+        fault_plan,
+        checkpoint_dir,
+        checkpoint_every,
+        resume,
         config,
     })
 }
@@ -363,8 +403,44 @@ fn libsvm_opts(zero_based: bool, num_features: Option<usize>) -> LibsvmOptions {
     }
 }
 
+/// A runtime failure, carrying the process exit status to report.
+///
+/// Most failures exit with status 1; a *simulated* worker crash injected by
+/// a fault plan exits with status 3 so scripts can tell "the run died as
+/// scripted — resume it" apart from a genuine error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError {
+    /// Human-readable message (printed to stderr by the binary).
+    pub message: String,
+    /// Process exit status (1 = error, 3 = simulated crash).
+    pub exit_code: i32,
+}
+
+impl CliError {
+    /// Substring test on the message, mirroring `str::contains` so error
+    /// assertions read the same as they did when `run` returned `String`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.message.contains(needle)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError {
+            message,
+            exit_code: 1,
+        }
+    }
+}
+
 /// Executes a parsed command, writing human-readable output to stdout.
-pub fn run(command: Command) -> Result<(), String> {
+pub fn run(command: Command) -> Result<(), CliError> {
     match command {
         Command::Help => {
             println!("{USAGE}");
@@ -457,16 +533,46 @@ tree {i}:
                 num_partitions: 0,
                 cost_model: CostModel::GIGABIT_LAN,
             };
-            let out = match (&test, args.early_stop) {
-                (Some(test), Some(rounds)) => {
-                    let ev = dimboost_core::EvalOptions {
-                        dataset: test,
-                        early_stopping_rounds: Some(rounds),
-                    };
-                    dimboost_core::train_distributed_with_eval(&shards, &args.config, ps, Some(ev))?
+            let fault_plan = match &args.fault_plan {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("read fault plan {}: {e}", path.display()))?;
+                    Some(
+                        FaultPlan::parse(&text)
+                            .map_err(|e| format!("fault plan {}: {e}", path.display()))?,
+                    )
                 }
-                _ => train_distributed(&shards, &args.config, ps)?,
+                None => None,
             };
+            let checkpoint = args.checkpoint_dir.as_ref().map(|dir| {
+                let mut ck = CheckpointOptions::new(dir.clone());
+                ck.every = args.checkpoint_every;
+                ck
+            });
+            let robust = RobustOptions {
+                fault_plan,
+                checkpoint,
+                resume: args.resume,
+            };
+            let ev = match (&test, args.early_stop) {
+                (Some(test), Some(rounds)) => Some(dimboost_core::EvalOptions {
+                    dataset: test,
+                    early_stopping_rounds: Some(rounds),
+                }),
+                _ => None,
+            };
+            let out =
+                dimboost_core::train_distributed_resilient(&shards, &args.config, ps, ev, &robust)
+                    .map_err(|e| CliError {
+                        message: e.to_string(),
+                        exit_code: match e {
+                            TrainError::Crashed { .. } => 3,
+                            _ => 1,
+                        },
+                    })?;
+            if let Some(round) = out.report.resumed_from_round {
+                println!("resumed from checkpoint at round {round}");
+            }
             if let Some(best) = out.best_iteration {
                 println!(
                     "early stopping: best round {best}, kept {} trees",
@@ -481,6 +587,19 @@ tree {i}:
                 out.breakdown.comm.bytes
             );
             print!("{}", out.report.summary());
+            if let Some(f) = &out.report.faults {
+                println!(
+                    "faults (plan seed {}): {} retries, {} request drops, {} ack drops, \
+                     {} duplicates ({} deduplicated), {} forced deliveries",
+                    f.plan_seed,
+                    f.retries,
+                    f.request_drops,
+                    f.ack_drops,
+                    f.duplicates,
+                    f.dedup_hits,
+                    f.forced_deliveries
+                );
+            }
             // Save the model before the (optional) report: an unwritable
             // report path must not discard the training run's primary
             // artifact.
@@ -988,5 +1107,171 @@ mod tests {
         }))
         .unwrap_err();
         assert!(err.contains("I/O error"), "{err}");
+        assert_eq!(err.exit_code, 1);
+    }
+
+    #[test]
+    fn parses_robustness_flags() {
+        let cmd = parse_args(&strs(&[
+            "train",
+            "--data",
+            "d",
+            "--model",
+            "m",
+            "--fault-plan",
+            "plan.txt",
+            "--checkpoint-dir",
+            "ckpts",
+            "--checkpoint-every",
+            "2",
+            "--resume",
+        ]))
+        .unwrap();
+        let Command::Train(args) = cmd else { panic!() };
+        assert_eq!(args.fault_plan, Some(PathBuf::from("plan.txt")));
+        assert_eq!(args.checkpoint_dir, Some(PathBuf::from("ckpts")));
+        assert_eq!(args.checkpoint_every, 2);
+        assert!(args.resume);
+        // --resume / --checkpoint-every need somewhere to put checkpoints.
+        for extra in [&["--resume"][..], &["--checkpoint-every", "2"][..]] {
+            let mut argv = vec!["train", "--data", "d", "--model", "m"];
+            argv.extend_from_slice(extra);
+            let err = parse_args(&strs(&argv)).unwrap_err();
+            assert!(err.contains("--checkpoint-dir"), "{err}");
+        }
+        assert!(parse_args(&strs(&[
+            "train",
+            "--data",
+            "d",
+            "--model",
+            "m",
+            "--checkpoint-dir",
+            "c",
+            "--checkpoint-every",
+            "0",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn train_with_missing_fault_plan_fails_cleanly() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("dimboost_cli_badplan.libsvm");
+        run(parse_args(&strs(&[
+            "gen",
+            "--out",
+            data.to_str().unwrap(),
+            "--rows",
+            "100",
+            "--features",
+            "20",
+            "--nnz",
+            "4",
+        ]))
+        .unwrap())
+        .unwrap();
+        let err = run(parse_args(&strs(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            dir.join("dimboost_cli_badplan.model").to_str().unwrap(),
+            "--fault-plan",
+            dir.join("dimboost_cli_no_such_plan.txt").to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("read fault plan"), "{err}");
+        assert_eq!(err.exit_code, 1);
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn end_to_end_crash_and_resume_matches_clean_run() {
+        let dir = std::env::temp_dir().join("dimboost_cli_crash_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.libsvm");
+        let clean_model = dir.join("clean.model");
+        let faulted_model = dir.join("faulted.model");
+        let plan = dir.join("plan.txt");
+        let ckpts = dir.join("ckpts");
+
+        run(parse_args(&strs(&[
+            "gen",
+            "--out",
+            data.to_str().unwrap(),
+            "--rows",
+            "400",
+            "--features",
+            "60",
+            "--nnz",
+            "6",
+            "--seed",
+            "11",
+        ]))
+        .unwrap())
+        .unwrap();
+
+        let train_argv = |model: &std::path::Path, extra: &[&str]| {
+            let mut argv = vec![
+                "train".to_string(),
+                "--data".into(),
+                data.to_str().unwrap().into(),
+                "--model".into(),
+                model.to_str().unwrap().into(),
+                "--trees".into(),
+                "5".into(),
+                "--depth".into(),
+                "3".into(),
+                "--workers".into(),
+                "2".into(),
+                "--seed".into(),
+                "7".into(),
+            ];
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            parse_args(&argv).unwrap()
+        };
+
+        // Reference: uninterrupted run, no faults.
+        run(train_argv(&clean_model, &[])).unwrap();
+
+        // Faulted run: drops + a straggler + a scripted crash at round 3.
+        std::fs::write(
+            &plan,
+            "seed 42\ndrop 0.2\nack_drop 0.1\ndup 0.1\n\
+             straggler worker=1 factor=2.5 phase=build_histogram\n\
+             crash round=3\n",
+        )
+        .unwrap();
+        let plan_s = plan.to_str().unwrap();
+        let ckpt_s = ckpts.to_str().unwrap();
+        let err = run(train_argv(
+            &faulted_model,
+            &["--fault-plan", plan_s, "--checkpoint-dir", ckpt_s],
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code, 3, "{err}");
+        assert!(err.contains("simulated worker crash at round 3"), "{err}");
+
+        // Resume from the crash-time checkpoint under the same fault plan.
+        run(train_argv(
+            &faulted_model,
+            &[
+                "--fault-plan",
+                plan_s,
+                "--checkpoint-dir",
+                ckpt_s,
+                "--resume",
+            ],
+        ))
+        .unwrap();
+
+        // Exactness invariant: faults + crash + resume change timing only,
+        // never the learned model.
+        let clean = std::fs::read(&clean_model).unwrap();
+        let faulted = std::fs::read(&faulted_model).unwrap();
+        assert_eq!(clean, faulted, "faulted model diverged from clean run");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,638 @@
+//! Trainer checkpoints: everything needed to resume a crashed distributed
+//! run and continue it **bit-exactly**.
+//!
+//! A checkpoint captures, after boosting round `next_round − 1`:
+//!
+//! * a fingerprint of the run (seed, tree budget, loss, learning rate,
+//!   feature count, worker count, per-shard row counts) so a resume against
+//!   the wrong config or data fails loudly instead of silently diverging;
+//! * the partial model (embedded in the [`crate::model_io`] format);
+//! * every worker's RNG state (the xoshiro256++ words), so feature
+//!   subsampling and stochastic rounding continue the exact same streams;
+//! * the per-phase communication ledger, so resumed reports account for the
+//!   whole logical run;
+//! * the per-feature split candidates (skipping the sketch phases on
+//!   resume keeps candidate proposal — and therefore every split — exactly
+//!   reproducible);
+//! * the loss/eval curves, early-stopping cursor, and per-round telemetry.
+//!
+//! Worker predictions are *not* stored: they are recomputed from the
+//! partial model, which reproduces the incremental updates bit-exactly
+//! because both sum the same trees in the same order per class column.
+//!
+//! The on-disk format is little-endian with a magic + version header, in
+//! the same defensive style as [`crate::model_io`]: every length is bounds-
+//! checked, so a truncated or corrupt checkpoint degrades to a typed error.
+//! [`TrainCheckpoint::save_to_dir`] writes to a temporary file and renames
+//! it into place, so a crash mid-write can never clobber the previous good
+//! checkpoint.
+
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use dimboost_simnet::{CommLedger, Phase, SimTime};
+use dimboost_sketch::SplitCandidates;
+
+use crate::model::GbdtModel;
+use crate::model_io::{self, ModelIoError};
+use crate::report::{NodeInstances, RoundRecord};
+use crate::trainer::LossPoint;
+
+const MAGIC: &[u8; 8] = b"DIMBCKPT";
+const VERSION: u32 = 1;
+
+/// File name of the rolling checkpoint inside a checkpoint directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+
+/// Errors from checkpoint (de)serialization and resume validation.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input does not start with the checkpoint magic.
+    BadMagic,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u32),
+    /// Structurally invalid content.
+    Corrupt(String),
+    /// The checkpoint was taken under a different config or data layout
+    /// than the resuming run.
+    ConfigMismatch(String),
+    /// The embedded model failed to decode.
+    Model(ModelIoError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a DimBoost checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CheckpointError::ConfigMismatch(msg) => {
+                write!(f, "checkpoint does not match this run: {msg}")
+            }
+            CheckpointError::Model(e) => write!(f, "embedded model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<ModelIoError> for CheckpointError {
+    fn from(e: ModelIoError) -> Self {
+        CheckpointError::Model(e)
+    }
+}
+
+/// Identity of a training run for resume validation: a checkpoint may only
+/// be resumed by a run with the identical fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointFingerprint {
+    /// Master training seed.
+    pub seed: u64,
+    /// Total boosting rounds the run was configured for.
+    pub num_trees: u64,
+    /// Loss tag byte (the [`crate::model_io`] encoding).
+    pub loss_tag: u8,
+    /// Class count (1 for scalar losses).
+    pub loss_classes: u32,
+    /// Learning-rate bits (compared bit-exactly).
+    pub learning_rate_bits: u32,
+    /// Global feature count.
+    pub num_features: u64,
+    /// Worker (shard) count.
+    pub workers: u32,
+    /// Instance rows per shard, in shard order.
+    pub shard_rows: Vec<u64>,
+}
+
+impl CheckpointFingerprint {
+    /// Checks that `other` (the resuming run) matches this checkpoint,
+    /// naming the first mismatching field.
+    pub fn ensure_matches(&self, other: &CheckpointFingerprint) -> Result<(), CheckpointError> {
+        macro_rules! check {
+            ($field:ident) => {
+                if self.$field != other.$field {
+                    return Err(CheckpointError::ConfigMismatch(format!(
+                        "{} differs: checkpoint {:?} vs run {:?}",
+                        stringify!($field),
+                        self.$field,
+                        other.$field
+                    )));
+                }
+            };
+        }
+        check!(seed);
+        check!(num_trees);
+        check!(loss_tag);
+        check!(loss_classes);
+        check!(learning_rate_bits);
+        check!(num_features);
+        check!(workers);
+        check!(shard_rows);
+        Ok(())
+    }
+}
+
+/// When and where the trainer writes checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Directory the rolling [`CHECKPOINT_FILE`] is written into (created
+    /// if absent).
+    pub dir: PathBuf,
+    /// Write a checkpoint after every `every` completed rounds (≥ 1).
+    pub every: usize,
+}
+
+impl CheckpointOptions {
+    /// Checkpoint into `dir` after every round.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every: 1,
+        }
+    }
+}
+
+/// A complete resumable snapshot of a distributed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Run identity for resume validation.
+    pub fingerprint: CheckpointFingerprint,
+    /// The next boosting round to execute (rounds `0..next_round` are in
+    /// the model).
+    pub next_round: usize,
+    /// The partial model after round `next_round − 1`.
+    pub model: GbdtModel,
+    /// Per-worker RNG states, in shard order.
+    pub rng_states: Vec<[u64; 4]>,
+    /// Communication ledger accumulated so far.
+    pub ledger: CommLedger,
+    /// Per-feature split candidates proposed by the sketch phases.
+    pub candidates: Vec<SplitCandidates>,
+    /// Training-loss curve so far.
+    pub loss_curve: Vec<LossPoint>,
+    /// Per-round telemetry so far.
+    pub rounds: Vec<RoundRecord>,
+    /// Eval-loss curve so far (empty when the run has no eval set).
+    pub eval_curve: Vec<LossPoint>,
+    /// Best eval loss seen (`f64::INFINITY` when none).
+    pub best_eval_loss: f64,
+    /// Round of the best eval loss.
+    pub best_iteration: Option<usize>,
+}
+
+fn need(bytes: &Bytes, n: usize) -> Result<(), CheckpointError> {
+    if bytes.remaining() < n {
+        Err(CheckpointError::Corrupt("unexpected end of input".into()))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_len(bytes: &mut Bytes, what: &str, cap: usize) -> Result<usize, CheckpointError> {
+    need(bytes, 8)?;
+    let n = bytes.get_u64_le();
+    if n as usize > cap {
+        return Err(CheckpointError::Corrupt(format!(
+            "implausible {what} count {n}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+impl TrainCheckpoint {
+    /// Serializes the checkpoint to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let model_blob = model_io::model_to_bytes(&self.model);
+        let mut buf = BytesMut::with_capacity(512 + model_blob.len());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+
+        let fp = &self.fingerprint;
+        buf.put_u64_le(fp.seed);
+        buf.put_u64_le(fp.num_trees);
+        buf.put_u8(fp.loss_tag);
+        buf.put_u32_le(fp.loss_classes);
+        buf.put_u32_le(fp.learning_rate_bits);
+        buf.put_u64_le(fp.num_features);
+        buf.put_u32_le(fp.workers);
+        buf.put_u64_le(fp.shard_rows.len() as u64);
+        for &rows in &fp.shard_rows {
+            buf.put_u64_le(rows);
+        }
+
+        buf.put_u64_le(self.next_round as u64);
+        buf.put_u64_le(model_blob.len() as u64);
+        buf.put_slice(&model_blob);
+
+        buf.put_u64_le(self.rng_states.len() as u64);
+        for state in &self.rng_states {
+            for &w in state {
+                buf.put_u64_le(w);
+            }
+        }
+
+        for phase in Phase::ALL {
+            let c = self.ledger.phase(phase);
+            buf.put_u64_le(c.bytes);
+            buf.put_u64_le(c.packages);
+            buf.put_f64_le(c.sim_time.seconds());
+        }
+
+        buf.put_u64_le(self.candidates.len() as u64);
+        for cand in &self.candidates {
+            buf.put_u32_le(cand.splits().len() as u32);
+            for &s in cand.splits() {
+                buf.put_f32_le(s);
+            }
+        }
+
+        buf.put_u64_le(self.loss_curve.len() as u64);
+        for p in &self.loss_curve {
+            put_loss_point(&mut buf, p);
+        }
+
+        buf.put_u64_le(self.rounds.len() as u64);
+        for r in &self.rounds {
+            buf.put_u64_le(r.round as u64);
+            buf.put_u64_le(r.trees as u64);
+            buf.put_f64_le(r.train_loss);
+            buf.put_f64_le(r.compute_secs);
+            buf.put_u64_le(r.hist_bytes_raw);
+            buf.put_u64_le(r.hist_bytes_wire);
+            buf.put_f32_le(r.max_quant_scale);
+            buf.put_u32_le(r.split_gains.len() as u32);
+            for &g in &r.split_gains {
+                buf.put_f32_le(g);
+            }
+            buf.put_u32_le(r.node_instances.len() as u32);
+            for n in &r.node_instances {
+                buf.put_u32_le(n.node);
+                buf.put_u64_le(n.instances);
+            }
+        }
+
+        buf.put_u64_le(self.eval_curve.len() as u64);
+        for p in &self.eval_curve {
+            put_loss_point(&mut buf, p);
+        }
+        buf.put_f64_le(self.best_eval_loss);
+        match self.best_iteration {
+            Some(round) => {
+                buf.put_u8(1);
+                buf.put_u64_le(round as u64);
+            }
+            None => {
+                buf.put_u8(0);
+                buf.put_u64_le(0);
+            }
+        }
+
+        buf.freeze()
+    }
+
+    /// Deserializes a checkpoint, validating structure (including the
+    /// embedded model).
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, CheckpointError> {
+        need(&bytes, 8)?;
+        let mut magic = [0u8; 8];
+        bytes.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        need(&bytes, 4)?;
+        let version = bytes.get_u32_le();
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+
+        need(&bytes, 8 + 8 + 1 + 4 + 4 + 8 + 4)?;
+        let seed = bytes.get_u64_le();
+        let num_trees = bytes.get_u64_le();
+        let loss_tag = bytes.get_u8();
+        let loss_classes = bytes.get_u32_le();
+        let learning_rate_bits = bytes.get_u32_le();
+        let num_features = bytes.get_u64_le();
+        let workers = bytes.get_u32_le();
+        let n_shards = get_len(&mut bytes, "shard", 1 << 20)?;
+        need(&bytes, n_shards * 8)?;
+        let shard_rows = (0..n_shards).map(|_| bytes.get_u64_le()).collect();
+        let fingerprint = CheckpointFingerprint {
+            seed,
+            num_trees,
+            loss_tag,
+            loss_classes,
+            learning_rate_bits,
+            num_features,
+            workers,
+            shard_rows,
+        };
+
+        need(&bytes, 8)?;
+        let next_round = bytes.get_u64_le() as usize;
+        need(&bytes, 8)?;
+        let model_len = bytes.get_u64_le() as usize;
+        need(&bytes, model_len)?;
+        let model = model_io::model_from_bytes(bytes.split_to(model_len))?;
+
+        let n_rng = get_len(&mut bytes, "rng state", 1 << 20)?;
+        need(&bytes, n_rng * 32)?;
+        let rng_states = (0..n_rng)
+            .map(|_| {
+                let mut s = [0u64; 4];
+                for w in &mut s {
+                    *w = bytes.get_u64_le();
+                }
+                s
+            })
+            .collect();
+
+        let mut ledger = CommLedger::new();
+        for phase in Phase::ALL {
+            need(&bytes, 8 + 8 + 8)?;
+            let b = bytes.get_u64_le();
+            let p = bytes.get_u64_le();
+            let t = bytes.get_f64_le();
+            if !t.is_finite() || t < 0.0 {
+                return Err(CheckpointError::Corrupt(format!(
+                    "bad sim time {t} for phase {}",
+                    phase.name()
+                )));
+            }
+            ledger.record(phase, b, p, SimTime(t));
+        }
+
+        let n_cand = get_len(&mut bytes, "candidate", 1 << 28)?;
+        let mut candidates = Vec::with_capacity(n_cand);
+        for _ in 0..n_cand {
+            need(&bytes, 4)?;
+            let n = bytes.get_u32_le() as usize;
+            need(&bytes, n * 4)?;
+            let splits: Vec<f32> = (0..n).map(|_| bytes.get_f32_le()).collect();
+            // `from_boundaries` re-derives the zero bucket from the splits,
+            // so the rebuilt candidates are identical to the originals.
+            candidates.push(SplitCandidates::from_boundaries(splits));
+        }
+
+        let n_loss = get_len(&mut bytes, "loss point", 1 << 24)?;
+        let mut loss_curve = Vec::with_capacity(n_loss);
+        for _ in 0..n_loss {
+            loss_curve.push(get_loss_point(&mut bytes)?);
+        }
+
+        let n_rounds = get_len(&mut bytes, "round", 1 << 24)?;
+        let mut rounds = Vec::with_capacity(n_rounds);
+        for _ in 0..n_rounds {
+            need(&bytes, 8 + 8 + 8 + 8 + 8 + 8 + 4 + 4)?;
+            let mut r = RoundRecord::new(bytes.get_u64_le() as usize);
+            r.trees = bytes.get_u64_le() as usize;
+            r.train_loss = bytes.get_f64_le();
+            r.compute_secs = bytes.get_f64_le();
+            r.hist_bytes_raw = bytes.get_u64_le();
+            r.hist_bytes_wire = bytes.get_u64_le();
+            r.max_quant_scale = bytes.get_f32_le();
+            let n_gains = bytes.get_u32_le() as usize;
+            need(&bytes, n_gains * 4 + 4)?;
+            r.split_gains = (0..n_gains).map(|_| bytes.get_f32_le()).collect();
+            let n_nodes = bytes.get_u32_le() as usize;
+            need(&bytes, n_nodes * 12)?;
+            r.node_instances = (0..n_nodes)
+                .map(|_| NodeInstances {
+                    node: bytes.get_u32_le(),
+                    instances: bytes.get_u64_le(),
+                })
+                .collect();
+            rounds.push(r);
+        }
+
+        let n_eval = get_len(&mut bytes, "eval point", 1 << 24)?;
+        let mut eval_curve = Vec::with_capacity(n_eval);
+        for _ in 0..n_eval {
+            eval_curve.push(get_loss_point(&mut bytes)?);
+        }
+        need(&bytes, 8 + 1 + 8)?;
+        let best_eval_loss = bytes.get_f64_le();
+        let has_best = bytes.get_u8();
+        let best_round = bytes.get_u64_le() as usize;
+        let best_iteration = match has_best {
+            0 => None,
+            1 => Some(best_round),
+            t => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "unknown best-iteration flag {t}"
+                )))
+            }
+        };
+
+        Ok(TrainCheckpoint {
+            fingerprint,
+            next_round,
+            model,
+            rng_states,
+            ledger,
+            candidates,
+            loss_curve,
+            rounds,
+            eval_curve,
+            best_eval_loss,
+            best_iteration,
+        })
+    }
+
+    /// Atomically writes the rolling checkpoint into `dir` (created if
+    /// absent): the bytes land in a temporary file first and are renamed
+    /// over [`CHECKPOINT_FILE`], so an interrupted write never destroys
+    /// the previous checkpoint. Returns the final path.
+    pub fn save_to_dir(&self, dir: &Path) -> Result<PathBuf, CheckpointError> {
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        let path = dir.join(CHECKPOINT_FILE);
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads the rolling checkpoint from `dir`.
+    pub fn load_from_dir(dir: &Path) -> Result<Self, CheckpointError> {
+        let path = dir.join(CHECKPOINT_FILE);
+        let raw = std::fs::read(&path)?;
+        Self::from_bytes(Bytes::from(raw))
+    }
+}
+
+fn put_loss_point(buf: &mut BytesMut, p: &LossPoint) {
+    buf.put_u64_le(p.tree as u64);
+    buf.put_f64_le(p.train_loss);
+    buf.put_f64_le(p.elapsed_secs);
+}
+
+fn get_loss_point(bytes: &mut Bytes) -> Result<LossPoint, CheckpointError> {
+    need(bytes, 8 + 8 + 8)?;
+    Ok(LossPoint {
+        tree: bytes.get_u64_le() as usize,
+        train_loss: bytes.get_f64_le(),
+        elapsed_secs: bytes.get_f64_le(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::train_single_machine;
+    use crate::GbdtConfig;
+    use dimboost_data::synthetic::{generate, SparseGenConfig};
+
+    fn sample_checkpoint() -> TrainCheckpoint {
+        let ds = generate(&SparseGenConfig::new(400, 40, 8, 7));
+        let cfg = GbdtConfig {
+            num_trees: 2,
+            max_depth: 3,
+            ..GbdtConfig::default()
+        };
+        let model = train_single_machine(&ds, &cfg).unwrap();
+        let mut ledger = CommLedger::new();
+        ledger.record(Phase::BuildHistogram, 1234, 8, SimTime(0.5));
+        ledger.record(Phase::FindSplit, 96, 2, SimTime(0.0625));
+        let mut round = RoundRecord::new(0);
+        round.trees = 1;
+        round.train_loss = 0.5;
+        round.split_gains = vec![1.5, 0.25];
+        round.node_instances = vec![NodeInstances {
+            node: 0,
+            instances: 400,
+        }];
+        TrainCheckpoint {
+            fingerprint: CheckpointFingerprint {
+                seed: 42,
+                num_trees: 5,
+                loss_tag: 0,
+                loss_classes: 1,
+                learning_rate_bits: 0.1f32.to_bits(),
+                num_features: 40,
+                workers: 3,
+                shard_rows: vec![134, 133, 133],
+            },
+            next_round: 2,
+            model,
+            rng_states: vec![[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12]],
+            ledger,
+            candidates: vec![
+                SplitCandidates::from_boundaries(vec![-1.0, 0.5, 2.0]),
+                SplitCandidates::from_boundaries(vec![0.25]),
+            ],
+            loss_curve: vec![LossPoint {
+                tree: 1,
+                train_loss: 0.5,
+                elapsed_secs: 0.1,
+            }],
+            rounds: vec![round],
+            eval_curve: vec![LossPoint {
+                tree: 1,
+                train_loss: 0.625,
+                elapsed_secs: 0.1,
+            }],
+            best_eval_loss: 0.625,
+            best_iteration: Some(0),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ck = sample_checkpoint();
+        let back = TrainCheckpoint::from_bytes(ck.to_bytes()).unwrap();
+        assert_eq!(ck, back);
+        // Ledger sim times survive bit-exactly.
+        assert_eq!(
+            ck.ledger.phase(Phase::BuildHistogram).sim_time.seconds(),
+            back.ledger.phase(Phase::BuildHistogram).sim_time.seconds()
+        );
+    }
+
+    #[test]
+    fn dir_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join("dimboost_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let ck = sample_checkpoint();
+        let path = ck.save_to_dir(&dir).unwrap();
+        assert!(path.ends_with(CHECKPOINT_FILE));
+        assert!(!dir.join(format!("{CHECKPOINT_FILE}.tmp")).exists());
+        // A second save overwrites the first in place.
+        let mut ck2 = ck.clone();
+        ck2.next_round = 3;
+        ck2.save_to_dir(&dir).unwrap();
+        let back = TrainCheckpoint::load_from_dir(&dir).unwrap();
+        assert_eq!(back, ck2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let err = TrainCheckpoint::from_bytes(Bytes::from_static(b"NOTACKPTmore")).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic));
+        let bytes = sample_checkpoint().to_bytes();
+        for frac in 1..8 {
+            let cut = bytes.len() * frac / 8;
+            let err = TrainCheckpoint::from_bytes(bytes.slice(0..cut)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Corrupt(_)
+                        | CheckpointError::BadMagic
+                        | CheckpointError::Model(_)
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut raw = sample_checkpoint().to_bytes().to_vec();
+        raw[8] = 77;
+        let err = TrainCheckpoint::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, CheckpointError::UnsupportedVersion(77)));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_names_field() {
+        let fp = sample_checkpoint().fingerprint;
+        let mut other = fp.clone();
+        other.seed = 99;
+        let err = fp.ensure_matches(&other).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        let mut other = fp.clone();
+        other.shard_rows = vec![1];
+        let err = fp.ensure_matches(&other).unwrap_err();
+        assert!(err.to_string().contains("shard_rows"), "{err}");
+        assert!(fp.ensure_matches(&fp.clone()).is_ok());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = CheckpointError::ConfigMismatch("workers differ".into());
+        assert!(e.to_string().contains("workers differ"));
+        let io = CheckpointError::from(std::io::Error::other("x"));
+        assert!(std::error::Error::source(&io).is_some());
+        let m = CheckpointError::from(ModelIoError::BadMagic);
+        assert!(std::error::Error::source(&m).is_some());
+    }
+}

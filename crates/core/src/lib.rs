@@ -23,6 +23,8 @@
 //! Table 3 ablation benchmark flips one flag at a time.
 
 pub mod binned;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+pub mod checkpoint;
 pub mod config;
 pub mod cv;
 pub mod hist_build;
@@ -30,6 +32,7 @@ pub mod loss;
 pub mod meta;
 pub mod metrics;
 pub mod model;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod model_io;
 pub mod node_index;
 pub mod parallel;
@@ -38,6 +41,9 @@ pub mod scheduler;
 pub mod trainer;
 pub mod tree;
 
+pub use checkpoint::{
+    CheckpointError, CheckpointFingerprint, CheckpointOptions, TrainCheckpoint, CHECKPOINT_FILE,
+};
 pub use config::{GbdtConfig, LossKind, Optimizations};
 pub use cv::{cross_validate, CvResult};
 pub use loss::{loss_for, GradPair, Loss};
@@ -48,8 +54,9 @@ pub use node_index::NodeIndex;
 pub use report::{NodeInstances, PhaseReport, RoundRecord, RunReport, SpanTimer};
 pub use scheduler::RoundRobinScheduler;
 pub use trainer::{
-    train_distributed, train_distributed_continue, train_distributed_with_eval,
-    train_single_machine, EvalOptions, LossPoint, RunBreakdown, TrainOutput,
+    train_distributed, train_distributed_continue, train_distributed_resilient,
+    train_distributed_with_eval, train_single_machine, EvalOptions, LossPoint, RobustOptions,
+    RunBreakdown, TrainError, TrainOutput,
 };
 pub use tree::{Node, Tree};
 
@@ -59,4 +66,6 @@ pub use dimboost_ps::{NodeSplit, SplitParams};
 
 // Re-export the simnet observability types surfaced by `TrainOutput` and
 // `RunReport` so consumers need not depend on the simnet crate directly.
-pub use dimboost_simnet::{MetricExport, Trace, TraceBus, TraceEvent};
+pub use dimboost_simnet::{
+    FaultPlan, FaultSession, FaultSummary, MetricExport, Trace, TraceBus, TraceEvent,
+};

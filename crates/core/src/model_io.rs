@@ -59,7 +59,8 @@ impl From<std::io::Error> for ModelIoError {
 }
 
 /// Loss encoding: a tag byte plus a class-count word (1 for scalar losses).
-fn loss_tag(kind: LossKind) -> (u8, u32) {
+/// Shared with the checkpoint format.
+pub(crate) fn loss_tag(kind: LossKind) -> (u8, u32) {
     match kind {
         LossKind::Logistic => (0, 1),
         LossKind::Square => (1, 1),
@@ -67,7 +68,7 @@ fn loss_tag(kind: LossKind) -> (u8, u32) {
     }
 }
 
-fn loss_from_tag(tag: u8, classes: u32) -> Result<LossKind, ModelIoError> {
+pub(crate) fn loss_from_tag(tag: u8, classes: u32) -> Result<LossKind, ModelIoError> {
     match tag {
         0 => Ok(LossKind::Logistic),
         1 => Ok(LossKind::Square),

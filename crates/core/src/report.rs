@@ -20,7 +20,7 @@
 use std::time::Instant;
 
 use dimboost_simnet::registry::MetricExport;
-use dimboost_simnet::{CommLedger, CommStats, FixedHistogram, Phase, TraceBus};
+use dimboost_simnet::{CommLedger, CommStats, FaultSummary, FixedHistogram, Phase, TraceBus};
 
 /// Accumulates per-phase, per-worker wall-clock seconds.
 ///
@@ -225,6 +225,14 @@ pub struct RunReport {
     /// metrics appear in the canonical document; wall-clock `wall/` metrics
     /// only in the full one.
     pub percentiles: Vec<MetricExport>,
+    /// Fault-injection summary when the run executed under a
+    /// [`dimboost_simnet::FaultPlan`]; `None` (and omitted from JSON) for
+    /// clean runs. All fields land on the simulated clock, so the section
+    /// is deterministic across reruns of the same plan.
+    pub faults: Option<FaultSummary>,
+    /// The boosting round this run resumed from when it was restored from
+    /// a checkpoint; `None` (omitted from JSON) for uninterrupted runs.
+    pub resumed_from_round: Option<usize>,
 }
 
 impl RunReport {
@@ -277,6 +285,8 @@ impl RunReport {
             phases,
             rounds,
             percentiles,
+            faults: None,
+            resumed_from_round: None,
         }
     }
 
@@ -416,7 +426,47 @@ impl RunReport {
             push_field(&mut out, "p99", &fmt_f64(m.p99), false);
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(f) = &self.faults {
+            out.push_str(",\"faults\":{");
+            push_field(&mut out, "plan_seed", &f.plan_seed.to_string(), true);
+            push_field(
+                &mut out,
+                "request_drops",
+                &f.request_drops.to_string(),
+                false,
+            );
+            push_field(&mut out, "ack_drops", &f.ack_drops.to_string(), false);
+            push_field(&mut out, "duplicates", &f.duplicates.to_string(), false);
+            push_field(&mut out, "dedup_hits", &f.dedup_hits.to_string(), false);
+            push_field(&mut out, "retries", &f.retries.to_string(), false);
+            push_field(
+                &mut out,
+                "forced_deliveries",
+                &f.forced_deliveries.to_string(),
+                false,
+            );
+            push_field(&mut out, "backoff_secs", &fmt_f64(f.backoff_secs), false);
+            push_field(
+                &mut out,
+                "straggler_secs",
+                &fmt_f64(f.straggler_secs),
+                false,
+            );
+            push_field(
+                &mut out,
+                "outage_wait_secs",
+                &fmt_f64(f.outage_wait_secs),
+                false,
+            );
+            push_field(&mut out, "crashes", &f.crashes.to_string(), false);
+            push_field(&mut out, "workers_lost", &f.workers_lost.to_string(), false);
+            out.push('}');
+        }
+        if let Some(round) = self.resumed_from_round {
+            push_field(&mut out, "resumed_from_round", &round.to_string(), false);
+        }
+        out.push('}');
         out
     }
 
@@ -639,6 +689,33 @@ mod tests {
         let json = report.json();
         assert!(json.contains("compute_p50_secs"));
         assert!(json.contains("compute_p99_secs"));
+    }
+
+    #[test]
+    fn faults_section_appears_only_when_present() {
+        let clean = sample_report();
+        assert!(!clean.json().contains("\"faults\""));
+        assert!(!clean.canonical_json().contains("resumed_from_round"));
+
+        let mut faulted = clean.clone();
+        faulted.faults = Some(FaultSummary {
+            plan_seed: 42,
+            request_drops: 3,
+            retries: 4,
+            backoff_secs: 0.125,
+            ..FaultSummary::default()
+        });
+        faulted.resumed_from_round = Some(2);
+        for json in [faulted.json(), faulted.canonical_json()] {
+            assert!(json.contains("\"faults\":{\"plan_seed\":42,"), "{json}");
+            assert!(json.contains("\"request_drops\":3"));
+            assert!(json.contains("\"backoff_secs\":0.125"));
+            assert!(json.contains("\"resumed_from_round\":2"));
+            assert!(json.ends_with('}'));
+            for (open, close) in [('{', '}'), ('[', ']')] {
+                assert_eq!(json.matches(open).count(), json.matches(close).count());
+            }
+        }
     }
 
     #[test]

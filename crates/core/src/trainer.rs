@@ -9,6 +9,9 @@
 //! the Table 1 cost formulas. Every optimization of Sections 5–6 is a
 //! config toggle so the Table 3 ablation can enable them one at a time.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -16,19 +19,118 @@ use dimboost_data::Dataset;
 use dimboost_ps::quantize::quantize_row;
 use dimboost_ps::split::{best_split_in_range, FinalSplit, PullSplitResult, SplitDecision};
 use dimboost_ps::{ParameterServer, PsConfig};
-use dimboost_simnet::{CommStats, Phase, SimTime, Trace, TraceBus};
+use dimboost_simnet::fault::LossPolicy;
+use dimboost_simnet::{CommStats, FaultPlan, FaultSession, Phase, SimTime, Trace, TraceBus};
 use dimboost_sketch::{propose_candidates, GkSketch, SplitCandidates};
 
+use crate::checkpoint::{
+    CheckpointError, CheckpointFingerprint, CheckpointOptions, TrainCheckpoint,
+};
 use crate::config::{GbdtConfig, LossKind};
 use crate::hist_build::build_row;
 use crate::loss::{loss_for, softmax_grads, softmax_loss, GradPair, Loss};
 use crate::meta::FeatureMeta;
 use crate::model::GbdtModel;
+use crate::model_io;
 use crate::node_index::NodeIndex;
 use crate::parallel::{build_row_batched, BatchConfig};
 use crate::report::{NodeInstances, RoundRecord, RunReport, SpanTimer};
 use crate::scheduler::RoundRobinScheduler;
 use crate::tree::Tree;
+
+/// Errors from the resilient training entry points.
+///
+/// The legacy `Result<_, String>` entry points flatten this through
+/// [`std::fmt::Display`]; [`TrainError::Invalid`] displays as just its
+/// message so those callers see the exact strings they always did.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Invalid configuration or input data.
+    Invalid(String),
+    /// The fault plan's simulated crash fired. When the run was
+    /// checkpointing, `checkpoint` names the directory-resident snapshot a
+    /// `--resume` run can continue from.
+    Crashed {
+        /// Boosting round at which the crash fired (no work from this
+        /// round is in the checkpoint).
+        round: usize,
+        /// Path of the checkpoint written at crash time, if any.
+        checkpoint: Option<PathBuf>,
+    },
+    /// A worker was permanently lost under [`LossPolicy::Abort`].
+    WorkerLost {
+        /// The lost worker's shard id.
+        worker: u32,
+        /// Round at which the loss fired.
+        round: usize,
+    },
+    /// Checkpoint I/O, decoding, or fingerprint validation failed.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Invalid(msg) => write!(f, "{msg}"),
+            TrainError::Crashed { round, checkpoint } => {
+                write!(f, "simulated worker crash at round {round}")?;
+                match checkpoint {
+                    Some(path) => write!(f, " (checkpoint at {})", path.display()),
+                    None => write!(f, " (no checkpoint was configured)"),
+                }
+            }
+            TrainError::WorkerLost { worker, round } => {
+                write!(
+                    f,
+                    "worker {worker} permanently lost at round {round} (policy: abort)"
+                )
+            }
+            TrainError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<String> for TrainError {
+    fn from(msg: String) -> Self {
+        TrainError::Invalid(msg)
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> TrainError {
+    TrainError::Invalid(msg.into())
+}
+
+/// Robustness configuration for [`train_distributed_resilient`]: an
+/// optional deterministic fault plan plus checkpoint/resume settings.
+#[derive(Debug, Clone, Default)]
+pub struct RobustOptions {
+    /// Deterministic fault plan injected into the run (stragglers, message
+    /// drops/duplicates, outages, a scripted crash, permanent worker
+    /// losses). `None` runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// Where and how often to write rolling checkpoints. `None` disables
+    /// checkpointing (and makes `resume` invalid).
+    pub checkpoint: Option<CheckpointOptions>,
+    /// Resume from the rolling checkpoint in `checkpoint.dir` instead of
+    /// starting from round 0. The checkpoint's fingerprint must match the
+    /// run exactly.
+    pub resume: bool,
+}
 
 /// Where a training run spent its time.
 #[derive(Debug, Clone, Copy, Default)]
@@ -50,7 +152,7 @@ impl RunBreakdown {
 
 /// One point of the convergence curve (Figure 12's right-hand plots),
 /// recorded once per boosting round.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LossPoint {
     /// Trees in the ensemble when the point was recorded.
     pub tree: usize,
@@ -156,7 +258,25 @@ pub fn train_distributed_with_eval(
     ps_config: PsConfig,
     eval: Option<EvalOptions<'_>>,
 ) -> Result<TrainOutput, String> {
-    train_impl(shards, config, ps_config, eval, None)
+    train_impl(shards, config, ps_config, eval, None, None).map_err(|e| e.to_string())
+}
+
+/// [`train_distributed_with_eval`] under a robustness harness: deterministic
+/// fault injection, rolling checkpoints, and checkpoint-resume.
+///
+/// The exactness invariant (tested): a fault plan changes only *timing* —
+/// the learned model, the logical communication ledger (bytes/packages per
+/// phase), and the loss curves are bit-identical to the fault-free run with
+/// the same seed. Likewise a run resumed from a checkpoint finishes with a
+/// model bit-identical to the uninterrupted run.
+pub fn train_distributed_resilient(
+    shards: &[Dataset],
+    config: &GbdtConfig,
+    ps_config: PsConfig,
+    eval: Option<EvalOptions<'_>>,
+    robust: &RobustOptions,
+) -> Result<TrainOutput, TrainError> {
+    train_impl(shards, config, ps_config, eval, None, Some(robust))
 }
 
 /// Warm start: continues boosting on top of an existing model, appending
@@ -192,7 +312,59 @@ pub fn train_distributed_continue(
         ));
     }
     init.check_consistency()?;
-    train_impl(shards, config, ps_config, eval, Some(init))
+    train_impl(shards, config, ps_config, eval, Some(init), None).map_err(|e| e.to_string())
+}
+
+/// Builds the fingerprint identifying this run for checkpoint validation.
+fn fingerprint_for(config: &GbdtConfig, shards: &[Dataset]) -> CheckpointFingerprint {
+    let (loss_tag, loss_classes) = model_io::loss_tag(config.loss);
+    CheckpointFingerprint {
+        seed: config.seed,
+        num_trees: config.num_trees as u64,
+        loss_tag,
+        loss_classes,
+        learning_rate_bits: config.learning_rate.to_bits(),
+        num_features: shards.first().map_or(0, |s| s.num_features()) as u64,
+        workers: shards.len() as u32,
+        shard_rows: shards.iter().map(|s| s.num_rows() as u64).collect(),
+    }
+}
+
+/// Snapshots the run into a resumable checkpoint after round `next_round − 1`.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_checkpoint(
+    fingerprint: &CheckpointFingerprint,
+    next_round: usize,
+    trees: &[Tree],
+    config: &GbdtConfig,
+    num_features: usize,
+    workers: &[Worker],
+    ledger: dimboost_simnet::CommLedger,
+    candidates: &[SplitCandidates],
+    loss_curve: &[LossPoint],
+    rounds: &[RoundRecord],
+    eval_curve: &[LossPoint],
+    best_eval_loss: f64,
+    best_iteration: Option<usize>,
+) -> TrainCheckpoint {
+    TrainCheckpoint {
+        fingerprint: fingerprint.clone(),
+        next_round,
+        model: GbdtModel::new(
+            trees.to_vec(),
+            config.learning_rate,
+            config.loss,
+            num_features,
+        ),
+        rng_states: workers.iter().map(|wk| wk.rng.state()).collect(),
+        ledger,
+        candidates: candidates.to_vec(),
+        loss_curve: loss_curve.to_vec(),
+        rounds: rounds.to_vec(),
+        eval_curve: eval_curve.to_vec(),
+        best_eval_loss,
+        best_iteration,
+    }
 }
 
 fn train_impl(
@@ -201,18 +373,70 @@ fn train_impl(
     ps_config: PsConfig,
     eval: Option<EvalOptions<'_>>,
     init: Option<&GbdtModel>,
-) -> Result<TrainOutput, String> {
+    robust: Option<&RobustOptions>,
+) -> Result<TrainOutput, TrainError> {
     config.validate()?;
     if shards.is_empty() {
-        return Err("need at least one worker shard".into());
+        return Err(invalid("need at least one worker shard"));
     }
     let num_features = shards[0].num_features();
     if shards.iter().any(|s| s.num_features() != num_features) {
-        return Err("all shards must share the same dimensionality".into());
+        return Err(invalid("all shards must share the same dimensionality"));
     }
     let total_instances: usize = shards.iter().map(|s| s.num_rows()).sum();
     if total_instances == 0 {
-        return Err("cannot train on zero instances".into());
+        return Err(invalid("cannot train on zero instances"));
+    }
+
+    // ---- Robustness harness: fault session, checkpointing, resume. -------
+    let fault_session: Option<Arc<FaultSession>> = robust
+        .and_then(|r| r.fault_plan.as_ref())
+        .map(|plan| FaultSession::new(plan.clone()));
+    let checkpoint_opts = robust.and_then(|r| r.checkpoint.as_ref());
+    let resume_ck: Option<TrainCheckpoint> = match robust {
+        Some(r) if r.resume => {
+            let opts = r
+                .checkpoint
+                .as_ref()
+                .ok_or_else(|| invalid("resume requires a checkpoint directory"))?;
+            if init.is_some() {
+                return Err(invalid("resume cannot be combined with warm start"));
+            }
+            let ck = TrainCheckpoint::load_from_dir(&opts.dir)?;
+            ck.fingerprint
+                .ensure_matches(&fingerprint_for(config, shards))?;
+            if ck.rng_states.len() != shards.len() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "checkpoint has {} RNG states for {} workers",
+                    ck.rng_states.len(),
+                    shards.len()
+                ))
+                .into());
+            }
+            if ck.next_round > config.num_trees {
+                return Err(invalid(format!(
+                    "checkpoint is ahead of the run: next round {} of {}",
+                    ck.next_round, config.num_trees
+                )));
+            }
+            Some(ck)
+        }
+        _ => None,
+    };
+    let resumed_from: Option<usize> = resume_ck.as_ref().map(|ck| ck.next_round);
+    let start_round = resumed_from.unwrap_or(0);
+    // A warm model to recompute per-instance scores from: either an explicit
+    // warm start or the partial model inside the checkpoint. Recomputation
+    // is bit-exact because `predict_scores` sums the same trees in the same
+    // per-class order as the incremental updates did.
+    let warm: Option<&GbdtModel> = init.or(resume_ck.as_ref().map(|ck| &ck.model));
+    if let (Some(session), Some(start)) = (&fault_session, resumed_from) {
+        // Workers redistributed before the crash stay lost in the resumed run.
+        for spec in &session.plan().losses {
+            if spec.round < start && matches!(spec.policy, LossPolicy::Redistribute) {
+                session.mark_lost(spec.worker);
+            }
+        }
     }
 
     let w = shards.len();
@@ -251,16 +475,53 @@ fn train_impl(
     // off it still aggregates metrics percentiles, just no event log.
     let bus = TraceBus::new(w, ps_config.num_servers, cost, config.collect_trace);
     ps.attach_trace(bus.clone());
+    if let Some(session) = &fault_session {
+        ps.attach_faults(session.clone());
+    }
+    if let Some(ck) = &resume_ck {
+        // The resumed report accounts for the whole logical run: absorb the
+        // pre-crash ledger before any new charges land.
+        ps.recorder().preload(&ck.ledger);
+    }
+    // Tags PS interactions with the issuing worker on both the trace bus
+    // and the fault session (per-worker message sequence numbers).
+    let set_worker = |worker: Option<u32>| {
+        bus.set_worker(worker);
+        if let Some(session) = &fault_session {
+            session.set_worker(worker);
+        }
+    };
+    // Charges a phase-tagged communication time, dilated by any live
+    // stragglers (and by permanent worker losses under the redistribute
+    // policy: survivors carry the lost shard's traffic on their links).
+    // Dilation adds simulated *time* only — bytes and packages stay
+    // identical to the fault-free run, preserving the exactness invariant.
+    let charge = |phase: Phase, time: SimTime| {
+        ps.charge(phase, time);
+        if let Some(session) = &fault_session {
+            let dilation = session.dilation(phase);
+            if dilation > 1.0 {
+                let extra = time.seconds() * (dilation - 1.0);
+                session.add_straggler_secs(extra);
+                ps.recorder()
+                    .fault_event(phase, "straggler_dilation", SimTime(extra), 0, 1);
+                ps.charge(phase, SimTime(extra));
+            }
+        }
+    };
     let mut timer = SpanTimer::new(w);
     timer.attach_trace(bus.clone());
-    let mut rounds: Vec<RoundRecord> = Vec::with_capacity(config.num_trees);
+    let mut rounds: Vec<RoundRecord> = match &resume_ck {
+        Some(ck) => ck.rounds.clone(),
+        None => Vec::with_capacity(config.num_trees),
+    };
 
     let mut workers: Vec<Worker> = shards
         .iter()
         .enumerate()
         .map(|(i, s)| Worker {
             shard_id: i,
-            preds: match init {
+            preds: match warm {
                 Some(model) => {
                     let mut preds = Vec::with_capacity(s.num_rows() * k);
                     for (row, _) in s.iter_rows() {
@@ -275,58 +536,86 @@ fn train_impl(
             index: NodeIndex::new(s.num_rows(), 0),
             binned: None,
             sample_mask: None,
-            rng: StdRng::seed_from_u64(config.seed ^ ((i as u64 + 1) << 32)),
+            rng: match &resume_ck {
+                // Feature subsampling and stochastic rounding continue the
+                // exact streams the checkpointed run was drawing from.
+                Some(ck) => StdRng::from_state(ck.rng_states[i]),
+                None => StdRng::seed_from_u64(config.seed ^ ((i as u64 + 1) << 32)),
+            },
         })
         .collect();
 
-    // ---- CREATE_SKETCH: local sketches pushed to the PS. -----------------
-    // Budget the rank error for the PS-side balanced merge of w sketches.
-    let worker_eps = config.sketch_eps / ((w as f64).log2() + 2.0).max(2.0);
-    let locals = timer.phase(Phase::CreateSketch, &mut workers, |wk| {
-        build_local_sketches(&shards[wk.shard_id], num_features, worker_eps)
-    });
-    let mut sketch_bytes = 0usize;
-    for (wi, mut local) in locals.into_iter().enumerate() {
-        bus.set_worker(Some(wi as u32));
-        sketch_bytes += local.iter_mut().map(|s| s.wire_bytes()).sum::<usize>();
-        ps.push_sketches(local);
-    }
-    bus.set_worker(None);
-    if w > 1 {
-        ps.charge(
-            Phase::CreateSketch,
-            cost.t_ps_exchange_p(sketch_bytes / w.max(1), w, ps_config.num_servers),
-        );
-    }
+    let candidates: Vec<SplitCandidates> = match &resume_ck {
+        // The sketch phases already ran before the crash — their traffic is
+        // in the preloaded ledger. Reusing the checkpointed candidates keeps
+        // candidate proposal (and so every split) exactly reproducible.
+        Some(ck) => ck.candidates.clone(),
+        None => {
+            // ---- CREATE_SKETCH: local sketches pushed to the PS. ---------
+            // Budget the rank error for the PS-side balanced merge of w
+            // sketches.
+            let worker_eps = config.sketch_eps / ((w as f64).log2() + 2.0).max(2.0);
+            let locals = timer.phase(Phase::CreateSketch, &mut workers, |wk| {
+                build_local_sketches(&shards[wk.shard_id], num_features, worker_eps)
+            });
+            let mut sketch_bytes = 0usize;
+            for (wi, mut local) in locals.into_iter().enumerate() {
+                set_worker(Some(wi as u32));
+                sketch_bytes += local.iter_mut().map(|s| s.wire_bytes()).sum::<usize>();
+                ps.push_sketches(local);
+            }
+            set_worker(None);
+            if w > 1 {
+                charge(
+                    Phase::CreateSketch,
+                    cost.t_ps_exchange_p(sketch_bytes / w.max(1), w, ps_config.num_servers),
+                );
+            }
 
-    // ---- PULL_SKETCH: merged sketches -> split candidates per feature. ---
-    let mut merged = ps.pull_sketches();
-    if w > 1 {
-        let merged_bytes: usize = merged.iter_mut().map(|s| s.wire_bytes()).sum();
-        // All workers pull in parallel over their own links.
-        ps.charge(
-            Phase::PullSketch,
-            SimTime(cost.alpha + merged_bytes as f64 * cost.beta),
-        );
-    }
-    let candidates: Vec<SplitCandidates> = merged
-        .iter_mut()
-        .map(|s| propose_candidates(s, config.num_candidates))
-        .collect();
+            // ---- PULL_SKETCH: merged sketches -> candidates per feature. -
+            let mut merged = ps.pull_sketches();
+            if w > 1 {
+                let merged_bytes: usize = merged.iter_mut().map(|s| s.wire_bytes()).sum();
+                // All workers pull in parallel over their own links.
+                charge(
+                    Phase::PullSketch,
+                    SimTime(cost.alpha + merged_bytes as f64 * cost.beta),
+                );
+            }
+            merged
+                .iter_mut()
+                .map(|s| propose_candidates(s, config.num_candidates))
+                .collect()
+        }
+    };
 
-    let mut trees: Vec<Tree> = match init {
+    let mut trees: Vec<Tree> = match warm {
         Some(model) => model.trees().to_vec(),
         None => Vec::with_capacity(config.num_trees),
     };
-    let init_trees = trees.len();
-    let mut loss_curve = Vec::with_capacity(config.num_trees);
-    let mut eval_curve = Vec::new();
+    // Early-stopping truncation keeps `init_trees` plus whole rounds. A
+    // resumed run's trees all belong to the run itself, so the cursor stays
+    // at zero there (only an explicit warm start offsets it).
+    let init_trees = match init {
+        Some(model) => model.num_trees(),
+        None => 0,
+    };
+    let mut loss_curve = match &resume_ck {
+        Some(ck) => ck.loss_curve.clone(),
+        None => Vec::with_capacity(config.num_trees),
+    };
+    let mut eval_curve = match &resume_ck {
+        Some(ck) => ck.eval_curve.clone(),
+        None => Vec::new(),
+    };
     let mut eval_preds: Vec<f32> = match &eval {
         Some(ev) => {
             if ev.dataset.num_features() != num_features {
-                return Err("eval set dimensionality does not match training data".into());
+                return Err(invalid(
+                    "eval set dimensionality does not match training data",
+                ));
             }
-            match init {
+            match warm {
                 Some(model) => {
                     let mut preds = Vec::with_capacity(ev.dataset.num_rows() * k);
                     for (row, _) in ev.dataset.iter_rows() {
@@ -339,10 +628,77 @@ fn train_impl(
         }
         None => Vec::new(),
     };
-    let mut best_eval_loss = f64::INFINITY;
-    let mut best_iteration: Option<usize> = None;
+    let mut best_eval_loss = match &resume_ck {
+        Some(ck) => ck.best_eval_loss,
+        None => f64::INFINITY,
+    };
+    let mut best_iteration: Option<usize> = match &resume_ck {
+        Some(ck) => ck.best_iteration,
+        None => None,
+    };
 
-    for round in 0..config.num_trees {
+    let fingerprint = fingerprint_for(config, shards);
+    for round in start_round..config.num_trees {
+        // ---- Scripted faults that fire at round boundaries. ---------------
+        if let Some(session) = &fault_session {
+            // The crash fires only on a fresh (non-resumed) run: the resumed
+            // run is the recovery from exactly this crash.
+            if resumed_from.is_none() && session.plan().crash_round == Some(round) {
+                session.on_crash();
+                ps.recorder()
+                    .fault_event(Phase::NewTree, "crash", SimTime::ZERO, 0, 1);
+                let checkpoint = match checkpoint_opts {
+                    Some(opts) => {
+                        // Force a crash-time checkpoint regardless of the
+                        // cadence, so recovery loses no completed round.
+                        let ck = snapshot_checkpoint(
+                            &fingerprint,
+                            round,
+                            &trees,
+                            config,
+                            num_features,
+                            &workers,
+                            ps.comm_ledger(),
+                            &candidates,
+                            &loss_curve,
+                            &rounds,
+                            &eval_curve,
+                            best_eval_loss,
+                            best_iteration,
+                        );
+                        Some(ck.save_to_dir(&opts.dir)?)
+                    }
+                    None => None,
+                };
+                return Err(TrainError::Crashed { round, checkpoint });
+            }
+            for spec in &session.plan().losses {
+                if spec.round == round && !session.is_lost(spec.worker) {
+                    match spec.policy {
+                        LossPolicy::Abort => {
+                            return Err(TrainError::WorkerLost {
+                                worker: spec.worker,
+                                round,
+                            })
+                        }
+                        LossPolicy::Redistribute => {
+                            // The lost shard is re-read by the survivors; the
+                            // logical computation (and so the model) is
+                            // unchanged, but every communication phase
+                            // dilates — see `FaultSession::dilation`.
+                            session.mark_lost(spec.worker);
+                            ps.recorder().fault_event(
+                                Phase::NewTree,
+                                "worker_lost",
+                                SimTime::ZERO,
+                                0,
+                                1,
+                            );
+                        }
+                    }
+                }
+            }
+        }
         timer.begin_round(round);
         let mut record = RoundRecord::new(round);
         // ---- Round gradients for every class (softmax computes each
@@ -500,7 +856,7 @@ fn train_impl(
                 let mut pushed_bytes_per_worker = 0usize;
                 let mut node_counts = vec![0u64; build_nodes.len()];
                 for (wk, rows) in workers.iter_mut().zip(local_rows) {
-                    bus.set_worker(Some(wk.shard_id as u32));
+                    set_worker(Some(wk.shard_id as u32));
                     for (pos, (node, row, count)) in rows.into_iter().enumerate() {
                         node_counts[pos] += count;
                         record.hist_bytes_raw += 4 * row.len() as u64;
@@ -522,7 +878,7 @@ fn train_impl(
                         }
                     }
                 }
-                bus.set_worker(None);
+                set_worker(None);
                 for (pos, &node) in build_nodes.iter().enumerate() {
                     record.node_instances.push(NodeInstances {
                         node,
@@ -530,7 +886,7 @@ fn train_impl(
                     });
                 }
                 if w > 1 {
-                    ps.charge(
+                    charge(
                         Phase::BuildHistogram,
                         cost.t_ps_exchange_p(
                             pushed_bytes_per_worker * build_nodes.len(),
@@ -549,7 +905,7 @@ fn train_impl(
 
                 // ---- FIND_SPLIT: scheduled workers pull splits & publish. -------
                 for (pos, &node) in active.iter().enumerate() {
-                    bus.set_worker(Some(scheduler.worker_for(pos) as u32));
+                    set_worker(Some(scheduler.worker_for(pos) as u32));
                     let result: PullSplitResult = if config.opts.two_phase_split {
                         ps.pull_split(node, &params)
                     } else {
@@ -577,7 +933,7 @@ fn train_impl(
                         total_h: result.total_h,
                     });
                 }
-                bus.set_worker(None);
+                set_worker(None);
                 if w > 1 {
                     let per_node_pull = if config.opts.two_phase_split {
                         // p O(1)-sized replies fetched in one batch.
@@ -589,9 +945,9 @@ fn train_impl(
                         )
                     };
                     let pulls = scheduler.max_load(active.len()) as f64;
-                    ps.charge(Phase::FindSplit, SimTime(pulls * per_node_pull.seconds()));
+                    charge(Phase::FindSplit, SimTime(pulls * per_node_pull.seconds()));
                     // Publishing decisions: tiny messages, serialized per worker.
-                    ps.charge(
+                    charge(
                         Phase::FindSplit,
                         SimTime(pulls * (cost.alpha + 64.0 * cost.beta)),
                     );
@@ -600,7 +956,7 @@ fn train_impl(
                 // ---- SPLIT_TREE --------------------------------------------------
                 let decisions = ps.pull_decisions(&active);
                 if w > 1 {
-                    ps.charge(
+                    charge(
                         Phase::SplitTree,
                         SimTime(cost.alpha + (64 * active.len()) as f64 * cost.beta),
                     );
@@ -712,7 +1068,7 @@ fn train_impl(
         let train_loss = worker_losses.iter().sum::<f64>() / total_instances as f64;
         if w > 1 {
             // Loss aggregation: w tiny messages.
-            ps.charge(
+            charge(
                 Phase::Finish,
                 SimTime(cost.alpha + 8.0 * w as f64 * cost.beta),
             );
@@ -765,6 +1121,28 @@ fn train_impl(
                 }
             }
         }
+
+        // ---- Rolling checkpoint (atomic tmp + rename). ---------------------
+        if let Some(opts) = checkpoint_opts {
+            if (round + 1) % opts.every.max(1) == 0 {
+                let ck = snapshot_checkpoint(
+                    &fingerprint,
+                    round + 1,
+                    &trees,
+                    config,
+                    num_features,
+                    &workers,
+                    ps.comm_ledger(),
+                    &candidates,
+                    &loss_curve,
+                    &rounds,
+                    &eval_curve,
+                    best_eval_loss,
+                    best_iteration,
+                );
+                ck.save_to_dir(&opts.dir)?;
+            }
+        }
     }
 
     // ---- FINISH -------------------------------------------------------------
@@ -782,7 +1160,7 @@ fn train_impl(
         compute_secs: timer.total_secs(),
         comm: ledger.total(),
     };
-    let report = RunReport::assemble_with_metrics(
+    let mut report = RunReport::assemble_with_metrics(
         w,
         ps_config.num_servers,
         &timer,
@@ -790,6 +1168,8 @@ fn train_impl(
         rounds,
         bus.export_metrics(),
     );
+    report.faults = fault_session.as_ref().map(|s| s.summary());
+    report.resumed_from_round = resumed_from;
     let trace = config.collect_trace.then(|| bus.finish());
     Ok(TrainOutput {
         model,

@@ -67,22 +67,16 @@ pub fn read_csv<R: Read>(reader: R, opts: CsvOptions) -> Result<Dataset, DataErr
                 ),
             });
         }
-        let b = match &mut builder {
-            Some(b) => {
-                if fields.len() != expected_fields {
-                    return Err(DataError::Parse {
-                        line: line_no + 1,
-                        message: format!("expected {expected_fields} fields, got {}", fields.len()),
-                    });
-                }
-                b
-            }
-            None => {
-                expected_fields = fields.len();
-                builder = Some(DatasetBuilder::new(expected_fields - 1));
-                builder.as_mut().expect("just set")
-            }
-        };
+        if builder.is_none() {
+            // First data row fixes the schema.
+            expected_fields = fields.len();
+        } else if fields.len() != expected_fields {
+            return Err(DataError::Parse {
+                line: line_no + 1,
+                message: format!("expected {expected_fields} fields, got {}", fields.len()),
+            });
+        }
+        let b = builder.get_or_insert_with(|| DatasetBuilder::new(expected_fields - 1));
 
         let raw_label: f32 = fields[opts.label_column]
             .parse()

@@ -16,10 +16,12 @@
 //! All randomness is seeded (`StdRng`), so every generator and split is
 //! reproducible bit-for-bit.
 
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod csv;
 mod dataset;
 mod error;
 mod instance;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod libsvm;
 pub mod partition;
 pub mod synthetic;

@@ -1,7 +1,9 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use dimboost_simnet::fault::{Fate, FaultSession, MAX_ATTEMPTS};
 use dimboost_simnet::{CommLedger, CommStats, CostModel, Phase, SimTime, StatsRecorder, TraceBus};
 use dimboost_sketch::GkSketch;
 
@@ -72,6 +74,11 @@ pub struct ParameterServer {
     /// `SpFeat` + `SpVal` + `SpGain`: published split decisions.
     decisions: Mutex<HashMap<u32, SplitDecision>>,
     recorder: StatsRecorder,
+    /// Fault-injection session; `None` runs the happy path untouched.
+    faults: Mutex<Option<Arc<FaultSession>>>,
+    /// Per-worker message sequence ids already applied — the server-side
+    /// deduplication set that makes retried pushes idempotent.
+    applied: Mutex<HashSet<(u32, u64)>>,
 }
 
 impl ParameterServer {
@@ -87,6 +94,8 @@ impl ParameterServer {
             hist: RwLock::new(None),
             decisions: Mutex::new(HashMap::new()),
             recorder: StatsRecorder::new(),
+            faults: Mutex::new(None),
+            applied: Mutex::new(HashSet::new()),
         }
     }
 
@@ -127,6 +136,120 @@ impl ParameterServer {
         self.recorder.attach_trace(bus);
     }
 
+    // ---- fault-injection resilience ----------------------------------------
+
+    /// Subjects every subsequent worker-originated push/pull to the
+    /// session's fault plan (drops, duplications, outages), recovered by
+    /// the retry loop in [`ParameterServer::resilient`].
+    pub fn attach_faults(&self, session: Arc<FaultSession>) {
+        *self.faults.lock() = Some(session);
+    }
+
+    /// First-apply gate: returns `true` exactly once per `(worker, seq)`.
+    /// Sequence ids are monotone per worker and never reused, so a retried
+    /// or duplicated message can never merge twice.
+    fn mark_applied(&self, worker: u32, seq: u64) -> bool {
+        self.applied.lock().insert((worker, seq))
+    }
+
+    /// Runs one logical worker→server operation under the fault plan:
+    /// timeout + exponential backoff with deterministic jitter on loss, and
+    /// exactly-once application via server-side sequence-id deduplication.
+    ///
+    /// The exactness invariant lives here: `apply` runs exactly once no
+    /// matter how the message is dropped, duplicated, or reordered by
+    /// retries, so the ledger records each logical op once and the merged
+    /// state is bit-identical to a clean run. All recovery overhead
+    /// (outage waits, timeouts, backoff delays) is charged to `phase` as
+    /// pure simulated time. Lost *replies* are modelled as the server
+    /// caching the reply per sequence id and resending it on retry, so a
+    /// pull is never recomputed or recharged either.
+    fn resilient<R>(&self, phase: Phase, apply: impl FnOnce() -> R) -> R {
+        let session = self.faults.lock().clone();
+        let (session, worker) = match session {
+            Some(s) => match s.current_worker() {
+                Some(w) if s.plan().perturbs_messages() => (s, w),
+                _ => return apply(),
+            },
+            None => return apply(),
+        };
+        let plan = session.plan();
+        let seq = session.next_seq(worker);
+
+        // Transient partition unavailability: the op blocks until every
+        // outage window covering the current simulated instant has passed.
+        let now = self.recorder.ledger().total().sim_time.seconds();
+        let wait = plan.outage_wait(now);
+        if wait > 0.0 {
+            session.add_outage_wait_secs(wait);
+            self.recorder
+                .fault_event(phase, "outage_wait", SimTime(wait), 0, 1);
+            self.recorder.charge(phase, SimTime(wait));
+        }
+
+        let mut apply = Some(apply);
+        let mut result: Option<R> = None;
+        // Delivers one copy to the server: applies the op on the first
+        // delivery of this seq, absorbs every later copy via the dedup set.
+        let mut deliver = || {
+            if self.mark_applied(worker, seq) {
+                let f = apply.take().expect("op applies exactly once");
+                result = Some(f());
+            } else {
+                session.on_dedup_hit();
+                self.recorder
+                    .fault_event(phase, "dedup_hit", SimTime::ZERO, 0, 1);
+            }
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            let fate = if attempt >= MAX_ATTEMPTS {
+                // The network "heals": force delivery so runs terminate.
+                session.on_forced_delivery();
+                self.recorder
+                    .fault_event(phase, "forced_delivery", SimTime::ZERO, 0, 1);
+                Fate::Deliver
+            } else {
+                plan.fate(worker, seq, attempt)
+            };
+            match fate {
+                Fate::Deliver => {
+                    deliver();
+                    break;
+                }
+                Fate::Duplicate => {
+                    session.on_duplicate();
+                    self.recorder
+                        .fault_event(phase, "duplicate", SimTime::ZERO, 0, 1);
+                    deliver();
+                    deliver();
+                    break;
+                }
+                Fate::DropAck => {
+                    // Applied server-side, acknowledgement lost: the client
+                    // times out and retries; the retry hits the dedup set.
+                    deliver();
+                    session.on_ack_drop();
+                    self.recorder
+                        .fault_event(phase, "ack_drop", SimTime::ZERO, 0, 1);
+                }
+                Fate::DropRequest => {
+                    session.on_request_drop();
+                    self.recorder
+                        .fault_event(phase, "request_drop", SimTime::ZERO, 0, 1);
+                }
+            }
+            // Lost request or lost ack: timeout, back off, retry.
+            let wait = plan.timeout_secs + plan.backoff_secs(worker, seq, attempt);
+            session.on_retry(wait);
+            self.recorder
+                .fault_event(phase, "retry_backoff", SimTime(wait), 0, 1);
+            self.recorder.charge(phase, SimTime(wait));
+            attempt += 1;
+        }
+        result.expect("first delivery must have applied the op")
+    }
+
     // ---- QtSk ------------------------------------------------------------
 
     /// CREATE_SKETCH push: merges one worker's per-feature sketches into the
@@ -134,12 +257,18 @@ impl ParameterServer {
     ///
     /// # Panics
     /// Panics if `locals` does not cover every global feature.
-    pub fn push_sketches(&self, mut locals: Vec<GkSketch>) {
+    pub fn push_sketches(&self, locals: Vec<GkSketch>) {
         assert_eq!(
             locals.len(),
             self.num_global_features,
             "sketch push must cover all features"
         );
+        self.resilient(Phase::CreateSketch, move || {
+            self.apply_push_sketches(locals)
+        })
+    }
+
+    fn apply_push_sketches(&self, mut locals: Vec<GkSketch>) {
         let bytes: usize = locals.iter_mut().map(|s| s.wire_bytes()).sum();
         let mut merged = self.sketches.lock();
         if merged.is_empty() {
@@ -218,6 +347,10 @@ impl ParameterServer {
             partitions,
         });
         self.decisions.lock().clear();
+        // Sequence ids are monotone per worker and never reused, so entries
+        // from finished trees can never be hit again — drop them to keep the
+        // dedup set O(messages per tree) instead of O(messages per run).
+        self.applied.lock().clear();
     }
 
     fn with_hist<R>(&self, f: impl FnOnce(&HistState) -> R) -> R {
@@ -232,6 +365,25 @@ impl ParameterServer {
     /// row for `node` into the global row, shard by shard (the default
     /// *push* UDF — addition).
     pub fn push_histogram(&self, node: u32, row: &[f32]) {
+        self.resilient(Phase::BuildHistogram, || {
+            self.apply_push_histogram(node, row)
+        })
+    }
+
+    /// Idempotent entry used by the retry-schedule tests: delivers one copy
+    /// of push `seq` from `worker` and returns whether it applied (`false`
+    /// means the copy was absorbed by the dedup set). Any schedule of
+    /// duplicated/reordered deliveries merges to the clean-schedule
+    /// histogram because each `(worker, seq)` applies at most once.
+    pub fn push_histogram_from(&self, worker: u32, seq: u64, node: u32, row: &[f32]) -> bool {
+        if !self.mark_applied(worker, seq) {
+            return false;
+        }
+        self.apply_push_histogram(node, row);
+        true
+    }
+
+    fn apply_push_histogram(&self, node: u32, row: &[f32]) {
         self.with_hist(|state| {
             assert_eq!(row.len(), state.layout.row_len(), "row length mismatch");
             let mut bytes = 0u64;
@@ -265,6 +417,12 @@ impl ParameterServer {
     /// it. Byte accounting distributes the row's wire size across
     /// partitions proportionally to their element counts.
     pub fn push_histogram_quantized(&self, node: u32, q: &QuantizedRow) {
+        self.resilient(Phase::BuildHistogram, || {
+            self.apply_push_histogram_quantized(node, q)
+        })
+    }
+
+    fn apply_push_histogram_quantized(&self, node: u32, q: &QuantizedRow) {
         self.with_hist(|state| {
             assert_eq!(q.len(), state.layout.row_len(), "row length mismatch");
             let row_len = state.layout.row_len().max(1);
@@ -298,6 +456,10 @@ impl ParameterServer {
     /// per-partition winners is returned (worker-side phase). The reply per
     /// partition is O(1) — "one integer and two floating-point numbers".
     pub fn pull_split(&self, node: u32, params: &SplitParams) -> PullSplitResult {
+        self.resilient(Phase::FindSplit, || self.apply_pull_split(node, params))
+    }
+
+    fn apply_pull_split(&self, node: u32, params: &SplitParams) -> PullSplitResult {
         self.with_hist(|state| {
             let mut totals: Option<(f64, f64)> = None;
             let mut best: Option<NodeSplit> = None;
@@ -336,6 +498,10 @@ impl ParameterServer {
     /// FIND_SPLIT pull, naive single-phase: ships the whole merged row to
     /// the worker. Kept for the Table 3 ablation (two-phase split off).
     pub fn pull_histogram(&self, node: u32) -> Vec<f32> {
+        self.resilient(Phase::FindSplit, || self.apply_pull_histogram(node))
+    }
+
+    fn apply_pull_histogram(&self, node: u32) -> Vec<f32> {
         self.with_hist(|state| {
             let mut row = vec![0.0f32; state.layout.row_len()];
             let mut packages = 0u64;
@@ -403,6 +569,10 @@ impl ParameterServer {
 
     /// The assigned worker publishes the final decision for a node.
     pub fn publish_decision(&self, decision: SplitDecision) {
+        self.resilient(Phase::FindSplit, || self.apply_publish_decision(decision))
+    }
+
+    fn apply_publish_decision(&self, decision: SplitDecision) {
         self.recorder
             .record_named(Phase::FindSplit, "publish_decision", 64, 1, SimTime::ZERO);
         self.decisions.lock().insert(decision.node, decision);
@@ -663,6 +833,126 @@ mod tests {
         ps.push_histogram(0, &[1.0; 4]);
         ps.init_tree(HistogramLayout::new(vec![2]));
         assert_eq!(ps.pull_histogram(0), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn push_histogram_from_is_idempotent() {
+        let ps = ps_with_layout(vec![2], 1);
+        let row = [1.0, 2.0, 3.0, 4.0];
+        assert!(ps.push_histogram_from(0, 0, 7, &row));
+        assert!(
+            !ps.push_histogram_from(0, 0, 7, &row),
+            "retried copy must dedup"
+        );
+        assert!(
+            ps.push_histogram_from(1, 0, 7, &row),
+            "other worker, same seq"
+        );
+        assert_eq!(ps.pull_histogram(7), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    fn chaos_plan() -> dimboost_simnet::FaultPlan {
+        dimboost_simnet::FaultPlan {
+            seed: 11,
+            drop_p: 0.25,
+            ack_drop_p: 0.15,
+            dup_p: 0.1,
+            ..dimboost_simnet::FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn faulted_pushes_match_clean_run_exactly() {
+        let rows: Vec<Vec<f32>> = (0..6)
+            .map(|w| (0..8).map(|i| (w * 8 + i) as f32 * 0.5).collect())
+            .collect();
+
+        let clean = ps_with_layout(vec![2, 2], 2);
+        for row in &rows {
+            clean.push_histogram(3, row);
+        }
+
+        let faulted = ps_with_layout(vec![2, 2], 2);
+        let session = dimboost_simnet::FaultSession::new(chaos_plan());
+        faulted.attach_faults(session.clone());
+        for (w, row) in rows.iter().enumerate() {
+            session.set_worker(Some(w as u32));
+            faulted.push_histogram(3, row);
+        }
+        session.set_worker(None);
+
+        // Exactness invariant: the merged state and the logical ledger are
+        // bit-identical; only simulated time differs.
+        assert_eq!(faulted.pull_histogram(3), clean.pull_histogram(3));
+        let (cl, fl) = (clean.comm_ledger(), faulted.comm_ledger());
+        for phase in Phase::ALL {
+            assert_eq!(cl.phase(phase).bytes, fl.phase(phase).bytes, "{phase:?}");
+            assert_eq!(
+                cl.phase(phase).packages,
+                fl.phase(phase).packages,
+                "{phase:?}"
+            );
+        }
+        // The plan above is aggressive enough that faults actually fired.
+        let sum = session.summary();
+        assert!(sum.request_drops + sum.ack_drops + sum.duplicates > 0);
+        assert_eq!(sum.dedup_hits, sum.ack_drops + sum.duplicates);
+        assert!(sum.backoff_secs > 0.0);
+        assert!(
+            fl.phase(Phase::BuildHistogram).sim_time.seconds()
+                > cl.phase(Phase::BuildHistogram).sim_time.seconds()
+        );
+    }
+
+    #[test]
+    fn faulted_pulls_are_not_recharged() {
+        let ps = ps_with_layout(vec![2], 1);
+        ps.push_histogram(0, &[1.0, 2.0, 3.0, 4.0]);
+        let clean_bytes = ps.comm_ledger().phase(Phase::FindSplit).bytes;
+        assert_eq!(clean_bytes, 0);
+
+        let session = dimboost_simnet::FaultSession::new(chaos_plan());
+        ps.attach_faults(session.clone());
+        session.set_worker(Some(0));
+        for _ in 0..20 {
+            assert_eq!(ps.pull_histogram(0), vec![1.0, 2.0, 3.0, 4.0]);
+        }
+        session.set_worker(None);
+        // Each logical pull recorded exactly once despite retries.
+        assert_eq!(ps.comm_ledger().phase(Phase::FindSplit).bytes, 20 * 16);
+    }
+
+    #[test]
+    fn outage_blocks_until_window_passes() {
+        let plan = dimboost_simnet::FaultPlan {
+            drop_p: 0.0001, // perturbs_messages() without changing fates
+            outages: vec![dimboost_simnet::fault::OutageSpec {
+                server: 0,
+                start: 0.0,
+                duration: 0.75,
+            }],
+            ..dimboost_simnet::FaultPlan::default()
+        };
+        let ps = ps_with_layout(vec![2], 1);
+        let session = dimboost_simnet::FaultSession::new(plan);
+        ps.attach_faults(session.clone());
+        session.set_worker(Some(0));
+        ps.push_histogram(0, &[1.0; 4]);
+        session.set_worker(None);
+        let sum = session.summary();
+        assert!((sum.outage_wait_secs - 0.75).abs() < 1e-9);
+        assert!(
+            ps.comm_ledger()
+                .phase(Phase::BuildHistogram)
+                .sim_time
+                .seconds()
+                >= 0.75
+        );
+        // Clock has moved past the window: the next op sails through.
+        session.set_worker(Some(0));
+        ps.push_histogram(0, &[1.0; 4]);
+        session.set_worker(None);
+        assert!((session.summary().outage_wait_secs - 0.75).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,728 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] is a *seeded, pure* description of everything that goes
+//! wrong during a run: per-message drop/duplication probabilities, transient
+//! server-partition outage windows, per-worker straggler slowdown factors,
+//! a worker crash at round *k*, and permanently lost workers with a
+//! degradation policy. Every stochastic decision is a hash of
+//! `(plan seed, worker, message seq, attempt)` — not a stateful RNG — so the
+//! fate of a message does not depend on the order in which other messages
+//! were faulted, and the same plan replays the identical fault schedule on
+//! every rerun.
+//!
+//! # The exactness invariant
+//!
+//! Faults may change *timing*, never the *learned model*. The retry loop in
+//! `dimboost-ps` delivers every message exactly once to the server state
+//! (per-worker sequence ids deduplicated server-side), records each logical
+//! operation in the [`crate::CommLedger`] exactly once, and charges all
+//! recovery overhead (timeouts, backoff, outage waits, straggler dilation)
+//! as *pure simulated time* on the phase that suffered it. A faulted run
+//! and a clean run with the same training seed therefore produce
+//! bit-identical models and bit-identical per-phase byte/package counts;
+//! only the `sim_time` columns and the `faults` report section differ.
+//!
+//! Because everything lands on the simulated clock, a faulted run is itself
+//! deterministic: rerunning it reproduces the same canonical report and
+//! trace byte-for-byte.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::Phase;
+
+/// Retries are capped; after this many attempts the network "heals" and the
+/// message is force-delivered so every run terminates.
+pub const MAX_ATTEMPTS: u32 = 64;
+
+/// What happens to one delivery attempt of one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered and acknowledged: the op applies and the client moves on.
+    Deliver,
+    /// Lost before reaching the server: nothing applies; the client times
+    /// out, backs off, and retries.
+    DropRequest,
+    /// Applied server-side but the acknowledgement is lost: the client
+    /// retries and the duplicate is absorbed by sequence-id deduplication.
+    DropAck,
+    /// Delivered twice (e.g. a retransmit raced the original): the second
+    /// copy is absorbed by deduplication.
+    Duplicate,
+}
+
+/// A per-worker slowdown: the worker's share of `phase` (all phases when
+/// `None`) takes `factor`× as long on the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerSpec {
+    /// Worker the slowdown applies to.
+    pub worker: u32,
+    /// Multiplicative slowdown (≥ 1.0).
+    pub factor: f64,
+    /// Phase the slowdown applies to; `None` = every phase.
+    pub phase: Option<Phase>,
+}
+
+/// A transient window during which a server partition is unreachable:
+/// operations arriving inside `[start, start + duration)` (simulated
+/// seconds) block until the window ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageSpec {
+    /// Server the outage hits (informational: the batched PS ops touch
+    /// every partition, so any dark server blocks the op).
+    pub server: u32,
+    /// Window start on the simulated clock, in seconds.
+    pub start: f64,
+    /// Window length in seconds.
+    pub duration: f64,
+}
+
+/// What the trainer does about a permanently lost worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossPolicy {
+    /// Another machine adopts the lost worker's instance shard. The shard's
+    /// computation (and its push/RNG streams) continue unchanged, so the
+    /// model stays bit-identical; the adopter's doubled load dilates the
+    /// simulated phase times instead.
+    Redistribute,
+    /// Abort the run with an error.
+    Abort,
+}
+
+/// A worker that is permanently lost at the start of round `round`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossSpec {
+    /// Worker that disappears.
+    pub worker: u32,
+    /// Round (0-based) at whose start the loss is detected.
+    pub round: usize,
+    /// Degradation policy.
+    pub policy: LossPolicy,
+}
+
+/// A seeded, deterministic fault schedule. See the module docs for the
+/// exactness invariant and [`FaultPlan::parse`] for the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all per-message fate and jitter hashes.
+    pub seed: u64,
+    /// Probability a delivery attempt is lost before reaching the server.
+    pub drop_p: f64,
+    /// Probability an attempt applies but its acknowledgement is lost.
+    pub ack_drop_p: f64,
+    /// Probability an attempt is delivered twice.
+    pub dup_p: f64,
+    /// Client timeout before declaring an attempt lost, in simulated
+    /// seconds.
+    pub timeout_secs: f64,
+    /// Base of the exponential backoff, in simulated seconds.
+    pub backoff_base_secs: f64,
+    /// Cap on a single backoff delay, in simulated seconds (before jitter).
+    pub backoff_max_secs: f64,
+    /// Straggler slowdowns.
+    pub stragglers: Vec<StragglerSpec>,
+    /// Server outage windows.
+    pub outages: Vec<OutageSpec>,
+    /// Crash the (non-resumed) run at the start of this round.
+    pub crash_round: Option<usize>,
+    /// Permanently lost workers.
+    pub losses: Vec<LossSpec>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_p: 0.0,
+            ack_drop_p: 0.0,
+            dup_p: 0.0,
+            timeout_secs: 0.05,
+            backoff_base_secs: 0.01,
+            backoff_max_secs: 1.0,
+            stragglers: Vec::new(),
+            outages: Vec::new(),
+            crash_round: None,
+            losses: Vec::new(),
+        }
+    }
+}
+
+/// SplitMix64-style avalanche over a running state word.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-independent hash of one decision point.
+fn decision_hash(seed: u64, worker: u32, seq: u64, attempt: u32, salt: u64) -> u64 {
+    let mut h = mix64(seed ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    h = mix64(h ^ u64::from(worker));
+    h = mix64(h ^ seq);
+    mix64(h ^ u64::from(attempt))
+}
+
+/// Maps a hash to a uniform value in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn phase_by_name(name: &str) -> Option<Phase> {
+    Phase::ALL.into_iter().find(|p| p.name() == name)
+}
+
+impl FaultPlan {
+    /// The fate of `attempt` (0-based) of message `seq` from `worker`.
+    /// Pure in `(self.seed, worker, seq, attempt)`.
+    pub fn fate(&self, worker: u32, seq: u64, attempt: u32) -> Fate {
+        let u = unit(decision_hash(self.seed, worker, seq, attempt, 1));
+        if u < self.drop_p {
+            Fate::DropRequest
+        } else if u < self.drop_p + self.ack_drop_p {
+            Fate::DropAck
+        } else if u < self.drop_p + self.ack_drop_p + self.dup_p {
+            Fate::Duplicate
+        } else {
+            Fate::Deliver
+        }
+    }
+
+    /// Exponential backoff with deterministic jitter for retrying `attempt`
+    /// of `(worker, seq)`: `min(base · 2^attempt, max) · U[0.5, 1)` where
+    /// `U` is hashed from the same coordinates.
+    pub fn backoff_secs(&self, worker: u32, seq: u64, attempt: u32) -> f64 {
+        let exp = self.backoff_base_secs * 2f64.powi(attempt.min(48) as i32);
+        let capped = exp.min(self.backoff_max_secs);
+        let j = unit(decision_hash(self.seed, worker, seq, attempt, 2));
+        capped * (0.5 + 0.5 * j)
+    }
+
+    /// How long an operation arriving at simulated time `now` must wait for
+    /// all outage windows covering `now` to pass (0.0 when none do).
+    pub fn outage_wait(&self, now: f64) -> f64 {
+        self.outages
+            .iter()
+            .filter(|o| now >= o.start && now < o.start + o.duration)
+            .map(|o| o.start + o.duration - now)
+            .fold(0.0, f64::max)
+    }
+
+    /// True when the plan can perturb message delivery at all (used to
+    /// decide whether a run needs the resilience machinery).
+    pub fn perturbs_messages(&self) -> bool {
+        self.drop_p > 0.0 || self.ack_drop_p > 0.0 || self.dup_p > 0.0 || !self.outages.is_empty()
+    }
+
+    /// Parses the line-based plan format. Blank lines and `#` comments are
+    /// ignored. Directives:
+    ///
+    /// ```text
+    /// seed 42
+    /// drop 0.05                  # request-loss probability per attempt
+    /// ack_drop 0.02              # ack-loss probability per attempt
+    /// dup 0.01                   # duplication probability per attempt
+    /// timeout_secs 0.05
+    /// backoff_base_secs 0.01
+    /// backoff_max_secs 1.0
+    /// straggler worker=1 factor=3.0 [phase=build_histogram]
+    /// outage server=0 start=0.5 dur=0.25
+    /// crash round=2
+    /// lose worker=2 round=3 policy=redistribute|abort
+    /// ```
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: String| format!("fault plan line {}: {msg}", ln + 1);
+            let mut toks = line.split_ascii_whitespace();
+            let Some(keyword) = toks.next() else { continue };
+            let rest: Vec<&str> = toks.collect();
+            // `key=value` field lookup for the structured directives.
+            let field = |name: &str| -> Option<&str> {
+                rest.iter()
+                    .find_map(|t| t.strip_prefix(name).and_then(|t| t.strip_prefix('=')))
+            };
+            let req = |name: &str| -> Result<&str, String> {
+                field(name).ok_or_else(|| err(format!("missing {name}= field")))
+            };
+            let scalar = || -> Result<&str, String> {
+                match rest.as_slice() {
+                    [v] => Ok(v),
+                    _ => Err(err(format!("expected exactly one value after {keyword}"))),
+                }
+            };
+            fn num<T: std::str::FromStr>(s: &str, what: &str, ln: usize) -> Result<T, String> {
+                s.parse()
+                    .map_err(|_| format!("fault plan line {}: bad {what} {s:?}", ln + 1))
+            }
+            let prob = |s: &str, what: &str| -> Result<f64, String> {
+                let v: f64 = num(s, what, ln)?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(err(format!("{what} must be in [0, 1], got {v}")));
+                }
+                Ok(v)
+            };
+            match keyword {
+                "seed" => plan.seed = num(scalar()?, "seed", ln)?,
+                "drop" => plan.drop_p = prob(scalar()?, "drop probability")?,
+                "ack_drop" => plan.ack_drop_p = prob(scalar()?, "ack_drop probability")?,
+                "dup" => plan.dup_p = prob(scalar()?, "dup probability")?,
+                "timeout_secs" => plan.timeout_secs = num(scalar()?, "timeout_secs", ln)?,
+                "backoff_base_secs" => {
+                    plan.backoff_base_secs = num(scalar()?, "backoff_base_secs", ln)?
+                }
+                "backoff_max_secs" => {
+                    plan.backoff_max_secs = num(scalar()?, "backoff_max_secs", ln)?
+                }
+                "straggler" => {
+                    let factor: f64 = num(req("factor")?, "factor", ln)?;
+                    if factor < 1.0 {
+                        return Err(err(format!("straggler factor must be ≥ 1, got {factor}")));
+                    }
+                    let phase = match field("phase") {
+                        Some(name) => Some(
+                            phase_by_name(name)
+                                .ok_or_else(|| err(format!("unknown phase {name:?}")))?,
+                        ),
+                        None => None,
+                    };
+                    plan.stragglers.push(StragglerSpec {
+                        worker: num(req("worker")?, "worker", ln)?,
+                        factor,
+                        phase,
+                    });
+                }
+                "outage" => plan.outages.push(OutageSpec {
+                    server: num(req("server")?, "server", ln)?,
+                    start: num(req("start")?, "start", ln)?,
+                    duration: num(req("dur")?, "dur", ln)?,
+                }),
+                "crash" => plan.crash_round = Some(num(req("round")?, "round", ln)?),
+                "lose" => plan.losses.push(LossSpec {
+                    worker: num(req("worker")?, "worker", ln)?,
+                    round: num(req("round")?, "round", ln)?,
+                    policy: match req("policy")? {
+                        "redistribute" => LossPolicy::Redistribute,
+                        "abort" => LossPolicy::Abort,
+                        other => return Err(err(format!("unknown loss policy {other:?}"))),
+                    },
+                }),
+                other => return Err(err(format!("unknown directive {other:?}"))),
+            }
+            // Guard against sign errors on durations.
+            if plan.timeout_secs < 0.0
+                || plan.backoff_base_secs < 0.0
+                || plan.backoff_max_secs < 0.0
+            {
+                return Err(err("timeout/backoff durations must be non-negative".into()));
+            }
+        }
+        let total = plan.drop_p + plan.ack_drop_p + plan.dup_p;
+        if total > 1.0 {
+            return Err(format!(
+                "fault plan: drop + ack_drop + dup probabilities sum to {total} > 1"
+            ));
+        }
+        Ok(plan)
+    }
+}
+
+/// Aggregated fault effects for one run — the `faults` section of the run
+/// report. All fields are deterministic in `(plan, training config)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultSummary {
+    /// The plan seed (so reports self-describe the schedule they ran under).
+    pub plan_seed: u64,
+    /// Delivery attempts lost before reaching the server.
+    pub request_drops: u64,
+    /// Attempts that applied but whose acknowledgement was lost.
+    pub ack_drops: u64,
+    /// Attempts delivered twice.
+    pub duplicates: u64,
+    /// Redundant deliveries absorbed by sequence-id deduplication.
+    pub dedup_hits: u64,
+    /// Client-side retries (each preceded by a timeout).
+    pub retries: u64,
+    /// Messages force-delivered after [`MAX_ATTEMPTS`] attempts.
+    pub forced_deliveries: u64,
+    /// Total simulated seconds spent in timeouts + backoff.
+    pub backoff_secs: f64,
+    /// Total simulated seconds added by straggler dilation.
+    pub straggler_secs: f64,
+    /// Total simulated seconds spent waiting out server outages.
+    pub outage_wait_secs: f64,
+    /// Crashes injected (0 or 1).
+    pub crashes: u64,
+    /// Workers permanently lost.
+    pub workers_lost: u64,
+}
+
+#[derive(Debug, Default)]
+struct SessionState {
+    summary: FaultSummary,
+    /// Worker currently issuing PS requests (mirrors `TraceBus::set_worker`).
+    origin: Option<u32>,
+    /// Next per-worker message sequence id.
+    next_seq: HashMap<u32, u64>,
+    /// Workers permanently lost so far.
+    lost: HashSet<u32>,
+}
+
+/// Shared per-run fault state: the immutable [`FaultPlan`] plus the mutable
+/// counters, message sequence ids, and lost-worker set. One session is
+/// created per training run and shared (via `Arc`) between the trainer and
+/// the parameter server.
+#[derive(Debug)]
+pub struct FaultSession {
+    plan: FaultPlan,
+    inner: Mutex<SessionState>,
+}
+
+impl FaultSession {
+    /// A fresh session for `plan`.
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        let plan_seed = plan.seed;
+        Arc::new(FaultSession {
+            plan,
+            inner: Mutex::new(SessionState {
+                summary: FaultSummary {
+                    plan_seed,
+                    ..FaultSummary::default()
+                },
+                ..SessionState::default()
+            }),
+        })
+    }
+
+    /// The immutable plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Mirrors `TraceBus::set_worker`: which worker issues the PS requests
+    /// that follow (`None` → requests are not subject to message faults).
+    pub fn set_worker(&self, worker: Option<u32>) {
+        self.inner.lock().origin = worker;
+    }
+
+    /// The currently declared requesting worker.
+    pub fn current_worker(&self) -> Option<u32> {
+        self.inner.lock().origin
+    }
+
+    /// Assigns the next message sequence id for `worker`. Ids are monotone
+    /// per worker and never reused, which is what makes server-side
+    /// deduplication sound.
+    pub fn next_seq(&self, worker: u32) -> u64 {
+        let mut st = self.inner.lock();
+        let seq = st.next_seq.entry(worker).or_insert(0);
+        let out = *seq;
+        *seq += 1;
+        out
+    }
+
+    /// Marks `worker` permanently lost.
+    pub fn mark_lost(&self, worker: u32) {
+        let mut st = self.inner.lock();
+        if st.lost.insert(worker) {
+            st.summary.workers_lost += 1;
+        }
+    }
+
+    /// Whether `worker` has been lost.
+    pub fn is_lost(&self, worker: u32) -> bool {
+        self.inner.lock().lost.contains(&worker)
+    }
+
+    /// Simulated-time dilation factor for `phase`: the worst live straggler
+    /// times the load multiplier from redistributed shards (a machine that
+    /// adopted `n` extra shards runs `1 + n`× slower on every phase).
+    pub fn dilation(&self, phase: Phase) -> f64 {
+        let st = self.inner.lock();
+        let straggler = self
+            .plan
+            .stragglers
+            .iter()
+            .filter(|s| !st.lost.contains(&s.worker))
+            .filter(|s| s.phase.is_none() || s.phase == Some(phase))
+            .map(|s| s.factor)
+            .fold(1.0, f64::max);
+        straggler * (1.0 + st.lost.len() as f64)
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn summary(&self) -> FaultSummary {
+        self.inner.lock().summary
+    }
+
+    // ---- counter hooks (called by the PS retry loop / trainer) -----------
+
+    /// Records one request-loss.
+    pub fn on_request_drop(&self) {
+        self.inner.lock().summary.request_drops += 1;
+    }
+
+    /// Records one ack-loss.
+    pub fn on_ack_drop(&self) {
+        self.inner.lock().summary.ack_drops += 1;
+    }
+
+    /// Records one duplicated delivery.
+    pub fn on_duplicate(&self) {
+        self.inner.lock().summary.duplicates += 1;
+    }
+
+    /// Records one redundant delivery absorbed by deduplication.
+    pub fn on_dedup_hit(&self) {
+        self.inner.lock().summary.dedup_hits += 1;
+    }
+
+    /// Records one retry and the timeout + backoff seconds it cost.
+    pub fn on_retry(&self, wait_secs: f64) {
+        let mut st = self.inner.lock();
+        st.summary.retries += 1;
+        st.summary.backoff_secs += wait_secs;
+    }
+
+    /// Records one forced delivery (retry cap reached).
+    pub fn on_forced_delivery(&self) {
+        self.inner.lock().summary.forced_deliveries += 1;
+    }
+
+    /// Accumulates straggler-dilation seconds.
+    pub fn add_straggler_secs(&self, secs: f64) {
+        self.inner.lock().summary.straggler_secs += secs;
+    }
+
+    /// Accumulates outage-wait seconds.
+    pub fn add_outage_wait_secs(&self, secs: f64) {
+        self.inner.lock().summary.outage_wait_secs += secs;
+    }
+
+    /// Records the injected crash.
+    pub fn on_crash(&self) {
+        self.inner.lock().summary.crashes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fates_are_deterministic_and_order_independent() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_p: 0.3,
+            ack_drop_p: 0.2,
+            dup_p: 0.1,
+            ..FaultPlan::default()
+        };
+        // Same coordinates → same fate, regardless of query order.
+        let forward: Vec<Fate> = (0..50).map(|s| plan.fate(1, s, 0)).collect();
+        let backward: Vec<Fate> = (0..50).rev().map(|s| plan.fate(1, s, 0)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "fates must not depend on query order"
+        );
+        // All four fates occur at these probabilities over enough messages.
+        let fates: Vec<Fate> = (0..2000).map(|s| plan.fate(0, s, 0)).collect();
+        for f in [
+            Fate::Deliver,
+            Fate::DropRequest,
+            Fate::DropAck,
+            Fate::Duplicate,
+        ] {
+            assert!(fates.contains(&f), "{f:?} never occurred");
+        }
+        // Empirical drop rate within a loose tolerance of the plan's.
+        // n = 2000 Bernoulli(0.3) draws: sd ≈ sqrt(0.3·0.7/2000) ≈ 0.0102,
+        // so ±0.05 is ~5 sd — effectively never flaky for a fixed seed.
+        let drops = fates.iter().filter(|&&f| f == Fate::DropRequest).count();
+        let rate = drops as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "drop rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan {
+            seed: 1,
+            drop_p: 0.5,
+            ..FaultPlan::default()
+        };
+        let b = FaultPlan {
+            seed: 2,
+            ..a.clone()
+        };
+        let fa: Vec<Fate> = (0..64).map(|s| a.fate(0, s, 0)).collect();
+        let fb: Vec<Fate> = (0..64).map(|s| b.fate(0, s, 0)).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_until_capped() {
+        let plan = FaultPlan {
+            backoff_base_secs: 0.01,
+            backoff_max_secs: 0.5,
+            ..FaultPlan::default()
+        };
+        // Jitter is in [0.5, 1): bounds follow from min(base·2^a, max).
+        for attempt in 0..12 {
+            let ideal = (0.01 * 2f64.powi(attempt)).min(0.5);
+            let b = plan.backoff_secs(3, 9, attempt as u32);
+            assert!(b >= ideal * 0.5 && b < ideal, "attempt {attempt}: {b}");
+        }
+        // Deterministic.
+        assert_eq!(plan.backoff_secs(3, 9, 4), plan.backoff_secs(3, 9, 4));
+    }
+
+    #[test]
+    fn outage_wait_covers_windows() {
+        let plan = FaultPlan {
+            outages: vec![
+                OutageSpec {
+                    server: 0,
+                    start: 1.0,
+                    duration: 0.5,
+                },
+                OutageSpec {
+                    server: 1,
+                    start: 1.25,
+                    duration: 0.5,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.outage_wait(0.5), 0.0);
+        assert!((plan.outage_wait(1.0) - 0.5).abs() < 1e-12);
+        // Overlapping windows: wait for the later one to clear.
+        assert!((plan.outage_wait(1.3) - 0.45).abs() < 1e-12);
+        assert_eq!(plan.outage_wait(2.0), 0.0);
+    }
+
+    #[test]
+    fn parses_full_plan() {
+        let text = "\
+# chaos for the smoke config
+seed 42
+drop 0.05
+ack_drop 0.02
+dup 0.01
+timeout_secs 0.02
+backoff_base_secs 0.005
+backoff_max_secs 0.25
+
+straggler worker=1 factor=3.0 phase=build_histogram
+straggler worker=0 factor=1.5
+outage server=0 start=0.5 dur=0.25
+crash round=2
+lose worker=2 round=3 policy=redistribute
+";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.drop_p, 0.05);
+        assert_eq!(plan.ack_drop_p, 0.02);
+        assert_eq!(plan.dup_p, 0.01);
+        assert_eq!(plan.timeout_secs, 0.02);
+        assert_eq!(plan.stragglers.len(), 2);
+        assert_eq!(plan.stragglers[0].phase, Some(Phase::BuildHistogram));
+        assert_eq!(plan.stragglers[1].phase, None);
+        assert_eq!(plan.outages.len(), 1);
+        assert_eq!(plan.crash_round, Some(2));
+        assert_eq!(
+            plan.losses,
+            vec![LossSpec {
+                worker: 2,
+                round: 3,
+                policy: LossPolicy::Redistribute,
+            }]
+        );
+        assert!(plan.perturbs_messages());
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(FaultPlan::parse("drop 1.5").is_err());
+        assert!(FaultPlan::parse("drop -0.1").is_err());
+        assert!(FaultPlan::parse("drop 0.6\nack_drop 0.6").is_err());
+        assert!(FaultPlan::parse("straggler worker=0 factor=0.5").is_err());
+        assert!(FaultPlan::parse("straggler worker=0 factor=2 phase=nope").is_err());
+        assert!(FaultPlan::parse("lose worker=0 round=1 policy=shrug").is_err());
+        assert!(FaultPlan::parse("warp speed=9").is_err());
+        assert!(FaultPlan::parse("seed 1 2").is_err());
+        assert!(FaultPlan::parse("crash when=now").is_err());
+        // The error names the offending line.
+        let err = FaultPlan::parse("seed 1\ndrop nope").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn session_tracks_seqs_losses_and_dilation() {
+        let plan = FaultPlan {
+            stragglers: vec![
+                StragglerSpec {
+                    worker: 0,
+                    factor: 2.0,
+                    phase: Some(Phase::BuildHistogram),
+                },
+                StragglerSpec {
+                    worker: 1,
+                    factor: 4.0,
+                    phase: None,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let s = FaultSession::new(plan);
+        assert_eq!(s.next_seq(0), 0);
+        assert_eq!(s.next_seq(0), 1);
+        assert_eq!(s.next_seq(1), 0);
+        assert_eq!(s.dilation(Phase::BuildHistogram), 4.0);
+        assert_eq!(s.dilation(Phase::Finish), 4.0);
+        // Losing the all-phase straggler leaves the phase-specific one, but
+        // the adopted shard doubles every phase.
+        s.mark_lost(1);
+        s.mark_lost(1); // idempotent
+        assert!(s.is_lost(1));
+        assert_eq!(s.summary().workers_lost, 1);
+        assert_eq!(s.dilation(Phase::BuildHistogram), 4.0); // 2.0 × (1 + 1)
+        assert_eq!(s.dilation(Phase::Finish), 2.0); // 1.0 × (1 + 1)
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let s = FaultSession::new(FaultPlan {
+            seed: 9,
+            ..FaultPlan::default()
+        });
+        s.on_request_drop();
+        s.on_ack_drop();
+        s.on_duplicate();
+        s.on_dedup_hit();
+        s.on_retry(0.125);
+        s.on_retry(0.25);
+        s.on_forced_delivery();
+        s.add_straggler_secs(1.5);
+        s.add_outage_wait_secs(0.5);
+        s.on_crash();
+        let sum = s.summary();
+        assert_eq!(sum.plan_seed, 9);
+        assert_eq!(sum.request_drops, 1);
+        assert_eq!(sum.ack_drops, 1);
+        assert_eq!(sum.duplicates, 1);
+        assert_eq!(sum.dedup_hits, 1);
+        assert_eq!(sum.retries, 2);
+        assert_eq!(sum.forced_deliveries, 1);
+        assert!((sum.backoff_secs - 0.375).abs() < 1e-12);
+        assert!((sum.straggler_secs - 1.5).abs() < 1e-12);
+        assert!((sum.outage_wait_secs - 0.5).abs() < 1e-12);
+        assert_eq!(sum.crashes, 1);
+    }
+}

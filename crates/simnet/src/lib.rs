@@ -29,12 +29,14 @@
 
 pub mod collectives;
 mod cost;
+pub mod fault;
 pub mod registry;
 mod stats;
 pub mod trace;
 pub mod wire;
 
 pub use cost::{CostModel, SimTime};
+pub use fault::{FaultPlan, FaultSession, FaultSummary};
 pub use registry::{FixedHistogram, Metric, MetricExport, MetricsRegistry};
 pub use stats::{CommLedger, CommStats, Phase, StatsRecorder};
 pub use trace::{Trace, TraceBus, TraceEvent};

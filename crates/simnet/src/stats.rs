@@ -240,6 +240,31 @@ impl StatsRecorder {
         }
     }
 
+    /// Mirrors a fault event onto the attached trace bus (no ledger entry —
+    /// the simulated time a fault costs is charged separately through
+    /// [`StatsRecorder::charge`], which keeps the ledger-sum invariant
+    /// intact).
+    pub fn fault_event(
+        &self,
+        phase: Phase,
+        name: &'static str,
+        dur: SimTime,
+        bytes: u64,
+        count: u64,
+    ) {
+        if let Some(bus) = &*self.trace.lock() {
+            bus.on_fault(phase, name, dur, bytes, count);
+        }
+    }
+
+    /// Merges a previously accumulated ledger (a checkpoint's) into this
+    /// recorder *without* emitting trace events: the restored history
+    /// already happened in the run being resumed; replaying it would
+    /// double-count events and advance the simulated clock twice.
+    pub fn preload(&self, ledger: &CommLedger) {
+        self.inner.lock().absorb_ledger(ledger);
+    }
+
     /// Adds a whole [`CommStats`] (e.g. a collective's report) without
     /// attribution.
     pub fn absorb(&self, stats: &CommStats) {

@@ -57,6 +57,9 @@ pub enum Track {
     Server(u32),
     /// The shared network lane: barrier charges and collective steps.
     Net,
+    /// The fault-injection lane: drops, retries, backoff waits, stragglers,
+    /// outages, crashes (see [`crate::fault`]).
+    Fault,
 }
 
 impl Track {
@@ -66,15 +69,18 @@ impl Track {
             Track::Worker(w) => format!("worker {w}"),
             Track::Server(s) => format!("server {s}"),
             Track::Net => "net".to_string(),
+            Track::Fault => "faults".to_string(),
         }
     }
 
-    /// Stable Chrome `tid`. Net is 0, workers start at 1, servers at 1001.
+    /// Stable Chrome `tid`. Net is 0, workers start at 1, servers at 1001,
+    /// the fault lane at 2001.
     pub fn tid(self) -> u64 {
         match self {
             Track::Net => 0,
             Track::Worker(w) => 1 + w as u64,
             Track::Server(s) => 1001 + s as u64,
+            Track::Fault => 2001,
         }
     }
 }
@@ -92,6 +98,11 @@ pub enum EventKind {
     Collective,
     /// An internal round of a collective (annotation only).
     Step,
+    /// An injected fault or its recovery cost (drop, retry backoff,
+    /// straggler dilation, outage wait, crash). The matching simulated time
+    /// is charged separately through the ledger, so fault events never count
+    /// toward the ledger-sum invariant.
+    Fault,
 }
 
 impl EventKind {
@@ -103,6 +114,7 @@ impl EventKind {
             EventKind::Service => "service",
             EventKind::Collective => "collective",
             EventKind::Step => "step",
+            EventKind::Fault => "fault",
         }
     }
 
@@ -382,6 +394,32 @@ impl TraceBus {
         );
     }
 
+    /// An injected fault or its recovery cost. Emitted *before* the charge
+    /// that accounts for `dur` on the ledger, so the fault interval
+    /// `[now, now + dur]` lines up with the barrier that follows it and the
+    /// fault track stays monotone. `count` is free-form per event name
+    /// (attempt number for retries, worker id for crashes).
+    pub fn on_fault(&self, phase: Phase, name: &'static str, dur: SimTime, bytes: u64, count: u64) {
+        let mut st = self.inner.lock();
+        let begin = st.now;
+        st.metrics.counter_add(&format!("sim/faults/{name}"), 1);
+        if dur.0 > 0.0 {
+            st.metrics
+                .observe_with(&format!("sim/fault_secs/{name}"), dur.0, secs_buckets);
+        }
+        st.push(
+            Track::Fault,
+            EventKind::Fault,
+            phase,
+            name,
+            begin,
+            dur.0,
+            bytes,
+            count,
+            0.0,
+        );
+    }
+
     /// A worker phase slice measured on the wall clock.
     pub fn on_compute(&self, worker: u32, phase: Phase, wall_secs: f64) {
         let mut st = self.inner.lock();
@@ -551,11 +589,15 @@ impl Trace {
         out
     }
 
-    /// Every track that can appear, in stable order: net, workers, servers.
+    /// Every track that can appear, in stable order: net, workers, servers,
+    /// and — only when fault events were recorded — the fault lane.
     pub fn tracks(&self) -> Vec<Track> {
         let mut tracks = vec![Track::Net];
         tracks.extend((0..self.workers as u32).map(Track::Worker));
         tracks.extend((0..self.servers as u32).map(Track::Server));
+        if self.events.iter().any(|e| e.track == Track::Fault) {
+            tracks.push(Track::Fault);
+        }
         tracks
     }
 

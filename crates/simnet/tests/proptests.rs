@@ -215,3 +215,57 @@ proptest! {
         prop_assert!(t_p + 1e-9 >= t_full);
     }
 }
+
+use dimboost_simnet::fault::{Fate, FaultPlan};
+
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), 0.0f64..0.4, 0.0f64..0.3, 0.0f64..0.3).prop_map(
+        |(seed, drop_p, ack_drop_p, dup_p)| FaultPlan {
+            seed,
+            drop_p,
+            ack_drop_p,
+            dup_p,
+            ..FaultPlan::default()
+        },
+    )
+}
+
+proptest! {
+    /// Fault-plan determinism: the same seed yields the identical fate
+    /// sequence regardless of query order, a clone replays it exactly, and
+    /// any seed change produces some different schedule over enough
+    /// coordinates. Backoff delays are equally pure in their coordinates.
+    #[test]
+    fn fault_plan_is_deterministic(plan in arb_fault_plan(), workers in 1u32..5, seqs in 1u64..64) {
+        let clone = plan.clone();
+        let mut coords = Vec::new();
+        for w in 0..workers {
+            for s in 0..seqs {
+                for a in 0..4u32 {
+                    coords.push((w, s, a));
+                }
+            }
+        }
+        let forward: Vec<Fate> = coords.iter().map(|&(w, s, a)| plan.fate(w, s, a)).collect();
+        let mut backward: Vec<Fate> =
+            coords.iter().rev().map(|&(w, s, a)| clone.fate(w, s, a)).collect();
+        backward.reverse();
+        prop_assert_eq!(&forward, &backward);
+        for (i, &(w, s, a)) in coords.iter().enumerate() {
+            prop_assert_eq!(forward[i], plan.fate(w, s, a));
+            let b0 = plan.backoff_secs(w, s, a);
+            prop_assert!(b0 == clone.backoff_secs(w, s, a));
+        }
+    }
+
+    /// Fate probabilities partition correctly: with all probabilities zero
+    /// every message delivers; with drop_p = 1 every attempt drops.
+    #[test]
+    fn fate_extremes(seed in any::<u64>(), w in 0u32..8, s in 0u64..256) {
+        let clean = FaultPlan { seed, ..FaultPlan::default() };
+        prop_assert_eq!(clean.fate(w, s, 0), Fate::Deliver);
+        prop_assert!(!clean.perturbs_messages());
+        let lossy = FaultPlan { seed, drop_p: 1.0, ..FaultPlan::default() };
+        prop_assert_eq!(lossy.fate(w, s, 0), Fate::DropRequest);
+    }
+}

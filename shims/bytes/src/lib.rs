@@ -60,6 +60,23 @@ impl Bytes {
         }
     }
 
+    /// Splits off the first `at` bytes as an O(1) view, advancing `self`
+    /// past them; panics if `at` is out of bounds.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(
+            at <= self.len(),
+            "split_to({at}) out of bounds for Bytes of length {}",
+            self.len()
+        );
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -156,6 +173,10 @@ pub trait Buf {
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
     }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
 }
 
 impl Buf for Bytes {
@@ -202,6 +223,10 @@ pub trait BufMut {
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
     }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
 }
 
 impl BufMut for BytesMut {
@@ -227,12 +252,14 @@ mod tests {
         buf.put_u32_le(0xDEAD_BEEF);
         buf.put_u64_le(u64::MAX - 1);
         buf.put_f32_le(-1.5);
+        buf.put_f64_le(0.1);
         buf.put_slice(b"xyz");
         let mut b = buf.freeze();
         assert_eq!(b.get_u8(), 7);
         assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(b.get_u64_le(), u64::MAX - 1);
         assert_eq!(b.get_f32_le(), -1.5);
+        assert_eq!(b.get_f64_le(), 0.1);
         let mut tail = [0u8; 3];
         b.copy_to_slice(&mut tail);
         assert_eq!(&tail, b"xyz");
@@ -245,6 +272,22 @@ mod tests {
         let s = b.slice(2..5);
         assert_eq!(&*s, &[2, 3, 4]);
         assert_eq!(s.slice(1..2).as_ref(), &[3]);
+    }
+
+    #[test]
+    fn split_to_advances_past_the_head() {
+        let mut b = Bytes::from_owner(vec![0, 1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&*head, &[0, 1]);
+        assert_eq!(&*b, &[2, 3, 4, 5]);
+        assert_eq!(b.split_to(0).len(), 0);
+        assert_eq!(&*b, &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn split_to_past_end_panics() {
+        Bytes::from_owner(vec![1]).split_to(2);
     }
 
     #[test]

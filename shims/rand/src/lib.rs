@@ -148,6 +148,19 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Snapshot of the full generator state, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`StdRng::state`] snapshot; the
+        /// restored generator continues the exact same stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut state = seed;
@@ -205,6 +218,18 @@ mod tests {
     fn deterministic_streams() {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            a.random::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
         for _ in 0..100 {
             assert_eq!(a.random::<u64>(), b.random::<u64>());
         }
