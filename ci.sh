@@ -27,10 +27,13 @@ BIN=target/release
 "$BIN/dimboost" gen --out "$SMOKE/train.libsvm" --rows 600 --features 60 --nnz 12 --seed 7
 
 # Two identical runs must agree byte for byte: canonical reports, canonical
-# traces, and a report_diff exit status of 0.
+# traces, and a report_diff exit status of 0. The batch size is forced far
+# below the shard size so the histogram builders genuinely run multi-threaded
+# — this cmp is what catches any scheduling-dependent histogram race.
 for run in a b; do
   "$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_$run.json" \
     --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+    --threads 4 --batch-size 25 \
     --report-canonical "$SMOKE/report_$run.json" \
     --trace "$SMOKE/trace_$run.json" \
     --trace-canonical "$SMOKE/trace_$run.canonical.json" > /dev/null
@@ -50,6 +53,25 @@ if "$BIN/report_diff" --quiet "$SMOKE/report_a.json" "$SMOKE/report_lp.json" 2> 
   exit 1
 fi
 
+echo "==> serving: compiled engine must score bit-identically across reruns"
+# Two multi-threaded bench runs over the smoke model: score files and
+# canonical serving reports must be byte-identical, and report_diff must
+# accept the timed reports (only wall-clock fields may differ).
+for run in a b; do
+  "$BIN/dimboost" bench --data "$SMOKE/train.libsvm" --model "$SMOKE/model_a.json" \
+    --threads 4 --batch-size 64 --repeats 3 \
+    --scores "$SMOKE/scores_$run.txt" \
+    --report "$SMOKE/serving_$run.json" \
+    --report-canonical "$SMOKE/serving_$run.canonical.json" > /dev/null
+done
+cmp "$SMOKE/scores_a.txt" "$SMOKE/scores_b.txt"
+cmp "$SMOKE/serving_a.canonical.json" "$SMOKE/serving_b.canonical.json"
+"$BIN/report_diff" "$SMOKE/serving_a.json" "$SMOKE/serving_b.json"
+# The single-row predict path must agree with the batch engine byte for byte.
+"$BIN/dimboost" predict --data "$SMOKE/train.libsvm" --model "$SMOKE/model_a.json" \
+  --threads 2 --batch-size 100 --output "$SMOKE/predict.txt"
+cmp "$SMOKE/scores_a.txt" "$SMOKE/predict.txt"
+
 echo "==> chaos: faults + crash/resume must change timing, never the model"
 cat > "$SMOKE/plan.txt" <<'EOF'
 # Canned chaos: lossy network, a histogram-phase straggler, a server
@@ -66,6 +88,7 @@ EOF
 set +e
 "$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_chaos.json" \
   --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+  --threads 4 --batch-size 25 \
   --fault-plan "$SMOKE/plan.txt" --checkpoint-dir "$SMOKE/ckpt" > /dev/null 2>&1
 status=$?
 set -e
@@ -76,6 +99,7 @@ fi
 # ...and resumes from the checkpoint to completion.
 "$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_chaos.json" \
   --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+  --threads 4 --batch-size 25 \
   --fault-plan "$SMOKE/plan.txt" --checkpoint-dir "$SMOKE/ckpt" --resume \
   --report-canonical "$SMOKE/report_chaos.json" \
   --trace-canonical "$SMOKE/trace_chaos.canonical.json" > /dev/null

@@ -4,7 +4,10 @@
 //!
 //! * `train` — train a model on a LibSVM file (optionally on a simulated
 //!   multi-worker cluster) and save it.
-//! * `predict` — score a LibSVM file with a saved model.
+//! * `predict` — score a LibSVM/CSV file with a saved model through the
+//!   compiled inference engine (`dimboost-predict`).
+//! * `bench` — serving throughput benchmark: repeated scoring runs plus a
+//!   JSON serving report gateable by `report_diff`.
 //! * `evaluate` — report error / log-loss / AUC of a model on a file.
 //! * `gen` — write a synthetic dataset in LibSVM format.
 //!
@@ -21,9 +24,12 @@ use dimboost_core::{
     load_model_file, save_model_file, CheckpointOptions, FaultPlan, GbdtConfig, LossKind,
     RobustOptions, TrainError,
 };
+use dimboost_data::csv::{read_csv_file, CsvOptions};
 use dimboost_data::libsvm::{read_libsvm_file, write_libsvm, LibsvmOptions};
 use dimboost_data::partition::{partition_rows, train_test_split};
 use dimboost_data::synthetic::{generate, SparseGenConfig};
+use dimboost_data::Dataset;
+use dimboost_predict::{score_raw, score_transformed, BenchOptions, CompiledModel, EngineConfig};
 use dimboost_ps::PsConfig;
 use dimboost_simnet::CostModel;
 
@@ -32,8 +38,10 @@ use dimboost_simnet::CostModel;
 pub enum Command {
     /// Train a model from a LibSVM file (boxed: much larger than the rest).
     Train(Box<TrainArgs>),
-    /// Score a LibSVM file with a saved model.
+    /// Score a LibSVM/CSV file with a saved model.
     Predict(PredictArgs),
+    /// Serving throughput benchmark over a saved model.
+    Bench(BenchArgs),
     /// Evaluate a saved model on a LibSVM file.
     Evaluate(EvalArgs),
     /// Generate a synthetic LibSVM dataset.
@@ -87,16 +95,50 @@ pub struct TrainArgs {
 /// Arguments for `predict`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredictArgs {
-    /// Input LibSVM file.
+    /// Input LibSVM (or, with `csv`, CSV) file.
     pub data: PathBuf,
     /// Saved model path.
     pub model: PathBuf,
     /// Where to write predictions (stdout when `None`).
     pub output: Option<PathBuf>,
-    /// Emit raw additive scores instead of transformed predictions.
+    /// Emit raw additive scores instead of transformed predictions
+    /// (multiclass models emit `K` space-separated scores per row).
     pub raw: bool,
     /// Feature indices in the file start at 0 instead of 1.
     pub zero_based: bool,
+    /// Parse the input as CSV (label in column 0) instead of LibSVM.
+    pub csv: bool,
+    /// Scoring threads.
+    pub threads: usize,
+    /// Rows per scoring batch.
+    pub batch_size: usize,
+}
+
+/// Arguments for `bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Input LibSVM (or, with `csv`, CSV) file.
+    pub data: PathBuf,
+    /// Saved model path.
+    pub model: PathBuf,
+    /// Scoring threads.
+    pub threads: usize,
+    /// Rows per scoring batch.
+    pub batch_size: usize,
+    /// Timed full-dataset scoring repeats.
+    pub repeats: usize,
+    /// Emit raw per-class scores instead of transformed predictions.
+    pub raw: bool,
+    /// Feature indices in the file start at 0 instead of 1.
+    pub zero_based: bool,
+    /// Parse the input as CSV (label in column 0) instead of LibSVM.
+    pub csv: bool,
+    /// Where to write the scores of the final repeat.
+    pub scores: Option<PathBuf>,
+    /// Write the timed JSON serving report here.
+    pub report: Option<PathBuf>,
+    /// Write the canonical (timing-free, rerun-stable) serving report here.
+    pub report_canonical: Option<PathBuf>,
 }
 
 /// Arguments for `evaluate`.
@@ -150,12 +192,22 @@ USAGE:
                  [--report-canonical <json>] [--trace <json>]
                  [--trace-canonical <json>] [--fault-plan <file>]
                  [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
-  dimboost predict --data <libsvm> --model <file> [--output <path>] [--raw]
-                 [--zero-based]
+                 [--threads Q] [--batch-size B]
+  dimboost predict --data <libsvm|csv> --model <file> [--output <path>] [--raw]
+                 [--zero-based] [--csv] [--threads Q] [--batch-size B]
+  dimboost bench --data <libsvm|csv> --model <file> [--threads Q]
+                 [--batch-size B] [--repeats R] [--raw] [--zero-based] [--csv]
+                 [--scores <path>] [--report <json>] [--report-canonical <json>]
   dimboost evaluate --data <libsvm> --model <file> [--zero-based]
   dimboost gen --out <path> --rows N --features M --nnz Z [--seed N]
   dimboost inspect --model <file> [--top N] [--dump-tree I]
   dimboost help
+
+`predict` and `bench` score through the compiled inference engine
+(struct-of-arrays trees, statically striped batches): output bytes are
+bit-identical across reruns for any `--threads`/`--batch-size`, and equal
+to the interpreted evaluation path. `--threads`/`--batch-size` on `train`
+control the batched histogram builder the same way.
 
 A `--fault-plan` file scripts deterministic faults (stragglers, message
 drops, duplicates, server outages, a crash, permanent worker losses) into
@@ -186,6 +238,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "train" => parse_train(rest).map(|args| Command::Train(Box::new(args))),
         "predict" => parse_predict(rest).map(Command::Predict),
+        "bench" => parse_bench(rest).map(Command::Bench),
         "evaluate" => parse_evaluate(rest).map(Command::Evaluate),
         "gen" => parse_gen(rest).map(Command::Gen),
         "inspect" => parse_inspect(rest).map(Command::Inspect),
@@ -267,6 +320,8 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
                 checkpoint_every = parse_num(flag, take_value(flag, &mut iter)?)?
             }
             "--resume" => resume = true,
+            "--threads" => config.num_threads = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--batch-size" => config.batch_size = parse_num(flag, take_value(flag, &mut iter)?)?,
             other => return Err(format!("unknown flag {other:?} for train")),
         }
     }
@@ -309,6 +364,10 @@ fn parse_predict(args: &[String]) -> Result<PredictArgs, String> {
     let mut output = None;
     let mut raw = false;
     let mut zero_based = false;
+    let mut csv = false;
+    let engine = EngineConfig::default();
+    let mut threads = engine.threads;
+    let mut batch_size = engine.batch_size;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -317,8 +376,14 @@ fn parse_predict(args: &[String]) -> Result<PredictArgs, String> {
             "--output" => output = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--raw" => raw = true,
             "--zero-based" => zero_based = true,
+            "--csv" => csv = true,
+            "--threads" => threads = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--batch-size" => batch_size = parse_num(flag, take_value(flag, &mut iter)?)?,
             other => return Err(format!("unknown flag {other:?} for predict")),
         }
+    }
+    if threads == 0 || batch_size == 0 {
+        return Err("--threads and --batch-size must be positive".into());
     }
     Ok(PredictArgs {
         data: data.ok_or("predict requires --data")?,
@@ -326,6 +391,59 @@ fn parse_predict(args: &[String]) -> Result<PredictArgs, String> {
         output,
         raw,
         zero_based,
+        csv,
+        threads,
+        batch_size,
+    })
+}
+
+fn parse_bench(args: &[String]) -> Result<BenchArgs, String> {
+    let mut data = None;
+    let mut model = None;
+    let mut raw = false;
+    let mut zero_based = false;
+    let mut csv = false;
+    let engine = EngineConfig::default();
+    let mut threads = engine.threads;
+    let mut batch_size = engine.batch_size;
+    let mut repeats = 3usize;
+    let mut scores = None;
+    let mut report = None;
+    let mut report_canonical = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--data" => data = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--model" => model = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--threads" => threads = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--batch-size" => batch_size = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--repeats" => repeats = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--raw" => raw = true,
+            "--zero-based" => zero_based = true,
+            "--csv" => csv = true,
+            "--scores" => scores = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--report-canonical" => {
+                report_canonical = Some(PathBuf::from(take_value(flag, &mut iter)?))
+            }
+            other => return Err(format!("unknown flag {other:?} for bench")),
+        }
+    }
+    if threads == 0 || batch_size == 0 || repeats == 0 {
+        return Err("--threads, --batch-size, and --repeats must be positive".into());
+    }
+    Ok(BenchArgs {
+        data: data.ok_or("bench requires --data")?,
+        model: model.ok_or("bench requires --model")?,
+        threads,
+        batch_size,
+        repeats,
+        raw,
+        zero_based,
+        csv,
+        scores,
+        report,
+        report_canonical,
     })
 }
 
@@ -401,6 +519,44 @@ fn libsvm_opts(zero_based: bool, num_features: Option<usize>) -> LibsvmOptions {
         num_features,
         binarize_labels: true,
     }
+}
+
+/// Loads a scoring input (LibSVM by default, CSV with `csv`). Labels are
+/// kept as-is — scoring ignores them.
+fn read_scoring_data(
+    path: &std::path::Path,
+    csv: bool,
+    zero_based: bool,
+    num_features: usize,
+) -> Result<Dataset, String> {
+    if csv {
+        let opts = CsvOptions {
+            binarize_labels: false,
+            ..CsvOptions::default()
+        };
+        read_csv_file(path, opts).map_err(|e| e.to_string())
+    } else {
+        let mut opts = libsvm_opts(zero_based, Some(num_features));
+        opts.binarize_labels = false;
+        read_libsvm_file(path, opts).map_err(|e| e.to_string())
+    }
+}
+
+/// Renders scores one row per line; rows wider than one score (raw
+/// multiclass) are space-separated. `f32` Display is shortest-round-trip,
+/// so the text is a faithful, deterministic encoding of the score bits.
+fn scores_text(scores: &[f32], width: usize) -> String {
+    let mut text = String::with_capacity(scores.len() * 10);
+    for row in scores.chunks(width.max(1)) {
+        for (i, s) in row.iter().enumerate() {
+            if i > 0 {
+                text.push(' ');
+            }
+            text.push_str(&format!("{s}"));
+        }
+        text.push('\n');
+    }
+    text
 }
 
 /// A runtime failure, carrying the process exit status to report.
@@ -657,23 +813,65 @@ tree {i}:
         }
         Command::Predict(args) => {
             let model = load_model_file(&args.model).map_err(|e| e.to_string())?;
-            let opts = libsvm_opts(args.zero_based, Some(model.num_features()));
-            let ds = read_libsvm_file(&args.data, opts).map_err(|e| e.to_string())?;
-            let preds = if args.raw {
-                model.predict_raw_dataset(&ds)
-            } else {
-                model.predict_dataset(&ds)
+            let ds =
+                read_scoring_data(&args.data, args.csv, args.zero_based, model.num_features())?;
+            // Compiled-engine scores are bit-equal to the interpreted path,
+            // so swapping the predict implementation changes no output byte.
+            let compiled = CompiledModel::compile(&model);
+            let engine = EngineConfig {
+                threads: args.threads,
+                batch_size: args.batch_size,
             };
-            let mut text = String::with_capacity(preds.len() * 10);
-            for p in &preds {
-                text.push_str(&format!("{p}\n"));
-            }
+            let (preds, width) = if args.raw {
+                let k = compiled.num_classes();
+                (score_raw(&compiled, &ds, &engine), k)
+            } else {
+                (score_transformed(&compiled, &ds, &engine), 1)
+            };
+            let text = scores_text(&preds, width);
             match args.output {
                 Some(path) => {
                     std::fs::write(&path, text).map_err(|e| format!("write output: {e}"))?;
-                    println!("wrote {} predictions to {}", preds.len(), path.display());
+                    println!(
+                        "wrote {} predictions to {}",
+                        preds.len() / width,
+                        path.display()
+                    );
                 }
                 None => print!("{text}"),
+            }
+            Ok(())
+        }
+        Command::Bench(args) => {
+            let model = load_model_file(&args.model).map_err(|e| e.to_string())?;
+            let ds =
+                read_scoring_data(&args.data, args.csv, args.zero_based, model.num_features())?;
+            let compiled = CompiledModel::compile(&model);
+            let opts = BenchOptions {
+                engine: EngineConfig {
+                    threads: args.threads,
+                    batch_size: args.batch_size,
+                },
+                repeats: args.repeats,
+                raw: args.raw,
+            };
+            let (scores, report) = dimboost_predict::run_serving_bench(&compiled, &ds, &opts);
+            println!("{}", report.summary());
+            if let Some(path) = &args.scores {
+                let width = if args.raw { compiled.num_classes() } else { 1 };
+                std::fs::write(path, scores_text(&scores, width))
+                    .map_err(|e| format!("write scores: {e}"))?;
+                println!("scores written to {}", path.display());
+            }
+            if let Some(path) = &args.report {
+                std::fs::write(path, report.json(true))
+                    .map_err(|e| format!("write serving report: {e}"))?;
+                println!("serving report written to {}", path.display());
+            }
+            if let Some(path) = &args.report_canonical {
+                std::fs::write(path, report.canonical_json())
+                    .map_err(|e| format!("write canonical serving report: {e}"))?;
+                println!("canonical serving report written to {}", path.display());
             }
             Ok(())
         }
@@ -1104,10 +1302,285 @@ mod tests {
             output: None,
             raw: false,
             zero_based: false,
+            csv: false,
+            threads: 2,
+            batch_size: 64,
         }))
         .unwrap_err();
         assert!(err.contains("I/O error"), "{err}");
         assert_eq!(err.exit_code, 1);
+    }
+
+    #[test]
+    fn parses_predict_and_bench_flags() {
+        let cmd = parse_args(&strs(&[
+            "predict",
+            "--data",
+            "d.csv",
+            "--model",
+            "m.bin",
+            "--csv",
+            "--raw",
+            "--threads",
+            "8",
+            "--batch-size",
+            "256",
+        ]))
+        .unwrap();
+        let Command::Predict(args) = cmd else {
+            panic!()
+        };
+        assert!(args.csv && args.raw);
+        assert_eq!((args.threads, args.batch_size), (8, 256));
+
+        let cmd = parse_args(&strs(&[
+            "bench",
+            "--data",
+            "d.libsvm",
+            "--model",
+            "m.bin",
+            "--threads",
+            "4",
+            "--batch-size",
+            "128",
+            "--repeats",
+            "5",
+            "--scores",
+            "s.txt",
+            "--report",
+            "r.json",
+            "--report-canonical",
+            "rc.json",
+        ]))
+        .unwrap();
+        let Command::Bench(args) = cmd else { panic!() };
+        assert_eq!((args.threads, args.batch_size, args.repeats), (4, 128, 5));
+        assert_eq!(args.scores, Some(PathBuf::from("s.txt")));
+        assert_eq!(args.report, Some(PathBuf::from("r.json")));
+        assert_eq!(args.report_canonical, Some(PathBuf::from("rc.json")));
+
+        // Degenerate values are rejected at parse time.
+        assert!(parse_args(&strs(&[
+            "predict",
+            "--data",
+            "d",
+            "--model",
+            "m",
+            "--threads",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&strs(&[
+            "bench",
+            "--data",
+            "d",
+            "--model",
+            "m",
+            "--repeats",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&strs(&["bench", "--data", "d"])).is_err());
+    }
+
+    #[test]
+    fn train_parses_threading_flags() {
+        let cmd = parse_args(&strs(&[
+            "train",
+            "--data",
+            "d",
+            "--model",
+            "m",
+            "--threads",
+            "6",
+            "--batch-size",
+            "500",
+        ]))
+        .unwrap();
+        let Command::Train(args) = cmd else { panic!() };
+        assert_eq!(args.config.num_threads, 6);
+        assert_eq!(args.config.batch_size, 500);
+    }
+
+    #[test]
+    fn bench_end_to_end_is_rerun_stable() {
+        let dir = std::env::temp_dir().join("dimboost_cli_bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.libsvm");
+        let model = dir.join("model.bin");
+
+        run(parse_args(&strs(&[
+            "gen",
+            "--out",
+            data.to_str().unwrap(),
+            "--rows",
+            "500",
+            "--features",
+            "60",
+            "--nnz",
+            "8",
+            "--seed",
+            "13",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(parse_args(&strs(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--trees",
+            "3",
+            "--depth",
+            "3",
+        ]))
+        .unwrap())
+        .unwrap();
+
+        let bench = |tag: &str| {
+            let scores = dir.join(format!("scores_{tag}.txt"));
+            let canon = dir.join(format!("report_{tag}.json"));
+            run(parse_args(&strs(&[
+                "bench",
+                "--data",
+                data.to_str().unwrap(),
+                "--model",
+                model.to_str().unwrap(),
+                "--threads",
+                "4",
+                "--batch-size",
+                "64",
+                "--repeats",
+                "2",
+                "--scores",
+                scores.to_str().unwrap(),
+                "--report",
+                dir.join(format!("timed_{tag}.json")).to_str().unwrap(),
+                "--report-canonical",
+                canon.to_str().unwrap(),
+            ]))
+            .unwrap())
+            .unwrap();
+            (
+                std::fs::read_to_string(scores).unwrap(),
+                std::fs::read_to_string(canon).unwrap(),
+            )
+        };
+        let (scores_a, canon_a) = bench("a");
+        let (scores_b, canon_b) = bench("b");
+        // The repo-wide serving determinism gate, in-process form: score
+        // bytes and canonical serving reports are rerun-identical.
+        assert_eq!(scores_a, scores_b);
+        assert_eq!(canon_a, canon_b);
+        assert_eq!(scores_a.lines().count(), 500);
+        assert!(canon_a.contains("\"kind\":\"serving\""), "{canon_a}");
+        assert!(canon_a.contains("\"score_checksum\":"), "{canon_a}");
+        assert!(!canon_a.contains("compute_secs"), "{canon_a}");
+        // Scores match the predict subcommand (same engine, same bits).
+        let preds = dir.join("preds.txt");
+        run(parse_args(&strs(&[
+            "predict",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--batch-size",
+            "100",
+            "--output",
+            preds.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&preds).unwrap(), scores_a);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_raw_multiclass_emits_k_scores_per_row() {
+        let dir = std::env::temp_dir().join("dimboost_cli_multiclass");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.bin");
+        // Small three-class LibSVM data (+0.01 keeps every value nonzero so
+        // the sparse encoding stores all three features).
+        let libsvm = dir.join("data.libsvm");
+        let mut text = String::new();
+        for i in 0..90 {
+            text.push_str(&format!(
+                "{} 1:{} 2:{} 3:{}\n",
+                i % 3,
+                (i % 7) as f32 * 0.5 + 0.01,
+                ((i + 2) % 5) as f32 * 0.25 + 0.01,
+                (i % 2) as f32 + 0.01
+            ));
+        }
+        std::fs::write(&libsvm, text).unwrap();
+        run(parse_args(&strs(&[
+            "train",
+            "--data",
+            libsvm.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--trees",
+            "6",
+            "--depth",
+            "2",
+            "--classes",
+            "3",
+        ]))
+        .unwrap())
+        .unwrap();
+        let preds = dir.join("raw.txt");
+        run(parse_args(&strs(&[
+            "predict",
+            "--data",
+            libsvm.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--raw",
+            "--output",
+            preds.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        let text = std::fs::read_to_string(&preds).unwrap();
+        assert_eq!(text.lines().count(), 90);
+        // The old interpreter path panicked on multiclass --raw; the
+        // compiled engine emits K space-separated scores per row.
+        assert!(text.lines().all(|l| l.split(' ').count() == 3), "{text}");
+
+        // The same rows as CSV (label column first) score identically.
+        let csv = dir.join("data.csv");
+        let mut csv_text = String::from("label,f0,f1,f2\n");
+        for i in 0..90 {
+            csv_text.push_str(&format!(
+                "{},{},{},{}\n",
+                i % 3,
+                (i % 7) as f32 * 0.5 + 0.01,
+                ((i + 2) % 5) as f32 * 0.25 + 0.01,
+                (i % 2) as f32 + 0.01
+            ));
+        }
+        std::fs::write(&csv, csv_text).unwrap();
+        let csv_preds = dir.join("raw_csv.txt");
+        run(parse_args(&strs(&[
+            "predict",
+            "--data",
+            csv.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--raw",
+            "--csv",
+            "--output",
+            csv_preds.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&csv_preds).unwrap(), text);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

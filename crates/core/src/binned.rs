@@ -13,8 +13,6 @@
 //! and a one-time binning pass; it pays off whenever more than one layer of
 //! histograms is built, i.e. always.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use dimboost_data::Dataset;
 
 use crate::hist_build::new_row;
@@ -140,9 +138,12 @@ impl BinnedShard {
     }
 
     /// Batched parallel variant (Section 5.2's scheme over the binned data):
-    /// instance batches of `batch_size` are claimed by up to `threads`
-    /// workers, each accumulating into a private partial row, merged at the
-    /// end.
+    /// instance batches of `batch_size` are **statically striped** over up
+    /// to `threads` workers (thread `t` owns batches `t, t+threads, …`),
+    /// each accumulating into a private partial row, merged in thread-index
+    /// order at the end. See `crate::parallel` for the determinism
+    /// rationale: the output is bit-identical across reruns for any fixed
+    /// `(instances, threads, batch_size)`.
     pub fn build_row_batched(
         &self,
         instances: &[u32],
@@ -160,22 +161,19 @@ impl BinnedShard {
             self.build_into(instances, grads, &mut out);
             return out;
         }
-        let cursor = AtomicUsize::new(0);
+        // Static round-robin striping, same rule as `parallel::build_row_batched`.
         let mut partials: Vec<Vec<f32>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                let cursor = &cursor;
+            for t in 0..threads {
                 handles.push(scope.spawn(move || {
                     let mut partial = new_row(meta);
-                    loop {
-                        let b = cursor.fetch_add(1, Ordering::Relaxed);
-                        if b >= num_batches {
-                            break;
-                        }
+                    let mut b = t;
+                    while b < num_batches {
                         let lo = b * batch_size;
                         let hi = (lo + batch_size).min(instances.len());
                         self.build_into(&instances[lo..hi], grads, &mut partial);
+                        b += threads;
                     }
                     partial
                 }));
@@ -184,9 +182,10 @@ impl BinnedShard {
                 partials.push(h.join().expect("binned histogram thread panicked"));
             }
         });
-        let mut out = partials.pop().expect("at least one partial");
-        for p in &partials {
-            for (o, v) in out.iter_mut().zip(p) {
+        let mut iter = partials.into_iter();
+        let mut out = iter.next().expect("at least one partial");
+        for p in iter {
+            for (o, v) in out.iter_mut().zip(&p) {
                 *o += v;
             }
         }
@@ -271,8 +270,30 @@ mod tests {
         binned.build_into(&instances, &grads, &mut reference);
         for (batch, threads) in [(64, 4), (100, 2), (7, 8), (1000, 4)] {
             let out = binned.build_row_batched(&instances, &grads, &meta, batch, threads);
-            for (a, b) in out.iter().zip(&reference) {
-                assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            if batch >= instances.len() {
+                // One batch → one worker adding in sequential order: bit-equal.
+                assert_eq!(out, reference);
+            } else {
+                for (a, b) in out.iter().zip(&reference) {
+                    assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    // Static striping makes the batched binned builder bit-deterministic:
+    // reruns with a fixed (instances, threads, batch_size) must agree on
+    // every f32 bit, for each multi-threaded configuration.
+    #[test]
+    fn batched_binned_repeat_runs_bit_identical() {
+        let (ds, meta, grads) = setup(500, 30);
+        let binned = BinnedShard::build(&ds, &meta);
+        let instances: Vec<u32> = (0..500).collect();
+        for threads in [2, 4, 8] {
+            let first = binned.build_row_batched(&instances, &grads, &meta, 37, threads);
+            for _ in 0..10 {
+                let again = binned.build_row_batched(&instances, &grads, &meta, 37, threads);
+                assert_eq!(again, first, "threads={threads}");
             }
         }
     }

@@ -1,0 +1,300 @@
+//! A trained ensemble compiled to flat struct-of-arrays form.
+//!
+//! The interpreted [`Tree`] stores a full implicit heap (`2^(depth+1)−1`
+//! enum slots per tree) and matches on the `Node` tag at every step. The
+//! compiled form keeps only reachable nodes, contiguously per tree in BFS
+//! order, split across parallel arrays so the traversal loop reads exactly
+//! the bytes it needs:
+//!
+//! | array     | internal node          | leaf            |
+//! |-----------|------------------------|-----------------|
+//! | `feature` | tested feature id      | 0 (unused)      |
+//! | `value`   | split threshold        | leaf weight `ω` |
+//! | `left`    | left child index       | 0 (unused)      |
+//! | `right`   | right child index      | 0 (unused)      |
+//! | `flags`   | bit1 = default-left    | bit0 = leaf     |
+//!
+//! Child indices are **global** (into the shared arrays), so a traversal
+//! never needs the tree id after starting at its root. `Unused` slots a
+//! malformed tree can route into are compiled to weight-0 leaves, which is
+//! exactly what [`Tree::predict`] returns for them — compilation never
+//! changes a prediction, bit for bit.
+
+use dimboost_core::loss::softmax_inplace;
+use dimboost_core::{loss_for, GbdtModel, LossKind, Node, Tree};
+use dimboost_data::RowView;
+
+/// `flags` bit marking a leaf.
+const FLAG_LEAF: u8 = 1;
+/// `flags` bit sending zero (absent) feature values left.
+const FLAG_DEFAULT_LEFT: u8 = 2;
+
+/// A [`GbdtModel`] compiled into flat struct-of-arrays node storage.
+///
+/// Scores are bit-equal to the interpreted model: the traversal performs
+/// the same `v == 0.0` / `v <= threshold` comparisons on the same f32
+/// values, and the per-class accumulation adds `η·ω` terms in the same
+/// tree order as [`GbdtModel::predict_scores`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    /// Tree `t` occupies node indices `tree_offsets[t]..tree_offsets[t+1]`;
+    /// its root is `tree_offsets[t]`. Length `num_trees + 1`.
+    tree_offsets: Vec<u32>,
+    feature: Vec<u32>,
+    value: Vec<f32>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    flags: Vec<u8>,
+    learning_rate: f32,
+    loss: LossKind,
+    num_features: usize,
+}
+
+impl CompiledModel {
+    /// Compiles a trained model. Each tree is walked breadth-first from its
+    /// root; only reachable nodes are emitted.
+    pub fn compile(model: &GbdtModel) -> Self {
+        let mut c = CompiledModel {
+            tree_offsets: Vec::with_capacity(model.num_trees() + 1),
+            feature: Vec::new(),
+            value: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            flags: Vec::new(),
+            learning_rate: model.learning_rate(),
+            loss: model.loss(),
+            num_features: model.num_features(),
+        };
+        c.tree_offsets.push(0);
+        for tree in model.trees() {
+            c.compile_tree(tree);
+            c.tree_offsets.push(c.feature.len() as u32);
+        }
+        c
+    }
+
+    fn compile_tree(&mut self, tree: &Tree) {
+        let base = self.feature.len() as u32;
+        // BFS order: when slot `i` of `order` is processed, its children (if
+        // any) are appended at slots `order.len()` and `order.len() + 1`, so
+        // their compiled indices are known before they are visited.
+        let mut order: Vec<u32> = vec![0];
+        let mut i = 0;
+        while i < order.len() {
+            match tree.node(order[i]) {
+                Node::Internal {
+                    feature,
+                    threshold,
+                    default_left,
+                    ..
+                } => {
+                    let child = base + order.len() as u32;
+                    order.push(Tree::left_child(order[i]));
+                    order.push(Tree::right_child(order[i]));
+                    self.feature.push(feature);
+                    self.value.push(threshold);
+                    self.left.push(child);
+                    self.right.push(child + 1);
+                    self.flags
+                        .push(if default_left { FLAG_DEFAULT_LEFT } else { 0 });
+                }
+                Node::Leaf { weight } => self.push_leaf(weight),
+                // Routing into an Unused slot predicts 0.0 in the
+                // interpreter; a weight-0 leaf is bit-identical.
+                Node::Unused => self.push_leaf(0.0),
+            }
+            i += 1;
+        }
+    }
+
+    fn push_leaf(&mut self, weight: f32) {
+        self.feature.push(0);
+        self.value.push(weight);
+        self.left.push(0);
+        self.right.push(0);
+        self.flags.push(FLAG_LEAF);
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.tree_offsets.len() - 1
+    }
+
+    /// Total compiled nodes across all trees.
+    pub fn num_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Number of score columns (1 for scalar losses, `classes` for softmax).
+    pub fn num_classes(&self) -> usize {
+        self.loss.trees_per_round()
+    }
+
+    /// The loss the model was trained with.
+    pub fn loss(&self) -> LossKind {
+        self.loss
+    }
+
+    /// Shrinkage learning rate η.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Dimensionality the model was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Approximate memory footprint of the node arrays in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.tree_offsets.len() * 4 + self.feature.len() * 17
+    }
+
+    /// Unshrunk leaf weight tree `t` predicts for `row`. The traversal
+    /// replicates [`Tree::route`]'s comparisons exactly.
+    #[inline]
+    fn leaf_value(&self, t: usize, row: &RowView<'_>) -> f32 {
+        let mut n = self.tree_offsets[t] as usize;
+        loop {
+            let flags = self.flags[n];
+            if flags & FLAG_LEAF != 0 {
+                return self.value[n];
+            }
+            let v = row.get(self.feature[n]);
+            let go_left = if v == 0.0 {
+                flags & FLAG_DEFAULT_LEFT != 0
+            } else {
+                v <= self.value[n]
+            };
+            n = if go_left { self.left[n] } else { self.right[n] } as usize;
+        }
+    }
+
+    /// Accumulates per-class raw scores for one instance into `scores`
+    /// (length [`Self::num_classes`], zeroed by the caller). Mirrors
+    /// [`GbdtModel::predict_scores`]: tree `i` contributes `η·ω` to class
+    /// `i % K`, in tree order.
+    pub fn score_into(&self, row: &RowView<'_>, scores: &mut [f32]) {
+        let k = self.num_classes();
+        debug_assert_eq!(scores.len(), k);
+        for t in 0..self.num_trees() {
+            scores[t % k] += self.learning_rate * self.leaf_value(t, row);
+        }
+    }
+
+    /// Raw additive score for one instance (scalar losses).
+    ///
+    /// # Panics
+    /// Panics for softmax models — use [`Self::score_into`].
+    pub fn predict_raw(&self, row: &RowView<'_>) -> f32 {
+        assert_eq!(self.num_classes(), 1, "multiclass model: use score_into");
+        let mut score = [0.0f32];
+        self.score_into(row, &mut score);
+        score[0]
+    }
+
+    /// Transformed prediction, matching [`GbdtModel::predict`] bit for bit:
+    /// predicted class index (as `f32`) for softmax, `loss.transform(raw)`
+    /// otherwise.
+    pub fn predict(&self, row: &RowView<'_>) -> f32 {
+        match self.loss {
+            LossKind::Softmax { .. } => {
+                let mut scores = vec![0.0f32; self.num_classes()];
+                self.score_into(row, &mut scores);
+                scores
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0) as f32
+            }
+            kind => loss_for(kind).transform(self.predict_raw(row)),
+        }
+    }
+
+    /// Per-class probabilities, matching [`GbdtModel::predict_proba`].
+    pub fn predict_proba(&self, row: &RowView<'_>) -> Vec<f32> {
+        match self.loss {
+            LossKind::Softmax { .. } => {
+                let mut scores = vec![0.0f32; self.num_classes()];
+                self.score_into(row, &mut scores);
+                softmax_inplace(&mut scores);
+                scores
+            }
+            kind => vec![loss_for(kind).transform(self.predict_raw(row))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model(loss: LossKind) -> GbdtModel {
+        let mut t1 = Tree::new(2);
+        t1.set_internal_full(0, 3, 0.5, 1.0, false);
+        t1.set_internal(1, 1, 1.2);
+        t1.set_leaf(3, -1.0);
+        t1.set_leaf(4, 0.25);
+        t1.set_leaf(2, 1.5);
+        let mut t2 = Tree::new(1);
+        t2.set_leaf(0, 0.5);
+        let trees = match loss {
+            LossKind::Softmax { classes } => {
+                let mut ts = Vec::new();
+                for _ in 0..classes {
+                    ts.push(t1.clone());
+                }
+                ts
+            }
+            _ => vec![t1, t2],
+        };
+        GbdtModel::new(trees, 0.3, loss, 8)
+    }
+
+    #[test]
+    fn compiles_only_reachable_nodes() {
+        let m = toy_model(LossKind::Logistic);
+        let c = CompiledModel::compile(&m);
+        // Tree 1: 5 live nodes; tree 2: a root leaf. The interpreted trees
+        // hold 7 + 3 enum slots; the compiled form drops the unused ones.
+        assert_eq!(c.num_trees(), 2);
+        assert_eq!(c.num_nodes(), 6);
+        assert!(c.memory_bytes() < 200);
+    }
+
+    #[test]
+    fn unused_root_predicts_zero_like_interpreter() {
+        let dead = Tree::new(1); // all Unused
+        let m = GbdtModel::new(vec![dead], 0.5, LossKind::Square, 4);
+        let c = CompiledModel::compile(&m);
+        let ds = dimboost_data::synthetic::generate(
+            &dimboost_data::synthetic::SparseGenConfig::new(5, 4, 2, 1),
+        );
+        for i in 0..ds.num_rows() {
+            assert_eq!(c.predict_raw(&ds.row(i)), m.predict_raw(&ds.row(i)));
+            assert_eq!(c.predict_raw(&ds.row(i)), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiclass")]
+    fn raw_rejects_multiclass() {
+        let m = toy_model(LossKind::Softmax { classes: 3 });
+        let c = CompiledModel::compile(&m);
+        let ds = dimboost_data::synthetic::generate(
+            &dimboost_data::synthetic::SparseGenConfig::new(1, 8, 3, 1),
+        );
+        c.predict_raw(&ds.row(0));
+    }
+
+    #[test]
+    fn metadata_round_trips() {
+        let m = toy_model(LossKind::Softmax { classes: 3 });
+        let c = CompiledModel::compile(&m);
+        assert_eq!(c.num_classes(), 3);
+        assert_eq!(c.learning_rate(), 0.3);
+        assert_eq!(c.num_features(), 8);
+        assert_eq!(c.loss(), LossKind::Softmax { classes: 3 });
+    }
+}

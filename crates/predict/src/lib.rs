@@ -1,0 +1,39 @@
+//! Compiled, deterministic inference for trained DimBoost models.
+//!
+//! Training evaluates trees through [`dimboost_core::Tree`], a pointer-free
+//! but enum-tagged implicit heap array: every step matches on a `Node` enum
+//! and touches a `2^(depth+1)−1`-slot array even when the tree is mostly
+//! `Unused`. That is fine inside the trainer's eval loop, but the ROADMAP's
+//! north star serves "heavy traffic from millions of users" — a serving
+//! path wants a flat, cache-friendly layout and a batch engine whose
+//! throughput runs are reproducible.
+//!
+//! This crate provides that path in three layers:
+//!
+//! * [`compiled::CompiledModel`] — a trained [`GbdtModel`] compiled into
+//!   struct-of-arrays form: per-tree contiguous node arrays (feature id,
+//!   threshold or leaf weight, child indices, flag byte) laid out in BFS
+//!   order, visiting only reachable nodes. Scores are **bit-equal** to the
+//!   interpreted `Tree` path on every loss (binary, regression, multiclass);
+//!   an equivalence test pins this.
+//! * [`engine`] — batch scoring over sparse rows (no dense materialization)
+//!   with the same **static round-robin striping** rule the batched
+//!   histogram builders use: thread `t` owns batches `t, t+threads, …` and
+//!   results are merged in batch-index order, so output bytes are
+//!   bit-identical across reruns for any fixed `(threads, batch_size)`.
+//!   Latency/throughput feed a [`dimboost_simnet::MetricsRegistry`]
+//!   (`sim/serving/*` canonical, `wall/serving/*` excluded).
+//! * [`report::ServingReport`] — a JSON serving report in the same
+//!   canonical-vs-timed scheme as the training `RunReport`, gateable by the
+//!   `report_diff` tool, plus [`report::run_serving_bench`], the throughput
+//!   harness behind the CLI `bench` subcommand.
+//!
+//! [`GbdtModel`]: dimboost_core::GbdtModel
+
+pub mod compiled;
+pub mod engine;
+pub mod report;
+
+pub use compiled::CompiledModel;
+pub use engine::{score_raw, score_transformed, score_with_metrics, EngineConfig, ScoreKind};
+pub use report::{run_serving_bench, BenchOptions, ServingReport};

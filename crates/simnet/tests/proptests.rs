@@ -197,6 +197,41 @@ proptest! {
         prop_assert!(comm_totals(&trace.events).total().is_empty());
     }
 
+    /// The recursive-halving ReduceScatter charges exactly Table 1's closed
+    /// form, `(w−1)/w·h·β + (α + h·γ)·⌈log₂ w⌉`, doubled when `w` is not a
+    /// power of two — for arbitrary worker counts, buffer lengths, and cost
+    /// models. The expected value is recomputed here from first principles
+    /// (same expression, independent code path), so any drift between the
+    /// collective's accounting and the documented formula fails the test.
+    #[test]
+    fn reduce_scatter_charges_closed_form(
+        w in 1usize..33,
+        len in 1usize..200,
+        alpha in 0.0f64..1e-2,
+        beta in 0.0f64..1e-7,
+        gamma in 0.0f64..1e-8,
+    ) {
+        let m = CostModel { alpha, beta, gamma };
+        let buffers = vec![vec![1.0f32; len]; w];
+        let bus = TraceBus::new(w, 1, m, true);
+        let (_, stats) =
+            reduce_scatter_halving_traced(&buffers, &m, Some((&bus, Phase::BuildHistogram)));
+        if w == 1 {
+            // Degenerate case: nothing moves, nothing is charged.
+            prop_assert_eq!(stats.sim_time.seconds(), 0.0);
+            prop_assert_eq!(stats.bytes, 0);
+        } else {
+            let h = (len * 4) as f64;
+            let w_f = w as f64;
+            let steps = w_f.log2().ceil();
+            let base = (w_f - 1.0) / w_f * h * beta + (alpha + h * gamma) * steps;
+            let expected = if w.is_power_of_two() { base } else { 2.0 * base };
+            // Bit-equal, not approximate: both sides evaluate the identical
+            // sequence of f64 operations.
+            prop_assert_eq!(stats.sim_time.seconds(), expected, "w={} len={}", w, len);
+        }
+    }
+
     /// The p-server generalization is monotone: more servers never slow the
     /// exchange, and p = w matches the co-located closed form (Table 4's
     /// mechanism).

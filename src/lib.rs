@@ -11,6 +11,7 @@
 //! * [`simnet`] — the simulated cluster: network cost model + collectives.
 //! * [`ps`] — the parameter server (range-hash sharding, push/pull UDFs).
 //! * [`core`] — the GBDT algorithm and the DimBoost distributed trainer.
+//! * [`predict`] — compiled inference engine and serving benchmark.
 //! * [`baselines`] — MLlib/XGBoost/LightGBM/TencentBoost-style trainers.
 //! * [`linalg`] — sparse PCA (dimension-reduction experiment).
 //!
@@ -36,6 +37,7 @@ pub use dimboost_baselines as baselines;
 pub use dimboost_core as core;
 pub use dimboost_data as data;
 pub use dimboost_linalg as linalg;
+pub use dimboost_predict as predict;
 pub use dimboost_ps as ps;
 pub use dimboost_simnet as simnet;
 pub use dimboost_sketch as sketch;

@@ -143,11 +143,14 @@ proptest! {
         }
     }
 
-    /// The batched builder is itself deterministic for a fixed input, even
-    /// with a racy-looking atomic work queue: batch results are merged by
-    /// batch index, not completion order.
+    /// Different thread counts group the per-batch additions differently,
+    /// so *across* thread counts only a float-associativity tolerance can
+    /// hold. (For a fixed thread count the builder is exactly
+    /// bit-deterministic — batches are statically striped, thread `t`
+    /// owning batches `t, t+q, …` — which the stress test below pins with
+    /// `assert_eq!`, no tolerance.)
     #[test]
-    fn batched_builder_deterministic_across_thread_counts(
+    fn batched_builder_agrees_across_thread_counts(
         (ds, grads) in arb_hist_input(),
         batch_size in 1usize..20,
     ) {
@@ -164,6 +167,84 @@ proptest! {
             for (i, (a, b)) in runs[0].iter().zip(other).enumerate() {
                 prop_assert!((a - b).abs() < 1e-3, "elem {}: {} vs {}", i, a, b);
             }
+        }
+    }
+}
+
+/// Repeat-run stress test for the headline PR-4 bugfix: with multi-threaded
+/// batched builders engaged (batch size far below the shard size), both the
+/// raw and the pre-binned histogram paths and the full training loop must
+/// be **bit-identical** across reruns for every thread count. Before static
+/// striping, the atomic batch cursor let OS scheduling decide which batches
+/// each thread summed, so these exact assertions would flake.
+#[test]
+fn multithreaded_training_is_bit_identical_across_reruns() {
+    use dimboost::core::binned::BinnedShard;
+    use dimboost::core::model_io::model_to_bytes;
+
+    let ds = generate(&SparseGenConfig::new(900, 80, 10, 31));
+    let meta = meta_for(&ds);
+    let grads: Vec<GradPair> = (0..ds.num_rows())
+        .map(|i| GradPair {
+            g: ((i % 13) as f32 - 6.0) / 3.0,
+            h: 0.2 + (i % 5) as f32 * 0.4,
+        })
+        .collect();
+    let instances: Vec<u32> = (0..ds.num_rows() as u32).collect();
+    let binned = BinnedShard::build(&ds, &meta);
+
+    for threads in [2, 4, 8] {
+        // Raw (Algorithm 2) batched path.
+        let bc = BatchConfig {
+            batch_size: 48,
+            threads,
+            sparse: true,
+        };
+        let raw_first = build_row_batched(&ds, &instances, &grads, &meta, &bc);
+        // Pre-binned batched path.
+        let binned_first = binned.build_row_batched(&instances, &grads, &meta, 48, threads);
+        for rep in 0..10 {
+            let raw_again = build_row_batched(&ds, &instances, &grads, &meta, &bc);
+            assert_eq!(
+                raw_again, raw_first,
+                "raw path, threads={threads} rep={rep}"
+            );
+            let binned_again = binned.build_row_batched(&instances, &grads, &meta, 48, threads);
+            assert_eq!(
+                binned_again, binned_first,
+                "binned path, threads={threads} rep={rep}"
+            );
+        }
+    }
+
+    // End to end: the trained model's serialized bytes are rerun-identical
+    // with the parallel batch builder genuinely multi-threaded (batch size
+    // 64 over ~833-row shards → ≥ 13 batches per node build).
+    for threads in [2, 4, 8] {
+        let shards = partition_rows(&ds, 2).unwrap();
+        let config = GbdtConfig {
+            num_trees: 3,
+            max_depth: 3,
+            num_candidates: 8,
+            learning_rate: 0.3,
+            num_threads: threads,
+            batch_size: 64,
+            ..GbdtConfig::default()
+        };
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::GIGABIT_LAN,
+        };
+        let reference = train_distributed(&shards, &config, ps).unwrap();
+        let reference_bytes = model_to_bytes(&reference.model);
+        for rep in 0..3 {
+            let again = train_distributed(&shards, &config, ps).unwrap();
+            assert_eq!(
+                model_to_bytes(&again.model),
+                reference_bytes,
+                "threads={threads} rep={rep}"
+            );
         }
     }
 }
