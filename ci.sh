@@ -72,6 +72,30 @@ cmp "$SMOKE/serving_a.canonical.json" "$SMOKE/serving_b.canonical.json"
   --threads 2 --batch-size 100 --output "$SMOKE/predict.txt"
 cmp "$SMOKE/scores_a.txt" "$SMOKE/predict.txt"
 
+echo "==> fused kernel: perf gate + canonical identity + bit-identical training"
+# Two small hist_kernel_bench runs at two thread counts: the first gates the
+# fused kernel at 1.5x the per-node binned path's wall time; the pair must be
+# canonical-report identical (all throughput fields are wall-only and ignored
+# by report_diff's built-in rules — structure and checksums must match).
+"$BIN/hist_kernel_bench" --rows 4000 --features 80 --nnz 10 --nodes 8 \
+  --rounds 2 --batch-size 256 --seed 5 --threads-list 1,4 \
+  --out "$SMOKE/hist_a.json" --assert-fused-ratio 1.5 > /dev/null
+"$BIN/hist_kernel_bench" --rows 4000 --features 80 --nnz 10 --nodes 8 \
+  --rounds 2 --batch-size 256 --seed 5 --threads-list 1,4 \
+  --out "$SMOKE/hist_b.json" > /dev/null
+"$BIN/report_diff" "$SMOKE/hist_a.json" "$SMOKE/hist_b.json"
+# Multi-threaded --fused-layer training must be bit-identical across reruns:
+# same model bytes, same canonical report, and report_diff-clean.
+for run in a b; do
+  "$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_fused_$run.json" \
+    --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+    --threads 4 --batch-size 25 --fused-layer \
+    --report-canonical "$SMOKE/report_fused_$run.json" > /dev/null
+done
+cmp "$SMOKE/model_fused_a.json" "$SMOKE/model_fused_b.json"
+cmp "$SMOKE/report_fused_a.json" "$SMOKE/report_fused_b.json"
+"$BIN/report_diff" "$SMOKE/report_fused_a.json" "$SMOKE/report_fused_b.json"
+
 echo "==> chaos: faults + crash/resume must change timing, never the model"
 cat > "$SMOKE/plan.txt" <<'EOF'
 # Canned chaos: lossy network, a histogram-phase straggler, a server

@@ -1,0 +1,334 @@
+//! Histogram-kernel throughput bench: dense vs sparse vs binned vs fused.
+//!
+//! Simulates one tree layer — shard rows dealt round-robin across `nodes`
+//! build nodes — and times how fast each builder variant constructs the
+//! layer's histograms at several thread counts:
+//!
+//! * `dense`  — per-node batched builds, dense enumeration
+//!   (`parallel::build_row_batched`, `sparse: false`);
+//! * `sparse` — per-node batched builds, Algorithm 2
+//!   (`parallel::build_row_batched`, `sparse: true`);
+//! * `binned` — per-node batched builds over the pre-binned CSR
+//!   (`BinnedShard::build_row_batched`);
+//! * `fused`  — one layer-fused pass over the binned CSR
+//!   (`fused::build_layer`).
+//!
+//! The JSON report follows the repo's canonical-vs-timed split: structural
+//! fields (sizes, per-variant entry counts, FNV-1a checksums over the
+//! produced histogram bits) are deterministic, while `compute_secs`,
+//! `entries_per_sec`, and `rounds_per_sec` are wall numbers that
+//! `report_diff`'s built-in rules ignore — two runs of this bench must be
+//! canonical-report identical.
+//!
+//! `--assert-fused-ratio R` turns the bench into a perf gate: summed over
+//! all measured thread counts, the fused kernel must not be slower than
+//! the per-node binned path by more than a factor of `R` (a ratio of wall
+//! times on the same machine and run, so the gate does not flake on
+//! absolute machine speed).
+
+use std::process::ExitCode;
+
+use dimboost_core::binned::BinnedShard;
+use dimboost_core::fused::{self, LayerPositions};
+use dimboost_core::parallel::{build_row_batched, BatchConfig};
+use dimboost_core::{FeatureMeta, GradPair};
+use dimboost_data::synthetic::{generate, SparseGenConfig};
+use dimboost_data::Dataset;
+use dimboost_sketch::SplitCandidates;
+
+const VARIANTS: [&str; 4] = ["dense", "sparse", "binned", "fused"];
+
+struct Options {
+    rows: usize,
+    features: usize,
+    nnz: usize,
+    nodes: usize,
+    rounds: usize,
+    batch_size: usize,
+    seed: u64,
+    threads_list: Vec<usize>,
+    out: Option<String>,
+    assert_fused_ratio: Option<f64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            rows: 20_000,
+            features: 200,
+            nnz: 16,
+            nodes: 8,
+            rounds: 3,
+            batch_size: 1024,
+            seed: 7,
+            threads_list: vec![1, 2, 4, 8],
+            out: Some("BENCH_hist.json".into()),
+            assert_fused_ratio: None,
+        }
+    }
+}
+
+/// One timed `(variant, threads)` measurement.
+struct Entry {
+    variant: &'static str,
+    threads: usize,
+    /// Work items per round: nonzero CSR entries for sparse/binned/fused,
+    /// `rows × features` cells for the dense enumeration. Deterministic.
+    entries: u64,
+    /// FNV-1a 64 over the layer's histogram bits (node order). Pins the
+    /// exact output of every variant into the canonical report.
+    checksum: u64,
+    secs: f64,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let ds = generate(&SparseGenConfig::new(
+        opts.rows,
+        opts.features,
+        opts.nnz,
+        opts.seed,
+    ));
+    let cands: Vec<SplitCandidates> = (0..opts.features)
+        .map(|f| {
+            SplitCandidates::from_boundaries(vec![-0.5, 0.2 + (f % 4) as f32 * 0.25, 1.1, 1.7])
+        })
+        .collect();
+    let meta = FeatureMeta::all_features(&cands);
+    let grads: Vec<GradPair> = (0..opts.rows)
+        .map(|i| GradPair {
+            g: ((i % 17) as f32 - 8.0) / 5.0,
+            h: 0.2 + (i % 6) as f32 * 0.3,
+        })
+        .collect();
+    let binned = BinnedShard::build(&ds, &meta);
+    let row_len = meta.layout().row_len();
+
+    // The simulated layer: row i belongs to build node i % nodes.
+    let mut slots = vec![0u32; opts.rows];
+    let mut counts = vec![0u64; opts.nodes];
+    for (i, slot) in slots.iter_mut().enumerate() {
+        *slot = (i % opts.nodes) as u32;
+        counts[i % opts.nodes] += 1;
+    }
+    let positions = LayerPositions { slots, counts };
+    let node_instances: Vec<Vec<u32>> = (0..opts.nodes)
+        .map(|n| ((n as u32)..opts.rows as u32).step_by(opts.nodes).collect())
+        .collect();
+
+    println!(
+        "hist_kernel_bench: {} rows × {} features (nnz {}), {} nodes, row_len {}, {} round(s), batch {}",
+        opts.rows,
+        opts.features,
+        ds.nnz(),
+        opts.nodes,
+        row_len,
+        opts.rounds,
+        opts.batch_size
+    );
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for &threads in &opts.threads_list {
+        for variant in VARIANTS {
+            // Builds the full layer once, returning its concatenated rows.
+            let build = || -> Vec<f32> {
+                match variant {
+                    "fused" => fused::build_layer(
+                        &binned,
+                        &positions,
+                        &grads,
+                        &meta,
+                        opts.batch_size,
+                        threads,
+                    ),
+                    "binned" => node_instances
+                        .iter()
+                        .flat_map(|inst| {
+                            binned.build_row_batched(inst, &grads, &meta, opts.batch_size, threads)
+                        })
+                        .collect(),
+                    dense_or_sparse => {
+                        let bc = BatchConfig {
+                            batch_size: opts.batch_size,
+                            threads,
+                            sparse: dense_or_sparse == "sparse",
+                        };
+                        node_instances
+                            .iter()
+                            .flat_map(|inst| build_row_batched(&ds, inst, &grads, &meta, &bc))
+                            .collect()
+                    }
+                }
+            };
+            let _warmup = build();
+            let start = std::time::Instant::now();
+            let mut layer = Vec::new();
+            for _ in 0..opts.rounds {
+                layer = build();
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let per_round = if variant == "dense" {
+                (opts.rows * opts.features) as u64
+            } else {
+                ds.nnz() as u64
+            };
+            let entry = Entry {
+                variant,
+                threads,
+                entries: per_round,
+                checksum: fnv1a64(&layer),
+                secs,
+            };
+            println!(
+                "  {:>6}/t{threads}: {:>12.0} entries/s, {:>7.2} rounds/s ({:.4}s)",
+                variant,
+                entry.entries as f64 * opts.rounds as f64 / secs.max(1e-12),
+                opts.rounds as f64 / secs.max(1e-12),
+                secs
+            );
+            entries.push(entry);
+        }
+    }
+
+    if let Some(out) = &opts.out {
+        let doc = render_json(&opts, &ds, row_len, &entries);
+        if let Err(e) = std::fs::write(out, doc) {
+            eprintln!("failed to write {out}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("report written to {out}");
+    }
+
+    if let Some(ratio) = opts.assert_fused_ratio {
+        let total = |variant: &str| -> f64 {
+            entries
+                .iter()
+                .filter(|e| e.variant == variant)
+                .map(|e| e.secs)
+                .sum()
+        };
+        let (fused_secs, binned_secs) = (total("fused"), total("binned"));
+        if fused_secs > binned_secs * ratio {
+            eprintln!(
+                "FAIL: fused kernel {fused_secs:.4}s vs per-node binned {binned_secs:.4}s \
+                 exceeds the {ratio}x budget"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "fused/binned wall ratio {:.2} within the {ratio}x budget",
+            fused_secs / binned_secs.max(1e-12)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn render_json(opts: &Options, ds: &Dataset, row_len: usize, entries: &[Entry]) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"kind\":\"hist_kernel\"");
+    out.push_str(&format!(",\"rows\":{}", opts.rows));
+    out.push_str(&format!(",\"features\":{}", opts.features));
+    out.push_str(&format!(",\"nnz\":{}", ds.nnz()));
+    out.push_str(&format!(",\"nodes\":{}", opts.nodes));
+    out.push_str(&format!(",\"rounds\":{}", opts.rounds));
+    out.push_str(&format!(",\"batch_size\":{}", opts.batch_size));
+    out.push_str(&format!(",\"seed\":{}", opts.seed));
+    out.push_str(&format!(",\"row_len\":{row_len}"));
+    out.push_str(",\"results\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let secs = e.secs.max(1e-12);
+        out.push_str(&format!(
+            "{{\"name\":\"{}/t{}\",\"variant\":\"{}\",\"threads\":{},\"entries\":{},\
+             \"checksum\":{},\"compute_secs\":{},\"entries_per_sec\":{},\"rounds_per_sec\":{}}}",
+            e.variant,
+            e.threads,
+            e.variant,
+            e.threads,
+            e.entries,
+            e.checksum,
+            e.secs,
+            e.entries as f64 * opts.rounds as f64 / secs,
+            opts.rounds as f64 / secs,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// FNV-1a 64 over the little-endian bytes of `values` (bit-sensitive, same
+/// scheme as the serving report's score checksum).
+fn fnv1a64(values: &[f32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for b in v.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--rows" => opts.rows = parse(&flag, &value("--rows")?)?,
+            "--features" => opts.features = parse(&flag, &value("--features")?)?,
+            "--nnz" => opts.nnz = parse(&flag, &value("--nnz")?)?,
+            "--nodes" => opts.nodes = parse(&flag, &value("--nodes")?)?,
+            "--rounds" => opts.rounds = parse(&flag, &value("--rounds")?)?,
+            "--batch-size" => opts.batch_size = parse(&flag, &value("--batch-size")?)?,
+            "--seed" => opts.seed = parse(&flag, &value("--seed")?)?,
+            "--threads-list" => {
+                opts.threads_list = value("--threads-list")?
+                    .split(',')
+                    .map(|t| parse(&flag, t))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--no-out" => opts.out = None,
+            "--assert-fused-ratio" => {
+                let v = value("--assert-fused-ratio")?;
+                opts.assert_fused_ratio = Some(v.parse().map_err(|_| format!("bad ratio {v:?}"))?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other}\nusage: hist_kernel_bench [--rows N] [--features M] \
+                     [--nnz K] [--nodes D] [--rounds R] [--batch-size B] [--seed S] \
+                     [--threads-list 1,2,4,8] [--out FILE | --no-out] [--assert-fused-ratio X]"
+                ))
+            }
+        }
+    }
+    if opts.rows == 0 || opts.features == 0 || opts.nodes == 0 || opts.rounds == 0 {
+        return Err("rows, features, nodes, and rounds must be positive".into());
+    }
+    if opts.batch_size == 0 || opts.threads_list.is_empty() {
+        return Err("batch_size and threads-list must be non-empty".into());
+    }
+    if opts.threads_list.contains(&0) {
+        return Err("thread counts must be positive".into());
+    }
+    Ok(opts)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad value {value:?} for {flag}"))
+}

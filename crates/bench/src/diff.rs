@@ -107,7 +107,8 @@ pub struct Rule {
     pub tolerance: Option<f64>,
 }
 
-/// Built-in rules: skip wall-clock fields, which differ on every run.
+/// Built-in rules: skip wall-clock fields, which differ on every run
+/// (elapsed seconds and the throughput rates derived from them).
 pub fn default_rules() -> Vec<Rule> {
     [
         "*compute_secs",
@@ -115,6 +116,7 @@ pub fn default_rules() -> Vec<Rule> {
         "*compute_p50_secs",
         "*compute_p99_secs",
         "*compute_skew_secs",
+        "*_per_sec",
         "percentiles.wall/*",
     ]
     .into_iter()

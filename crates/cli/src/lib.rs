@@ -188,7 +188,8 @@ USAGE:
                  [--feature-sample F] [--row-sample F] [--bits N]
                  [--loss logistic|square|softmax --classes K] [--seed N] [--test-fraction F]
                  [--zero-based] [--default-direction] [--pre-binning]
-                 [--hist-subtraction] [--early-stop R] [--report <json>]
+                 [--hist-subtraction] [--fused-layer] [--early-stop R]
+                 [--report <json>]
                  [--report-canonical <json>] [--trace <json>]
                  [--trace-canonical <json>] [--fault-plan <file>]
                  [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
@@ -207,7 +208,10 @@ USAGE:
 (struct-of-arrays trees, statically striped batches): output bytes are
 bit-identical across reruns for any `--threads`/`--batch-size`, and equal
 to the interpreted evaluation path. `--threads`/`--batch-size` on `train`
-control the batched histogram builder the same way.
+control the batched histogram builder the same way. `--fused-layer`
+builds all of a layer's node histograms in one pass over the pre-binned
+shard (implies the binned representation); reruns stay bit-identical for
+fixed `--threads`/`--batch-size`.
 
 A `--fault-plan` file scripts deterministic faults (stragglers, message
 drops, duplicates, server outages, a crash, permanent worker losses) into
@@ -303,6 +307,7 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
             "--default-direction" => config.learn_default_direction = true,
             "--pre-binning" => config.opts.pre_binning = true,
             "--hist-subtraction" => config.opts.hist_subtraction = true,
+            "--fused-layer" => config.opts.fused_layer = true,
             "--early-stop" => early_stop = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
             "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--report-canonical" => {
@@ -1233,6 +1238,7 @@ mod tests {
             "m",
             "--pre-binning",
             "--hist-subtraction",
+            "--fused-layer",
             "--default-direction",
             "--early-stop",
             "3",
@@ -1243,6 +1249,7 @@ mod tests {
         let Command::Train(args) = cmd else { panic!() };
         assert!(args.config.opts.pre_binning);
         assert!(args.config.opts.hist_subtraction);
+        assert!(args.config.opts.fused_layer);
         assert!(args.config.learn_default_direction);
         assert_eq!(args.early_stop, Some(3));
         // Early stopping without a held-out fraction is rejected.

@@ -46,17 +46,19 @@ use crate::meta::FeatureMeta;
 #[derive(Debug, Clone)]
 pub struct BinnedShard {
     /// Row pointers into the entry arrays (only sampled-feature nonzeros).
-    indptr: Vec<usize>,
+    /// (`pub(crate)`: the layer-fused kernel in [`crate::fused`] walks the
+    /// CSR arrays directly.)
+    pub(crate) indptr: Vec<usize>,
     /// Direct element offset of the entry's G cell in a histogram row.
-    g_elem: Vec<u32>,
+    pub(crate) g_elem: Vec<u32>,
     /// Direct element offset of the entry's H cell.
-    h_elem: Vec<u32>,
+    pub(crate) h_elem: Vec<u32>,
     /// Sampled-feature index of the entry (for the zero-bucket subtraction).
-    sf: Vec<u32>,
+    pub(crate) sf: Vec<u32>,
     /// Per sampled feature: element offset of the zero bucket's G cell.
-    zero_g: Vec<u32>,
+    pub(crate) zero_g: Vec<u32>,
     /// Per sampled feature: element offset of the zero bucket's H cell.
-    zero_h: Vec<u32>,
+    pub(crate) zero_h: Vec<u32>,
 }
 
 impl BinnedShard {
@@ -161,26 +163,18 @@ impl BinnedShard {
             self.build_into(instances, grads, &mut out);
             return out;
         }
-        // Static round-robin striping, same rule as `parallel::build_row_batched`.
-        let mut partials: Vec<Vec<f32>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                handles.push(scope.spawn(move || {
-                    let mut partial = new_row(meta);
-                    let mut b = t;
-                    while b < num_batches {
-                        let lo = b * batch_size;
-                        let hi = (lo + batch_size).min(instances.len());
-                        self.build_into(&instances[lo..hi], grads, &mut partial);
-                        b += threads;
-                    }
-                    partial
-                }));
+        // Static round-robin striping, same rule as
+        // `parallel::build_row_batched`, executed on the persistent pool.
+        let partials: Vec<Vec<f32>> = crate::pool::global().run(threads, |t| {
+            let mut partial = new_row(meta);
+            let mut b = t;
+            while b < num_batches {
+                let lo = b * batch_size;
+                let hi = (lo + batch_size).min(instances.len());
+                self.build_into(&instances[lo..hi], grads, &mut partial);
+                b += threads;
             }
-            for h in handles {
-                partials.push(h.join().expect("binned histogram thread panicked"));
-            }
+            partial
         });
         let mut iter = partials.into_iter();
         let mut out = iter.next().expect("at least one partial");

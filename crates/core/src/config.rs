@@ -65,6 +65,14 @@ pub struct Optimizations {
     /// LightGBM ships this trick; DimBoost's paper does not, so it defaults
     /// to off and is excluded from [`Optimizations::ALL`].
     pub hist_subtraction: bool,
+    /// **Extension (not in the paper):** layer-fused histogram
+    /// construction (see `crate::fused`): one statically-striped pass over
+    /// the binned shard builds every build node of the layer at once,
+    /// instead of one pass (and one thread-team dispatch) per node.
+    /// Implies the pre-binned representation (the binned shard is built
+    /// whenever this flag is on). Excluded from [`Optimizations::ALL`] so
+    /// paper-faithful ablation configs keep it off.
+    pub fused_layer: bool,
 }
 
 impl Optimizations {
@@ -79,6 +87,7 @@ impl Optimizations {
         low_precision: true,
         pre_binning: false,
         hist_subtraction: false,
+        fused_layer: false,
     };
 
     /// Everything off — the basic algorithm.
@@ -91,6 +100,7 @@ impl Optimizations {
         low_precision: false,
         pre_binning: false,
         hist_subtraction: false,
+        fused_layer: false,
     };
 }
 
@@ -154,6 +164,19 @@ pub struct GbdtConfig {
     /// memory proportional to rounds × nodes. Metrics percentiles are
     /// collected either way.
     pub collect_trace: bool,
+    /// Memory budget in bytes for the fused layer kernel's per-thread
+    /// histogram blocks (`build_nodes × row_len × 4 × num_threads`). When
+    /// a layer's blocks would exceed it, the trainer falls back to
+    /// per-node builds for that layer. Only consulted when
+    /// `opts.fused_layer` is on.
+    pub fused_block_budget: usize,
+}
+
+/// 256 MiB — far above any realistic layer at the paper's settings
+/// (e.g. depth 8, 100k features × 20 buckets ≈ 2^7 × 4 M f32 ≈ 2 GiB
+/// would exceed it and fall back, as intended).
+fn default_fused_block_budget() -> usize {
+    256 << 20
 }
 
 impl Default for GbdtConfig {
@@ -178,6 +201,7 @@ impl Default for GbdtConfig {
             seed: 42,
             opts: Optimizations::ALL,
             collect_trace: false,
+            fused_block_budget: default_fused_block_budget(),
         }
     }
 }

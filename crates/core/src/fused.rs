@@ -1,0 +1,417 @@
+//! Layer-fused histogram construction.
+//!
+//! The per-node builders ([`crate::binned`], [`crate::parallel`]) make one
+//! pass over each build node's instance list — up to 2^d passes per layer
+//! at depth `d`, each historically spawning its own scoped threads. This
+//! kernel instead makes **one** statically-striped pass over the whole
+//! shard's binned CSR *in row order*, routing every row's contribution
+//! through a per-instance node-position array into a contiguous
+//! `[build_nodes × row_len]` histogram block — the level-synchronous scheme
+//! GPU GBDT implementations use to process all nodes of a level in a
+//! single data sweep.
+//!
+//! # Determinism and bit-equality contract
+//!
+//! Batches of rows are statically striped over logical stripes (stripe `t`
+//! owns batches `t, t + threads, …`, executed on the persistent
+//! [`crate::pool`]), each accumulating a private block; partial blocks are
+//! merged elementwise in stripe order. Hence, like the per-node builders:
+//!
+//! * output is **bit-identical across reruns** for any fixed
+//!   `(threads, batch_size)`;
+//! * at `threads == 1` the kernel makes a single whole-shard pass with one
+//!   zero-bucket deposit per node at the end — for each build node the f32
+//!   addition sequence is then *exactly* the per-node
+//!   [`BinnedShard::build_into`] sequence (instance lists are ascending by
+//!   construction: [`crate::node_index`]'s split is stable), so every block
+//!   row is bit-equal to the per-node path, no tolerances;
+//! * across *different* thread counts only a float-associativity tolerance
+//!   holds, same as the per-node batched builders.
+//!
+//! # Memory trade-off
+//!
+//! Every stripe carries a private block of `build_nodes × row_len × 4`
+//! bytes. The trainer guards this with `GbdtConfig::fused_block_budget` and
+//! falls back to per-node builds when `blocks × threads` would exceed it.
+
+use dimboost_data::Dataset;
+
+use crate::binned::BinnedShard;
+use crate::loss::GradPair;
+use crate::meta::FeatureMeta;
+use crate::node_index::NodeIndex;
+use crate::pool;
+use crate::tree::Tree;
+
+/// Position-array marker for rows that belong to no build node (not
+/// sampled, routed to a finished leaf, or the large sibling under
+/// histogram subtraction).
+pub const NO_NODE: u32 = u32::MAX;
+
+/// Per-instance routing for one layer: which build-node slot each shard
+/// row contributes to, plus the per-slot instance counts (the same counts
+/// the per-node path reports in telemetry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerPositions {
+    /// Per shard row: index into the layer's build-node list, or
+    /// [`NO_NODE`].
+    pub slots: Vec<u32>,
+    /// Per build-node slot: number of contributing rows.
+    pub counts: Vec<u64>,
+}
+
+/// Derives layer positions from the node-to-instance index (the fast
+/// path). Rows absent from every build node's range — e.g. unsampled rows
+/// or rows at non-build nodes — map to [`NO_NODE`].
+pub fn positions_from_index(
+    index: &NodeIndex,
+    build_nodes: &[u32],
+    num_rows: usize,
+) -> LayerPositions {
+    let mut slots = vec![NO_NODE; num_rows];
+    let mut counts = vec![0u64; build_nodes.len()];
+    for (slot, &node) in build_nodes.iter().enumerate() {
+        let instances = index.instances(node);
+        counts[slot] = instances.len() as u64;
+        for &i in instances {
+            slots[i as usize] = slot as u32;
+        }
+    }
+    LayerPositions { slots, counts }
+}
+
+/// Derives layer positions by routing every (mask-included) row through
+/// the partial tree — the `node_index = false` ablation path, fused
+/// analogue of the trainer's `scan_instances`.
+pub fn positions_from_scan(
+    shard: &Dataset,
+    tree: &Tree,
+    build_nodes: &[u32],
+    mask: Option<&[bool]>,
+) -> LayerPositions {
+    let capacity = build_nodes
+        .iter()
+        .map(|&n| n as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut slot_of = vec![NO_NODE; capacity];
+    for (slot, &node) in build_nodes.iter().enumerate() {
+        slot_of[node as usize] = slot as u32;
+    }
+    let num_rows = shard.num_rows();
+    let mut slots = vec![NO_NODE; num_rows];
+    let mut counts = vec![0u64; build_nodes.len()];
+    for i in 0..num_rows {
+        if mask.is_some_and(|m| !m[i]) {
+            continue;
+        }
+        let node = tree.route(&shard.row(i), 0) as usize;
+        if node < capacity && slot_of[node] != NO_NODE {
+            let slot = slot_of[node];
+            slots[i] = slot;
+            counts[slot as usize] += 1;
+        }
+    }
+    LayerPositions { slots, counts }
+}
+
+/// Builds the whole layer's histograms in one pass over `binned`'s CSR.
+///
+/// Returns the merged block, `num_slots × row_len` f32s; slot `s`'s
+/// histogram row is `block[s * row_len..(s + 1) * row_len]`. See the
+/// module docs for the determinism/bit-equality contract.
+///
+/// # Panics
+/// Panics if `batch_size` or `threads` is zero, or if `positions.slots`
+/// does not cover exactly `binned.num_rows()` rows.
+pub fn build_layer(
+    binned: &BinnedShard,
+    positions: &LayerPositions,
+    grads: &[GradPair],
+    meta: &FeatureMeta,
+    batch_size: usize,
+    threads: usize,
+) -> Vec<f32> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    assert!(threads > 0, "threads must be positive");
+    assert_eq!(
+        positions.slots.len(),
+        binned.num_rows(),
+        "positions must cover every shard row"
+    );
+    let num_slots = positions.counts.len();
+    let row_len = meta.layout().row_len();
+    let num_rows = positions.slots.len();
+    if num_slots == 0 {
+        return Vec::new();
+    }
+    let num_batches = num_rows.div_ceil(batch_size);
+    let threads = threads.min(num_batches.max(1));
+
+    if threads <= 1 {
+        // Single whole-shard pass with one zero-bucket deposit per node at
+        // the end: for each build node this is exactly `build_into` over
+        // its (ascending) instance list — the bit-equality anchor.
+        let mut block = vec![0.0f32; num_slots * row_len];
+        let mut sums = vec![(0.0f64, 0.0f64); num_slots];
+        let mut touched = vec![false; num_slots];
+        accumulate(
+            binned,
+            &positions.slots,
+            grads,
+            0,
+            num_rows,
+            row_len,
+            &mut block,
+            &mut sums,
+            &mut touched,
+        );
+        deposit(binned, row_len, &mut block, &sums, &touched);
+        return block;
+    }
+
+    // Static striping on the persistent pool: stripe `t` owns batches
+    // t, t + threads, … in ascending order; partial blocks merge in stripe
+    // order. Zero-bucket sums deposit at every batch boundary, mirroring
+    // the per-node batched builders' per-batch `build_into` deposits.
+    let partials: Vec<Vec<f32>> = pool::global().run(threads, |t| {
+        let mut block = vec![0.0f32; num_slots * row_len];
+        let mut sums = vec![(0.0f64, 0.0f64); num_slots];
+        let mut touched = vec![false; num_slots];
+        let mut b = t;
+        while b < num_batches {
+            let lo = b * batch_size;
+            let hi = (lo + batch_size).min(num_rows);
+            accumulate(
+                binned,
+                &positions.slots,
+                grads,
+                lo,
+                hi,
+                row_len,
+                &mut block,
+                &mut sums,
+                &mut touched,
+            );
+            deposit(binned, row_len, &mut block, &sums, &touched);
+            for s in 0..num_slots {
+                sums[s] = (0.0, 0.0);
+                touched[s] = false;
+            }
+            b += threads;
+        }
+        block
+    });
+    let mut iter = partials.into_iter();
+    let mut out = iter.next().expect("at least one partial block");
+    for partial in iter {
+        for (o, v) in out.iter_mut().zip(&partial) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Accumulates rows `lo..hi` into `block`, tracking per-slot f64 gradient
+/// sums and which slots were touched (so deposits can skip silent slots —
+/// their cells hold `+0.0` either way, bit-equal to depositing a zero sum).
+#[allow(clippy::too_many_arguments)]
+fn accumulate(
+    binned: &BinnedShard,
+    slots: &[u32],
+    grads: &[GradPair],
+    lo: usize,
+    hi: usize,
+    row_len: usize,
+    block: &mut [f32],
+    sums: &mut [(f64, f64)],
+    touched: &mut [bool],
+) {
+    for (i, &slot) in slots.iter().enumerate().take(hi).skip(lo) {
+        if slot == NO_NODE {
+            continue;
+        }
+        let s = slot as usize;
+        let gp = grads[i];
+        sums[s].0 += gp.g as f64;
+        sums[s].1 += gp.h as f64;
+        touched[s] = true;
+        let base = s * row_len;
+        let (elo, ehi) = (binned.indptr[i], binned.indptr[i + 1]);
+        for e in elo..ehi {
+            let sf = binned.sf[e] as usize;
+            block[base + binned.g_elem[e] as usize] += gp.g;
+            block[base + binned.h_elem[e] as usize] += gp.h;
+            block[base + binned.zero_g[sf] as usize] -= gp.g;
+            block[base + binned.zero_h[sf] as usize] -= gp.h;
+        }
+    }
+}
+
+/// Deposits the accumulated zero-bucket sums for every touched slot, in
+/// slot order (same order the per-node path deposits each node).
+fn deposit(
+    binned: &BinnedShard,
+    row_len: usize,
+    block: &mut [f32],
+    sums: &[(f64, f64)],
+    touched: &[bool],
+) {
+    for (s, &(sum_g, sum_h)) in sums.iter().enumerate() {
+        if !touched[s] {
+            continue;
+        }
+        let base = s * row_len;
+        for sf in 0..binned.zero_g.len() {
+            block[base + binned.zero_g[sf] as usize] += sum_g as f32;
+            block[base + binned.zero_h[sf] as usize] += sum_h as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist_build::new_row;
+    use dimboost_data::synthetic::{generate, SparseGenConfig};
+    use dimboost_sketch::SplitCandidates;
+
+    fn setup(n: usize, m: usize) -> (Dataset, FeatureMeta, Vec<GradPair>) {
+        let ds = generate(&SparseGenConfig::new(n, m, 9, 41));
+        let cands: Vec<SplitCandidates> = (0..m)
+            .map(|f| SplitCandidates::from_boundaries(vec![-0.4, 0.3 + (f % 2) as f32 * 0.5, 1.3]))
+            .collect();
+        let meta = FeatureMeta::all_features(&cands);
+        let grads: Vec<GradPair> = (0..n)
+            .map(|i| GradPair {
+                g: ((i % 11) as f32 - 5.0) / 3.0,
+                h: 0.2 + (i % 3) as f32 * 0.4,
+            })
+            .collect();
+        (ds, meta, grads)
+    }
+
+    /// Round-robin partition of rows into `nodes` slots, with every third
+    /// row left out (NO_NODE) to exercise skipping.
+    fn partition(num_rows: usize, nodes: usize) -> LayerPositions {
+        let mut slots = vec![NO_NODE; num_rows];
+        let mut counts = vec![0u64; nodes];
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if i % 3 == 2 {
+                continue;
+            }
+            let s = i % nodes;
+            *slot = s as u32;
+            counts[s] += 1;
+        }
+        LayerPositions { slots, counts }
+    }
+
+    fn per_node_reference(
+        binned: &BinnedShard,
+        positions: &LayerPositions,
+        grads: &[GradPair],
+        meta: &FeatureMeta,
+    ) -> Vec<Vec<f32>> {
+        (0..positions.counts.len())
+            .map(|s| {
+                let instances: Vec<u32> = positions
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &slot)| slot == s as u32)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                let mut row = new_row(meta);
+                binned.build_into(&instances, grads, &mut row);
+                row
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_thread_bit_equals_per_node_build_into() {
+        let (ds, meta, grads) = setup(400, 30);
+        let binned = BinnedShard::build(&ds, &meta);
+        let positions = partition(400, 5);
+        let reference = per_node_reference(&binned, &positions, &grads, &meta);
+        let row_len = meta.layout().row_len();
+        // Any batch size: the single-thread kernel ignores batching.
+        for batch_size in [7, 64, 1000] {
+            let block = build_layer(&binned, &positions, &grads, &meta, batch_size, 1);
+            for (s, expected) in reference.iter().enumerate() {
+                assert_eq!(
+                    &block[s * row_len..(s + 1) * row_len],
+                    expected.as_slice(),
+                    "slot {s} batch {batch_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multithreaded_reruns_bit_identical_and_close_to_reference() {
+        let (ds, meta, grads) = setup(500, 25);
+        let binned = BinnedShard::build(&ds, &meta);
+        let positions = partition(500, 4);
+        let reference = build_layer(&binned, &positions, &grads, &meta, 37, 1);
+        for threads in [2, 4, 8] {
+            let first = build_layer(&binned, &positions, &grads, &meta, 37, threads);
+            for rep in 0..10 {
+                let again = build_layer(&binned, &positions, &grads, &meta, 37, threads);
+                assert_eq!(again, first, "threads={threads} rep={rep}");
+            }
+            for (i, (a, b)) in first.iter().zip(&reference).enumerate() {
+                assert!((a - b).abs() < 1e-2, "elem {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_shard_batch_multithreaded_is_bit_equal_to_reference() {
+        // One batch → one stripe does all the work in row order: bit-equal
+        // to the single-thread pass even with threads > 1 requested.
+        let (ds, meta, grads) = setup(300, 20);
+        let binned = BinnedShard::build(&ds, &meta);
+        let positions = partition(300, 3);
+        let single = build_layer(&binned, &positions, &grads, &meta, 300, 1);
+        let multi = build_layer(&binned, &positions, &grads, &meta, 300, 8);
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn positions_from_index_matches_manual_partition() {
+        let index = NodeIndex::new(10, 7);
+        let mut index = index;
+        index.split(0, 1, 2, |i| i < 6);
+        index.split(1, 3, 4, |i| i % 2 == 0);
+        let positions = positions_from_index(&index, &[3, 4, 2], 10);
+        assert_eq!(positions.counts, vec![3, 3, 4]);
+        assert_eq!(positions.slots[0], 0); // row 0: even, < 6 → node 3
+        assert_eq!(positions.slots[1], 1); // row 1: odd, < 6 → node 4
+        assert_eq!(positions.slots[7], 2); // row 7: ≥ 6 → node 2
+    }
+
+    #[test]
+    fn empty_build_set_yields_empty_block() {
+        let (ds, meta, grads) = setup(50, 10);
+        let binned = BinnedShard::build(&ds, &meta);
+        let positions = LayerPositions {
+            slots: vec![NO_NODE; 50],
+            counts: Vec::new(),
+        };
+        assert!(build_layer(&binned, &positions, &grads, &meta, 16, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positions must cover")]
+    fn rejects_mismatched_positions() {
+        let (ds, meta, grads) = setup(50, 10);
+        let binned = BinnedShard::build(&ds, &meta);
+        let positions = LayerPositions {
+            slots: vec![NO_NODE; 10],
+            counts: vec![0],
+        };
+        build_layer(&binned, &positions, &grads, &meta, 16, 1);
+    }
+}

@@ -27,6 +27,7 @@ pub mod binned;
 pub mod checkpoint;
 pub mod config;
 pub mod cv;
+pub mod fused;
 pub mod hist_build;
 pub mod loss;
 pub mod meta;
@@ -36,6 +37,7 @@ pub mod model;
 pub mod model_io;
 pub mod node_index;
 pub mod parallel;
+pub mod pool;
 pub mod report;
 pub mod scheduler;
 pub mod trainer;
@@ -51,6 +53,7 @@ pub use meta::FeatureMeta;
 pub use model::GbdtModel;
 pub use model_io::{load_model, load_model_file, save_model, save_model_file, ModelIoError};
 pub use node_index::NodeIndex;
+pub use pool::WorkerPool;
 pub use report::{NodeInstances, PhaseReport, RoundRecord, RunReport, SpanTimer};
 pub use scheduler::RoundRobinScheduler;
 pub use trainer::{

@@ -2,9 +2,17 @@
 //!
 //! An array of instance ids plus, for every tree node, the contiguous range
 //! of that array holding its instances. Splitting a node rearranges only its
-//! own range with a two-pointer swap pass, after which the two child ranges
-//! are recorded. Threads building histograms for different nodes read
-//! disjoint ranges — no scan of the whole dataset, no locking.
+//! own range, after which the two child ranges are recorded. Threads
+//! building histograms for different nodes read disjoint ranges — no scan
+//! of the whole dataset, no locking.
+//!
+//! The split is a **stable** partition (Figure 9 describes a two-pointer
+//! swap pass; we keep each side's relative order instead, at the cost of a
+//! right-side buffer). Stability is load-bearing: the root starts in
+//! ascending row order, so every node's instance list stays ascending
+//! forever, which makes the per-node builders' f32 addition order identical
+//! to the layer-fused kernel's single ascending row sweep
+//! (`crate::fused`) — the basis of their bit-equality contract.
 
 /// The node-to-instance index for one worker's shard during one tree.
 #[derive(Debug, Clone)]
@@ -55,9 +63,14 @@ impl NodeIndex {
     }
 
     /// Splits `node`'s range between children `left` and `right`:
-    /// instances for which `goes_left` holds are swapped to the front
-    /// (Figure 9's two-directional scan), and the children's ranges are
-    /// recorded. Returns the number of instances sent left.
+    /// instances for which `goes_left` holds move to the front, and the
+    /// children's ranges are recorded. Returns the number of instances sent
+    /// left.
+    ///
+    /// The partition is **stable** — both children keep their parent's
+    /// relative order, so instance lists stay in ascending row order all
+    /// the way down the tree (see the module docs for why the fused kernel
+    /// depends on this).
     ///
     /// # Panics
     /// Panics if `node` has no range or a child slot is out of bounds.
@@ -70,21 +83,25 @@ impl NodeIndex {
     ) -> usize {
         let (l, r) = self.ranges[node as usize]
             .unwrap_or_else(|| panic!("node {node} has no instance range"));
-        let (mut i, mut j) = (l as usize, r as usize);
-        // Two-pointer partition: scan from both directions, swapping
-        // instances that sit on the wrong side.
-        while i < j {
-            if goes_left(self.positions[i]) {
-                i += 1;
+        let (l, r) = (l as usize, r as usize);
+        // Stable partition: left-goers compact in place in order; the
+        // right-goers are buffered and written back after them.
+        let mut rights: Vec<u32> = Vec::new();
+        let mut write = l;
+        for read in l..r {
+            let id = self.positions[read];
+            if goes_left(id) {
+                self.positions[write] = id;
+                write += 1;
             } else {
-                j -= 1;
-                self.positions.swap(i, j);
+                rights.push(id);
             }
         }
-        let mid = i as u32;
-        self.ranges[left as usize] = Some((l, mid));
-        self.ranges[right as usize] = Some((mid, r));
-        mid as usize - l as usize
+        self.positions[write..r].copy_from_slice(&rights);
+        let mid = write as u32;
+        self.ranges[left as usize] = Some((l as u32, mid));
+        self.ranges[right as usize] = Some((mid, r as u32));
+        write - l
     }
 
     /// Total instances tracked.
@@ -173,6 +190,27 @@ mod tests {
     fn splitting_unmaterialized_node_panics() {
         let mut idx = NodeIndex::new(4, 7);
         idx.split(5, 1, 2, |_| true);
+    }
+
+    // The fused layer kernel's bit-equality contract requires every node's
+    // instance list to stay in ascending row order — i.e. the split must be
+    // a stable partition, not the two-pointer swap that scrambles order.
+    #[test]
+    fn split_is_stable_and_preserves_ascending_order() {
+        let mut idx = NodeIndex::new(64, 15);
+        idx.split(0, 1, 2, |i| i % 3 == 0);
+        idx.split(1, 3, 4, |i| i % 2 == 0);
+        idx.split(2, 5, 6, |i| i % 5 < 2);
+        // A split rearranges the parent's own range, so only the current
+        // leaves are guaranteed ascending — which is all the fused kernel
+        // ever builds from.
+        for node in [3u32, 4, 5, 6] {
+            let inst = idx.instances(node);
+            assert!(
+                inst.windows(2).all(|w| w[0] < w[1]),
+                "node {node} not ascending: {inst:?}"
+            );
+        }
     }
 
     #[test]

@@ -18,12 +18,18 @@
 //! any fixed configuration. The same rule is used by
 //! [`crate::binned::BinnedShard::build_row_batched`] and the batch scoring
 //! engine in `dimboost-predict`.
+//!
+//! The stripes execute on the persistent [`crate::pool`] (one pool per
+//! process) rather than per-call scoped threads; `threads` here is the
+//! number of *logical stripes*, which the pool's determinism rule keeps
+//! independent of its own physical size.
 
 use dimboost_data::Dataset;
 
 use crate::hist_build::{build_dense, build_sparse, new_row};
 use crate::loss::GradPair;
 use crate::meta::FeatureMeta;
+use crate::pool;
 
 /// Tuning knobs for the batched builder.
 #[derive(Debug, Clone, Copy)]
@@ -72,37 +78,29 @@ pub fn build_row_batched(
         return out;
     }
 
-    // Static round-robin striping: thread `t` owns batches t, t+threads, …
-    // in ascending order. No shared cursor, so batch→thread assignment and
-    // therefore every f32 partial sum is independent of OS scheduling.
-    let mut partials: Vec<Vec<f32>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            handles.push(scope.spawn(move || {
-                let mut partial = new_row(meta);
-                let mut scratch = Vec::new();
-                let mut b = t;
-                while b < num_batches {
-                    let lo = b * config.batch_size;
-                    let hi = (lo + config.batch_size).min(instances.len());
-                    let batch = &instances[lo..hi];
-                    if config.sparse {
-                        build_sparse(shard, batch, grads, meta, &mut partial);
-                    } else {
-                        build_dense(shard, batch, grads, meta, &mut partial, &mut scratch);
-                    }
-                    b += threads;
-                }
-                partial
-            }));
+    // Static round-robin striping: stripe `t` owns batches t, t+threads, …
+    // in ascending order. No shared cursor, so batch→stripe assignment and
+    // therefore every f32 partial sum is independent of OS scheduling. The
+    // persistent pool returns partials in stripe order.
+    let partials: Vec<Vec<f32>> = pool::global().run(threads, |t| {
+        let mut partial = new_row(meta);
+        let mut scratch = Vec::new();
+        let mut b = t;
+        while b < num_batches {
+            let lo = b * config.batch_size;
+            let hi = (lo + config.batch_size).min(instances.len());
+            let batch = &instances[lo..hi];
+            if config.sparse {
+                build_sparse(shard, batch, grads, meta, &mut partial);
+            } else {
+                build_dense(shard, batch, grads, meta, &mut partial, &mut scratch);
+            }
+            b += threads;
         }
-        for h in handles {
-            partials.push(h.join().expect("histogram worker thread panicked"));
-        }
+        partial
     });
 
-    // Merge partials in thread-index order (the "send once all threads are
+    // Merge partials in stripe-index order (the "send once all threads are
     // finished" step). The order is fixed, so the merged row is bit-stable.
     let mut iter = partials.into_iter();
     let mut out = iter.next().expect("at least one partial row");

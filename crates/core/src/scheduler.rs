@@ -44,11 +44,21 @@ impl RoundRobinScheduler {
     }
 
     /// The positions (into the active-node array) assigned to `worker` —
-    /// what a worker computes by scanning the state array (Figure 10).
+    /// conceptually what a worker reads off the state array (Figure 10),
+    /// computed directly as the stride `worker, worker + w, …` rather than
+    /// by filtering every position.
     pub fn assignments(&self, worker: usize, num_active: usize) -> Vec<usize> {
-        (0..num_active)
-            .filter(|&i| self.worker_for(i) == worker)
-            .collect()
+        if !self.round_robin {
+            return if worker == 0 {
+                (0..num_active).collect()
+            } else {
+                Vec::new()
+            };
+        }
+        if worker >= self.num_workers {
+            return Vec::new();
+        }
+        (worker..num_active).step_by(self.num_workers).collect()
     }
 
     /// Maximum number of nodes any one worker is responsible for — the
@@ -100,6 +110,19 @@ mod tests {
         assert_eq!(s.assignments(0, 8).len(), 8);
         assert!(s.assignments(1, 8).is_empty());
         assert_eq!(s.max_load(8), 8);
+    }
+
+    // The stride form must keep the filter-scan's implicit behaviors: a
+    // worker index beyond the pool gets nothing, and zero active nodes
+    // yield empty assignments everywhere.
+    #[test]
+    fn stride_edge_cases() {
+        let s = RoundRobinScheduler::new(3);
+        assert!(s.assignments(3, 7).is_empty());
+        assert!(s.assignments(7, 7).is_empty());
+        assert!(s.assignments(0, 0).is_empty());
+        assert_eq!(s.assignments(2, 3), vec![2]);
+        assert_eq!(s.assignments(2, 2), Vec::<usize>::new());
     }
 
     #[test]

@@ -744,9 +744,11 @@ fn train_impl(
                 for i in 0..shard.num_rows() {
                     wk.grads[i] = wk.grads_all[i * k + class];
                 }
-                if config.opts.pre_binning {
+                if config.opts.pre_binning || config.opts.fused_layer {
                     // With sigma = 1 the sampled set (and so the binning) is the
                     // same for every tree; rebuild only when sampling changes it.
+                    // The fused layer kernel runs over the binned CSR, so
+                    // `fused_layer` implies the binned representation.
                     if wk.binned.is_none() || config.feature_sample_ratio < 1.0 {
                         wk.binned = Some(crate::binned::BinnedShard::build(shard, &meta));
                     }
@@ -798,9 +800,56 @@ fn train_impl(
                 };
 
                 // ---- BUILD_HISTOGRAM -------------------------------------------
+                // Fused layer kernel: one pass over the binned CSR builds every
+                // build node at once, unless the per-thread blocks would blow
+                // the memory budget — then fall back to per-node builds (still
+                // on the binned shard, which `fused_layer` guarantees exists).
+                let use_fused = config.opts.fused_layer
+                    && build_nodes
+                        .len()
+                        .saturating_mul(row_len)
+                        .saturating_mul(4)
+                        .saturating_mul(config.num_threads.max(1))
+                        <= config.fused_block_budget;
                 let local_rows: Vec<Vec<(u32, Vec<f32>, u64)>> =
                     timer.phase(Phase::BuildHistogram, &mut workers, |wk| {
                         let shard = &shards[wk.shard_id];
+                        if use_fused {
+                            let binned = wk
+                                .binned
+                                .as_ref()
+                                .expect("fused_layer builds the binned shard in NEW_TREE");
+                            let positions = if config.opts.node_index {
+                                crate::fused::positions_from_index(
+                                    &wk.index,
+                                    &build_nodes,
+                                    shard.num_rows(),
+                                )
+                            } else {
+                                crate::fused::positions_from_scan(
+                                    shard,
+                                    &tree,
+                                    &build_nodes,
+                                    wk.sample_mask.as_deref(),
+                                )
+                            };
+                            let block = crate::fused::build_layer(
+                                binned,
+                                &positions,
+                                &wk.grads,
+                                &meta,
+                                config.batch_size,
+                                config.num_threads,
+                            );
+                            return build_nodes
+                                .iter()
+                                .enumerate()
+                                .map(|(slot, &node)| {
+                                    let row = block[slot * row_len..(slot + 1) * row_len].to_vec();
+                                    (node, row, positions.counts[slot])
+                                })
+                                .collect();
+                        }
                         build_nodes
                             .iter()
                             .map(|&node| {

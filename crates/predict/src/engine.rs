@@ -112,33 +112,26 @@ fn score(
             batch_stats.push((hi - lo, start.elapsed().as_secs_f64()));
         }
     } else {
-        // Static striping: thread t owns batches t, t+threads, … Each owner
+        // Static striping: stripe t owns batches t, t+threads, … Each owner
         // pushes its batches in ascending order, so batch b sits at slot
         // b / threads of owner b % threads — a fixed, scheduling-free map.
-        let mut per_thread: Vec<Vec<(Vec<f32>, f64)>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let fill = &fill;
-                handles.push(scope.spawn(move || {
-                    let mut done = Vec::new();
-                    let mut b = t;
-                    while b < num_batches {
-                        let lo = b * config.batch_size;
-                        let hi = (lo + config.batch_size).min(rows);
-                        let mut buf = vec![0.0f32; (hi - lo) * width];
-                        let start = Instant::now();
-                        fill(lo, hi, &mut buf);
-                        done.push((buf, start.elapsed().as_secs_f64()));
-                        b += threads;
-                    }
-                    done
-                }));
-            }
-            for h in handles {
-                per_thread.push(h.join().expect("scoring worker thread panicked"));
-            }
-        });
+        // Stripes run on the shared persistent pool (`dimboost_core::pool`):
+        // no per-call thread spawns on the serving hot path.
+        let per_thread: Vec<Vec<(Vec<f32>, f64)>> =
+            dimboost_core::pool::global().run(threads, |t| {
+                let mut done = Vec::new();
+                let mut b = t;
+                while b < num_batches {
+                    let lo = b * config.batch_size;
+                    let hi = (lo + config.batch_size).min(rows);
+                    let mut buf = vec![0.0f32; (hi - lo) * width];
+                    let start = Instant::now();
+                    fill(lo, hi, &mut buf);
+                    done.push((buf, start.elapsed().as_secs_f64()));
+                    b += threads;
+                }
+                done
+            });
         for b in 0..num_batches {
             let lo = b * config.batch_size;
             let hi = (lo + config.batch_size).min(rows);

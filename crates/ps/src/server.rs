@@ -652,6 +652,10 @@ mod tests {
     fn concurrent_pushes_from_worker_threads() {
         let ps = ps_with_layout(vec![4, 4, 4], 3);
         let row_len = 24;
+        // Test-only thread spawn (this module is #[cfg(test)]): it proves
+        // push_histogram tolerates genuinely concurrent callers. Production
+        // hot paths never spawn per call — they run on the persistent pool
+        // in `dimboost-core::pool`.
         std::thread::scope(|scope| {
             for w in 0..8 {
                 let ps = &ps;

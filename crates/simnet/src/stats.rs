@@ -331,6 +331,10 @@ mod tests {
     #[test]
     fn recorder_concurrent_updates() {
         let r = StatsRecorder::new();
+        // Test-only thread spawn (this module is #[cfg(test)]): it
+        // deliberately hammers the recorder from raw OS threads to prove
+        // thread safety. Production hot paths never spawn per call — they
+        // run on the persistent pool in `dimboost-core::pool`.
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 let r = r.clone();
