@@ -96,6 +96,32 @@ cmp "$SMOKE/model_fused_a.json" "$SMOKE/model_fused_b.json"
 cmp "$SMOKE/report_fused_a.json" "$SMOKE/report_fused_b.json"
 "$BIN/report_diff" "$SMOKE/report_fused_a.json" "$SMOKE/report_fused_b.json"
 
+echo "==> serve-sim: open-loop traffic replay must be bit-deterministic"
+# Two identical serve-sim runs — seeded arrivals, SLO batching, a hot-swap
+# to the low-precision model mid-stream — must agree byte for byte on the
+# canonical report and the event trace, and report_diff must accept the
+# timed reports (only wall fields may differ).
+for run in a b; do
+  "$BIN/dimboost" serve-sim --data "$SMOKE/train.libsvm" --model "$SMOKE/model_a.json" \
+    --requests 800 --rate 20000 --seed 11 --queue-cap 64 --max-batch 16 \
+    --slo 0.02 --swap-at 0.01 --swap-tenant 0 --swap-model "$SMOKE/model_lp.json" \
+    --report "$SMOKE/serve_$run.json" \
+    --report-canonical "$SMOKE/serve_$run.canonical.json" \
+    --trace "$SMOKE/serve_$run.trace.txt" > /dev/null
+done
+cmp "$SMOKE/serve_a.canonical.json" "$SMOKE/serve_b.canonical.json"
+cmp "$SMOKE/serve_a.trace.txt" "$SMOKE/serve_b.trace.txt"
+"$BIN/report_diff" "$SMOKE/serve_a.json" "$SMOKE/serve_b.json"
+# Overload leg: offered load far beyond saturation against a tiny queue must
+# engage admission control — a run that never sheds means the policy is dead.
+"$BIN/dimboost" serve-sim --data "$SMOKE/train.libsvm" --model "$SMOKE/model_a.json" \
+  --requests 400 --rate 1000000 --seed 3 --queue-cap 4 --max-batch 8 \
+  --slo 0.005 --report-canonical "$SMOKE/serve_overload.json" > /dev/null
+if grep -q '"shed":0,' "$SMOKE/serve_overload.json"; then
+  echo "serve-sim overload run shed nothing — load shedding is not engaging" >&2
+  exit 1
+fi
+
 echo "==> chaos: faults + crash/resume must change timing, never the model"
 cat > "$SMOKE/plan.txt" <<'EOF'
 # Canned chaos: lossy network, a histogram-phase straggler, a server

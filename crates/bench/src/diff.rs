@@ -10,9 +10,14 @@
 //! Tolerances come from rule lines (`<pattern> <tolerance|ignore>`); the
 //! *last* matching rule wins, the default is exact equality. Patterns are
 //! globs where `*` matches any run of characters. Wall-clock fields
-//! (`compute*_secs`, `percentiles.wall/*`) are ignored by built-in rules —
-//! they differ on every run by construction; pass `--strict-wall` to
-//! `report_diff` to drop those defaults.
+//! (`compute*_secs`, `*wall_secs`, `percentiles.wall/*`) are ignored by
+//! built-in rules — they differ on every run by construction; pass
+//! `--strict-wall` to `report_diff` to drop those defaults.
+//!
+//! Numeric comparison under a tolerance is relative
+//! (`|x−y| / max(|x|,|y|)`), except against a zero baseline, where the
+//! nonzero side's absolute magnitude is compared against the tolerance
+//! (both-zero always matches) — see `nums_match`.
 
 use std::collections::BTreeMap;
 
@@ -108,7 +113,8 @@ pub struct Rule {
 }
 
 /// Built-in rules: skip wall-clock fields, which differ on every run
-/// (elapsed seconds and the throughput rates derived from them).
+/// (elapsed seconds, the throughput rates derived from them, and the
+/// `serving_sim` report's `wall_secs` measurement).
 pub fn default_rules() -> Vec<Rule> {
     [
         "*compute_secs",
@@ -117,6 +123,7 @@ pub fn default_rules() -> Vec<Rule> {
         "*compute_p99_secs",
         "*compute_skew_secs",
         "*_per_sec",
+        "*wall_secs",
         "percentiles.wall/*",
     ]
     .into_iter()
@@ -303,6 +310,14 @@ fn rel_diff(x: f64, y: f64) -> f64 {
     }
 }
 
+/// Tolerance comparison with a defined zero-baseline behavior:
+///
+/// * both zero (including `0.0` vs `-0.0`) → match exactly;
+/// * one side zero → the *absolute* magnitude of the other side is compared
+///   against `tol` (the relative difference against a zero baseline is
+///   always 1, which would reject arbitrarily small values under any
+///   tolerance below 1);
+/// * both nonzero → relative difference `|x−y| / max(|x|,|y|) <= tol`.
 fn nums_match(x: f64, y: f64, tol: f64) -> bool {
     if x == y {
         return true;
@@ -311,6 +326,11 @@ fn nums_match(x: f64, y: f64, tol: f64) -> bool {
         // Both emitters write null for non-finite; a NaN here means the
         // documents already differ structurally.
         return false;
+    }
+    if x == 0.0 || y == 0.0 {
+        // Zero baseline: both-zero already matched above, so exactly one
+        // side is nonzero here and |x - y| is its magnitude.
+        return (x - y).abs() <= tol;
     }
     tol > 0.0 && rel_diff(x, y) <= tol
 }
@@ -400,6 +420,60 @@ mod tests {
         let mut rules = default_rules();
         rules.extend(parse_rules("comm.sim_time_secs 0.01").unwrap());
         assert!(!diff_reports(&a, &b, &rules).is_match());
+    }
+
+    #[test]
+    fn zero_baseline_branches() {
+        // Both zero: passes even at exact tolerance (and across signs).
+        assert!(nums_match(0.0, 0.0, 0.0));
+        assert!(nums_match(0.0, -0.0, 0.0));
+        // Zero vs small nonzero: the relative difference is 1.0, so the
+        // pre-fix comparison rejected any tolerance below 1; the defined
+        // behavior compares the absolute magnitude against the tolerance.
+        assert!(rel_diff(0.0, 0.005) == 1.0);
+        assert!(nums_match(0.0, 0.005, 0.01));
+        assert!(nums_match(0.005, 0.0, 0.01)); // symmetric
+        assert!(nums_match(0.0, -0.005, 0.01)); // sign-independent
+                                                // Zero vs nonzero beyond the tolerance still fails...
+        assert!(!nums_match(0.0, 0.05, 0.01));
+        // ...and exact tolerance keeps zero-vs-nonzero a mismatch.
+        assert!(!nums_match(0.0, 1e-300, 0.0));
+        // Nonzero pairs keep the relative comparison.
+        assert!(nums_match(100.0, 100.5, 0.01));
+        assert!(!nums_match(100.0, 102.0, 0.01));
+    }
+
+    #[test]
+    fn zero_baseline_through_diff_reports() {
+        let a = parse(r#"{"rounds":[{"round":0,"gain":0.0}]}"#).unwrap();
+        let b = parse(r#"{"rounds":[{"round":0,"gain":0.004}]}"#).unwrap();
+        let rules = parse_rules("rounds.*.gain 0.01").unwrap();
+        assert!(diff_reports(&a, &b, &rules).is_match());
+        let tight = parse_rules("rounds.*.gain 0.001").unwrap();
+        assert!(!diff_reports(&a, &b, &tight).is_match());
+    }
+
+    #[test]
+    fn serving_sim_wall_fields_are_skipped_by_default() {
+        let a = parse(
+            r#"{"kind":"serving_sim","served":80,"wall_secs":0.031,"wall_served_per_sec":2580.6}"#,
+        )
+        .unwrap();
+        let b = parse(
+            r#"{"kind":"serving_sim","served":80,"wall_secs":0.058,"wall_served_per_sec":1379.3}"#,
+        )
+        .unwrap();
+        let r = diff_reports(&a, &b, &default_rules());
+        assert!(r.is_match(), "{:?}", r.differences);
+        assert_eq!(r.ignored, 2);
+        // A structural field still fails under the defaults.
+        let c = parse(
+            r#"{"kind":"serving_sim","served":81,"wall_secs":0.031,"wall_served_per_sec":2612.9}"#,
+        )
+        .unwrap();
+        let r = diff_reports(&a, &c, &default_rules());
+        assert_eq!(r.differences.len(), 1);
+        assert_eq!(r.differences[0].path, "served");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   compiled inference engine (`dimboost-predict`).
 //! * `bench` — serving throughput benchmark: repeated scoring runs plus a
 //!   JSON serving report gateable by `report_diff`.
+//! * `serve-sim` — open-loop traffic simulation over one or more saved
+//!   models (`dimboost-serving`): seeded arrivals, SLO batching, load
+//!   shedding, hot-swap, and a canonical `serving_sim` report.
 //! * `evaluate` — report error / log-loss / AUC of a model on a file.
 //! * `gen` — write a synthetic dataset in LibSVM format.
 //!
@@ -22,7 +25,7 @@ use dimboost_core::metrics::{
 };
 use dimboost_core::{
     load_model_file, save_model_file, CheckpointOptions, FaultPlan, GbdtConfig, LossKind,
-    RobustOptions, TrainError,
+    RobustOptions, TrainCheckpoint, TrainError,
 };
 use dimboost_data::csv::{read_csv_file, CsvOptions};
 use dimboost_data::libsvm::{read_libsvm_file, write_libsvm, LibsvmOptions};
@@ -31,6 +34,7 @@ use dimboost_data::synthetic::{generate, SparseGenConfig};
 use dimboost_data::Dataset;
 use dimboost_predict::{score_raw, score_transformed, BenchOptions, CompiledModel, EngineConfig};
 use dimboost_ps::PsConfig;
+use dimboost_serving::{poisson_arrivals, run_serve_sim, ModelSwap, ServeSimConfig, TenantSpec};
 use dimboost_simnet::CostModel;
 
 /// A fully-parsed CLI invocation.
@@ -42,6 +46,8 @@ pub enum Command {
     Predict(PredictArgs),
     /// Serving throughput benchmark over a saved model.
     Bench(BenchArgs),
+    /// Open-loop traffic simulation over saved models.
+    ServeSim(ServeSimArgs),
     /// Evaluate a saved model on a LibSVM file.
     Evaluate(EvalArgs),
     /// Generate a synthetic LibSVM dataset.
@@ -141,6 +147,53 @@ pub struct BenchArgs {
     pub report_canonical: Option<PathBuf>,
 }
 
+/// Arguments for `serve-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSimArgs {
+    /// Input LibSVM (or, with `csv`, CSV) file whose rows the simulated
+    /// requests score.
+    pub data: PathBuf,
+    /// Saved model paths, one per tenant (repeat `--model`).
+    pub models: Vec<PathBuf>,
+    /// Requests in the arrival schedule.
+    pub requests: usize,
+    /// Mean arrival rate, requests per simulated second (all tenants).
+    pub rate: f64,
+    /// Seed for the arrival schedule.
+    pub seed: u64,
+    /// Per-tenant queue capacity (arrivals beyond it are shed).
+    pub queue_cap: usize,
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+    /// Latency SLO in simulated seconds.
+    pub slo: f64,
+    /// Fixed service cost per batch, simulated seconds.
+    pub service_fixed: f64,
+    /// Incremental service cost per batched request, simulated seconds.
+    pub service_per_row: f64,
+    /// Stop the simulation at this simulated time (default: drain).
+    pub horizon: Option<f64>,
+    /// Simulated time of the scripted model swap.
+    pub swap_at: Option<f64>,
+    /// Tenant index whose model the swap replaces.
+    pub swap_tenant: usize,
+    /// Replacement model file for the swap.
+    pub swap_model: Option<PathBuf>,
+    /// Checkpoint directory to load the replacement model from (the
+    /// checkpointed model swaps in mid-stream).
+    pub swap_checkpoint: Option<PathBuf>,
+    /// Feature indices in the file start at 0 instead of 1.
+    pub zero_based: bool,
+    /// Parse the input as CSV (label in column 0) instead of LibSVM.
+    pub csv: bool,
+    /// Write the timed JSON serving-sim report here.
+    pub report: Option<PathBuf>,
+    /// Write the canonical (timing-free, rerun-stable) report here.
+    pub report_canonical: Option<PathBuf>,
+    /// Write the deterministic plain-text event trace here.
+    pub trace: Option<PathBuf>,
+}
+
 /// Arguments for `evaluate`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalArgs {
@@ -199,6 +252,13 @@ USAGE:
   dimboost bench --data <libsvm|csv> --model <file> [--threads Q]
                  [--batch-size B] [--repeats R] [--raw] [--zero-based] [--csv]
                  [--scores <path>] [--report <json>] [--report-canonical <json>]
+  dimboost serve-sim --data <libsvm|csv> --model <file> [--model <file> ...]
+                 [--requests N] [--rate RPS] [--seed N] [--queue-cap N]
+                 [--max-batch N] [--slo SECS] [--service-fixed SECS]
+                 [--service-per-row SECS] [--horizon SECS]
+                 [--swap-at SECS (--swap-model <file> | --swap-checkpoint <dir>)]
+                 [--swap-tenant I] [--zero-based] [--csv] [--report <json>]
+                 [--report-canonical <json>] [--trace <path>]
   dimboost evaluate --data <libsvm> --model <file> [--zero-based]
   dimboost gen --out <path> --rows N --features M --nnz Z [--seed N]
   dimboost inspect --model <file> [--top N] [--dump-tree I]
@@ -212,6 +272,13 @@ control the batched histogram builder the same way. `--fused-layer`
 builds all of a layer's node histograms in one pass over the pre-binned
 shard (implies the binned representation); reruns stay bit-identical for
 fixed `--threads`/`--batch-size`.
+
+`serve-sim` replays an open-loop Poisson arrival stream (seeded, pure in
+`--seed`) against one tenant per `--model` on the simulated clock: bounded
+queues shed at admission, batches dispatch when full or when the oldest
+request's SLO slack expires, and `--swap-at` hot-swaps a tenant's model
+(from a file or a training checkpoint) atomically between batches. The
+canonical report and event trace are byte-identical across reruns.
 
 A `--fault-plan` file scripts deterministic faults (stragglers, message
 drops, duplicates, server outages, a crash, permanent worker losses) into
@@ -243,6 +310,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "train" => parse_train(rest).map(|args| Command::Train(Box::new(args))),
         "predict" => parse_predict(rest).map(Command::Predict),
         "bench" => parse_bench(rest).map(Command::Bench),
+        "serve-sim" => parse_serve_sim(rest).map(Command::ServeSim),
         "evaluate" => parse_evaluate(rest).map(Command::Evaluate),
         "gen" => parse_gen(rest).map(Command::Gen),
         "inspect" => parse_inspect(rest).map(Command::Inspect),
@@ -342,6 +410,11 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
     }
     if checkpoint_every == 0 {
         return Err("--checkpoint-every must be at least 1".into());
+    }
+    // Catch `--threads 0` / `--batch-size 0` here, at parse time, like
+    // `predict` and `bench` do — not as a downstream config error.
+    if config.num_threads == 0 || config.batch_size == 0 {
+        return Err("--threads and --batch-size must be positive".into());
     }
     Ok(TrainArgs {
         data: data.ok_or("train requires --data")?,
@@ -449,6 +522,124 @@ fn parse_bench(args: &[String]) -> Result<BenchArgs, String> {
         scores,
         report,
         report_canonical,
+    })
+}
+
+fn parse_serve_sim(args: &[String]) -> Result<ServeSimArgs, String> {
+    let mut data = None;
+    let mut models: Vec<PathBuf> = Vec::new();
+    let mut requests = 1_000usize;
+    let mut rate = 500.0f64;
+    let mut seed = 42u64;
+    let mut queue_cap = 256usize;
+    let mut max_batch = 16usize;
+    let mut slo = 0.05f64;
+    let mut service_fixed = 1e-4f64;
+    let mut service_per_row = 1e-5f64;
+    let mut horizon: Option<f64> = None;
+    let mut swap_at: Option<f64> = None;
+    let mut swap_tenant = 0usize;
+    let mut swap_model: Option<PathBuf> = None;
+    let mut swap_checkpoint: Option<PathBuf> = None;
+    let mut zero_based = false;
+    let mut csv = false;
+    let mut report = None;
+    let mut report_canonical = None;
+    let mut trace = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--data" => data = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--model" => models.push(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--requests" => requests = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--rate" => rate = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--seed" => seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--queue-cap" => queue_cap = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--max-batch" => max_batch = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--slo" => slo = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--service-fixed" => service_fixed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--service-per-row" => service_per_row = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--horizon" => horizon = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+            "--swap-at" => swap_at = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+            "--swap-tenant" => swap_tenant = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--swap-model" => swap_model = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--swap-checkpoint" => {
+                swap_checkpoint = Some(PathBuf::from(take_value(flag, &mut iter)?))
+            }
+            "--zero-based" => zero_based = true,
+            "--csv" => csv = true,
+            "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--report-canonical" => {
+                report_canonical = Some(PathBuf::from(take_value(flag, &mut iter)?))
+            }
+            "--trace" => trace = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            other => return Err(format!("unknown flag {other:?} for serve-sim")),
+        }
+    }
+    // Degenerate knobs are caught here, at parse time, with the flag named
+    // in the message — never as a downstream simulation assert.
+    if models.is_empty() {
+        return Err("serve-sim requires at least one --model".into());
+    }
+    if requests == 0 {
+        return Err("--requests must be positive".into());
+    }
+    if rate <= 0.0 || !rate.is_finite() {
+        return Err("--rate must be positive".into());
+    }
+    if queue_cap == 0 || max_batch == 0 {
+        return Err("--queue-cap and --max-batch must be positive".into());
+    }
+    if slo <= 0.0 || !slo.is_finite() {
+        return Err("--slo must be positive".into());
+    }
+    if service_fixed < 0.0 || service_per_row < 0.0 {
+        return Err("--service-fixed and --service-per-row must not be negative".into());
+    }
+    if let Some(h) = horizon {
+        if h.is_nan() || h <= 0.0 {
+            return Err("--horizon must be positive".into());
+        }
+    }
+    let swap_sources = usize::from(swap_model.is_some()) + usize::from(swap_checkpoint.is_some());
+    match (swap_at, swap_sources) {
+        (Some(_), 1) | (None, 0) => {}
+        (Some(_), _) => {
+            return Err(
+                "--swap-at requires exactly one of --swap-model or --swap-checkpoint".into(),
+            )
+        }
+        (None, _) => {
+            return Err("--swap-model/--swap-checkpoint requires --swap-at".into());
+        }
+    }
+    if swap_at.is_some() && swap_tenant >= models.len() {
+        return Err(format!(
+            "--swap-tenant {swap_tenant} out of range for {} model(s)",
+            models.len()
+        ));
+    }
+    Ok(ServeSimArgs {
+        data: data.ok_or("serve-sim requires --data")?,
+        models,
+        requests,
+        rate,
+        seed,
+        queue_cap,
+        max_batch,
+        slo,
+        service_fixed,
+        service_per_row,
+        horizon,
+        swap_at,
+        swap_tenant,
+        swap_model,
+        swap_checkpoint,
+        zero_based,
+        csv,
+        report,
+        report_canonical,
+        trace,
     })
 }
 
@@ -877,6 +1068,91 @@ tree {i}:
                 std::fs::write(path, report.canonical_json())
                     .map_err(|e| format!("write canonical serving report: {e}"))?;
                 println!("canonical serving report written to {}", path.display());
+            }
+            Ok(())
+        }
+        Command::ServeSim(args) => {
+            let mut compiled: Vec<CompiledModel> = Vec::new();
+            for path in &args.models {
+                let model = load_model_file(path).map_err(|e| e.to_string())?;
+                compiled.push(CompiledModel::compile(&model));
+            }
+            let swap_replacement = match (&args.swap_model, &args.swap_checkpoint) {
+                (Some(path), None) => {
+                    let model = load_model_file(path).map_err(|e| e.to_string())?;
+                    Some((CompiledModel::compile(&model), path.display().to_string()))
+                }
+                (None, Some(dir)) => {
+                    // The hot-swap source can be a live training checkpoint:
+                    // the checkpointed model loads and swaps in mid-stream.
+                    let ck = TrainCheckpoint::load_from_dir(dir)
+                        .map_err(|e| format!("load swap checkpoint: {e}"))?;
+                    Some((
+                        CompiledModel::compile(&ck.model),
+                        format!("checkpoint:{}@round{}", dir.display(), ck.next_round),
+                    ))
+                }
+                _ => None,
+            };
+            let num_features = compiled
+                .iter()
+                .chain(swap_replacement.iter().map(|(m, _)| m))
+                .map(|m| m.num_features())
+                .max()
+                .unwrap_or(0);
+            let ds = read_scoring_data(&args.data, args.csv, args.zero_based, num_features)?;
+            if ds.num_rows() == 0 {
+                return Err(format!("{} has no rows to serve", args.data.display()).into());
+            }
+            let tenants: Vec<TenantSpec> = compiled
+                .into_iter()
+                .enumerate()
+                .map(|(i, model)| TenantSpec {
+                    name: format!("tenant{i}"),
+                    model,
+                })
+                .collect();
+            let swaps: Vec<ModelSwap> = match (args.swap_at, swap_replacement) {
+                (Some(at_secs), Some((model, label))) => vec![ModelSwap {
+                    at_secs,
+                    tenant: args.swap_tenant,
+                    label,
+                    model,
+                }],
+                _ => Vec::new(),
+            };
+            let config = ServeSimConfig {
+                seed: args.seed,
+                queue_capacity: args.queue_cap,
+                max_batch: args.max_batch,
+                slo_secs: args.slo,
+                service_fixed_secs: args.service_fixed,
+                service_per_row_secs: args.service_per_row,
+                horizon_secs: args.horizon,
+            };
+            let arrivals = poisson_arrivals(
+                args.seed,
+                args.requests,
+                args.rate,
+                tenants.len(),
+                ds.num_rows(),
+            );
+            let result = run_serve_sim(&tenants, &swaps, &ds, &arrivals, &config);
+            println!("{}", result.report.summary());
+            if let Some(path) = &args.report {
+                std::fs::write(path, result.report.json(true))
+                    .map_err(|e| format!("write serve-sim report: {e}"))?;
+                println!("serve-sim report written to {}", path.display());
+            }
+            if let Some(path) = &args.report_canonical {
+                std::fs::write(path, result.report.canonical_json())
+                    .map_err(|e| format!("write canonical serve-sim report: {e}"))?;
+                println!("canonical serve-sim report written to {}", path.display());
+            }
+            if let Some(path) = &args.trace {
+                std::fs::write(path, &result.trace)
+                    .map_err(|e| format!("write serve-sim trace: {e}"))?;
+                println!("serve-sim trace written to {}", path.display());
             }
             Ok(())
         }
@@ -1388,6 +1664,220 @@ mod tests {
         ]))
         .is_err());
         assert!(parse_args(&strs(&["bench", "--data", "d"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_sim_flags_and_validates_knobs() {
+        let cmd = parse_args(&strs(&[
+            "serve-sim",
+            "--data",
+            "d.libsvm",
+            "--model",
+            "a.json",
+            "--model",
+            "b.json",
+            "--requests",
+            "200",
+            "--rate",
+            "800",
+            "--seed",
+            "7",
+            "--queue-cap",
+            "32",
+            "--max-batch",
+            "8",
+            "--slo",
+            "0.02",
+            "--service-fixed",
+            "0.001",
+            "--service-per-row",
+            "0.0001",
+            "--horizon",
+            "1.5",
+            "--swap-at",
+            "0.5",
+            "--swap-tenant",
+            "1",
+            "--swap-model",
+            "c.json",
+            "--report-canonical",
+            "rc.json",
+            "--trace",
+            "t.txt",
+        ]))
+        .unwrap();
+        let Command::ServeSim(args) = cmd else {
+            panic!()
+        };
+        assert_eq!(args.models.len(), 2);
+        assert_eq!((args.requests, args.seed), (200, 7));
+        assert_eq!((args.queue_cap, args.max_batch), (32, 8));
+        assert_eq!(args.rate, 800.0);
+        assert_eq!(args.slo, 0.02);
+        assert_eq!(args.horizon, Some(1.5));
+        assert_eq!(args.swap_at, Some(0.5));
+        assert_eq!(args.swap_tenant, 1);
+        assert_eq!(args.swap_model, Some(PathBuf::from("c.json")));
+        assert_eq!(args.report_canonical, Some(PathBuf::from("rc.json")));
+        assert_eq!(args.trace, Some(PathBuf::from("t.txt")));
+
+        let base = ["serve-sim", "--data", "d", "--model", "m"];
+        let with = |extra: &[&str]| {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend_from_slice(extra);
+            parse_args(&strs(&argv))
+        };
+        assert!(with(&[]).is_ok());
+        assert!(with(&["--requests", "0"]).is_err());
+        assert!(with(&["--rate", "0"]).is_err());
+        assert!(with(&["--rate", "inf"]).is_err());
+        assert!(with(&["--queue-cap", "0"]).is_err());
+        assert!(with(&["--max-batch", "0"]).is_err());
+        assert!(with(&["--slo", "0"]).is_err());
+        assert!(with(&["--service-per-row", "-1"]).is_err());
+        assert!(with(&["--horizon", "0"]).is_err());
+        // Swap flags must come as a consistent set.
+        assert!(with(&["--swap-at", "0.5"]).is_err());
+        assert!(with(&["--swap-model", "b.json"]).is_err());
+        assert!(with(&["--swap-checkpoint", "ck"]).is_err());
+        assert!(with(&[
+            "--swap-at",
+            "0.5",
+            "--swap-model",
+            "b",
+            "--swap-checkpoint",
+            "ck"
+        ])
+        .is_err());
+        // Swap tenant must name a loaded model.
+        assert!(with(&[
+            "--swap-at",
+            "0.5",
+            "--swap-model",
+            "b",
+            "--swap-tenant",
+            "1"
+        ])
+        .is_err());
+        assert!(parse_args(&strs(&["serve-sim", "--data", "d"])).is_err());
+        assert!(parse_args(&strs(&["serve-sim", "--model", "m"])).is_err());
+    }
+
+    #[test]
+    fn serve_sim_end_to_end_is_rerun_stable_and_swaps_from_checkpoint() {
+        let dir = std::env::temp_dir().join("dimboost_cli_serve_sim");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.libsvm");
+        let model_a = dir.join("a.model");
+        let ckpts = dir.join("ckpts");
+
+        run(parse_args(&strs(&[
+            "gen",
+            "--out",
+            data.to_str().unwrap(),
+            "--rows",
+            "300",
+            "--features",
+            "40",
+            "--nnz",
+            "6",
+            "--seed",
+            "3",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(parse_args(&strs(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model_a.to_str().unwrap(),
+            "--trees",
+            "3",
+            "--depth",
+            "3",
+        ]))
+        .unwrap())
+        .unwrap();
+        // A second, different model left behind as a *checkpoint* — the
+        // swap source exercises the load-a-checkpoint-mid-stream path.
+        let plan = dir.join("plan.txt");
+        std::fs::write(&plan, "seed 1\ncrash round=2\n").unwrap();
+        let err = run(parse_args(&strs(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            dir.join("b.model").to_str().unwrap(),
+            "--trees",
+            "5",
+            "--depth",
+            "2",
+            "--seed",
+            "99",
+            "--fault-plan",
+            plan.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpts.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert_eq!(err.exit_code, 3, "{err}");
+
+        let serve = |tag: &str| {
+            let canon = dir.join(format!("canon_{tag}.json"));
+            let trace = dir.join(format!("trace_{tag}.txt"));
+            run(parse_args(&strs(&[
+                "serve-sim",
+                "--data",
+                data.to_str().unwrap(),
+                "--model",
+                model_a.to_str().unwrap(),
+                "--requests",
+                "300",
+                "--rate",
+                "4000",
+                "--seed",
+                "21",
+                "--queue-cap",
+                "64",
+                "--max-batch",
+                "8",
+                "--slo",
+                "0.01",
+                "--swap-at",
+                "0.03",
+                "--swap-checkpoint",
+                ckpts.to_str().unwrap(),
+                "--report",
+                dir.join(format!("timed_{tag}.json")).to_str().unwrap(),
+                "--report-canonical",
+                canon.to_str().unwrap(),
+                "--trace",
+                trace.to_str().unwrap(),
+            ]))
+            .unwrap())
+            .unwrap();
+            (
+                std::fs::read_to_string(canon).unwrap(),
+                std::fs::read_to_string(trace).unwrap(),
+            )
+        };
+        let (canon_a, trace_a) = serve("a");
+        let (canon_b, trace_b) = serve("b");
+        assert_eq!(canon_a, canon_b, "canonical serve-sim reports must match");
+        assert_eq!(trace_a, trace_b, "serve-sim traces must match");
+        assert!(
+            canon_a.starts_with("{\"kind\":\"serving_sim\""),
+            "{canon_a}"
+        );
+        assert!(canon_a.contains("\"swaps\":1"), "{canon_a}");
+        assert!(!canon_a.contains("wall"), "{canon_a}");
+        assert!(trace_a.contains("swap t="), "{trace_a}");
+        let timed = std::fs::read_to_string(dir.join("timed_a.json")).unwrap();
+        assert!(timed.contains("\"wall_secs\":"), "{timed}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Drives the actual `dimboost` binary with malformed arguments and pins
+//! the contract scripts rely on: a usage error is caught at *parse* time,
+//! exits with status 2 (distinct from runtime errors' 1 and simulated
+//! crashes' 3), and prints a friendly message — never a panic, a silent
+//! hang, or a downstream engine assertion.
+
+use std::process::{Command, Output};
+
+fn dimboost(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dimboost"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the dimboost binary")
+}
+
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = dimboost(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{args:?} stderr missing {needle:?}: {stderr}"
+    );
+    assert!(
+        stderr.contains("USAGE"),
+        "{args:?} stderr should include the usage text: {stderr}"
+    );
+}
+
+#[test]
+fn zero_threads_and_batch_size_are_parse_time_errors() {
+    for sub in ["predict", "bench"] {
+        assert_usage_error(
+            &[
+                sub,
+                "--data",
+                "d.libsvm",
+                "--model",
+                "m.json",
+                "--threads",
+                "0",
+            ],
+            "must be positive",
+        );
+        assert_usage_error(
+            &[
+                sub,
+                "--data",
+                "d.libsvm",
+                "--model",
+                "m.json",
+                "--batch-size",
+                "0",
+            ],
+            "must be positive",
+        );
+    }
+    assert_usage_error(
+        &[
+            "train",
+            "--data",
+            "d.libsvm",
+            "--model",
+            "m.json",
+            "--threads",
+            "0",
+        ],
+        "must be positive",
+    );
+    assert_usage_error(
+        &[
+            "train",
+            "--data",
+            "d.libsvm",
+            "--model",
+            "m.json",
+            "--batch-size",
+            "0",
+        ],
+        "must be positive",
+    );
+    assert_usage_error(
+        &[
+            "bench",
+            "--data",
+            "d.libsvm",
+            "--model",
+            "m.json",
+            "--repeats",
+            "0",
+        ],
+        "must be positive",
+    );
+}
+
+#[test]
+fn serve_sim_validates_its_knobs_at_parse_time() {
+    let base = ["serve-sim", "--data", "d.libsvm", "--model", "m.json"];
+    for (flag, bad, needle) in [
+        ("--requests", "0", "must be positive"),
+        ("--rate", "0", "--rate must be positive"),
+        ("--queue-cap", "0", "must be positive"),
+        ("--max-batch", "0", "must be positive"),
+        ("--slo", "0", "--slo must be positive"),
+        ("--service-per-row", "-1", "must not be negative"),
+    ] {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend([flag, bad]);
+        assert_usage_error(&args, needle);
+    }
+    // A swap needs both a time and exactly one model source.
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--swap-at", "0.5"]);
+    assert_usage_error(&args, "--swap-at requires");
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--swap-model", "b.json"]);
+    assert_usage_error(&args, "requires --swap-at");
+}
+
+#[test]
+fn unknown_flags_and_missing_values_exit_two() {
+    assert_usage_error(
+        &["predict", "--data", "d", "--model", "m", "--wat"],
+        "unknown flag",
+    );
+    assert_usage_error(&["bench", "--data"], "missing value");
+    assert_usage_error(&["explode"], "unknown subcommand");
+}
+
+#[test]
+fn runtime_errors_still_exit_one() {
+    // A well-formed invocation that fails at run time (missing model file)
+    // must keep exit status 1 — scripts tell usage errors and runtime
+    // failures apart by status.
+    let out = dimboost(&[
+        "predict",
+        "--data",
+        "definitely_missing.libsvm",
+        "--model",
+        "definitely_missing.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -119,7 +119,11 @@ pub struct FaultPlan {
     pub timeout_secs: f64,
     /// Base of the exponential backoff, in simulated seconds.
     pub backoff_base_secs: f64,
-    /// Cap on a single backoff delay, in simulated seconds (before jitter).
+    /// Cap on a single backoff delay, in simulated seconds. The cap is a
+    /// true upper bound: jitter multiplies the *capped* exponential term by
+    /// a factor in `[0.5, 1)` and therefore never grows it, so every delay
+    /// satisfies `delay <= backoff_max_secs` (see
+    /// [`FaultPlan::backoff_secs`]).
     pub backoff_max_secs: f64,
     /// Straggler slowdowns.
     pub stragglers: Vec<StragglerSpec>,
@@ -150,15 +154,17 @@ impl Default for FaultPlan {
 }
 
 /// SplitMix64-style avalanche over a running state word.
-fn mix64(mut z: u64) -> u64 {
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-/// Order-independent hash of one decision point.
-fn decision_hash(seed: u64, worker: u32, seq: u64, attempt: u32, salt: u64) -> u64 {
+/// Order-independent hash of one decision point: pure in its coordinates,
+/// so any consumer (fault fates here, the serving simulation's arrival
+/// process) draws the same value no matter when or how often it asks.
+pub fn decision_hash(seed: u64, worker: u32, seq: u64, attempt: u32, salt: u64) -> u64 {
     let mut h = mix64(seed ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
     h = mix64(h ^ u64::from(worker));
     h = mix64(h ^ seq);
@@ -166,7 +172,7 @@ fn decision_hash(seed: u64, worker: u32, seq: u64, attempt: u32, salt: u64) -> u
 }
 
 /// Maps a hash to a uniform value in `[0, 1)`.
-fn unit(h: u64) -> f64 {
+pub fn unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -192,7 +198,13 @@ impl FaultPlan {
 
     /// Exponential backoff with deterministic jitter for retrying `attempt`
     /// of `(worker, seq)`: `min(base · 2^attempt, max) · U[0.5, 1)` where
-    /// `U` is hashed from the same coordinates.
+    /// `U` is hashed from the same coordinates. The jitter factor lies in
+    /// `[0.5, 1)` (it can round up to 1.0 in U's top ulp), so the delay is
+    /// bounded by
+    /// `min(base · 2^attempt, max) / 2 <= delay <= min(base · 2^attempt, max)`
+    /// — in particular `delay <= backoff_max_secs` always; the cap applies
+    /// to the exponential term and jitter never grows it, so the cap holds
+    /// *after* jitter. Pure in `(seed, worker, seq, attempt)`.
     pub fn backoff_secs(&self, worker: u32, seq: u64, attempt: u32) -> f64 {
         let exp = self.backoff_base_secs * 2f64.powi(attempt.min(48) as i32);
         let capped = exp.min(self.backoff_max_secs);

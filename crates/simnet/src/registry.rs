@@ -120,9 +120,12 @@ impl FixedHistogram {
     /// Interpolated quantile estimate, clamped to the observed `[min, max]`.
     ///
     /// Within the bucket containing the target rank the estimate is linear
-    /// between the bucket's bounds — the classic fixed-bucket approximation.
-    /// Exact for the extremes (q=0 → min, q=1 → max) and for single-value
-    /// histograms.
+    /// between the bucket's *effective* edges: the declared bounds tightened
+    /// to the observed range. The implicit overflow bucket has no declared
+    /// upper bound, so its right edge is the tracked `max` — the estimate
+    /// clamps to the recorded maximum rather than extrapolating past the
+    /// last bound or silently returning it. Exact for the extremes (q=0 →
+    /// min, q=1 → max) and for single-value histograms.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -136,9 +139,16 @@ impl FixedHistogram {
             }
             let next = cum + c;
             if (next as f64) >= target {
-                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                // Tighten the declared edges to the observed range: every
+                // value in this bucket is >= min, and the overflow bucket's
+                // only honest right edge is the recorded max.
+                let lo = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
                 let hi = if i < self.bounds.len() {
-                    self.bounds[i]
+                    self.bounds[i].min(self.max)
                 } else {
                     self.max
                 };
@@ -360,6 +370,35 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn overflow_rank_interpolates_within_observed_range() {
+        // Every sample lands above the top declared bound, so every rank —
+        // not just q=1 — resolves in the implicit overflow bucket. The
+        // estimate must interpolate between the observed min and max, never
+        // from the stale last bound (which would report e.g. p50 = 155 for
+        // bounds [1, 10] and samples {100, 200, 300}).
+        let mut h = FixedHistogram::with_bounds(vec![1.0, 10.0]);
+        for v in [100.0, 200.0, 300.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 100.0);
+        assert_eq!(h.quantile(0.5), 200.0); // 100 + (300-100) * (1.5/3)
+        assert_eq!(h.quantile(1.0), 300.0);
+        for q in [0.25, 0.9, 0.99, 0.999] {
+            let est = h.quantile(q);
+            assert!(
+                (100.0..=300.0).contains(&est),
+                "q={q} escaped the observed range: {est}"
+            );
+        }
+        // A single overflow sample is exact at every percentile.
+        let mut one = FixedHistogram::with_bounds(vec![1.0]);
+        one.observe(5e7);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(one.quantile(q), 5e7, "q={q}");
+        }
     }
 
     #[test]

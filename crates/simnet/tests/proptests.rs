@@ -293,6 +293,39 @@ proptest! {
         }
     }
 
+    /// The documented backoff bound: the cap applies *after* jitter, so a
+    /// jittered delay never exceeds `backoff_max_secs`. More precisely,
+    /// with `capped = min(base · 2^attempt, max)` the delay lies in
+    /// `[capped / 2, capped]` — pinned here over arbitrary
+    /// `(seed, worker, seq, attempt)` coordinates, along with purity in
+    /// those coordinates.
+    #[test]
+    fn backoff_never_exceeds_cap(
+        seed in any::<u64>(),
+        worker in 0u32..64,
+        seq in any::<u64>(),
+        attempt in 0u32..64,
+        base_scale in 1u32..1000,
+        max_scale in 1u32..1000,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            backoff_base_secs: base_scale as f64 * 1e-4,
+            backoff_max_secs: max_scale as f64 * 1e-3,
+            ..FaultPlan::default()
+        };
+        let delay = plan.backoff_secs(worker, seq, attempt);
+        let capped = (plan.backoff_base_secs * 2f64.powi(attempt.min(48) as i32))
+            .min(plan.backoff_max_secs);
+        // `<=`, not `<`: the jitter factor `0.5 + 0.5·U[0,1)` can round up
+        // to exactly 1.0 in the top ulp of U.
+        prop_assert!(delay <= capped, "delay {delay} > capped exponential {capped}");
+        prop_assert!(delay >= capped / 2.0, "delay {delay} below jitter floor {}", capped / 2.0);
+        prop_assert!(delay <= plan.backoff_max_secs, "delay {delay} exceeds the cap");
+        // Pure: re-asking with identical coordinates replays the value.
+        prop_assert!(delay == plan.clone().backoff_secs(worker, seq, attempt));
+    }
+
     /// Fate probabilities partition correctly: with all probabilities zero
     /// every message delivers; with drop_p = 1 every attempt drops.
     #[test]

@@ -12,6 +12,8 @@
 //! * [`ps`] — the parameter server (range-hash sharding, push/pull UDFs).
 //! * [`core`] — the GBDT algorithm and the DimBoost distributed trainer.
 //! * [`predict`] — compiled inference engine and serving benchmark.
+//! * [`serving`] — open-loop traffic simulation: arrivals, SLO batching,
+//!   load shedding, and hot-swap on the simnet clock.
 //! * [`baselines`] — MLlib/XGBoost/LightGBM/TencentBoost-style trainers.
 //! * [`linalg`] — sparse PCA (dimension-reduction experiment).
 //!
@@ -39,5 +41,6 @@ pub use dimboost_data as data;
 pub use dimboost_linalg as linalg;
 pub use dimboost_predict as predict;
 pub use dimboost_ps as ps;
+pub use dimboost_serving as serving;
 pub use dimboost_simnet as simnet;
 pub use dimboost_sketch as sketch;

@@ -7,7 +7,7 @@
 use dimboost::core::model_io::model_to_bytes;
 use dimboost::core::{
     train_distributed_resilient, CheckpointOptions, FaultPlan, GbdtConfig, RobustOptions,
-    TrainError, TrainOutput,
+    TrainCheckpoint, TrainError, TrainOutput, CHECKPOINT_FILE,
 };
 use dimboost::data::partition::partition_rows;
 use dimboost::data::synthetic::{generate, SparseGenConfig};
@@ -207,6 +207,82 @@ fn checkpoint_resume_is_bit_exact() {
             .collect()
     };
     assert_eq!(losses(&reference), losses(&resumed));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_checkpoint_tmp_file_is_overwritten() {
+    // A crash between `fs::write(tmp)` and `fs::rename` leaves a stale (and
+    // possibly garbage) temp file behind. The next rolling write must
+    // overwrite it, not fail — and the renamed checkpoint must be the fresh
+    // bytes, not the garbage.
+    let dir = std::env::temp_dir().join("dimboost_fault_recovery_stale_tmp");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    std::fs::write(&tmp, b"garbage left by a previous crash").unwrap();
+
+    let plan = format!("{CHAOS}crash round=2\n");
+    let err = run(&RobustOptions {
+        fault_plan: Some(FaultPlan::parse(&plan).unwrap()),
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        resume: false,
+    })
+    .unwrap_err();
+    assert!(
+        matches!(err, TrainError::Crashed { round: 2, .. }),
+        "expected the scripted crash, got {err}"
+    );
+
+    // The stale temp was consumed by the rename and the rolling checkpoint
+    // decodes cleanly.
+    assert!(!tmp.exists(), "stale temp file survived the rolling write");
+    let ck = TrainCheckpoint::load_from_dir(&dir).expect("checkpoint must decode");
+    assert_eq!(ck.next_round, 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_checkpoint_resume_is_a_clean_error() {
+    // A checkpoint cut short by a full disk or a crash mid-write must be
+    // rejected with a typed `TrainError::Checkpoint` on resume — never a
+    // panic or an out-of-bounds read.
+    let dir = std::env::temp_dir().join("dimboost_fault_recovery_truncated");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let plan = format!("{CHAOS}crash round=2\n");
+    let crashing = RobustOptions {
+        fault_plan: Some(FaultPlan::parse(&plan).unwrap()),
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        resume: false,
+    };
+    run(&crashing).unwrap_err();
+
+    let path = dir.join(CHECKPOINT_FILE);
+    let full = std::fs::read(&path).unwrap();
+    for keep in [full.len() / 2, 16, 0] {
+        std::fs::write(&path, &full[..keep]).unwrap();
+        let err = run(&RobustOptions {
+            resume: true,
+            ..crashing.clone()
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, TrainError::Checkpoint(_)),
+            "truncation to {keep} bytes gave {err} instead of a checkpoint error"
+        );
+    }
+
+    // Restoring the full bytes resumes normally again.
+    std::fs::write(&path, &full).unwrap();
+    let resumed = run(&RobustOptions {
+        resume: true,
+        ..crashing
+    })
+    .unwrap();
+    assert_eq!(resumed.report.resumed_from_round, Some(2));
 
     std::fs::remove_dir_all(&dir).ok();
 }
