@@ -36,13 +36,57 @@ for run in a b; do
     --threads 4 --batch-size 25 \
     --report-canonical "$SMOKE/report_$run.json" \
     --trace "$SMOKE/trace_$run.json" \
-    --trace-canonical "$SMOKE/trace_$run.canonical.json" > /dev/null
+    --trace-canonical "$SMOKE/trace_$run.canonical.json" \
+    --trace-events "$SMOKE/train_$run.events" \
+    --profile "$SMOKE/train_$run.profile.json" > /dev/null
 done
 cmp "$SMOKE/report_a.json" "$SMOKE/report_b.json"
 cmp "$SMOKE/trace_a.canonical.json" "$SMOKE/trace_b.canonical.json"
+cmp "$SMOKE/train_a.events" "$SMOKE/train_b.events"
+cmp "$SMOKE/train_a.profile.json" "$SMOKE/train_b.profile.json"
 "$BIN/report_diff" "$SMOKE/report_a.json" "$SMOKE/report_b.json"
 "$BIN/trace_check" --workers 3 --servers 2 \
   "$SMOKE/trace_a.json" "$SMOKE/trace_a.canonical.json"
+
+echo "==> analyze: trace profile must be byte-stable and self-checking"
+# The offline profiler over the exported events text must reproduce the
+# in-process --profile artifact byte for byte, stay byte-identical across
+# reruns, and pass report_diff like every other canonical report.
+"$BIN/trace_analyze" --out "$SMOKE/profile_a.json" \
+  --folded "$SMOKE/profile_a.folded" "$SMOKE/train_a.events" > /dev/null
+"$BIN/trace_analyze" --out "$SMOKE/profile_b.json" "$SMOKE/train_b.events" > /dev/null
+cmp "$SMOKE/profile_a.json" "$SMOKE/profile_b.json"
+cmp "$SMOKE/profile_a.json" "$SMOKE/train_a.profile.json"
+"$BIN/report_diff" "$SMOKE/profile_a.json" "$SMOKE/profile_b.json"
+grep -q '^net;' "$SMOKE/profile_a.folded"
+
+# The profiler's structural checks must bite: zeroing a mid-stream
+# collective's duration breaks the critical-path tiling identity, and
+# inflating the last service's duration breaks busy + idle == span
+# conservation. Both corrupted fixtures still parse — the failures must
+# come from the analyzer (exit 1), not the parser (exit 2).
+awk '/ kind=collective / && !(/ dur=0 /) { n++; if (n == 2) sub(/ dur=[^ ]*/, " dur=0") } { print }' \
+  "$SMOKE/train_a.events" > "$SMOKE/corrupt_path.events"
+set +e
+"$BIN/trace_analyze" "$SMOKE/corrupt_path.events" > /dev/null 2> "$SMOKE/corrupt_path.err"
+status=$?
+set -e
+if [ "$status" -ne 1 ] || ! grep -q 'tile' "$SMOKE/corrupt_path.err"; then
+  echo "corrupted collective should break the critical-path identity (got $status)" >&2
+  cat "$SMOKE/corrupt_path.err" >&2
+  exit 1
+fi
+line=$(grep -n ' kind=service ' "$SMOKE/train_a.events" | tail -1 | cut -d: -f1)
+sed "${line}s/ dur=/ dur=9/" "$SMOKE/train_a.events" > "$SMOKE/corrupt_busy.events"
+set +e
+"$BIN/trace_analyze" "$SMOKE/corrupt_busy.events" > /dev/null 2> "$SMOKE/corrupt_busy.err"
+status=$?
+set -e
+if [ "$status" -ne 1 ] || ! grep -q 'conserv' "$SMOKE/corrupt_busy.err"; then
+  echo "corrupted service should break busy/idle conservation (got $status)" >&2
+  cat "$SMOKE/corrupt_busy.err" >&2
+  exit 1
+fi
 
 # A differing configuration (low-precision wire format) must be flagged.
 "$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_lp.json" \
@@ -107,11 +151,19 @@ for run in a b; do
     --slo 0.02 --swap-at 0.01 --swap-tenant 0 --swap-model "$SMOKE/model_lp.json" \
     --report "$SMOKE/serve_$run.json" \
     --report-canonical "$SMOKE/serve_$run.canonical.json" \
-    --trace "$SMOKE/serve_$run.trace.txt" > /dev/null
+    --trace "$SMOKE/serve_$run.trace.txt" \
+    --profile "$SMOKE/serve_$run.profile.json" > /dev/null
 done
 cmp "$SMOKE/serve_a.canonical.json" "$SMOKE/serve_b.canonical.json"
 cmp "$SMOKE/serve_a.trace.txt" "$SMOKE/serve_b.trace.txt"
+cmp "$SMOKE/serve_a.profile.json" "$SMOKE/serve_b.profile.json"
 "$BIN/report_diff" "$SMOKE/serve_a.json" "$SMOKE/serve_b.json"
+# The offline profiler sniffs the serve trace header and must reproduce the
+# in-process --profile artifact byte for byte, report_diff-clean.
+"$BIN/trace_analyze" --out "$SMOKE/serve_offline.profile.json" \
+  "$SMOKE/serve_a.trace.txt" > /dev/null
+cmp "$SMOKE/serve_offline.profile.json" "$SMOKE/serve_a.profile.json"
+"$BIN/report_diff" "$SMOKE/serve_offline.profile.json" "$SMOKE/serve_b.profile.json"
 # Overload leg: offered load far beyond saturation against a tiny queue must
 # engage admission control — a run that never sheds means the policy is dead.
 "$BIN/dimboost" serve-sim --data "$SMOKE/train.libsvm" --model "$SMOKE/model_a.json" \

@@ -1,0 +1,114 @@
+//! Profiles a trace file into a canonical `{"kind":"trace_profile"}`
+//! report: critical-path decomposition, utilization/wait split, and (for
+//! serve-sim traces) the per-tenant SLO breakdown.
+//!
+//! ```text
+//! trace_analyze [--out profile.json] [--folded stacks.folded] [--top N] <trace>
+//! ```
+//!
+//! The input format is sniffed from the header line:
+//!
+//! * `# dimboost-trace-events v1 ...` — a training events-text trace
+//!   (`dimboost train --trace-events`), analyzed by `simnet::analyze`;
+//! * `# serve-sim-trace v1 ...` — a serving trace
+//!   (`dimboost serve-sim --trace`), analyzed by `serving::analyze`.
+//!
+//! `--out` writes the canonical profile JSON (byte-identical across reruns
+//! of the same configuration — `cmp` and `report_diff` gate it in ci.sh),
+//! `--folded` writes folded flamegraph stacks, and the summary always
+//! prints to stdout (`--top` bounds its table rows, default 10).
+//!
+//! Exit status: 0 on success, 1 when the trace fails an analyzer check
+//! (the critical-path identity, a conservation law), 2 on usage or I/O
+//! errors.
+
+use std::process::ExitCode;
+
+use dimboost_serving::{analyze_serve_trace, is_serve_trace};
+use dimboost_simnet::{analyze_trace, Trace};
+
+const USAGE: &str =
+    "usage: trace_analyze [--out profile.json] [--folded stacks.folded] [--top N] <trace>";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_analyze: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut folded: Option<String> = None;
+    let mut top = 10usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return fail("--out needs a path"),
+            },
+            "--folded" => match iter.next() {
+                Some(v) => folded = Some(v.clone()),
+                None => return fail("--folded needs a path"),
+            },
+            "--top" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => top = n,
+                _ => return fail("--top needs a positive count"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag {flag:?}")),
+            p if path.is_none() => path = Some(p.to_string()),
+            _ => return fail("expected exactly one trace file"),
+        }
+    }
+    let Some(path) = path else {
+        return fail("expected a trace file");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("read {path}: {e}")),
+    };
+
+    // Sniff the trace kind from the header and profile it; both analyzers
+    // produce the same artifact trio (canonical JSON, folded stacks, human
+    // summary).
+    let (json, stacks, summary) = if is_serve_trace(&text) {
+        match analyze_serve_trace(&text) {
+            Ok(p) => (p.canonical_json(), p.folded_stacks(), p.summary(top)),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let trace = match Trace::parse_events_text(&text) {
+            Ok(trace) => trace,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        match analyze_trace(&trace) {
+            Ok(p) => (p.canonical_json(), p.folded_stacks(), p.summary(top)),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if let Some(out) = out {
+        if let Err(e) = std::fs::write(&out, &json) {
+            return fail(&format!("write {out}: {e}"));
+        }
+    }
+    if let Some(folded) = folded {
+        if let Err(e) = std::fs::write(&folded, &stacks) {
+            return fail(&format!("write {folded}: {e}"));
+        }
+    }
+    print!("{summary}");
+    ExitCode::SUCCESS
+}

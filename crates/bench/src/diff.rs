@@ -47,8 +47,13 @@ impl Leaf {
     }
 }
 
-/// Array-element identity fields, in lookup order.
-const KEY_FIELDS: [&str; 4] = ["phase", "name", "round", "node"];
+/// Array-element identity fields, in lookup order. An element carrying
+/// several of them (a `trace_profile` attribution row has both `phase` and
+/// `track`) is keyed by all of them joined with `/`, so rows that share a
+/// phase across tracks — or a track across phases — never collide.
+const KEY_FIELDS: [&str; 7] = [
+    "phase", "name", "round", "node", "window", "track", "tenant",
+];
 
 /// Flattens a JSON document into `path → leaf` (paths `.`-joined, array
 /// elements keyed per the module docs).
@@ -59,14 +64,19 @@ pub fn flatten(doc: &Json) -> BTreeMap<String, Leaf> {
 }
 
 fn element_key(item: &Json, index: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
     for field in KEY_FIELDS {
         match item.get(field) {
-            Some(Json::Str(s)) => return s.clone(),
-            Some(Json::Num(v)) => return format!("{v}"),
+            Some(Json::Str(s)) => parts.push(s.clone()),
+            Some(Json::Num(v)) => parts.push(format!("{v}")),
             _ => {}
         }
     }
-    index.to_string()
+    if parts.is_empty() {
+        index.to_string()
+    } else {
+        parts.join("/")
+    }
 }
 
 fn flatten_into(value: &Json, path: String, out: &mut BTreeMap<String, Leaf>) {
@@ -372,6 +382,29 @@ mod tests {
         );
         assert_eq!(flat.get("rounds.0.split_gains.1"), Some(&Leaf::Num(2.5)));
         assert_eq!(flat.get("percentiles.sim/x.p50"), Some(&Leaf::Num(3.0)));
+        // Multi-key elements compose their identity: attribution rows share
+        // phases across tracks and tracks across phases without colliding.
+        let doc = parse(
+            r#"{"attribution":[{"track":"net","phase":"find_split","secs":1},
+                               {"track":"w0","phase":"find_split","secs":2},
+                               {"track":"w0","phase":"new_tree","secs":3}],
+                "timeline":[{"window":0,"served":4}]}"#,
+        )
+        .unwrap();
+        let flat = flatten(&doc);
+        assert_eq!(
+            flat.get("attribution.find_split/net.secs"),
+            Some(&Leaf::Num(1.0))
+        );
+        assert_eq!(
+            flat.get("attribution.find_split/w0.secs"),
+            Some(&Leaf::Num(2.0))
+        );
+        assert_eq!(
+            flat.get("attribution.new_tree/w0.secs"),
+            Some(&Leaf::Num(3.0))
+        );
+        assert_eq!(flat.get("timeline.0.served"), Some(&Leaf::Num(4.0)));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * `serve-sim` — open-loop traffic simulation over one or more saved
 //!   models (`dimboost-serving`): seeded arrivals, SLO batching, load
 //!   shedding, hot-swap, and a canonical `serving_sim` report.
+//! * `analyze` — profile a recorded trace (train events-text or serve-sim)
+//!   into a canonical `trace_profile` report: critical-path decomposition,
+//!   utilization/wait split, SLO breakdown, folded flamegraph stacks.
 //! * `evaluate` — report error / log-loss / AUC of a model on a file.
 //! * `gen` — write a synthetic dataset in LibSVM format.
 //!
@@ -34,8 +37,11 @@ use dimboost_data::synthetic::{generate, SparseGenConfig};
 use dimboost_data::Dataset;
 use dimboost_predict::{score_raw, score_transformed, BenchOptions, CompiledModel, EngineConfig};
 use dimboost_ps::PsConfig;
-use dimboost_serving::{poisson_arrivals, run_serve_sim, ModelSwap, ServeSimConfig, TenantSpec};
-use dimboost_simnet::CostModel;
+use dimboost_serving::{
+    analyze_serve_trace, is_serve_trace, poisson_arrivals, run_serve_sim, ModelSwap,
+    ServeSimConfig, TenantSpec,
+};
+use dimboost_simnet::{analyze_trace, CostModel, Trace};
 
 /// A fully-parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +54,8 @@ pub enum Command {
     Bench(BenchArgs),
     /// Open-loop traffic simulation over saved models.
     ServeSim(ServeSimArgs),
+    /// Profile a recorded trace into a canonical trace_profile report.
+    Analyze(AnalyzeArgs),
     /// Evaluate a saved model on a LibSVM file.
     Evaluate(EvalArgs),
     /// Generate a synthetic LibSVM dataset.
@@ -86,6 +94,12 @@ pub struct TrainArgs {
     /// Write the canonical trace: pure simulated clock, no wall-clock
     /// annotations, byte-identical across reruns.
     pub trace_canonical: Option<PathBuf>,
+    /// Write the events-text trace: the exact event stream with
+    /// shortest-round-trip f64s, parseable back bit-exactly by `analyze`.
+    pub trace_events: Option<PathBuf>,
+    /// Profile the run's trace in-process and write the canonical
+    /// `trace_profile` JSON here (same bytes `analyze` produces offline).
+    pub profile: Option<PathBuf>,
     /// Deterministic fault plan file injected into the simulated cluster.
     pub fault_plan: Option<PathBuf>,
     /// Directory for the rolling training checkpoint.
@@ -192,6 +206,24 @@ pub struct ServeSimArgs {
     pub report_canonical: Option<PathBuf>,
     /// Write the deterministic plain-text event trace here.
     pub trace: Option<PathBuf>,
+    /// Profile the run's trace in-process and write the canonical
+    /// `trace_profile` JSON here (same bytes `analyze` produces offline).
+    pub profile: Option<PathBuf>,
+}
+
+/// Arguments for `analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Trace file to profile: a train events-text trace
+    /// (`train --trace-events`) or a serve-sim trace (`serve-sim --trace`),
+    /// distinguished by their header lines.
+    pub trace: PathBuf,
+    /// Write the canonical `trace_profile` JSON here.
+    pub out: Option<PathBuf>,
+    /// Write folded flamegraph stacks here.
+    pub folded: Option<PathBuf>,
+    /// Rows in the printed summary table.
+    pub top: usize,
 }
 
 /// Arguments for `evaluate`.
@@ -244,7 +276,8 @@ USAGE:
                  [--hist-subtraction] [--fused-layer] [--early-stop R]
                  [--report <json>]
                  [--report-canonical <json>] [--trace <json>]
-                 [--trace-canonical <json>] [--fault-plan <file>]
+                 [--trace-canonical <json>] [--trace-events <path>]
+                 [--profile <json>] [--fault-plan <file>]
                  [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
                  [--threads Q] [--batch-size B]
   dimboost predict --data <libsvm|csv> --model <file> [--output <path>] [--raw]
@@ -259,6 +292,8 @@ USAGE:
                  [--swap-at SECS (--swap-model <file> | --swap-checkpoint <dir>)]
                  [--swap-tenant I] [--zero-based] [--csv] [--report <json>]
                  [--report-canonical <json>] [--trace <path>]
+                 [--profile <json>]
+  dimboost analyze --trace <path> [--out <json>] [--folded <path>] [--top N]
   dimboost evaluate --data <libsvm> --model <file> [--zero-based]
   dimboost gen --out <path> --rows N --features M --nnz Z [--seed N]
   dimboost inspect --model <file> [--top N] [--dump-tree I]
@@ -279,6 +314,16 @@ queues shed at admission, batches dispatch when full or when the oldest
 request's SLO slack expires, and `--swap-at` hot-swaps a tenant's model
 (from a file or a training checkpoint) atomically between batches. The
 canonical report and event trace are byte-identical across reruns.
+
+`analyze` profiles a recorded trace — a train events-text trace
+(`train --trace-events`) or a serve-sim trace (`serve-sim --trace`),
+told apart by their headers — into a canonical `trace_profile` report:
+critical-path decomposition attributed per (track, phase) with the
+`critical_path_total == final sim time` identity checked bit-exactly,
+busy/idle/blocked utilization, PS queue-wait vs service split, fault
+stretch, and per-tenant SLO breakdown for serving traces. `--folded`
+writes flamegraph-ready folded stacks. `--profile` on `train` and
+`serve-sim` emits the same bytes in-process.
 
 A `--fault-plan` file scripts deterministic faults (stragglers, message
 drops, duplicates, server outages, a crash, permanent worker losses) into
@@ -311,6 +356,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "predict" => parse_predict(rest).map(Command::Predict),
         "bench" => parse_bench(rest).map(Command::Bench),
         "serve-sim" => parse_serve_sim(rest).map(Command::ServeSim),
+        "analyze" => parse_analyze(rest).map(Command::Analyze),
         "evaluate" => parse_evaluate(rest).map(Command::Evaluate),
         "gen" => parse_gen(rest).map(Command::Gen),
         "inspect" => parse_inspect(rest).map(Command::Inspect),
@@ -332,6 +378,8 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
     let mut report_canonical: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut trace_canonical: Option<PathBuf> = None;
+    let mut trace_events: Option<PathBuf> = None;
+    let mut profile: Option<PathBuf> = None;
     let mut fault_plan: Option<PathBuf> = None;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut checkpoint_every = 1usize;
@@ -385,6 +433,8 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
             "--trace-canonical" => {
                 trace_canonical = Some(PathBuf::from(take_value(flag, &mut iter)?))
             }
+            "--trace-events" => trace_events = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--profile" => profile = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--fault-plan" => fault_plan = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--checkpoint-dir" => {
                 checkpoint_dir = Some(PathBuf::from(take_value(flag, &mut iter)?))
@@ -398,7 +448,8 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
             other => return Err(format!("unknown flag {other:?} for train")),
         }
     }
-    config.collect_trace = trace.is_some() || trace_canonical.is_some();
+    config.collect_trace =
+        trace.is_some() || trace_canonical.is_some() || trace_events.is_some() || profile.is_some();
     if matches!(config.loss, LossKind::Softmax { classes: 0 }) {
         return Err("--loss softmax requires --classes K".into());
     }
@@ -428,6 +479,8 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
         report_canonical,
         trace,
         trace_canonical,
+        trace_events,
+        profile,
         fault_plan,
         checkpoint_dir,
         checkpoint_every,
@@ -546,6 +599,7 @@ fn parse_serve_sim(args: &[String]) -> Result<ServeSimArgs, String> {
     let mut report = None;
     let mut report_canonical = None;
     let mut trace = None;
+    let mut profile = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -573,6 +627,7 @@ fn parse_serve_sim(args: &[String]) -> Result<ServeSimArgs, String> {
                 report_canonical = Some(PathBuf::from(take_value(flag, &mut iter)?))
             }
             "--trace" => trace = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--profile" => profile = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             other => return Err(format!("unknown flag {other:?} for serve-sim")),
         }
     }
@@ -640,6 +695,33 @@ fn parse_serve_sim(args: &[String]) -> Result<ServeSimArgs, String> {
         report,
         report_canonical,
         trace,
+        profile,
+    })
+}
+
+fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
+    let mut trace = None;
+    let mut out = None;
+    let mut folded = None;
+    let mut top = 10usize;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--trace" => trace = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--folded" => folded = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--top" => top = parse_num(flag, take_value(flag, &mut iter)?)?,
+            other => return Err(format!("unknown flag {other:?} for analyze")),
+        }
+    }
+    if top == 0 {
+        return Err("--top must be positive".into());
+    }
+    Ok(AnalyzeArgs {
+        trace: trace.ok_or("analyze requires --trace")?,
+        out,
+        folded,
+        top,
     })
 }
 
@@ -979,6 +1061,20 @@ tree {i}:
                         .map_err(|e| format!("write canonical trace: {e}"))?;
                     println!("canonical trace written to {}", path.display());
                 }
+                if let Some(path) = &args.trace_events {
+                    std::fs::write(path, trace.events_text())
+                        .map_err(|e| format!("write events trace: {e}"))?;
+                    println!("events trace written to {}", path.display());
+                }
+                if let Some(path) = &args.profile {
+                    // Same analyzer `analyze` runs offline, so the two
+                    // paths produce byte-identical profiles.
+                    let profile =
+                        analyze_trace(trace).map_err(|e| format!("profile trace: {e}"))?;
+                    std::fs::write(path, profile.canonical_json())
+                        .map_err(|e| format!("write profile: {e}"))?;
+                    println!("trace profile written to {}", path.display());
+                }
             }
             if let Some(last) = out.loss_curve.last() {
                 println!("final train loss: {:.5}", last.train_loss);
@@ -1154,6 +1250,39 @@ tree {i}:
                     .map_err(|e| format!("write serve-sim trace: {e}"))?;
                 println!("serve-sim trace written to {}", path.display());
             }
+            if let Some(path) = &args.profile {
+                // Profile the run's own trace text — the same analyzer
+                // `analyze` runs offline, so the bytes match exactly.
+                let profile = analyze_serve_trace(&result.trace)
+                    .map_err(|e| format!("profile serve-sim trace: {e}"))?;
+                std::fs::write(path, profile.canonical_json())
+                    .map_err(|e| format!("write serve-sim profile: {e}"))?;
+                println!("serve-sim profile written to {}", path.display());
+            }
+            Ok(())
+        }
+        Command::Analyze(args) => {
+            let text = std::fs::read_to_string(&args.trace)
+                .map_err(|e| format!("read trace {}: {e}", args.trace.display()))?;
+            // The header line says which analyzer owns the trace.
+            let (json, stacks, summary) = if is_serve_trace(&text) {
+                let p = analyze_serve_trace(&text).map_err(|e| e.to_string())?;
+                (p.canonical_json(), p.folded_stacks(), p.summary(args.top))
+            } else {
+                let trace = Trace::parse_events_text(&text)
+                    .map_err(|e| format!("{}: {e}", args.trace.display()))?;
+                let p = analyze_trace(&trace).map_err(|e| e.to_string())?;
+                (p.canonical_json(), p.folded_stacks(), p.summary(args.top))
+            };
+            if let Some(path) = &args.out {
+                std::fs::write(path, &json).map_err(|e| format!("write profile: {e}"))?;
+                println!("trace profile written to {}", path.display());
+            }
+            if let Some(path) = &args.folded {
+                std::fs::write(path, &stacks).map_err(|e| format!("write folded stacks: {e}"))?;
+                println!("folded stacks written to {}", path.display());
+            }
+            print!("{summary}");
             Ok(())
         }
         Command::Evaluate(args) => {
@@ -1422,6 +1551,150 @@ mod tests {
         assert!(report.contains("\"percentiles\":["), "{report}");
 
         for f in [&data, &model, &trace, &canon, &report_canon] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn parses_analyze() {
+        let cmd = parse_args(&strs(&[
+            "analyze", "--trace", "t.events", "--out", "p.json", "--folded", "s.folded", "--top",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze(AnalyzeArgs {
+                trace: "t.events".into(),
+                out: Some("p.json".into()),
+                folded: Some("s.folded".into()),
+                top: 5,
+            })
+        );
+        // Missing/malformed trace path and degenerate --top are parse-time
+        // usage errors (exit 2 through the binary).
+        assert!(parse_args(&strs(&["analyze"])).is_err());
+        assert!(parse_args(&strs(&["analyze", "--trace"])).is_err());
+        assert!(parse_args(&strs(&["analyze", "--trace", "t", "--top", "0"])).is_err());
+        assert!(parse_args(&strs(&["analyze", "--trace", "t", "--what"])).is_err());
+    }
+
+    #[test]
+    fn analyze_matches_in_process_profiles_for_train_and_serve() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("dimboost_cli_analyze.libsvm");
+        let model = dir.join("dimboost_cli_analyze.model");
+        let events = dir.join("dimboost_cli_analyze.events");
+        let profile = dir.join("dimboost_cli_analyze.profile.json");
+        let offline = dir.join("dimboost_cli_analyze.offline.json");
+        let folded = dir.join("dimboost_cli_analyze.folded");
+        let strace = dir.join("dimboost_cli_analyze.serve.trace");
+        let sprofile = dir.join("dimboost_cli_analyze.serve.profile.json");
+        let soffline = dir.join("dimboost_cli_analyze.serve.offline.json");
+
+        run(parse_args(&strs(&[
+            "gen",
+            "--out",
+            data.to_str().unwrap(),
+            "--rows",
+            "400",
+            "--features",
+            "50",
+            "--nnz",
+            "6",
+        ]))
+        .unwrap())
+        .unwrap();
+
+        // Train with both the events-text trace and the in-process profile.
+        let cmd = parse_args(&strs(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--trees",
+            "2",
+            "--depth",
+            "3",
+            "--workers",
+            "3",
+            "--servers",
+            "2",
+            "--trace-events",
+            events.to_str().unwrap(),
+            "--profile",
+            profile.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let Command::Train(args) = &cmd else { panic!() };
+        assert!(args.config.collect_trace, "--profile must imply the trace");
+        run(cmd).unwrap();
+
+        // Offline analysis of the events trace must produce the same bytes
+        // as the in-process profile.
+        run(parse_args(&strs(&[
+            "analyze",
+            "--trace",
+            events.to_str().unwrap(),
+            "--out",
+            offline.to_str().unwrap(),
+            "--folded",
+            folded.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        let in_process = std::fs::read_to_string(&profile).unwrap();
+        assert!(in_process.starts_with("{\n  \"kind\": \"trace_profile\""));
+        assert!(in_process.contains("\"source\": \"train\""));
+        assert_eq!(in_process, std::fs::read_to_string(&offline).unwrap());
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        assert!(stacks.contains("net;build_histogram;"), "{stacks}");
+
+        // Same contract for serve-sim traces.
+        run(parse_args(&strs(&[
+            "serve-sim",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--requests",
+            "200",
+            "--rate",
+            "4000",
+            "--trace",
+            strace.to_str().unwrap(),
+            "--profile",
+            sprofile.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        run(parse_args(&strs(&[
+            "analyze",
+            "--trace",
+            strace.to_str().unwrap(),
+            "--out",
+            soffline.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        let in_process = std::fs::read_to_string(&sprofile).unwrap();
+        assert!(in_process.contains("\"source\": \"serve_sim\""));
+        assert_eq!(in_process, std::fs::read_to_string(&soffline).unwrap());
+
+        // A missing trace file is a runtime error, not a panic.
+        let err = run(Command::Analyze(AnalyzeArgs {
+            trace: dir.join("dimboost_cli_analyze.nope"),
+            out: None,
+            folded: None,
+            top: 10,
+        }))
+        .unwrap_err();
+        assert!(err.contains("read trace"), "{err}");
+
+        for f in [
+            &data, &model, &events, &profile, &offline, &folded, &strace, &sprofile, &soffline,
+        ] {
             std::fs::remove_file(f).ok();
         }
     }

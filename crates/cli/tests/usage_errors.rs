@@ -124,6 +124,30 @@ fn serve_sim_validates_its_knobs_at_parse_time() {
 }
 
 #[test]
+fn analyze_validates_its_trace_path_and_top_at_parse_time() {
+    // Missing trace path entirely.
+    assert_usage_error(&["analyze"], "analyze requires --trace");
+    // Malformed trace path: the flag with no value.
+    assert_usage_error(&["analyze", "--trace"], "missing value");
+    // Degenerate summary size.
+    assert_usage_error(
+        &["analyze", "--trace", "t.events", "--top", "0"],
+        "--top must be positive",
+    );
+    assert_usage_error(
+        &["analyze", "--trace", "t.events", "--top", "x"],
+        "invalid value",
+    );
+    assert_usage_error(&["analyze", "--trace", "t.events", "--wat"], "unknown flag");
+    // A well-formed invocation naming a nonexistent trace file fails at
+    // run time with status 1, like every other subcommand.
+    let out = dimboost(&["analyze", "--trace", "definitely_missing.events"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("read trace"), "{stderr}");
+}
+
+#[test]
 fn unknown_flags_and_missing_values_exit_two() {
     assert_usage_error(
         &["predict", "--data", "d", "--model", "m", "--wat"],

@@ -30,10 +30,12 @@
 //! canonical form is byte-identical across reruns and gated by
 //! `report_diff` in ci.sh.
 
+pub mod analyze;
 pub mod arrival;
 pub mod report;
 pub mod sim;
 
+pub use analyze::{analyze_serve_trace, is_serve_trace, ServeAnalyzeError, ServeProfile};
 pub use arrival::{poisson_arrivals, Arrival};
 pub use report::{ServeSimReport, TenantReport};
 pub use sim::{run_serve_sim, ModelSwap, ServeSimConfig, ServeSimResult, ServedRecord, TenantSpec};

@@ -229,8 +229,12 @@ pub fn run_serve_sim(
 
     let wall_start = Instant::now();
     let mut registry = MetricsRegistry::new();
-    let mut trace = String::new();
     let mut records: Vec<ServedRecord> = Vec::new();
+
+    // Self-describing header so offline analysis (`trace_analyze`,
+    // `dimboost analyze`) needs nothing but the trace file. f64s print with
+    // shortest-round-trip `Display`, so parsing them back is bit-exact.
+    let mut trace = crate::analyze::trace_header(tenants.len(), config);
 
     // Stable sort: same-instant swaps apply in script order.
     let mut swap_order: Vec<&ModelSwap> = swaps.iter().collect();

@@ -7,7 +7,8 @@ use dimboost_data::synthetic::{generate, SparseGenConfig};
 use dimboost_data::Dataset;
 use dimboost_predict::CompiledModel;
 use dimboost_serving::{
-    poisson_arrivals, run_serve_sim, Arrival, ModelSwap, ServeSimConfig, TenantSpec,
+    analyze_serve_trace, is_serve_trace, poisson_arrivals, run_serve_sim, Arrival, ModelSwap,
+    ServeSimConfig, TenantSpec,
 };
 
 fn dataset() -> Dataset {
@@ -255,6 +256,61 @@ fn hot_swap_scores_bit_equal_to_each_model_standalone() {
     assert_eq!(
         r.report.arrived,
         r.report.served + r.report.shed + r.report.in_flight_at_end
+    );
+}
+
+#[test]
+fn trace_profile_agrees_with_the_report_and_the_records() {
+    let ds = dataset();
+    let tenants = [
+        tenant("tenant0", model(&ds, 3, 41)),
+        tenant("tenant1", model(&ds, 2, 42)),
+    ];
+    let config = ServeSimConfig {
+        seed: 13,
+        queue_capacity: 8,
+        max_batch: 4,
+        slo_secs: 0.005,
+        service_fixed_secs: 1e-3,
+        service_per_row_secs: 2.5e-4,
+        horizon_secs: Some(0.05),
+    };
+    // Offer well beyond saturation so shedding, queue wait, and stranded
+    // requests all show up in the profile.
+    let arrivals = poisson_arrivals(config.seed, 1500, 50_000.0, 2, ds.num_rows());
+    let r = run_serve_sim(&tenants, &[], &ds, &arrivals, &config);
+    assert!(is_serve_trace(&r.trace));
+    let p = analyze_serve_trace(&r.trace).unwrap();
+    // Replayed counters must equal the simulator's own report.
+    assert_eq!(p.arrived, r.report.arrived);
+    assert_eq!(p.served, r.report.served);
+    assert_eq!(p.shed, r.report.shed);
+    assert_eq!(p.in_flight_at_end, r.report.in_flight_at_end);
+    assert_eq!(p.batches, r.report.batches);
+    assert_eq!(p.slo_ok, r.report.served - r.report.slo_violations);
+    assert!(p.shed > 0 && p.queue_wait_secs > 0.0, "{}", p.summary(4));
+    // Per request: queue + formation + service == latency, so the folds
+    // agree with the records' latency fold up to float regrouping.
+    let record_latency: f64 = r
+        .records
+        .iter()
+        .map(|rec| rec.complete_secs - rec.arrival_secs)
+        .sum();
+    let decomposed = p.queue_wait_secs + p.formation_wait_secs + p.service_secs;
+    assert!(
+        (decomposed - record_latency).abs() <= 1e-9 * record_latency.max(1.0),
+        "decomposition {decomposed} != record latency {record_latency}"
+    );
+    // Exact-quantile max equals the report's histogram max exactly.
+    assert_eq!(
+        p.latency_max_secs.to_bits(),
+        r.report.latency_max_secs.to_bits()
+    );
+    // Profiles of identical runs are byte-identical.
+    let r2 = run_serve_sim(&tenants, &[], &ds, &arrivals, &config);
+    assert_eq!(
+        p.canonical_json(),
+        analyze_serve_trace(&r2.trace).unwrap().canonical_json()
     );
 }
 

@@ -177,7 +177,7 @@ pub fn unit(h: u64) -> f64 {
 }
 
 fn phase_by_name(name: &str) -> Option<Phase> {
-    Phase::ALL.into_iter().find(|p| p.name() == name)
+    Phase::from_name(name)
 }
 
 impl FaultPlan {

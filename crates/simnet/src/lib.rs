@@ -27,6 +27,7 @@
 //! [`registry`] collects counters/gauges/histograms with deterministic
 //! percentile exports.
 
+pub mod analyze;
 pub mod collectives;
 mod cost;
 pub mod fault;
@@ -35,6 +36,7 @@ mod stats;
 pub mod trace;
 pub mod wire;
 
+pub use analyze::{analyze_trace, AnalyzeError, TraceProfile};
 pub use cost::{CostModel, SimTime};
 pub use fault::{FaultPlan, FaultSession, FaultSummary};
 pub use registry::{FixedHistogram, Metric, MetricExport, MetricsRegistry};

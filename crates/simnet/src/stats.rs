@@ -74,6 +74,13 @@ impl Phase {
             Phase::Other => 7,
         }
     }
+
+    /// Inverse of [`Phase::name`]: the phase whose snake_case name is
+    /// `name`, if any. Used by every textual format that round-trips phases
+    /// (fault plans, the events-text trace).
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 /// Accumulated communication statistics: what moved, how many packages, and

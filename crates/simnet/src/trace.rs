@@ -73,14 +73,49 @@ impl Track {
         }
     }
 
-    /// Stable Chrome `tid`. Net is 0, workers start at 1, servers at 1001,
-    /// the fault lane at 2001.
+    /// Stable Chrome `tid`, collision-free for **every** `u32` worker and
+    /// server index: net is 0, workers occupy `1 ..= 2^32`, servers occupy
+    /// `2^32 + 1 ..= 2^33`, and the fault lane sits above both at
+    /// `2^33 + 1`. (The previous scheme based servers at 1001, so
+    /// `Worker(1000)` and `Server(0)` shared a lane — large clusters would
+    /// have interleaved two tracks and tripped the per-track monotonicity
+    /// validation.)
     pub fn tid(self) -> u64 {
+        const SERVER_BASE: u64 = (1 << 32) + 1;
+        const FAULT_TID: u64 = (1 << 33) + 1;
         match self {
             Track::Net => 0,
             Track::Worker(w) => 1 + w as u64,
-            Track::Server(s) => 1001 + s as u64,
-            Track::Fault => 2001,
+            Track::Server(s) => SERVER_BASE + s as u64,
+            Track::Fault => FAULT_TID,
+        }
+    }
+
+    /// Compact stable code used by the events-text format: `net`, `w3`,
+    /// `s1`, `fault`.
+    pub fn code(self) -> String {
+        match self {
+            Track::Worker(w) => format!("w{w}"),
+            Track::Server(s) => format!("s{s}"),
+            Track::Net => "net".to_string(),
+            Track::Fault => "fault".to_string(),
+        }
+    }
+
+    /// Inverse of [`Track::code`].
+    pub fn from_code(code: &str) -> Option<Track> {
+        match code {
+            "net" => Some(Track::Net),
+            "fault" => Some(Track::Fault),
+            _ => {
+                if let Some(w) = code.strip_prefix('w') {
+                    w.parse().ok().map(Track::Worker)
+                } else if let Some(s) = code.strip_prefix('s') {
+                    s.parse().ok().map(Track::Server)
+                } else {
+                    None
+                }
+            }
         }
     }
 }
@@ -122,6 +157,19 @@ impl EventKind {
     /// [`CommLedger`]-sum invariant.
     pub fn counts_toward_ledger(self) -> bool {
         matches!(self, EventKind::Request | EventKind::Collective)
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        Some(match name {
+            "compute" => EventKind::Compute,
+            "request" => EventKind::Request,
+            "service" => EventKind::Service,
+            "collective" => EventKind::Collective,
+            "step" => EventKind::Step,
+            "fault" => EventKind::Fault,
+            _ => return None,
+        })
     }
 }
 
@@ -659,6 +707,228 @@ impl Trace {
     pub fn validate(&self) -> Result<(), String> {
         validate_events(&self.events)
     }
+
+    /// Canonical events-text export: one line per event, every simulated
+    /// time printed with Rust's shortest-round-trip `f64` formatting so
+    /// [`Trace::parse_events_text`] reconstructs the stream **bit-exactly**.
+    /// Wall-clock annotations are omitted (they are nondeterministic), which
+    /// makes this artifact byte-identical across reruns — it is the
+    /// interchange format between a run and the offline `trace_analyze`
+    /// profiler.
+    pub fn events_text(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str(&format!(
+            "# dimboost-trace-events v1 workers={} servers={} events={}\n",
+            self.workers,
+            self.servers,
+            self.events.len()
+        ));
+        for e in &self.events {
+            out.push_str(&format!(
+                "event seq={} track={} kind={} phase={} name={} begin={} dur={} bytes={} pkgs={}\n",
+                e.seq,
+                e.track.code(),
+                e.kind.name(),
+                e.phase.name(),
+                e.name,
+                e.begin.0,
+                e.sim_dur.0,
+                e.bytes,
+                e.packages
+            ));
+        }
+        out
+    }
+
+    /// Parses an [`Trace::events_text`] document back into a trace.
+    ///
+    /// Because the export uses shortest-round-trip `f64` formatting, the
+    /// parsed event stream is bit-identical to the one exported (wall-clock
+    /// annotations, which the export drops, come back as zero). Every
+    /// malformed input — missing or corrupt header, an unknown field,
+    /// a truncated file whose header promises more events than follow (a
+    /// trace ending with an open span) — is a typed [`TraceParseError`],
+    /// never a panic.
+    pub fn parse_events_text(text: &str) -> Result<Trace, TraceParseError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(TraceParseError::MissingHeader)?;
+        let mut fields = header.split_whitespace();
+        if (fields.next(), fields.next(), fields.next())
+            != (Some("#"), Some("dimboost-trace-events"), Some("v1"))
+        {
+            return Err(TraceParseError::MissingHeader);
+        }
+        let (mut workers, mut servers, mut expected) = (None, None, None);
+        for field in fields {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| TraceParseError::Header(format!("bad header field {field:?}")))?;
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| TraceParseError::Header(format!("bad header value {field:?}")))?;
+            match key {
+                "workers" => workers = Some(parsed),
+                "servers" => servers = Some(parsed),
+                "events" => expected = Some(parsed),
+                _ => {
+                    return Err(TraceParseError::Header(format!(
+                        "unknown header key {key:?}"
+                    )))
+                }
+            }
+        }
+        let missing = |what: &str| TraceParseError::Header(format!("header lacks {what}"));
+        let workers = workers.ok_or_else(|| missing("workers"))?;
+        let servers = servers.ok_or_else(|| missing("servers"))?;
+        let expected = expected.ok_or_else(|| missing("events"))?;
+
+        let mut events = Vec::with_capacity(expected);
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = i + 1;
+            let err = |message: String| TraceParseError::Line {
+                line: lineno,
+                message,
+            };
+            let mut fields = line.split_whitespace();
+            if fields.next() != Some("event") {
+                return Err(err(format!("expected an `event` line, got {line:?}")));
+            }
+            let mut kv = std::collections::HashMap::new();
+            for field in fields {
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("bad field {field:?}")))?;
+                kv.insert(key, value);
+            }
+            let get = |key: &str| {
+                kv.get(key)
+                    .copied()
+                    .ok_or_else(|| err(format!("missing field {key:?}")))
+            };
+            let num = |key: &str| -> Result<u64, TraceParseError> {
+                get(key)?
+                    .parse()
+                    .map_err(|_| err(format!("bad integer for {key:?}")))
+            };
+            let secs = |key: &str| -> Result<f64, TraceParseError> {
+                get(key)?
+                    .parse()
+                    .map_err(|_| err(format!("bad number for {key:?}")))
+            };
+            events.push(TraceEvent {
+                seq: num("seq")?,
+                track: Track::from_code(get("track")?)
+                    .ok_or_else(|| err(format!("unknown track {:?}", kv["track"])))?,
+                kind: EventKind::from_name(get("kind")?)
+                    .ok_or_else(|| err(format!("unknown kind {:?}", kv["kind"])))?,
+                phase: Phase::from_name(get("phase")?)
+                    .ok_or_else(|| err(format!("unknown phase {:?}", kv["phase"])))?,
+                name: intern_name(get("name")?),
+                begin: SimTime(secs("begin")?),
+                sim_dur: SimTime(secs("dur")?),
+                bytes: num("bytes")?,
+                packages: num("pkgs")?,
+                wall_secs: 0.0,
+            });
+        }
+        if events.len() != expected {
+            return Err(TraceParseError::Truncated {
+                expected,
+                got: events.len(),
+            });
+        }
+        Ok(Trace {
+            workers,
+            servers,
+            events,
+        })
+    }
+}
+
+/// Why an events-text document failed to parse. A truncated file — the
+/// header promises more events than follow, i.e. the trace ends with an
+/// open span — is [`TraceParseError::Truncated`], a clean error rather than
+/// a panic or a silently shorter trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The first line is not a `# dimboost-trace-events v1 ...` header.
+    MissingHeader,
+    /// The header line is malformed (bad key, value, or missing count).
+    Header(String),
+    /// The header promised `expected` events but only `got` parsed —
+    /// the file was cut off mid-stream.
+    Truncated {
+        /// Event count the header declared.
+        expected: usize,
+        /// Events actually present.
+        got: usize,
+    },
+    /// One event line is malformed.
+    Line {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::MissingHeader => {
+                write!(
+                    f,
+                    "not an events-text trace (missing `# dimboost-trace-events v1` header)"
+                )
+            }
+            TraceParseError::Header(m) => write!(f, "bad events-text header: {m}"),
+            TraceParseError::Truncated { expected, got } => write!(
+                f,
+                "truncated trace: header declares {expected} events but only {got} follow"
+            ),
+            TraceParseError::Line { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Interns an operation name so parsed events can carry the `&'static str`
+/// the in-memory representation uses. Each distinct name leaks once, which
+/// is bounded by the small fixed vocabulary of operation names.
+fn intern_name(name: &str) -> &'static str {
+    // The names the tracer itself emits, fast-pathed without a lock.
+    for known in [
+        "compute",
+        "push_histogram",
+        "pull_split",
+        "push_sketches",
+        "pull_sketches",
+        "push_gradients",
+        "allreduce_round",
+        "server_batch",
+    ] {
+        if known == name {
+            return known;
+        }
+    }
+    for phase in Phase::ALL {
+        if phase.name() == name {
+            return phase.name();
+        }
+    }
+    static INTERNED: std::sync::OnceLock<Mutex<Vec<&'static str>>> = std::sync::OnceLock::new();
+    let mut table = INTERNED.get_or_init(|| Mutex::new(Vec::new())).lock();
+    if let Some(found) = table.iter().find(|n| **n == name) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
 }
 
 /// Shortest-round-trip JSON number (non-finite values become `null`).
@@ -881,6 +1151,178 @@ mod tests {
         assert!(validate_events(&[mk(0, 1.0), mk(1, 0.5)]).is_err());
         assert!(validate_events(&[mk(0, 0.5), mk(1, 1.0)]).is_ok());
         assert!(validate_events(&[mk(1, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn tids_never_collide_at_the_worker_server_boundary() {
+        // Regression: the old scheme based servers at tid 1001, so
+        // Worker(1000) landed on Server(0)'s lane. Build a bus right at
+        // that boundary and require every track's tid to be distinct.
+        let workers = 1500u32;
+        let servers = 8u32;
+        let mut seen = std::collections::HashMap::new();
+        let tracks = std::iter::once(Track::Net)
+            .chain((0..workers).map(Track::Worker))
+            .chain((0..servers).map(Track::Server))
+            .chain(std::iter::once(Track::Fault));
+        for track in tracks {
+            if let Some(other) = seen.insert(track.tid(), track) {
+                panic!("tid {} shared by {track:?} and {other:?}", track.tid());
+            }
+        }
+        // The extremes stay distinct too: the last worker, the last server,
+        // and the fault lane occupy three different lanes.
+        assert_ne!(Track::Worker(u32::MAX).tid(), Track::Server(0).tid());
+        assert_ne!(Track::Server(u32::MAX).tid(), Track::Fault.tid());
+        // A bus built at the boundary still yields a validating trace.
+        let b = TraceBus::new(workers as usize, 2, CostModel::GIGABIT_LAN, true);
+        b.set_worker(Some(1000));
+        b.on_request(
+            Phase::BuildHistogram,
+            "push_histogram",
+            64,
+            1,
+            SimTime::ZERO,
+        );
+        b.set_worker(None);
+        b.on_charge(Phase::BuildHistogram, SimTime(0.1));
+        b.finish().validate().unwrap();
+    }
+
+    #[test]
+    fn export_metrics_is_canonically_sorted_by_name() {
+        // Profile reports embed this export verbatim; the order must be a
+        // pure function of the metric names, never of observation order.
+        // Feed two buses the same traffic in different phase orders and
+        // require identical, name-sorted exports.
+        let feed = |phases: &[Phase]| {
+            let b = TraceBus::new(2, 2, CostModel::GIGABIT_LAN, false);
+            for &phase in phases {
+                b.set_worker(Some(0));
+                b.on_request(phase, "push_histogram", 512, 1, SimTime::ZERO);
+                b.set_worker(None);
+                b.on_charge(phase, SimTime(0.01));
+            }
+            b.export_metrics()
+        };
+        let a = feed(&[Phase::BuildHistogram, Phase::FindSplit]);
+        let c = feed(&[Phase::FindSplit, Phase::BuildHistogram]);
+        let names: Vec<&str> = a.iter().map(|m| m.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "export must be sorted by name");
+        assert!(!names.is_empty());
+        assert_eq!(a, c, "observation order leaked into the export");
+    }
+
+    #[test]
+    fn track_codes_round_trip() {
+        for track in [
+            Track::Net,
+            Track::Fault,
+            Track::Worker(0),
+            Track::Worker(1000),
+            Track::Server(0),
+            Track::Server(7),
+        ] {
+            assert_eq!(Track::from_code(&track.code()), Some(track));
+        }
+        assert_eq!(Track::from_code("x9"), None);
+        assert_eq!(Track::from_code("w"), None);
+    }
+
+    #[test]
+    fn events_text_round_trips_bit_exactly() {
+        let b = bus();
+        b.on_compute(0, Phase::BuildHistogram, 0.125);
+        b.set_worker(Some(0));
+        b.on_request(
+            Phase::BuildHistogram,
+            "push_histogram",
+            4001,
+            2,
+            SimTime(1e-7),
+        );
+        b.set_worker(None);
+        b.on_charge(Phase::BuildHistogram, SimTime(0.1 + 1e-13));
+        b.on_charge(Phase::Finish, SimTime(0.0375));
+        let trace = b.finish();
+        let parsed = Trace::parse_events_text(&trace.events_text()).unwrap();
+        assert_eq!(parsed.workers, trace.workers);
+        assert_eq!(parsed.servers, trace.servers);
+        assert_eq!(parsed.events.len(), trace.events.len());
+        for (a, b) in parsed.events.iter().zip(&trace.events) {
+            // Everything but the (deliberately dropped) wall annotation is
+            // identical, with times compared on exact bits.
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.track, b.track);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.begin.0.to_bits(), b.begin.0.to_bits());
+            assert_eq!(a.sim_dur.0.to_bits(), b.sim_dur.0.to_bits());
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.packages, b.packages);
+            assert_eq!(a.wall_secs, 0.0);
+        }
+        // Re-exporting the parsed trace reproduces the document byte for byte.
+        assert_eq!(parsed.events_text(), trace.events_text());
+    }
+
+    #[test]
+    fn truncated_events_text_is_a_typed_error_not_a_panic() {
+        let b = bus();
+        b.set_worker(Some(0));
+        b.on_request(Phase::FindSplit, "pull_split", 96, 2, SimTime::ZERO);
+        b.set_worker(None);
+        b.on_charge(Phase::FindSplit, SimTime(0.05));
+        let text = b.finish().events_text();
+        // Cut the document mid-stream: the header now promises more events
+        // than follow — a trace ending with an open span.
+        let open_ended: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        match Trace::parse_events_text(&open_ended) {
+            Err(TraceParseError::Truncated { expected, got }) => {
+                assert!(got < expected, "{got} vs {expected}");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Other malformed inputs are typed errors too.
+        assert_eq!(
+            Trace::parse_events_text(""),
+            Err(TraceParseError::MissingHeader)
+        );
+        assert_eq!(
+            Trace::parse_events_text("not a trace\n"),
+            Err(TraceParseError::MissingHeader)
+        );
+        assert!(matches!(
+            Trace::parse_events_text("# dimboost-trace-events v1 workers=1 servers=1\n"),
+            Err(TraceParseError::Header(_))
+        ));
+        let garbled = text.replace("kind=collective", "kind=collectively");
+        assert!(matches!(
+            Trace::parse_events_text(&garbled),
+            Err(TraceParseError::Line { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_single_event_traces_are_well_behaved() {
+        // Empty: timeline renders, validation passes, events-text round-trips.
+        let empty = TraceBus::new(1, 1, CostModel::GIGABIT_LAN, true).finish();
+        assert!(empty.timeline().contains("0 events"));
+        empty.validate().unwrap();
+        let parsed = Trace::parse_events_text(&empty.events_text()).unwrap();
+        assert!(parsed.events.is_empty());
+        // Single event: same story.
+        let b = TraceBus::new(1, 1, CostModel::GIGABIT_LAN, true);
+        b.on_charge(Phase::Finish, SimTime(0.25));
+        let single = b.finish();
+        assert_eq!(single.events.len(), 1);
+        single.validate().unwrap();
+        assert!(single.timeline().contains("1 events"));
+        let parsed = Trace::parse_events_text(&single.events_text()).unwrap();
+        assert_eq!(parsed.events, single.events);
     }
 
     #[test]

@@ -8,8 +8,8 @@ use dimboost::core::{train_distributed, GbdtConfig, TrainOutput};
 use dimboost::data::partition::partition_rows;
 use dimboost::data::synthetic::{generate, SparseGenConfig};
 use dimboost::ps::PsConfig;
-use dimboost::simnet::trace::{comm_totals, validate_events, EventKind};
-use dimboost::simnet::{CostModel, Phase};
+use dimboost::simnet::trace::{comm_totals, validate_events, EventKind, Trace};
+use dimboost::simnet::{analyze_trace, CostModel, Phase};
 
 fn traced_run() -> TrainOutput {
     let ds = generate(&SparseGenConfig::new(1_500, 200, 10, 5));
@@ -82,6 +82,74 @@ fn trace_is_well_formed_and_sums_to_the_ledger() {
             kind.name()
         );
     }
+}
+
+#[test]
+fn trace_profile_explains_a_real_training_run() {
+    // The analyzer must hold its structural identities on a genuine
+    // multi-round distributed run, not just hand-built fixtures: the
+    // critical path tiles the simulated timeline exactly, utilization
+    // conserves busy + idle == span per track, and the whole profile
+    // survives an events-text round trip byte for byte.
+    let out = traced_run();
+    let trace = out.trace.as_ref().unwrap();
+    let profile = analyze_trace(trace).expect("a valid run must profile cleanly");
+
+    // Bit-exact critical-path identity against the run's own clock.
+    let end = trace
+        .events
+        .iter()
+        .map(|e| e.begin.0 + e.sim_dur.0)
+        .fold(0.0f64, f64::max);
+    assert_eq!(
+        profile.critical_path.total_secs.to_bits(),
+        end.to_bits(),
+        "critical path must equal the final simulated time bit-exactly"
+    );
+    assert_eq!(profile.sim_end_secs.to_bits(), end.to_bits());
+
+    // Per-(track, phase) attribution tiles the path: exact on event
+    // counts, and the float sum re-adds to the total within regrouping
+    // tolerance (bucket sums re-associate the same f64 additions).
+    let attributed_events: u64 = profile
+        .critical_path
+        .attribution
+        .iter()
+        .map(|a| a.events)
+        .sum();
+    assert_eq!(attributed_events, profile.critical_path.segments);
+    let attributed: f64 = profile
+        .critical_path
+        .attribution
+        .iter()
+        .map(|a| a.secs)
+        .sum();
+    assert!(
+        (attributed - profile.critical_path.total_secs).abs()
+            <= 1e-9 * profile.critical_path.total_secs.max(1.0),
+        "attribution sums to {attributed}, path total {}",
+        profile.critical_path.total_secs
+    );
+
+    // Conservation per track, and one round profile per trained tree
+    // (plus the setup round).
+    for u in &profile.utilization {
+        assert!(
+            (u.busy_secs + u.idle_secs - end).abs() <= 1e-9 * end.max(1.0),
+            "track {} breaks busy + idle == span",
+            u.track
+        );
+    }
+    assert_eq!(profile.rounds.len(), 3 + 1, "3 trees + setup round");
+
+    // The offline path (events text → parse → analyze) reproduces the
+    // in-process profile byte for byte — what `dimboost analyze` and the
+    // ci.sh gate rely on.
+    let reparsed = Trace::parse_events_text(&trace.events_text()).unwrap();
+    let offline = analyze_trace(&reparsed).unwrap();
+    assert_eq!(offline.canonical_json(), profile.canonical_json());
+    assert_eq!(offline.folded_stacks(), profile.folded_stacks());
+    assert!(profile.folded_stacks().contains("net;build_histogram;"));
 }
 
 #[test]
