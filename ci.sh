@@ -212,4 +212,45 @@ cmp "$SMOKE/model_a.json" "$SMOKE/model_chaos.json"
 "$BIN/trace_check" --workers 3 --servers 2 --expect-faults \
   "$SMOKE/trace_chaos.canonical.json"
 
+echo "==> elasticity: membership churn must change timing, never the model"
+cat > "$SMOKE/elastic.txt" <<'EOF'
+# Elastic schedule: a fourth machine joins, one retires warm, one is torn
+# down cold, one runs on slow hardware, and backups cover stragglers.
+join worker=3 round=1
+leave worker=0 round=2 policy=handoff
+leave worker=1 round=2 policy=redistribute
+speed worker=2 factor=2.0
+speculate threshold=1.5
+EOF
+# Two identical elastic runs must agree byte for byte...
+for run in a b; do
+  "$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_elastic_$run.json" \
+    --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+    --threads 4 --batch-size 25 \
+    --fault-plan "$SMOKE/elastic.txt" \
+    --report-canonical "$SMOKE/report_elastic_$run.json" > /dev/null
+done
+cmp "$SMOKE/model_elastic_a.json" "$SMOKE/model_elastic_b.json"
+cmp "$SMOKE/report_elastic_a.json" "$SMOKE/report_elastic_b.json"
+# ...and the headline invariant holds: the model is cmp-identical to the
+# fixed-membership run, and the report agrees on everything but timing and
+# the fault/membership sections.
+cmp "$SMOKE/model_a.json" "$SMOKE/model_elastic_a.json"
+"$BIN/report_diff" --faults "$SMOKE/report_a.json" "$SMOKE/report_elastic_a.json"
+grep -q '"membership":{"joins":1,"leaves":2,' "$SMOKE/report_elastic_a.json"
+# A chronic 8x straggler under speculation: the backups must actually win,
+# and the wins must be visible in the trace profile's membership lane.
+cat > "$SMOKE/speculate.txt" <<'EOF'
+speed worker=1 factor=8.0
+speculate threshold=1.5
+EOF
+"$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_spec.json" \
+  --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+  --threads 4 --batch-size 25 \
+  --fault-plan "$SMOKE/speculate.txt" \
+  --profile "$SMOKE/spec.profile.json" > /dev/null
+cmp "$SMOKE/model_a.json" "$SMOKE/model_spec.json"
+grep -q 'speculative_backup' "$SMOKE/spec.profile.json"
+grep -q 'backup_win' "$SMOKE/spec.profile.json"
+
 echo "CI green."

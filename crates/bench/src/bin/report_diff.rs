@@ -15,10 +15,11 @@
 //! Wall-clock fields (`compute*_secs`, `percentiles.wall/*`) are ignored by
 //! default; `--strict-wall` compares them too.
 //!
-//! `--faults` compares a faulted run against a clean baseline: simulated
-//! time, the `faults` counters, and the resume marker are ignored (faults
-//! stretch the clock by design) while bytes, packages, and per-round
-//! telemetry remain strict — the chaos gate `ci.sh` runs.
+//! `--faults` compares a faulted or elastic run against a clean baseline:
+//! simulated time, the `faults` and `membership` sections, and the resume
+//! marker are ignored (faults and membership churn stretch the clock by
+//! design) while bytes, packages, and per-round telemetry remain strict —
+//! the chaos and elasticity gates `ci.sh` runs.
 
 use std::process::ExitCode;
 

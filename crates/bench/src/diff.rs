@@ -147,15 +147,18 @@ pub fn default_rules() -> Vec<Rule> {
 /// Rules for comparing a faulted run against a clean baseline: faults must
 /// change *timing only*, never the learned model or the communicated data.
 ///
-/// Everything on the simulated clock is ignored (retries and stragglers
-/// legitimately stretch it), as are the fault counters themselves and the
-/// resume marker; bytes, packages, losses, and per-round telemetry stay
-/// under the strict default and must match the clean run exactly.
+/// Everything on the simulated clock is ignored (retries, stragglers, and
+/// elastic membership churn legitimately stretch it), as are the fault and
+/// membership counters themselves and the resume marker — the clean
+/// baseline has no `faults` or `membership` section at all; bytes,
+/// packages, losses, and per-round telemetry stay under the strict default
+/// and must match the clean run exactly.
 pub fn fault_rules() -> Vec<Rule> {
     [
         "*sim_time_secs",
         "percentiles.*",
         "faults.*",
+        "membership.*",
         "resumed_from_round",
     ]
     .into_iter()
@@ -529,6 +532,7 @@ mod tests {
             r#"{"comm":{"bytes":1000,"packages":8,"sim_time_secs":0.93},
                 "rounds":[{"round":0,"train_loss":0.5}],
                 "faults":{"plan_seed":42,"retries":7},
+                "membership":{"joins":1,"leaves":1,"handoff_secs":0.25},
                 "resumed_from_round":3}"#,
         )
         .unwrap();

@@ -330,6 +330,18 @@ drops, duplicates, server outages, a crash, permanent worker losses) into
 the simulated cluster; faults change timing only, never the learned model.
 A run that crashes under the plan exits with status 3 after writing its
 checkpoint; rerun with `--resume` to continue it bit-exactly.
+
+The same file scripts elastic membership: `join worker=N round=R` adds a
+machine at a round boundary, `leave worker=N round=R policy=handoff|
+redistribute` retires one (handoff charges a warm stripe transfer,
+redistribute a 2x cold re-shard), `speed worker=N factor=F` makes a
+machine chronically slow, and `speculate threshold=F` launches a backup
+copy of the slowest machine's work whenever a round runs more than F
+times the median, keeping the faster finisher. Logical data stripes are
+fixed for the whole run and re-sharded deterministically, so any
+membership schedule yields byte-identical model, ledger, and loss curve
+to the fixed-membership run — only simulated time stretches, reported
+under `membership` in the report and on the membership trace track.
 ";
 
 fn take_value<'a>(flag: &str, iter: &mut std::slice::Iter<'a, String>) -> Result<&'a str, String> {
@@ -1032,6 +1044,24 @@ tree {i}:
                     f.duplicates,
                     f.dedup_hits,
                     f.forced_deliveries
+                );
+            }
+            if let Some(m) = &out.report.membership {
+                println!(
+                    "membership: {} joins, {} leaves, {} stripes moved (epoch {}); \
+                     handoff {:.2}s, re-shard {:.2}s, dilation {:.2}s; \
+                     {} backups ({} wins, {:.2}s saved), {} stale pushes rejected",
+                    m.joins,
+                    m.leaves,
+                    m.stripes_moved,
+                    m.epoch,
+                    m.handoff_secs,
+                    m.reshard_secs,
+                    m.elastic_secs,
+                    m.speculative_backups,
+                    m.backup_wins,
+                    m.speculation_saved_secs,
+                    m.stale_rejects
                 );
             }
             // Save the model before the (optional) report: an unwritable

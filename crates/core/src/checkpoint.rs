@@ -4,8 +4,9 @@
 //! A checkpoint captures, after boosting round `next_round − 1`:
 //!
 //! * a fingerprint of the run (seed, tree budget, loss, learning rate,
-//!   feature count, worker count, per-shard row counts) so a resume against
-//!   the wrong config or data fails loudly instead of silently diverging;
+//!   feature count, worker count, per-shard row counts, and the digest of
+//!   any elastic-membership schedule) so a resume against the wrong config
+//!   or data fails loudly instead of silently diverging;
 //! * the partial model (embedded in the [`crate::model_io`] format);
 //! * every worker's RNG state (the xoshiro256++ words), so feature
 //!   subsampling and stochastic rounding continue the exact same streams;
@@ -40,7 +41,11 @@ use crate::report::{NodeInstances, RoundRecord};
 use crate::trainer::LossPoint;
 
 const MAGIC: &[u8; 8] = b"DIMBCKPT";
-const VERSION: u32 = 1;
+/// Version 2 adds the elastic-membership digest to the fingerprint and an
+/// optional stripe-assignment snapshot to the payload. Version-1 files are
+/// still readable: they decode with a zero digest and no snapshot.
+const VERSION: u32 = 2;
+const MIN_VERSION: u32 = 1;
 
 /// File name of the rolling checkpoint inside a checkpoint directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
@@ -122,6 +127,13 @@ pub struct CheckpointFingerprint {
     pub workers: u32,
     /// Instance rows per shard, in shard order.
     pub shard_rows: Vec<u64>,
+    /// Digest of the fault plan's elastic-membership schedule (joins,
+    /// leaves, speed factors, speculation threshold) — see
+    /// [`dimboost_simnet::FaultPlan::membership_digest`]. Zero for runs
+    /// without membership events. Resuming under a different schedule
+    /// would silently change epoch numbering and stripe placement, so it
+    /// must fail loudly here instead.
+    pub membership_digest: u64,
 }
 
 impl CheckpointFingerprint {
@@ -148,6 +160,7 @@ impl CheckpointFingerprint {
         check!(num_features);
         check!(workers);
         check!(shard_rows);
+        check!(membership_digest);
         Ok(())
     }
 }
@@ -198,6 +211,11 @@ pub struct TrainCheckpoint {
     pub best_eval_loss: f64,
     /// Round of the best eval loss.
     pub best_iteration: Option<usize>,
+    /// Elastic-membership snapshot `(stripe→machine assignment, live
+    /// machine set, epoch)` at checkpoint time; `None` for fixed-membership
+    /// runs. Restoring it on resume reproduces the exact placement and
+    /// epoch numbering the interrupted run had reached.
+    pub membership: Option<(Vec<u32>, Vec<u32>, u64)>,
 }
 
 fn need(bytes: &Bytes, n: usize) -> Result<(), CheckpointError> {
@@ -239,6 +257,7 @@ impl TrainCheckpoint {
         for &rows in &fp.shard_rows {
             buf.put_u64_le(rows);
         }
+        buf.put_u64_le(fp.membership_digest);
 
         buf.put_u64_le(self.next_round as u64);
         buf.put_u64_le(model_blob.len() as u64);
@@ -307,6 +326,22 @@ impl TrainCheckpoint {
             }
         }
 
+        match &self.membership {
+            Some((assignment, live, epoch)) => {
+                buf.put_u8(1);
+                buf.put_u64_le(assignment.len() as u64);
+                for &m in assignment {
+                    buf.put_u32_le(m);
+                }
+                buf.put_u64_le(live.len() as u64);
+                for &m in live {
+                    buf.put_u32_le(m);
+                }
+                buf.put_u64_le(*epoch);
+            }
+            None => buf.put_u8(0),
+        }
+
         buf.freeze()
     }
 
@@ -321,7 +356,7 @@ impl TrainCheckpoint {
         }
         need(&bytes, 4)?;
         let version = bytes.get_u32_le();
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
 
@@ -336,6 +371,12 @@ impl TrainCheckpoint {
         let n_shards = get_len(&mut bytes, "shard", 1 << 20)?;
         need(&bytes, n_shards * 8)?;
         let shard_rows = (0..n_shards).map(|_| bytes.get_u64_le()).collect();
+        let membership_digest = if version >= 2 {
+            need(&bytes, 8)?;
+            bytes.get_u64_le()
+        } else {
+            0
+        };
         let fingerprint = CheckpointFingerprint {
             seed,
             num_trees,
@@ -345,6 +386,7 @@ impl TrainCheckpoint {
             num_features,
             workers,
             shard_rows,
+            membership_digest,
         };
 
         need(&bytes, 8)?;
@@ -443,6 +485,30 @@ impl TrainCheckpoint {
             }
         };
 
+        let membership = if version >= 2 {
+            need(&bytes, 1)?;
+            match bytes.get_u8() {
+                0 => None,
+                1 => {
+                    let n_assign = get_len(&mut bytes, "stripe assignment", 1 << 20)?;
+                    need(&bytes, n_assign * 4)?;
+                    let assignment = (0..n_assign).map(|_| bytes.get_u32_le()).collect();
+                    let n_live = get_len(&mut bytes, "live machine", 1 << 20)?;
+                    need(&bytes, n_live * 4 + 8)?;
+                    let live = (0..n_live).map(|_| bytes.get_u32_le()).collect();
+                    let epoch = bytes.get_u64_le();
+                    Some((assignment, live, epoch))
+                }
+                t => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "unknown membership flag {t}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+
         Ok(TrainCheckpoint {
             fingerprint,
             next_round,
@@ -455,6 +521,7 @@ impl TrainCheckpoint {
             eval_curve,
             best_eval_loss,
             best_iteration,
+            membership,
         })
     }
 
@@ -530,6 +597,7 @@ mod tests {
                 num_features: 40,
                 workers: 3,
                 shard_rows: vec![134, 133, 133],
+                membership_digest: 0x1234_5678_9ABC_DEF0,
             },
             next_round: 2,
             model,
@@ -552,6 +620,7 @@ mod tests {
             }],
             best_eval_loss: 0.625,
             best_iteration: Some(0),
+            membership: Some((vec![0, 1, 1], vec![0, 1, 5], 4)),
         }
     }
 
@@ -623,7 +692,27 @@ mod tests {
         other.shard_rows = vec![1];
         let err = fp.ensure_matches(&other).unwrap_err();
         assert!(err.to_string().contains("shard_rows"), "{err}");
+        // Resuming under a different membership schedule must fail loudly.
+        let mut other = fp.clone();
+        other.membership_digest ^= 1;
+        let err = fp.ensure_matches(&other).unwrap_err();
+        assert!(err.to_string().contains("membership_digest"), "{err}");
         assert!(fp.ensure_matches(&fp.clone()).is_ok());
+    }
+
+    #[test]
+    fn membership_snapshot_roundtrips_in_both_forms() {
+        // `Some` snapshot survives bit-exactly (sample_checkpoint carries one).
+        let ck = sample_checkpoint();
+        let back = TrainCheckpoint::from_bytes(ck.to_bytes()).unwrap();
+        assert_eq!(back.membership, Some((vec![0, 1, 1], vec![0, 1, 5], 4)));
+        // And a fixed-membership checkpoint stays `None`.
+        let mut fixed = ck.clone();
+        fixed.membership = None;
+        fixed.fingerprint.membership_digest = 0;
+        let back = TrainCheckpoint::from_bytes(fixed.to_bytes()).unwrap();
+        assert_eq!(back, fixed);
+        assert_eq!(back.membership, None);
     }
 
     #[test]

@@ -20,7 +20,9 @@
 use std::time::Instant;
 
 use dimboost_simnet::registry::MetricExport;
-use dimboost_simnet::{CommLedger, CommStats, FaultSummary, FixedHistogram, Phase, TraceBus};
+use dimboost_simnet::{
+    CommLedger, CommStats, FaultSummary, FixedHistogram, MembershipSummary, Phase, TraceBus,
+};
 
 /// Accumulates per-phase, per-worker wall-clock seconds.
 ///
@@ -230,6 +232,11 @@ pub struct RunReport {
     /// clean runs. All fields land on the simulated clock, so the section
     /// is deterministic across reruns of the same plan.
     pub faults: Option<FaultSummary>,
+    /// Elastic-membership summary when the run's fault plan scripted
+    /// join/leave/speed/speculate events; `None` (and omitted from JSON)
+    /// for fixed-membership runs. All fields land on the simulated clock,
+    /// so the section is deterministic across reruns of the same plan.
+    pub membership: Option<MembershipSummary>,
     /// The boosting round this run resumed from when it was restored from
     /// a checkpoint; `None` (omitted from JSON) for uninterrupted runs.
     pub resumed_from_round: Option<usize>,
@@ -286,6 +293,7 @@ impl RunReport {
             rounds,
             percentiles,
             faults: None,
+            membership: None,
             resumed_from_round: None,
         }
     }
@@ -461,6 +469,41 @@ impl RunReport {
             );
             push_field(&mut out, "crashes", &f.crashes.to_string(), false);
             push_field(&mut out, "workers_lost", &f.workers_lost.to_string(), false);
+            out.push('}');
+        }
+        if let Some(m) = &self.membership {
+            out.push_str(",\"membership\":{");
+            push_field(&mut out, "joins", &m.joins.to_string(), true);
+            push_field(&mut out, "leaves", &m.leaves.to_string(), false);
+            push_field(
+                &mut out,
+                "stripes_moved",
+                &m.stripes_moved.to_string(),
+                false,
+            );
+            push_field(&mut out, "epoch", &m.epoch.to_string(), false);
+            push_field(
+                &mut out,
+                "speculative_backups",
+                &m.speculative_backups.to_string(),
+                false,
+            );
+            push_field(&mut out, "backup_wins", &m.backup_wins.to_string(), false);
+            push_field(
+                &mut out,
+                "stale_rejects",
+                &m.stale_rejects.to_string(),
+                false,
+            );
+            push_field(&mut out, "handoff_secs", &fmt_f64(m.handoff_secs), false);
+            push_field(&mut out, "reshard_secs", &fmt_f64(m.reshard_secs), false);
+            push_field(&mut out, "elastic_secs", &fmt_f64(m.elastic_secs), false);
+            push_field(
+                &mut out,
+                "speculation_saved_secs",
+                &fmt_f64(m.speculation_saved_secs),
+                false,
+            );
             out.push('}');
         }
         if let Some(round) = self.resumed_from_round {
@@ -716,6 +759,39 @@ mod tests {
                 assert_eq!(json.matches(open).count(), json.matches(close).count());
             }
         }
+    }
+
+    #[test]
+    fn membership_section_appears_only_when_present() {
+        let clean = sample_report();
+        assert!(!clean.json().contains("\"membership\""));
+
+        let mut elastic = clean.clone();
+        elastic.membership = Some(MembershipSummary {
+            joins: 1,
+            leaves: 2,
+            stripes_moved: 3,
+            epoch: 3,
+            speculative_backups: 4,
+            backup_wins: 2,
+            stale_rejects: 1,
+            handoff_secs: 0.5,
+            reshard_secs: 1.0,
+            elastic_secs: 0.25,
+            speculation_saved_secs: 0.125,
+        });
+        for json in [elastic.json(), elastic.canonical_json()] {
+            assert!(json.contains("\"membership\":{\"joins\":1,"), "{json}");
+            assert!(json.contains("\"stripes_moved\":3"));
+            assert!(json.contains("\"backup_wins\":2"));
+            assert!(json.contains("\"speculation_saved_secs\":0.125"));
+            for (open, close) in [('{', '}'), ('[', ']')] {
+                assert_eq!(json.matches(open).count(), json.matches(close).count());
+            }
+        }
+        // The elastic section is simulated-clock data: it survives into the
+        // canonical document identically.
+        assert!(elastic.canonical_json().contains("\"elastic_secs\":0.25"));
     }
 
     #[test]

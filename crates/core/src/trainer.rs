@@ -19,7 +19,7 @@ use dimboost_data::Dataset;
 use dimboost_ps::quantize::quantize_row;
 use dimboost_ps::split::{best_split_in_range, FinalSplit, PullSplitResult, SplitDecision};
 use dimboost_ps::{ParameterServer, PsConfig};
-use dimboost_simnet::fault::LossPolicy;
+use dimboost_simnet::fault::{LeavePolicy, LossPolicy, StripeMove};
 use dimboost_simnet::{CommStats, FaultPlan, FaultSession, Phase, SimTime, Trace, TraceBus};
 use dimboost_sketch::{propose_candidates, GkSketch, SplitCandidates};
 
@@ -316,7 +316,13 @@ pub fn train_distributed_continue(
 }
 
 /// Builds the fingerprint identifying this run for checkpoint validation.
-fn fingerprint_for(config: &GbdtConfig, shards: &[Dataset]) -> CheckpointFingerprint {
+/// `membership_digest` covers the fault plan's elastic schedule (0 without
+/// one) so a resume under a different membership history fails loudly.
+fn fingerprint_for(
+    config: &GbdtConfig,
+    shards: &[Dataset],
+    membership_digest: u64,
+) -> CheckpointFingerprint {
     let (loss_tag, loss_classes) = model_io::loss_tag(config.loss);
     CheckpointFingerprint {
         seed: config.seed,
@@ -327,7 +333,32 @@ fn fingerprint_for(config: &GbdtConfig, shards: &[Dataset]) -> CheckpointFingerp
         num_features: shards.first().map_or(0, |s| s.num_features()) as u64,
         workers: shards.len() as u32,
         shard_rows: shards.iter().map(|s| s.num_rows() as u64).collect(),
+        membership_digest,
     }
+}
+
+/// Reconstructs the membership overlay a run had reached after rounds
+/// `0..start` by replaying the plan's schedule (used when a resume has no
+/// checkpointed snapshot to restore). The rebalance is a pure function of
+/// the event sequence, so replay and live application agree exactly. The
+/// per-round order mirrors the live path: joins, then leaves, then
+/// redistribute-losses.
+fn replay_membership_to(session: &FaultSession, start: usize) -> Result<(), TrainError> {
+    for round in 0..start {
+        let plan = session.plan();
+        for spec in plan.joins.iter().filter(|j| j.round == round) {
+            session.apply_join(spec.worker).map_err(invalid)?;
+        }
+        for spec in plan.leaves.iter().filter(|l| l.round == round) {
+            session.apply_leave(spec.worker).map_err(invalid)?;
+        }
+        for spec in plan.losses.iter().filter(|l| l.round == round) {
+            if matches!(spec.policy, LossPolicy::Redistribute) {
+                session.apply_leave(spec.worker).map_err(invalid)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Snapshots the run into a resumable checkpoint after round `next_round − 1`.
@@ -346,6 +377,7 @@ fn snapshot_checkpoint(
     eval_curve: &[LossPoint],
     best_eval_loss: f64,
     best_iteration: Option<usize>,
+    membership: Option<(Vec<u32>, Vec<u32>, u64)>,
 ) -> TrainCheckpoint {
     TrainCheckpoint {
         fingerprint: fingerprint.clone(),
@@ -364,6 +396,7 @@ fn snapshot_checkpoint(
         eval_curve: eval_curve.to_vec(),
         best_eval_loss,
         best_iteration,
+        membership,
     }
 }
 
@@ -392,6 +425,9 @@ fn train_impl(
     let fault_session: Option<Arc<FaultSession>> = robust
         .and_then(|r| r.fault_plan.as_ref())
         .map(|plan| FaultSession::new(plan.clone()));
+    let membership_digest = robust
+        .and_then(|r| r.fault_plan.as_ref())
+        .map_or(0, |p| p.membership_digest());
     let checkpoint_opts = robust.and_then(|r| r.checkpoint.as_ref());
     let resume_ck: Option<TrainCheckpoint> = match robust {
         Some(r) if r.resume => {
@@ -404,7 +440,7 @@ fn train_impl(
             }
             let ck = TrainCheckpoint::load_from_dir(&opts.dir)?;
             ck.fingerprint
-                .ensure_matches(&fingerprint_for(config, shards))?;
+                .ensure_matches(&fingerprint_for(config, shards, membership_digest))?;
             if ck.rng_states.len() != shards.len() {
                 return Err(CheckpointError::Corrupt(format!(
                     "checkpoint has {} RNG states for {} workers",
@@ -483,6 +519,31 @@ fn train_impl(
         // pre-crash ledger before any new charges land.
         ps.recorder().preload(&ck.ledger);
     }
+    // ---- Elastic membership overlay. ---------------------------------------
+    // Scripted joins/leaves/speed skew change only *placement* and simulated
+    // timing. The logical stripes are the initial shard set, immutable for
+    // the run: per-stripe worker state (gradients, histograms, RNG streams)
+    // and push order never change, so the model stays bit-identical to a
+    // fixed-membership run (f32 histogram merging is grouping-sensitive —
+    // re-grouping rows would change the bytes).
+    let membership_on = fault_session
+        .as_ref()
+        .is_some_and(|s| s.plan().has_membership_events());
+    if membership_on {
+        let session = fault_session.as_ref().expect("membership implies a plan");
+        session.init_membership(w);
+        match resume_ck.as_ref().and_then(|ck| ck.membership.clone()) {
+            // The checkpointed snapshot reproduces the exact placement and
+            // epoch numbering the interrupted run had reached.
+            Some((assignment, live, epoch)) => {
+                session.restore_membership(assignment, live, epoch);
+            }
+            // No snapshot (fresh run, or a pre-elastic checkpoint): replay
+            // the schedule up to the start round.
+            None => replay_membership_to(session, start_round)?,
+        }
+        ps.set_epoch(session.membership_epoch());
+    }
     // Tags PS interactions with the issuing worker on both the trace bus
     // and the fault session (per-worker message sequence numbers).
     let set_worker = |worker: Option<u32>| {
@@ -498,7 +559,37 @@ fn train_impl(
     // identical to the fault-free run, preserving the exactness invariant.
     let charge = |phase: Phase, time: SimTime| {
         ps.charge(phase, time);
-        if let Some(session) = &fault_session {
+        let Some(session) = &fault_session else {
+            return;
+        };
+        if membership_on {
+            // Elastic schedule: a phase finishes when the slowest live
+            // machine drains its stripes (rate × load, see
+            // `FaultSession::membership_dilation`); speculation can cap a
+            // chronic straggler by replaying its stripes on a backup.
+            let d = session.membership_dilation(phase);
+            if let Some(b) = d.backup {
+                let won = b.effective_factor < b.raw_factor;
+                let saved = time.seconds() * (b.raw_factor - b.effective_factor);
+                session.on_backup(won, saved);
+                ps.recorder()
+                    .membership_event(phase, "speculative_backup", SimTime::ZERO, 0, 1);
+                if won {
+                    // The win's saved seconds are a *reduction*, not
+                    // schedule stretch — recorded with zero duration so the
+                    // trace profile attributes only real stretch.
+                    ps.recorder()
+                        .membership_event(phase, "backup_win", SimTime::ZERO, 0, 1);
+                }
+            }
+            if d.factor > 1.0 {
+                let extra = time.seconds() * (d.factor - 1.0);
+                session.add_elastic_secs(extra);
+                ps.recorder()
+                    .membership_event(phase, "elastic_dilation", SimTime(extra), 0, 1);
+                ps.charge(phase, SimTime(extra));
+            }
+        } else {
             let dilation = session.dilation(phase);
             if dilation > 1.0 {
                 let extra = time.seconds() * (dilation - 1.0);
@@ -507,6 +598,38 @@ fn train_impl(
                     .fault_event(phase, "straggler_dilation", SimTime(extra), 0, 1);
                 ps.charge(phase, SimTime(extra));
             }
+        }
+    };
+    // Transfer cost of re-homing one stripe at a membership event: a
+    // graceful handoff streams the resident partition (α + bytes·β); a cold
+    // re-shard (redistribute, or a lost machine that cannot hand off)
+    // re-reads and re-bins it on the receiver, modelled at twice the
+    // streaming cost. Pure simulated time — bytes appear only on the
+    // membership trace lane, never in the communication ledger.
+    let stripe_bytes: Vec<u64> = shards
+        .iter()
+        .map(|s| (8 * s.nnz() + 8 * s.num_rows()) as u64)
+        .collect();
+    let charge_moves = |moves: &[StripeMove], graceful: bool| {
+        let Some(session) = &fault_session else {
+            return;
+        };
+        for mv in moves {
+            let bytes = stripe_bytes[mv.stripe as usize];
+            let base = cost.alpha + bytes as f64 * cost.beta;
+            let (name, secs) = if graceful {
+                ("stripe_handoff", base)
+            } else {
+                ("stripe_reshard", 2.0 * base)
+            };
+            if graceful {
+                session.add_handoff_secs(secs);
+            } else {
+                session.add_reshard_secs(secs);
+            }
+            ps.recorder()
+                .membership_event(Phase::NewTree, name, SimTime(secs), bytes, 1);
+            ps.charge(Phase::NewTree, SimTime(secs));
         }
     };
     let mut timer = SpanTimer::new(w);
@@ -637,7 +760,7 @@ fn train_impl(
         None => None,
     };
 
-    let fingerprint = fingerprint_for(config, shards);
+    let fingerprint = fingerprint_for(config, shards, membership_digest);
     for round in start_round..config.num_trees {
         // ---- Scripted faults that fire at round boundaries. ---------------
         if let Some(session) = &fault_session {
@@ -665,12 +788,33 @@ fn train_impl(
                             &eval_curve,
                             best_eval_loss,
                             best_iteration,
+                            session.membership_snapshot(),
                         );
                         Some(ck.save_to_dir(&opts.dir)?)
                     }
                     None => None,
                 };
                 return Err(TrainError::Crashed { round, checkpoint });
+            }
+            // Scripted membership events for this round: joins first, then
+            // graceful leaves (the same order `replay_membership_to` uses).
+            // Each event bumps the epoch; the PS is retagged so any late
+            // retry from the old placement is rejected, not merged.
+            if membership_on {
+                for spec in session.plan().joins.iter().filter(|j| j.round == round) {
+                    let moves = session.apply_join(spec.worker).map_err(invalid)?;
+                    ps.recorder()
+                        .membership_event(Phase::NewTree, "join", SimTime::ZERO, 0, 1);
+                    charge_moves(&moves, true);
+                    ps.set_epoch(session.membership_epoch());
+                }
+                for spec in session.plan().leaves.iter().filter(|l| l.round == round) {
+                    let moves = session.apply_leave(spec.worker).map_err(invalid)?;
+                    ps.recorder()
+                        .membership_event(Phase::NewTree, "leave", SimTime::ZERO, 0, 1);
+                    charge_moves(&moves, matches!(spec.policy, LeavePolicy::Handoff));
+                    ps.set_epoch(session.membership_epoch());
+                }
             }
             for spec in &session.plan().losses {
                 if spec.round == round && !session.is_lost(spec.worker) {
@@ -694,6 +838,22 @@ fn train_impl(
                                 0,
                                 1,
                             );
+                            // Under the elastic overlay a dead machine also
+                            // leaves the membership: its stripes cold
+                            // re-shard onto the survivors (no handoff — the
+                            // machine is gone).
+                            if membership_on {
+                                let moves = session.apply_leave(spec.worker).map_err(invalid)?;
+                                ps.recorder().membership_event(
+                                    Phase::NewTree,
+                                    "leave",
+                                    SimTime::ZERO,
+                                    0,
+                                    1,
+                                );
+                                charge_moves(&moves, false);
+                                ps.set_epoch(session.membership_epoch());
+                            }
                         }
                     }
                 }
@@ -1188,6 +1348,7 @@ fn train_impl(
                     &eval_curve,
                     best_eval_loss,
                     best_iteration,
+                    fault_session.as_ref().and_then(|s| s.membership_snapshot()),
                 );
                 ck.save_to_dir(&opts.dir)?;
             }
@@ -1218,6 +1379,7 @@ fn train_impl(
         bus.export_metrics(),
     );
     report.faults = fault_session.as_ref().map(|s| s.summary());
+    report.membership = fault_session.as_ref().and_then(|s| s.membership_summary());
     report.resumed_from_round = resumed_from;
     let trace = config.collect_trace.then(|| bus.finish());
     Ok(TrainOutput {

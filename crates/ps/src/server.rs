@@ -76,9 +76,18 @@ pub struct ParameterServer {
     recorder: StatsRecorder,
     /// Fault-injection session; `None` runs the happy path untouched.
     faults: Mutex<Option<Arc<FaultSession>>>,
-    /// Per-worker message sequence ids already applied — the server-side
-    /// deduplication set that makes retried pushes idempotent.
-    applied: Mutex<HashSet<(u32, u64)>>,
+    /// Per-worker message sequence ids already applied, tagged with the
+    /// membership epoch they were issued under — the server-side
+    /// deduplication set that makes retried pushes idempotent. Keying on
+    /// the epoch means a departed machine's late retries can never collide
+    /// with (or merge into) sequence numbers of the new epoch.
+    applied: Mutex<HashSet<(u64, u32, u64)>>,
+    /// Current elastic-membership epoch. Stays 0 for fixed-membership runs;
+    /// the trainer bumps it via [`ParameterServer::set_epoch`] after every
+    /// scripted join/leave. Operations stamped with an older epoch are
+    /// rejected instead of merged (see
+    /// [`ParameterServer::push_histogram_from_epoch`]).
+    epoch: Mutex<u64>,
 }
 
 impl ParameterServer {
@@ -96,6 +105,7 @@ impl ParameterServer {
             recorder: StatsRecorder::new(),
             faults: Mutex::new(None),
             applied: Mutex::new(HashSet::new()),
+            epoch: Mutex::new(0),
         }
     }
 
@@ -145,11 +155,27 @@ impl ParameterServer {
         *self.faults.lock() = Some(session);
     }
 
-    /// First-apply gate: returns `true` exactly once per `(worker, seq)`.
-    /// Sequence ids are monotone per worker and never reused, so a retried
-    /// or duplicated message can never merge twice.
-    fn mark_applied(&self, worker: u32, seq: u64) -> bool {
-        self.applied.lock().insert((worker, seq))
+    /// First-apply gate: returns `true` exactly once per
+    /// `(epoch, worker, seq)`. Sequence ids are monotone per worker and
+    /// never reused within an epoch, so a retried or duplicated message can
+    /// never merge twice.
+    fn mark_applied(&self, epoch: u64, worker: u32, seq: u64) -> bool {
+        self.applied.lock().insert((epoch, worker, seq))
+    }
+
+    /// Advances the membership epoch the server stamps deduplication state
+    /// with. Called by the trainer after every scripted join/leave; `epoch`
+    /// must be monotone (a smaller value is ignored).
+    pub fn set_epoch(&self, epoch: u64) {
+        let mut current = self.epoch.lock();
+        if epoch > *current {
+            *current = epoch;
+        }
+    }
+
+    /// The membership epoch the server currently stamps operations with.
+    pub fn current_epoch(&self) -> u64 {
+        *self.epoch.lock()
     }
 
     /// Runs one logical worker→server operation under the fault plan:
@@ -191,8 +217,10 @@ impl ParameterServer {
         let mut result: Option<R> = None;
         // Delivers one copy to the server: applies the op on the first
         // delivery of this seq, absorbs every later copy via the dedup set.
+        // The op is stamped with the epoch current at issue time.
+        let epoch = self.current_epoch();
         let mut deliver = || {
-            if self.mark_applied(worker, seq) {
+            if self.mark_applied(epoch, worker, seq) {
                 let f = apply.take().expect("op applies exactly once");
                 result = Some(f());
             } else {
@@ -371,12 +399,44 @@ impl ParameterServer {
     }
 
     /// Idempotent entry used by the retry-schedule tests: delivers one copy
-    /// of push `seq` from `worker` and returns whether it applied (`false`
-    /// means the copy was absorbed by the dedup set). Any schedule of
-    /// duplicated/reordered deliveries merges to the clean-schedule
-    /// histogram because each `(worker, seq)` applies at most once.
+    /// of push `seq` from `worker` (stamped with the current epoch) and
+    /// returns whether it applied (`false` means the copy was absorbed by
+    /// the dedup set). Any schedule of duplicated/reordered deliveries
+    /// merges to the clean-schedule histogram because each
+    /// `(epoch, worker, seq)` applies at most once.
     pub fn push_histogram_from(&self, worker: u32, seq: u64, node: u32, row: &[f32]) -> bool {
-        if !self.mark_applied(worker, seq) {
+        self.push_histogram_from_epoch(self.current_epoch(), worker, seq, node, row)
+    }
+
+    /// [`ParameterServer::push_histogram_from`] with an explicit issue
+    /// epoch: the elastic-membership protocol's server-side gate. A message
+    /// stamped with an epoch older than the server's current one is a late
+    /// retry from before a join/leave — it is rejected outright (recorded
+    /// as a `stale_reject` membership event, never merged), so a departed
+    /// machine's straggling traffic cannot corrupt the new epoch's
+    /// histograms.
+    pub fn push_histogram_from_epoch(
+        &self,
+        epoch: u64,
+        worker: u32,
+        seq: u64,
+        node: u32,
+        row: &[f32],
+    ) -> bool {
+        if epoch < self.current_epoch() {
+            if let Some(session) = &*self.faults.lock() {
+                session.on_stale_reject();
+            }
+            self.recorder.membership_event(
+                Phase::BuildHistogram,
+                "stale_reject",
+                SimTime::ZERO,
+                0,
+                1,
+            );
+            return false;
+        }
+        if !self.mark_applied(epoch, worker, seq) {
             return false;
         }
         self.apply_push_histogram(node, row);
@@ -853,6 +913,41 @@ mod tests {
             "other worker, same seq"
         );
         assert_eq!(ps.pull_histogram(7), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn stale_epoch_pushes_are_rejected_not_merged() {
+        let ps = ps_with_layout(vec![2], 1);
+        let row = [1.0, 2.0, 3.0, 4.0];
+        // Epoch 0: a worker pushes, then departs; epoch advances.
+        assert!(ps.push_histogram_from_epoch(0, 0, 0, 7, &row));
+        ps.set_epoch(1);
+        assert_eq!(ps.current_epoch(), 1);
+        // The departed worker's late retry (same op, old epoch) and even a
+        // *new* old-epoch sequence id are both rejected outright.
+        assert!(!ps.push_histogram_from_epoch(0, 0, 0, 7, &row));
+        assert!(!ps.push_histogram_from_epoch(0, 0, 1, 7, &row));
+        // Current-epoch traffic flows normally, including a seq id that
+        // collides numerically with an epoch-0 one.
+        assert!(ps.push_histogram_from_epoch(1, 1, 0, 7, &row));
+        assert!(!ps.push_histogram_from_epoch(1, 1, 0, 7, &row), "dedup");
+        assert_eq!(ps.pull_histogram(7), vec![2.0, 4.0, 6.0, 8.0]);
+        // Epochs only move forward.
+        ps.set_epoch(0);
+        assert_eq!(ps.current_epoch(), 1);
+    }
+
+    #[test]
+    fn stale_rejects_reach_the_fault_session() {
+        let ps = ps_with_layout(vec![2], 1);
+        let plan = dimboost_simnet::FaultPlan::parse("join worker=9 round=0\n").unwrap();
+        let session = dimboost_simnet::FaultSession::new(plan);
+        session.init_membership(2);
+        ps.attach_faults(session.clone());
+        ps.set_epoch(3);
+        assert!(!ps.push_histogram_from_epoch(2, 0, 0, 0, &[1.0; 4]));
+        let summary = session.membership_summary().unwrap();
+        assert_eq!(summary.stale_rejects, 1);
     }
 
     fn chaos_plan() -> dimboost_simnet::FaultPlan {

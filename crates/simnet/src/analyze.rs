@@ -27,6 +27,11 @@
 //!   time each injected fault cost; their fold is the stretch over the
 //!   fault-free schedule, reported per fault kind with
 //!   `faultfree_estimate_secs = total − stretch`.
+//! * **Membership (elasticity) stretch attribution.** Mirrors the fault
+//!   stretch for the elastic-membership lane: joins, leaves, stripe
+//!   handoffs, elastic dilation, and speculative backups each carry the
+//!   simulated time they added, folded per event name next to the fault
+//!   stretch.
 //! * **Folded-stacks export.** `track;phase;name value` lines (value =
 //!   integer nanoseconds of simulated time) in the format flamegraph
 //!   renderers consume.
@@ -205,6 +210,24 @@ pub struct FaultStretch {
     pub by_name: Vec<FaultKind>,
 }
 
+/// Stretch that elastic membership (joins, leaves, heterogeneous speeds,
+/// speculative backups) added over the fixed-membership schedule. Mirrors
+/// [`FaultStretch`] on the membership lane; the per-kind rows reuse
+/// [`FaultKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipStretch {
+    /// Membership events recorded.
+    pub events: u64,
+    /// Fold of every membership duration: the elasticity stretch.
+    pub stretch_secs: f64,
+    /// `total − stretch`: what the run would have cost with fixed
+    /// membership and uniform hardware.
+    pub fixed_estimate_secs: f64,
+    /// Per-kind breakdown (`join`, `stripe_handoff`, `elastic_dilation`,
+    /// `backup_win`, …), sorted by name.
+    pub by_name: Vec<FaultKind>,
+}
+
 /// The full profile of one training trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceProfile {
@@ -227,6 +250,8 @@ pub struct TraceProfile {
     pub ps: PsProfile,
     /// Fault stretch, when the trace has a fault lane.
     pub faults: Option<FaultStretch>,
+    /// Elasticity stretch, when the trace has a membership lane.
+    pub membership: Option<MembershipStretch>,
     /// Folded flamegraph stacks: `track;phase;name` → integer nanoseconds.
     pub stacks: Vec<(String, u64)>,
 }
@@ -265,6 +290,9 @@ pub fn analyze_trace(trace: &Trace) -> Result<TraceProfile, AnalyzeError> {
     let mut fault_events = 0u64;
     let mut fault_stretch = 0.0f64;
     let mut fault_kinds: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    let mut membership_events = 0u64;
+    let mut membership_stretch = 0.0f64;
+    let mut membership_kinds: BTreeMap<String, (u64, f64)> = BTreeMap::new();
     let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
 
     for e in &trace.events {
@@ -418,6 +446,15 @@ pub fn analyze_trace(trace: &Trace) -> Result<TraceProfile, AnalyzeError> {
                 kind.0 += 1;
                 kind.1 += dur;
             }
+            EventKind::Membership => {
+                membership_events += 1;
+                membership_stretch += dur;
+                let kind = membership_kinds
+                    .entry(e.name.to_string())
+                    .or_insert((0, 0.0));
+                kind.0 += 1;
+                kind.1 += dur;
+            }
             EventKind::Compute | EventKind::Step => {}
         }
     }
@@ -495,6 +532,16 @@ pub fn analyze_trace(trace: &Trace) -> Result<TraceProfile, AnalyzeError> {
             .collect(),
     });
 
+    let membership = (membership_events > 0).then(|| MembershipStretch {
+        events: membership_events,
+        stretch_secs: membership_stretch,
+        fixed_estimate_secs: span - membership_stretch,
+        by_name: membership_kinds
+            .into_iter()
+            .map(|(name, (events, secs))| FaultKind { name, events, secs })
+            .collect(),
+    });
+
     Ok(TraceProfile {
         workers: trace.workers,
         servers: trace.servers,
@@ -511,6 +558,7 @@ pub fn analyze_trace(trace: &Trace) -> Result<TraceProfile, AnalyzeError> {
         utilization,
         ps,
         faults,
+        membership,
         stacks: stacks.into_iter().collect(),
     })
 }
@@ -641,6 +689,29 @@ impl TraceProfile {
             }
             out.push_str("\n    ]\n  }");
         }
+        if let Some(m) = &self.membership {
+            out.push_str(",\n  \"membership\": {\n");
+            out.push_str(&format!("    \"events\": {},\n", m.events));
+            out.push_str(&format!(
+                "    \"stretch_secs\": {},\n",
+                fmt_f64(m.stretch_secs)
+            ));
+            out.push_str(&format!(
+                "    \"fixed_estimate_secs\": {},\n",
+                fmt_f64(m.fixed_estimate_secs)
+            ));
+            out.push_str("    \"by_name\": [");
+            for (i, k) in m.by_name.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&format!(
+                    "      {{\"name\": \"{}\", \"events\": {}, \"secs\": {}}}",
+                    k.name,
+                    k.events,
+                    fmt_f64(k.secs)
+                ));
+            }
+            out.push_str("\n    ]\n  }");
+        }
         out.push_str("\n}\n");
         out
     }
@@ -682,6 +753,13 @@ impl TraceProfile {
             out.push_str(&format!(
                 "faults: {} events stretched the schedule by {:.6}s (fault-free estimate {:.6}s)\n",
                 f.events, f.stretch_secs, f.faultfree_estimate_secs
+            ));
+        }
+        if let Some(m) = &self.membership {
+            out.push_str(&format!(
+                "membership: {} events stretched the schedule by {:.6}s \
+                 (fixed-membership estimate {:.6}s)\n",
+                m.events, m.stretch_secs, m.fixed_estimate_secs
             ));
         }
         out.push_str(&format!(
@@ -923,5 +1001,40 @@ mod tests {
         assert_eq!(f.by_name[0].name, "retry_backoff");
         assert!((f.stretch_secs - 0.01).abs() < 1e-15);
         assert!(f.faultfree_estimate_secs < profile.sim_end_secs);
+        assert!(profile.membership.is_none());
+    }
+
+    #[test]
+    fn membership_stretch_is_attributed_next_to_faults() {
+        let b = TraceBus::new(2, 1, CostModel::GIGABIT_LAN, true);
+        b.on_membership(Phase::NewTree, "join", SimTime::ZERO, 0, 1);
+        b.on_membership(Phase::NewTree, "stripe_handoff", SimTime(0.02), 4096, 1);
+        b.on_charge(Phase::NewTree, SimTime(0.03));
+        b.on_membership(
+            Phase::BuildHistogram,
+            "elastic_dilation",
+            SimTime(0.05),
+            0,
+            1,
+        );
+        b.on_charge(Phase::BuildHistogram, SimTime(0.15));
+        b.on_charge(Phase::Finish, SimTime(0.01));
+        let profile = analyze_trace(&b.finish()).unwrap();
+        let m = profile.membership.clone().expect("membership lane present");
+        assert_eq!(m.events, 3);
+        assert!((m.stretch_secs - 0.07).abs() < 1e-15);
+        assert!(
+            (m.fixed_estimate_secs - (profile.sim_end_secs - 0.07)).abs() < 1e-15,
+            "{m:?}"
+        );
+        let names: Vec<&str> = m.by_name.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, vec!["elastic_dilation", "join", "stripe_handoff"]);
+        // No fault lane in this trace; the sections are independent.
+        assert!(profile.faults.is_none());
+        let json = profile.canonical_json();
+        assert!(json.contains("\"membership\": {"));
+        assert!(json.contains("\"fixed_estimate_secs\""));
+        assert!(!json.contains("wall"), "profiles must stay wall-clock free");
+        assert!(profile.summary(5).contains("membership: 3 events"));
     }
 }

@@ -26,7 +26,7 @@
 //! deterministic: rerunning it reproduces the same canonical report and
 //! trace byte-for-byte.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -102,6 +102,50 @@ pub struct LossSpec {
     pub policy: LossPolicy,
 }
 
+/// A machine that joins the cluster at the start of round `round` and
+/// receives a deterministic re-shard of logical stripes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinSpec {
+    /// Machine id of the joiner (must not already be live).
+    pub worker: u32,
+    /// Round (0-based) at whose start the join takes effect.
+    pub round: usize,
+}
+
+/// How a gracefully departing machine's stripes reach their new owners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeavePolicy {
+    /// The leaver streams its stripe state to the adopters before going
+    /// dark: cheap per-stripe transfer charged as `handoff_secs`.
+    Handoff,
+    /// The leaver vanishes and the adopters re-read the stripes cold from
+    /// the deterministic partition: charged as `reshard_secs` (2× the
+    /// handoff byte cost).
+    Redistribute,
+}
+
+/// A machine that gracefully leaves the cluster at the start of round
+/// `round`, handing its stripes to the remaining machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaveSpec {
+    /// Machine id of the leaver (must be live; never the last machine).
+    pub worker: u32,
+    /// Round (0-based) at whose start the leave takes effect.
+    pub round: usize,
+    /// How the stripe state moves.
+    pub policy: LeavePolicy,
+}
+
+/// A heterogeneous-hardware multiplier: every phase charged to `worker`
+/// takes `factor`× as long on the simulated clock (≥ 1, stretch-only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedSpec {
+    /// Machine id the multiplier applies to.
+    pub worker: u32,
+    /// Service-time multiplier (≥ 1.0).
+    pub factor: f64,
+}
+
 /// A seeded, deterministic fault schedule. See the module docs for the
 /// exactness invariant and [`FaultPlan::parse`] for the text format.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +177,16 @@ pub struct FaultPlan {
     pub crash_round: Option<usize>,
     /// Permanently lost workers.
     pub losses: Vec<LossSpec>,
+    /// Machines joining the cluster mid-run.
+    pub joins: Vec<JoinSpec>,
+    /// Machines gracefully leaving the cluster mid-run.
+    pub leaves: Vec<LeaveSpec>,
+    /// Heterogeneous per-machine service-time multipliers.
+    pub speeds: Vec<SpeedSpec>,
+    /// Speculative-backup threshold: when a machine's phase time exceeds
+    /// `threshold ×` the median, a backup machine replays its stripes and
+    /// the earlier (bit-identical) result wins on the simulated clock.
+    pub speculate_threshold: Option<f64>,
 }
 
 impl Default for FaultPlan {
@@ -149,6 +203,10 @@ impl Default for FaultPlan {
             outages: Vec::new(),
             crash_round: None,
             losses: Vec::new(),
+            joins: Vec::new(),
+            leaves: Vec::new(),
+            speeds: Vec::new(),
+            speculate_threshold: None,
         }
     }
 }
@@ -228,6 +286,54 @@ impl FaultPlan {
         self.drop_p > 0.0 || self.ack_drop_p > 0.0 || self.dup_p > 0.0 || !self.outages.is_empty()
     }
 
+    /// True when the plan scripts elastic membership: joins, leaves, speed
+    /// skew, or speculative backups. The trainer switches to the elastic
+    /// dilation model (and initialises the stripe→machine overlay) exactly
+    /// when this holds.
+    pub fn has_membership_events(&self) -> bool {
+        !self.joins.is_empty()
+            || !self.leaves.is_empty()
+            || !self.speeds.is_empty()
+            || self.speculate_threshold.is_some()
+    }
+
+    /// Order-sensitive digest of the membership schedule (joins, leaves,
+    /// speed factors, speculation threshold — deliberately *not* `lose`
+    /// directives, so a checkpoint written before an abort can resume under
+    /// a plan with the fatal `lose` removed). Folded into the checkpoint
+    /// fingerprint: resuming under a different membership history would
+    /// silently change epoch numbering and stripe placement, so it must
+    /// fail loudly instead.
+    pub fn membership_digest(&self) -> u64 {
+        let mut h = mix64(0x454C_4153_5449_4331); // "ELASTIC1"
+        for j in &self.joins {
+            h = mix64(h ^ 1);
+            h = mix64(h ^ u64::from(j.worker));
+            h = mix64(h ^ j.round as u64);
+        }
+        for l in &self.leaves {
+            h = mix64(h ^ 2);
+            h = mix64(h ^ u64::from(l.worker));
+            h = mix64(h ^ l.round as u64);
+            h = mix64(
+                h ^ match l.policy {
+                    LeavePolicy::Handoff => 0,
+                    LeavePolicy::Redistribute => 1,
+                },
+            );
+        }
+        for s in &self.speeds {
+            h = mix64(h ^ 3);
+            h = mix64(h ^ u64::from(s.worker));
+            h = mix64(h ^ s.factor.to_bits());
+        }
+        if let Some(t) = self.speculate_threshold {
+            h = mix64(h ^ 4);
+            h = mix64(h ^ t.to_bits());
+        }
+        h
+    }
+
     /// Parses the line-based plan format. Blank lines and `#` comments are
     /// ignored. Directives:
     ///
@@ -243,7 +349,14 @@ impl FaultPlan {
     /// outage server=0 start=0.5 dur=0.25
     /// crash round=2
     /// lose worker=2 round=3 policy=redistribute|abort
+    /// join worker=3 round=1          # machine joins, takes a re-shard
+    /// leave worker=0 round=2 policy=handoff|redistribute
+    /// speed worker=1 factor=2.5      # heterogeneous hardware (≥ 1)
+    /// speculate threshold=1.5        # backup when > 1.5× median
     /// ```
+    ///
+    /// Unknown `key=value` tokens on a known directive are rejected with a
+    /// line-numbered error (`crash round=2 typo=1` does not parse).
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for (ln, raw) in text.lines().enumerate() {
@@ -255,6 +368,28 @@ impl FaultPlan {
             let mut toks = line.split_ascii_whitespace();
             let Some(keyword) = toks.next() else { continue };
             let rest: Vec<&str> = toks.collect();
+            // Structured directives accept only their declared keys: an
+            // unknown or malformed token is an error, not a silent no-op.
+            let allowed: Option<&[&str]> = match keyword {
+                "straggler" => Some(&["worker", "factor", "phase"]),
+                "outage" => Some(&["server", "start", "dur"]),
+                "crash" => Some(&["round"]),
+                "lose" | "leave" => Some(&["worker", "round", "policy"]),
+                "join" => Some(&["worker", "round"]),
+                "speed" => Some(&["worker", "factor"]),
+                "speculate" => Some(&["threshold"]),
+                _ => None,
+            };
+            if let Some(allowed) = allowed {
+                for t in &rest {
+                    let Some((key, _)) = t.split_once('=') else {
+                        return Err(err(format!("expected key=value, got {t:?}")));
+                    };
+                    if !allowed.contains(&key) {
+                        return Err(err(format!("unknown key {key:?} for {keyword}")));
+                    }
+                }
+            }
             // `key=value` field lookup for the structured directives.
             let field = |name: &str| -> Option<&str> {
                 rest.iter()
@@ -325,6 +460,38 @@ impl FaultPlan {
                         other => return Err(err(format!("unknown loss policy {other:?}"))),
                     },
                 }),
+                "join" => plan.joins.push(JoinSpec {
+                    worker: num(req("worker")?, "worker", ln)?,
+                    round: num(req("round")?, "round", ln)?,
+                }),
+                "leave" => plan.leaves.push(LeaveSpec {
+                    worker: num(req("worker")?, "worker", ln)?,
+                    round: num(req("round")?, "round", ln)?,
+                    policy: match req("policy")? {
+                        "handoff" => LeavePolicy::Handoff,
+                        "redistribute" => LeavePolicy::Redistribute,
+                        other => return Err(err(format!("unknown leave policy {other:?}"))),
+                    },
+                }),
+                "speed" => {
+                    let factor: f64 = num(req("factor")?, "factor", ln)?;
+                    if factor < 1.0 {
+                        return Err(err(format!("speed factor must be ≥ 1, got {factor}")));
+                    }
+                    plan.speeds.push(SpeedSpec {
+                        worker: num(req("worker")?, "worker", ln)?,
+                        factor,
+                    });
+                }
+                "speculate" => {
+                    let threshold: f64 = num(req("threshold")?, "threshold", ln)?;
+                    if threshold < 1.0 {
+                        return Err(err(format!(
+                            "speculate threshold must be ≥ 1, got {threshold}"
+                        )));
+                    }
+                    plan.speculate_threshold = Some(threshold);
+                }
                 other => return Err(err(format!("unknown directive {other:?}"))),
             }
             // Guard against sign errors on durations.
@@ -375,6 +542,93 @@ pub struct FaultSummary {
     pub workers_lost: u64,
 }
 
+/// Aggregated elasticity effects for one run — the `membership` section of
+/// the run report. Counters are structural (strict under report diffing);
+/// `*_secs` fields are simulated-time stretch that diffs under tolerance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MembershipSummary {
+    /// Machines that joined mid-run.
+    pub joins: u64,
+    /// Machines that gracefully left mid-run.
+    pub leaves: u64,
+    /// Logical stripes re-homed by joins and leaves combined.
+    pub stripes_moved: u64,
+    /// Final membership epoch (bumped once per join/leave).
+    pub epoch: u64,
+    /// Speculative backups launched against chronic stragglers.
+    pub speculative_backups: u64,
+    /// Backups whose bit-identical result finished first.
+    pub backup_wins: u64,
+    /// Stale-epoch operations rejected by the parameter server.
+    pub stale_rejects: u64,
+    /// Simulated seconds spent streaming stripe state on graceful handoff.
+    pub handoff_secs: f64,
+    /// Simulated seconds spent cold re-reading stripes on redistribute.
+    pub reshard_secs: f64,
+    /// Simulated seconds added by elastic load/speed dilation.
+    pub elastic_secs: f64,
+    /// Simulated seconds saved by winning speculative backups.
+    pub speculation_saved_secs: f64,
+}
+
+/// One stripe re-homed by a membership event (reported by
+/// [`FaultSession::apply_join`] / [`FaultSession::apply_leave`] so the
+/// trainer can charge the transfer deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeMove {
+    /// Logical stripe id (== the initial shard id).
+    pub stripe: u32,
+    /// Previous owner.
+    pub from: u32,
+    /// New owner.
+    pub to: u32,
+}
+
+/// A speculative-backup decision for one charged interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackupDecision {
+    /// Machine whose per-phase time tripped the threshold.
+    pub straggler: u32,
+    /// Machine replaying the straggler's stripes.
+    pub backup: u32,
+    /// Dilation factor without speculation.
+    pub raw_factor: f64,
+    /// Dilation factor with the backup racing the straggler. Strictly less
+    /// than `raw_factor` iff the backup wins.
+    pub effective_factor: f64,
+}
+
+/// The elastic dilation for one phase: multiply charged phase time by
+/// `factor`; `backup` describes the speculation race when one launched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticDilation {
+    /// Simulated-time multiplier (≥ 1.0).
+    pub factor: f64,
+    /// The speculative backup launched for this interval, if any.
+    pub backup: Option<BackupDecision>,
+}
+
+/// Stripe→machine overlay: which physical machine currently *executes*
+/// each logical stripe. Aggregation identity lives entirely in the stripe,
+/// so this table affects simulated time only — never model bytes.
+#[derive(Debug, Default)]
+struct MembershipState {
+    /// `assignment[stripe]` = owning machine id.
+    assignment: Vec<u32>,
+    /// Live machine ids (ordered for deterministic iteration).
+    live: BTreeSet<u32>,
+    /// Bumped once per join/leave; tags PS dedup so a departed machine's
+    /// late retries can never merge into the new epoch.
+    epoch: u64,
+    summary: MembershipSummary,
+}
+
+impl MembershipState {
+    fn load(&self, machine: u32) -> usize {
+        self.assignment.iter().filter(|&&m| m == machine).count()
+    }
+}
+
 #[derive(Debug, Default)]
 struct SessionState {
     summary: FaultSummary,
@@ -384,6 +638,9 @@ struct SessionState {
     next_seq: HashMap<u32, u64>,
     /// Workers permanently lost so far.
     lost: HashSet<u32>,
+    /// Elastic membership overlay (`None` until the trainer initialises it
+    /// for plans with membership events).
+    membership: Option<MembershipState>,
 }
 
 /// Shared per-run fault state: the immutable [`FaultPlan`] plus the mutable
@@ -520,6 +777,315 @@ impl FaultSession {
     /// Records the injected crash.
     pub fn on_crash(&self) {
         self.inner.lock().summary.crashes += 1;
+    }
+
+    // ---- elastic membership (stripe→machine overlay) ---------------------
+    //
+    // Logical *stripes* are the initial shard set and are immutable for the
+    // whole run: the f32 histogram merge at the PS is grouping-sensitive,
+    // so bit-identity with the fixed-membership baseline requires that the
+    // per-stripe push streams never change. Membership events only re-map
+    // stripes to physical machines, which affects the simulated clock and
+    // the trace — never model bytes.
+
+    /// Initialises the membership overlay: machines `0..stripes` are live
+    /// and machine `i` owns stripe `i` (the initial 1:1 placement). No-op
+    /// when already initialised.
+    pub fn init_membership(&self, stripes: usize) {
+        let mut st = self.inner.lock();
+        if st.membership.is_some() {
+            return;
+        }
+        st.membership = Some(MembershipState {
+            assignment: (0..stripes as u32).collect(),
+            live: (0..stripes as u32).collect(),
+            epoch: 0,
+            summary: MembershipSummary::default(),
+        });
+    }
+
+    /// Whether the elastic overlay has been initialised.
+    pub fn membership_active(&self) -> bool {
+        self.inner.lock().membership.is_some()
+    }
+
+    /// Current membership epoch: 0 before any event or without an overlay.
+    /// The PS tags deduplication state with this, so operations issued
+    /// under an older epoch are rejected instead of merged.
+    pub fn membership_epoch(&self) -> u64 {
+        self.inner.lock().membership.as_ref().map_or(0, |m| m.epoch)
+    }
+
+    /// Snapshot `(stripe→machine assignment, live set, epoch)` for
+    /// checkpointing. `None` without an overlay.
+    pub fn membership_snapshot(&self) -> Option<(Vec<u32>, Vec<u32>, u64)> {
+        let st = self.inner.lock();
+        st.membership.as_ref().map(|m| {
+            (
+                m.assignment.clone(),
+                m.live.iter().copied().collect(),
+                m.epoch,
+            )
+        })
+    }
+
+    /// Restores a checkpointed overlay snapshot on resume (overwrites any
+    /// existing overlay).
+    pub fn restore_membership(&self, assignment: Vec<u32>, live: Vec<u32>, epoch: u64) {
+        let mut st = self.inner.lock();
+        let summary = MembershipSummary {
+            epoch,
+            ..MembershipSummary::default()
+        };
+        st.membership = Some(MembershipState {
+            assignment,
+            live: live.into_iter().collect(),
+            epoch,
+            summary,
+        });
+    }
+
+    /// A machine joins: bump the epoch and rebalance deterministically —
+    /// while the most-loaded machine (ties → smallest id) carries at least
+    /// two more stripes than the joiner, the joiner adopts that machine's
+    /// highest-numbered stripe. Returns the stripe moves so the trainer can
+    /// charge the transfers.
+    pub fn apply_join(&self, worker: u32) -> Result<Vec<StripeMove>, String> {
+        let mut st = self.inner.lock();
+        let m = st
+            .membership
+            .as_mut()
+            .ok_or("membership overlay not initialised")?;
+        if !m.live.insert(worker) {
+            return Err(format!("join: machine {worker} is already live"));
+        }
+        m.epoch += 1;
+        m.summary.joins += 1;
+        let mut moves = Vec::new();
+        loop {
+            let (donor, donor_load) =
+                m.live
+                    .iter()
+                    .map(|&id| (id, m.load(id)))
+                    .fold(
+                        (worker, 0),
+                        |acc, (id, load)| {
+                            if load > acc.1 {
+                                (id, load)
+                            } else {
+                                acc
+                            }
+                        },
+                    );
+            if donor == worker || donor_load < m.load(worker) + 2 {
+                break;
+            }
+            let stripe = (0..m.assignment.len())
+                .rev()
+                .find(|&s| m.assignment[s] == donor)
+                .expect("donor load > 0");
+            m.assignment[stripe] = worker;
+            m.summary.stripes_moved += 1;
+            moves.push(StripeMove {
+                stripe: stripe as u32,
+                from: donor,
+                to: worker,
+            });
+        }
+        m.summary.epoch = m.epoch;
+        Ok(moves)
+    }
+
+    /// A machine leaves (gracefully or via a loss): bump the epoch and
+    /// re-home its stripes deterministically — in stripe order, each goes
+    /// to the currently least-loaded live machine (ties → smallest id).
+    /// Returns the stripe moves. The last live machine cannot leave.
+    pub fn apply_leave(&self, worker: u32) -> Result<Vec<StripeMove>, String> {
+        let mut st = self.inner.lock();
+        let m = st
+            .membership
+            .as_mut()
+            .ok_or("membership overlay not initialised")?;
+        if !m.live.remove(&worker) {
+            return Err(format!("leave: machine {worker} is not live"));
+        }
+        if m.live.is_empty() {
+            m.live.insert(worker);
+            return Err(format!("leave: machine {worker} is the last live machine"));
+        }
+        m.epoch += 1;
+        m.summary.leaves += 1;
+        let mut moves = Vec::new();
+        for stripe in 0..m.assignment.len() {
+            if m.assignment[stripe] != worker {
+                continue;
+            }
+            let (dest, _) = m
+                .live
+                .iter()
+                .map(|&id| (id, m.load(id)))
+                .fold(None, |acc: Option<(u32, usize)>, (id, load)| match acc {
+                    Some((_, best)) if best <= load => acc,
+                    _ => Some((id, load)),
+                })
+                .expect("live set is non-empty");
+            m.assignment[stripe] = dest;
+            m.summary.stripes_moved += 1;
+            moves.push(StripeMove {
+                stripe: stripe as u32,
+                from: worker,
+                to: dest,
+            });
+        }
+        m.summary.epoch = m.epoch;
+        Ok(moves)
+    }
+
+    /// The elastic dilation for `phase`. Each live machine `m` with load
+    /// `> 0` would finish its share in
+    /// `d_m = speed(m) × load(m) × straggler(m, phase)` units of the clean
+    /// per-stripe time; the phase takes the max. With `speculate
+    /// threshold=F` and `max > F × median`, a backup launches on the
+    /// per-stripe-fastest other machine at time `F × median` and replays
+    /// the straggler's stripes from scratch; the earlier bit-identical
+    /// result wins, so the effective factor is
+    /// `min(max, F × median + rate(backup) × load(straggler))`.
+    pub fn membership_dilation(&self, phase: Phase) -> ElasticDilation {
+        let st = self.inner.lock();
+        let Some(m) = st.membership.as_ref() else {
+            return ElasticDilation {
+                factor: 1.0,
+                backup: None,
+            };
+        };
+        // Per-stripe service rate of one machine: hardware speed × any
+        // straggler slowdown matching this phase.
+        let rate = |id: u32| -> f64 {
+            let speed = self
+                .plan
+                .speeds
+                .iter()
+                .filter(|s| s.worker == id)
+                .map(|s| s.factor)
+                .fold(1.0, f64::max);
+            let straggler = self
+                .plan
+                .stragglers
+                .iter()
+                .filter(|s| s.worker == id && !st.lost.contains(&s.worker))
+                .filter(|s| s.phase.is_none() || s.phase == Some(phase))
+                .map(|s| s.factor)
+                .fold(1.0, f64::max);
+            speed * straggler
+        };
+        let loaded: Vec<(u32, f64)> = m
+            .live
+            .iter()
+            .filter(|&&id| m.load(id) > 0)
+            .map(|&id| (id, rate(id) * m.load(id) as f64))
+            .collect();
+        let Some(&(_, first)) = loaded.first() else {
+            return ElasticDilation {
+                factor: 1.0,
+                backup: None,
+            };
+        };
+        let (straggler, raw) =
+            loaded.iter().fold(
+                (loaded[0].0, first),
+                |acc, &(id, d)| {
+                    if d > acc.1 {
+                        (id, d)
+                    } else {
+                        acc
+                    }
+                },
+            );
+        let mut sorted: Vec<f64> = loaded.iter().map(|&(_, d)| d).collect();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        if let Some(threshold) = self.plan.speculate_threshold {
+            let launch = threshold * median;
+            let backup_candidate = m
+                .live
+                .iter()
+                .filter(|&&id| id != straggler)
+                .map(|&id| (id, rate(id)))
+                .fold(None, |acc: Option<(u32, f64)>, (id, r)| match acc {
+                    Some((_, best)) if best <= r => acc,
+                    _ => Some((id, r)),
+                });
+            if raw > launch {
+                if let Some((backup, backup_rate)) = backup_candidate {
+                    let replay = launch + backup_rate * m.load(straggler) as f64;
+                    let effective = raw.min(replay);
+                    return ElasticDilation {
+                        factor: effective.max(1.0),
+                        backup: Some(BackupDecision {
+                            straggler,
+                            backup,
+                            raw_factor: raw,
+                            effective_factor: effective,
+                        }),
+                    };
+                }
+            }
+        }
+        ElasticDilation {
+            factor: raw.max(1.0),
+            backup: None,
+        }
+    }
+
+    /// Snapshot of the accumulated membership counters (`None` without an
+    /// overlay, so non-elastic runs keep their reports byte-identical).
+    pub fn membership_summary(&self) -> Option<MembershipSummary> {
+        self.inner.lock().membership.as_ref().map(|m| m.summary)
+    }
+
+    /// Accumulates graceful-handoff transfer seconds.
+    pub fn add_handoff_secs(&self, secs: f64) {
+        if let Some(m) = self.inner.lock().membership.as_mut() {
+            m.summary.handoff_secs += secs;
+        }
+    }
+
+    /// Accumulates cold re-shard seconds.
+    pub fn add_reshard_secs(&self, secs: f64) {
+        if let Some(m) = self.inner.lock().membership.as_mut() {
+            m.summary.reshard_secs += secs;
+        }
+    }
+
+    /// Accumulates elastic-dilation seconds.
+    pub fn add_elastic_secs(&self, secs: f64) {
+        if let Some(m) = self.inner.lock().membership.as_mut() {
+            m.summary.elastic_secs += secs;
+        }
+    }
+
+    /// Records one speculative backup launch (and its win, when the backup
+    /// finished first, with the simulated seconds it saved).
+    pub fn on_backup(&self, won: bool, saved_secs: f64) {
+        if let Some(m) = self.inner.lock().membership.as_mut() {
+            m.summary.speculative_backups += 1;
+            if won {
+                m.summary.backup_wins += 1;
+                m.summary.speculation_saved_secs += saved_secs;
+            }
+        }
+    }
+
+    /// Records one stale-epoch operation rejected by the PS.
+    pub fn on_stale_reject(&self) {
+        if let Some(m) = self.inner.lock().membership.as_mut() {
+            m.summary.stale_rejects += 1;
+        }
     }
 }
 
@@ -673,6 +1239,267 @@ lose worker=2 round=3 policy=redistribute
         // The error names the offending line.
         let err = FaultPlan::parse("seed 1\ndrop nope").unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parses_membership_directives() {
+        let text = "\
+join worker=3 round=1
+leave worker=0 round=2 policy=handoff
+leave worker=1 round=3 policy=redistribute
+speed worker=2 factor=2.5
+speculate threshold=1.5
+";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(
+            plan.joins,
+            vec![JoinSpec {
+                worker: 3,
+                round: 1
+            }]
+        );
+        assert_eq!(
+            plan.leaves,
+            vec![
+                LeaveSpec {
+                    worker: 0,
+                    round: 2,
+                    policy: LeavePolicy::Handoff,
+                },
+                LeaveSpec {
+                    worker: 1,
+                    round: 3,
+                    policy: LeavePolicy::Redistribute,
+                },
+            ]
+        );
+        assert_eq!(
+            plan.speeds,
+            vec![SpeedSpec {
+                worker: 2,
+                factor: 2.5,
+            }]
+        );
+        assert_eq!(plan.speculate_threshold, Some(1.5));
+        assert!(plan.has_membership_events());
+        assert!(!FaultPlan::default().has_membership_events());
+        // Membership directives alone do not perturb message delivery.
+        assert!(!plan.perturbs_messages());
+    }
+
+    #[test]
+    fn parse_rejects_bad_membership_input() {
+        assert!(FaultPlan::parse("join worker=1").is_err()); // missing round
+        assert!(FaultPlan::parse("leave worker=1 round=2").is_err()); // missing policy
+        assert!(FaultPlan::parse("leave worker=1 round=2 policy=abort").is_err());
+        assert!(FaultPlan::parse("speed worker=1 factor=0.5").is_err()); // < 1
+        assert!(FaultPlan::parse("speculate threshold=0.9").is_err()); // < 1
+        let err = FaultPlan::parse("seed 1\nspeed worker=1 factor=nope").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_on_every_directive() {
+        for line in [
+            "straggler worker=0 factor=2 typo=1",
+            "outage server=0 start=0.5 dur=0.25 extra=x",
+            "crash round=2 typo=1",
+            "lose worker=0 round=1 policy=abort x=1",
+            "join worker=3 round=1 shard=2",
+            "leave worker=0 round=1 policy=handoff when=now",
+            "speed worker=1 factor=2 phase=finish",
+            "speculate threshold=1.5 worker=0",
+            "join worker=3 round=1 bare",
+        ] {
+            let err = FaultPlan::parse(&format!("seed 1\n{line}")).unwrap_err();
+            assert!(err.contains("line 2"), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn membership_digest_covers_elastic_directives_only() {
+        let base = FaultPlan::parse("join worker=3 round=1\nspeed worker=1 factor=2").unwrap();
+        // `lose` and message faults do not move the digest …
+        let with_lose =
+            FaultPlan::parse("join worker=3 round=1\nspeed worker=1 factor=2\ndrop 0.1\nlose worker=0 round=2 policy=abort")
+                .unwrap();
+        assert_eq!(base.membership_digest(), with_lose.membership_digest());
+        // … but every elastic directive does.
+        for extra in [
+            "join worker=4 round=2",
+            "leave worker=0 round=2 policy=handoff",
+            "leave worker=0 round=2 policy=redistribute",
+            "speed worker=2 factor=3",
+            "speculate threshold=1.5",
+        ] {
+            let changed = FaultPlan::parse(&format!(
+                "join worker=3 round=1\nspeed worker=1 factor=2\n{extra}"
+            ))
+            .unwrap();
+            assert_ne!(
+                base.membership_digest(),
+                changed.membership_digest(),
+                "{extra}"
+            );
+        }
+        assert_eq!(
+            base.membership_digest(),
+            base.clone().membership_digest(),
+            "digest is pure"
+        );
+    }
+
+    #[test]
+    fn join_and_leave_rebalance_deterministically() {
+        let s = FaultSession::new(FaultPlan::default());
+        // No overlay yet: events fail loudly, epoch stays 0.
+        assert!(s.apply_join(3).is_err());
+        assert_eq!(s.membership_epoch(), 0);
+        s.init_membership(3);
+        assert!(s.membership_active());
+        // Joining an already-live machine is an error.
+        assert!(s.apply_join(2).is_err());
+        // 3 stripes over 3 machines: a joiner finds no gap ≥ 2, takes none.
+        let moves = s.apply_join(3).unwrap();
+        assert!(moves.is_empty());
+        assert_eq!(s.membership_epoch(), 1);
+        // Machine 0 leaves: stripe 0 goes to the least-loaded machine with
+        // the smallest id — the empty joiner 3.
+        let moves = s.apply_leave(0).unwrap();
+        assert_eq!(
+            moves,
+            vec![StripeMove {
+                stripe: 0,
+                from: 0,
+                to: 3,
+            }]
+        );
+        assert_eq!(s.membership_epoch(), 2);
+        // Machine 3 leaves again: its stripe lands on machine 1 (smallest
+        // id among the tied machines 1 and 2).
+        let moves = s.apply_leave(3).unwrap();
+        assert_eq!(
+            moves,
+            vec![StripeMove {
+                stripe: 0,
+                from: 3,
+                to: 1,
+            }]
+        );
+        // Machine 1 now owns stripes {0, 1}; a fresh joiner takes its
+        // highest-numbered stripe to close the gap.
+        let moves = s.apply_join(7).unwrap();
+        assert_eq!(
+            moves,
+            vec![StripeMove {
+                stripe: 1,
+                from: 1,
+                to: 7,
+            }]
+        );
+        // Leaving a non-live machine is an error; so is the last machine.
+        assert!(s.apply_leave(0).is_err());
+        let sum = s.membership_summary().unwrap();
+        assert_eq!(sum.joins, 2);
+        assert_eq!(sum.leaves, 2);
+        assert_eq!(sum.stripes_moved, 3);
+        assert_eq!(sum.epoch, 4);
+        // Snapshot / restore round-trips the overlay.
+        let (assignment, live, epoch) = s.membership_snapshot().unwrap();
+        let t = FaultSession::new(FaultPlan::default());
+        t.restore_membership(assignment.clone(), live.clone(), epoch);
+        assert_eq!(t.membership_snapshot().unwrap(), (assignment, live, epoch));
+    }
+
+    #[test]
+    fn last_machine_cannot_leave() {
+        let s = FaultSession::new(FaultPlan::default());
+        s.init_membership(1);
+        let err = s.apply_leave(0).unwrap_err();
+        assert!(err.contains("last live machine"), "{err}");
+        // The failed leave did not mutate the overlay.
+        assert_eq!(s.membership_epoch(), 0);
+        assert_eq!(s.membership_snapshot().unwrap().1, vec![0]);
+    }
+
+    #[test]
+    fn elastic_dilation_tracks_load_speed_and_stragglers() {
+        let plan = FaultPlan::parse(
+            "speed worker=1 factor=3\nstraggler worker=2 factor=2 phase=build_histogram",
+        )
+        .unwrap();
+        let s = FaultSession::new(plan);
+        // Without an overlay the elastic model is inert.
+        assert_eq!(s.membership_dilation(Phase::Finish).factor, 1.0);
+        s.init_membership(3);
+        // Uniform 1-stripe loads: machine 1 runs 3× slow everywhere, and
+        // machine 2 runs 2× slow in build_histogram only.
+        assert_eq!(s.membership_dilation(Phase::Finish).factor, 3.0);
+        assert_eq!(s.membership_dilation(Phase::BuildHistogram).factor, 3.0);
+        // Machine 1 leaves; its stripe lands on machine 0 (load 2).
+        s.apply_leave(1).unwrap();
+        assert_eq!(s.membership_dilation(Phase::Finish).factor, 2.0);
+        // In build_histogram the straggler (1 stripe × 2) ties the doubled
+        // machine 0; max is still 2.
+        assert_eq!(s.membership_dilation(Phase::BuildHistogram).factor, 2.0);
+    }
+
+    #[test]
+    fn speculation_races_a_backup_against_the_straggler() {
+        let plan = FaultPlan::parse("speed worker=0 factor=6\nspeculate threshold=1.5").unwrap();
+        let s = FaultSession::new(plan);
+        s.init_membership(3);
+        // d = [6, 1, 1]; median 1, threshold trips at 1.5; the backup
+        // (machine 1, rate 1) replays stripe 0 by 1.5 + 1 = 2.5 < 6.
+        let d = s.membership_dilation(Phase::BuildHistogram);
+        let b = d.backup.expect("backup launched");
+        assert_eq!(b.straggler, 0);
+        assert_eq!(b.backup, 1);
+        assert_eq!(b.raw_factor, 6.0);
+        assert!((b.effective_factor - 2.5).abs() < 1e-12, "{b:?}");
+        assert_eq!(d.factor, b.effective_factor);
+        // A losing backup: straggler barely over the threshold, replay from
+        // scratch is slower, so the straggler's own finish stands.
+        let plan = FaultPlan::parse("speed worker=0 factor=2\nspeculate threshold=1.2").unwrap();
+        let s = FaultSession::new(plan);
+        s.init_membership(3);
+        let d = s.membership_dilation(Phase::BuildHistogram);
+        let b = d.backup.expect("backup launched");
+        assert_eq!(b.raw_factor, 2.0);
+        assert!((b.effective_factor - 2.0).abs() < 1e-12, "{b:?}");
+        assert_eq!(d.factor, 2.0);
+        // Below the threshold no backup launches at all.
+        let plan = FaultPlan::parse("speed worker=0 factor=2\nspeculate threshold=3").unwrap();
+        let s = FaultSession::new(plan);
+        s.init_membership(3);
+        assert!(s
+            .membership_dilation(Phase::BuildHistogram)
+            .backup
+            .is_none());
+    }
+
+    #[test]
+    fn membership_summary_accumulates() {
+        let s = FaultSession::new(FaultPlan::default());
+        // Hooks are inert without an overlay.
+        s.add_elastic_secs(1.0);
+        s.on_backup(true, 0.5);
+        assert!(s.membership_summary().is_none());
+        s.init_membership(2);
+        s.add_handoff_secs(0.25);
+        s.add_reshard_secs(0.5);
+        s.add_elastic_secs(1.5);
+        s.on_backup(false, 0.0);
+        s.on_backup(true, 0.75);
+        s.on_stale_reject();
+        let sum = s.membership_summary().unwrap();
+        assert!((sum.handoff_secs - 0.25).abs() < 1e-12);
+        assert!((sum.reshard_secs - 0.5).abs() < 1e-12);
+        assert!((sum.elastic_secs - 1.5).abs() < 1e-12);
+        assert_eq!(sum.speculative_backups, 2);
+        assert_eq!(sum.backup_wins, 1);
+        assert!((sum.speculation_saved_secs - 0.75).abs() < 1e-12);
+        assert_eq!(sum.stale_rejects, 1);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod wire;
 
 pub use analyze::{analyze_trace, AnalyzeError, TraceProfile};
 pub use cost::{CostModel, SimTime};
-pub use fault::{FaultPlan, FaultSession, FaultSummary};
+pub use fault::{FaultPlan, FaultSession, FaultSummary, MembershipSummary};
 pub use registry::{FixedHistogram, Metric, MetricExport, MetricsRegistry};
 pub use stats::{CommLedger, CommStats, Phase, StatsRecorder};
 pub use trace::{Trace, TraceBus, TraceEvent};

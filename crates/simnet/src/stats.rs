@@ -264,6 +264,23 @@ impl StatsRecorder {
         }
     }
 
+    /// Mirrors an elastic-membership event onto the attached trace bus (no
+    /// ledger entry — like [`StatsRecorder::fault_event`], the simulated
+    /// time a membership change costs is charged separately through
+    /// [`StatsRecorder::charge`]).
+    pub fn membership_event(
+        &self,
+        phase: Phase,
+        name: &'static str,
+        dur: SimTime,
+        bytes: u64,
+        count: u64,
+    ) {
+        if let Some(bus) = &*self.trace.lock() {
+            bus.on_membership(phase, name, dur, bytes, count);
+        }
+    }
+
     /// Merges a previously accumulated ledger (a checkpoint's) into this
     /// recorder *without* emitting trace events: the restored history
     /// already happened in the run being resumed; replaying it would

@@ -60,6 +60,9 @@ pub enum Track {
     /// The fault-injection lane: drops, retries, backoff waits, stragglers,
     /// outages, crashes (see [`crate::fault`]).
     Fault,
+    /// The elastic-membership lane: joins, leaves, stripe handoffs, epoch
+    /// bumps, elastic dilation, speculative backups (see [`crate::fault`]).
+    Membership,
 }
 
 impl Track {
@@ -70,6 +73,7 @@ impl Track {
             Track::Server(s) => format!("server {s}"),
             Track::Net => "net".to_string(),
             Track::Fault => "faults".to_string(),
+            Track::Membership => "membership".to_string(),
         }
     }
 
@@ -79,26 +83,29 @@ impl Track {
     /// `2^33 + 1`. (The previous scheme based servers at 1001, so
     /// `Worker(1000)` and `Server(0)` shared a lane — large clusters would
     /// have interleaved two tracks and tripped the per-track monotonicity
-    /// validation.)
+    /// validation.) The membership lane sits one above the fault lane.
     pub fn tid(self) -> u64 {
         const SERVER_BASE: u64 = (1 << 32) + 1;
         const FAULT_TID: u64 = (1 << 33) + 1;
+        const MEMBERSHIP_TID: u64 = (1 << 33) + 2;
         match self {
             Track::Net => 0,
             Track::Worker(w) => 1 + w as u64,
             Track::Server(s) => SERVER_BASE + s as u64,
             Track::Fault => FAULT_TID,
+            Track::Membership => MEMBERSHIP_TID,
         }
     }
 
     /// Compact stable code used by the events-text format: `net`, `w3`,
-    /// `s1`, `fault`.
+    /// `s1`, `fault`, `membership`.
     pub fn code(self) -> String {
         match self {
             Track::Worker(w) => format!("w{w}"),
             Track::Server(s) => format!("s{s}"),
             Track::Net => "net".to_string(),
             Track::Fault => "fault".to_string(),
+            Track::Membership => "membership".to_string(),
         }
     }
 
@@ -107,6 +114,7 @@ impl Track {
         match code {
             "net" => Some(Track::Net),
             "fault" => Some(Track::Fault),
+            "membership" => Some(Track::Membership),
             _ => {
                 if let Some(w) = code.strip_prefix('w') {
                     w.parse().ok().map(Track::Worker)
@@ -138,6 +146,12 @@ pub enum EventKind {
     /// is charged separately through the ledger, so fault events never count
     /// toward the ledger-sum invariant.
     Fault,
+    /// An elastic-membership event or its cost (join, leave, stripe
+    /// handoff/re-shard, elastic dilation, speculative backup, stale-epoch
+    /// reject). Like faults, the matching simulated time is charged
+    /// separately through the ledger, so membership events never count
+    /// toward the ledger-sum invariant.
+    Membership,
 }
 
 impl EventKind {
@@ -150,6 +164,7 @@ impl EventKind {
             EventKind::Collective => "collective",
             EventKind::Step => "step",
             EventKind::Fault => "fault",
+            EventKind::Membership => "membership",
         }
     }
 
@@ -168,6 +183,7 @@ impl EventKind {
             "collective" => EventKind::Collective,
             "step" => EventKind::Step,
             "fault" => EventKind::Fault,
+            "membership" => EventKind::Membership,
             _ => return None,
         })
     }
@@ -468,6 +484,38 @@ impl TraceBus {
         );
     }
 
+    /// An elastic-membership event or its cost. Mirrors [`TraceBus::on_fault`]:
+    /// emitted *before* the charge that accounts for `dur` on the ledger, at
+    /// the current clock, without advancing it. `count` is free-form per
+    /// event name (machine id for joins/leaves, stripe count for handoffs).
+    pub fn on_membership(
+        &self,
+        phase: Phase,
+        name: &'static str,
+        dur: SimTime,
+        bytes: u64,
+        count: u64,
+    ) {
+        let mut st = self.inner.lock();
+        let begin = st.now;
+        st.metrics.counter_add(&format!("sim/membership/{name}"), 1);
+        if dur.0 > 0.0 {
+            st.metrics
+                .observe_with(&format!("sim/membership_secs/{name}"), dur.0, secs_buckets);
+        }
+        st.push(
+            Track::Membership,
+            EventKind::Membership,
+            phase,
+            name,
+            begin,
+            dur.0,
+            bytes,
+            count,
+            0.0,
+        );
+    }
+
     /// A worker phase slice measured on the wall clock.
     pub fn on_compute(&self, worker: u32, phase: Phase, wall_secs: f64) {
         let mut st = self.inner.lock();
@@ -638,13 +686,17 @@ impl Trace {
     }
 
     /// Every track that can appear, in stable order: net, workers, servers,
-    /// and — only when fault events were recorded — the fault lane.
+    /// and — only when their events were recorded — the fault and
+    /// membership lanes.
     pub fn tracks(&self) -> Vec<Track> {
         let mut tracks = vec![Track::Net];
         tracks.extend((0..self.workers as u32).map(Track::Worker));
         tracks.extend((0..self.servers as u32).map(Track::Server));
         if self.events.iter().any(|e| e.track == Track::Fault) {
             tracks.push(Track::Fault);
+        }
+        if self.events.iter().any(|e| e.track == Track::Membership) {
+            tracks.push(Track::Membership);
         }
         tracks
     }
@@ -911,6 +963,14 @@ fn intern_name(name: &str) -> &'static str {
         "push_gradients",
         "allreduce_round",
         "server_batch",
+        "join",
+        "leave",
+        "stripe_handoff",
+        "stripe_reshard",
+        "elastic_dilation",
+        "speculative_backup",
+        "backup_win",
+        "stale_reject",
     ] {
         if known == name {
             return known;
@@ -1164,16 +1224,17 @@ mod tests {
         let tracks = std::iter::once(Track::Net)
             .chain((0..workers).map(Track::Worker))
             .chain((0..servers).map(Track::Server))
-            .chain(std::iter::once(Track::Fault));
+            .chain([Track::Fault, Track::Membership]);
         for track in tracks {
             if let Some(other) = seen.insert(track.tid(), track) {
                 panic!("tid {} shared by {track:?} and {other:?}", track.tid());
             }
         }
         // The extremes stay distinct too: the last worker, the last server,
-        // and the fault lane occupy three different lanes.
+        // and the fault/membership lanes all occupy different lanes.
         assert_ne!(Track::Worker(u32::MAX).tid(), Track::Server(0).tid());
         assert_ne!(Track::Server(u32::MAX).tid(), Track::Fault.tid());
+        assert_ne!(Track::Fault.tid(), Track::Membership.tid());
         // A bus built at the boundary still yields a validating trace.
         let b = TraceBus::new(workers as usize, 2, CostModel::GIGABIT_LAN, true);
         b.set_worker(Some(1000));
@@ -1220,6 +1281,7 @@ mod tests {
         for track in [
             Track::Net,
             Track::Fault,
+            Track::Membership,
             Track::Worker(0),
             Track::Worker(1000),
             Track::Server(0),
@@ -1229,6 +1291,35 @@ mod tests {
         }
         assert_eq!(Track::from_code("x9"), None);
         assert_eq!(Track::from_code("w"), None);
+    }
+
+    #[test]
+    fn membership_events_record_without_advancing_the_clock() {
+        let b = bus();
+        b.on_charge(Phase::NewTree, SimTime(0.5));
+        b.on_membership(Phase::NewTree, "join", SimTime::ZERO, 0, 3);
+        b.on_membership(Phase::NewTree, "stripe_handoff", SimTime(0.25), 4096, 1);
+        b.on_charge(Phase::NewTree, SimTime(0.25));
+        let trace = b.finish();
+        trace.validate().unwrap();
+        let membership: Vec<&TraceEvent> = trace
+            .events
+            .iter()
+            .filter(|e| e.track == Track::Membership)
+            .collect();
+        assert_eq!(membership.len(), 2);
+        // Emitted at the clock, without moving it: the handoff interval
+        // lines up with the charge that follows it.
+        assert_eq!(membership[0].begin, SimTime(0.5));
+        assert_eq!(membership[1].begin, SimTime(0.5));
+        assert_eq!(membership[1].end(), SimTime(0.75));
+        assert!(membership.iter().all(|e| e.kind == EventKind::Membership));
+        assert!(!EventKind::Membership.counts_toward_ledger());
+        // The membership lane appears in the track list, after faults'
+        // position, and the canonical text round-trips bit-exactly.
+        assert!(trace.tracks().contains(&Track::Membership));
+        let parsed = Trace::parse_events_text(&trace.events_text()).unwrap();
+        assert_eq!(parsed.events, trace.events);
     }
 
     #[test]

@@ -212,6 +212,61 @@ fn checkpoint_resume_is_bit_exact() {
 }
 
 #[test]
+fn abort_loss_is_typed_and_resumes_bit_exact_from_the_last_checkpoint() {
+    let dir = std::env::temp_dir().join("dimboost_fault_recovery_abort");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let reference = run(&RobustOptions::default()).unwrap();
+
+    // A permanent worker loss under `policy=abort` at round 3, checkpointing
+    // every round, with the chaos faults still running underneath.
+    let fatal = format!("{CHAOS}lose worker=1 round=3 policy=abort\n");
+    let aborting = RobustOptions {
+        fault_plan: Some(FaultPlan::parse(&fatal).unwrap()),
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        resume: false,
+    };
+    let err = run(&aborting).unwrap_err();
+    let TrainError::WorkerLost { worker, round } = err else {
+        panic!("expected a typed worker-loss abort, got {err}");
+    };
+    assert_eq!((worker, round), (1, 3));
+
+    // The abort fires at the round-3 boundary, after the rolling checkpoint
+    // for the three completed rounds was written.
+    let ck = TrainCheckpoint::load_from_dir(&dir).expect("abort left no usable checkpoint");
+    assert_eq!(ck.next_round, 3);
+
+    // The operator removes the fatal `lose` line and resumes. The membership
+    // digest deliberately excludes `lose` directives, so the edited plan
+    // still matches the checkpoint fingerprint.
+    let resumed = run(&RobustOptions {
+        fault_plan: Some(FaultPlan::parse(CHAOS).unwrap()),
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        resume: true,
+    })
+    .unwrap();
+    assert_eq!(resumed.report.resumed_from_round, Some(3));
+
+    // Final state is bit-identical to the uninterrupted clean run.
+    assert_eq!(
+        model_to_bytes(&reference.model),
+        model_to_bytes(&resumed.model),
+        "resume after an aborted worker loss diverged from the uninterrupted run"
+    );
+    assert_eq!(reference.breakdown.comm.bytes, resumed.breakdown.comm.bytes);
+    let losses = |out: &TrainOutput| -> Vec<(usize, f64)> {
+        out.loss_curve
+            .iter()
+            .map(|p| (p.tree, p.train_loss))
+            .collect()
+    };
+    assert_eq!(losses(&reference), losses(&resumed));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn stale_checkpoint_tmp_file_is_overwritten() {
     // A crash between `fs::write(tmp)` and `fs::rename` leaves a stale (and
     // possibly garbage) temp file behind. The next rolling write must
