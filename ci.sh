@@ -140,6 +140,62 @@ cmp "$SMOKE/model_fused_a.json" "$SMOKE/model_fused_b.json"
 cmp "$SMOKE/report_fused_a.json" "$SMOKE/report_fused_b.json"
 "$BIN/report_diff" "$SMOKE/report_fused_a.json" "$SMOKE/report_fused_b.json"
 
+echo "==> sparse exchange: compressed frames must shrink the wire, never the model"
+# A wide, very sparse dataset is where block-distributed sparse frames pay
+# off: most (stripe, feature-block) histogram deltas are empty or nearly so.
+"$BIN/dimboost" gen --out "$SMOKE/wide.libsvm" --rows 500 --features 400 --nnz 8 --seed 9
+for run in dense sparse; do
+  flag=""
+  [ "$run" = sparse ] && flag="--sparse-wire"
+  "$BIN/dimboost" train --data "$SMOKE/wide.libsvm" --model "$SMOKE/model_wide_$run.json" \
+    --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+    --threads 4 --batch-size 64 $flag \
+    --report-canonical "$SMOKE/report_wide_$run.json" > /dev/null
+done
+# Headline invariant: the sparse exchange is an encoding, not an algorithm —
+# model bytes are cmp-identical and the report agrees on everything but the
+# wire accounting (report_diff --wire keeps losses, gains, node instances and
+# hist_bytes_raw strict).
+cmp "$SMOKE/model_wide_dense.json" "$SMOKE/model_wide_sparse.json"
+"$BIN/report_diff" --wire "$SMOKE/report_wide_dense.json" "$SMOKE/report_wide_sparse.json"
+# The compression must actually bite: at least 2x fewer histogram bytes on
+# the wire, and the per-message encoding choices must be recorded — a wide
+# sparse grid that never picks a compressed layout means the selector is dead.
+raw=$(sed -n 's/.*"sparsity":{"raw_bytes":\([0-9]*\),.*/\1/p' "$SMOKE/report_wide_sparse.json")
+wire=$(sed -n 's/.*"wire_bytes":\([0-9]*\),"reduction_x".*/\1/p' "$SMOKE/report_wide_sparse.json")
+if [ -z "$raw" ] || [ -z "$wire" ] || [ "$raw" -lt $((wire * 2)) ]; then
+  echo "sparse wire reduction below 2x (raw=${raw:-?} wire=${wire:-?})" >&2
+  exit 1
+fi
+bitmap=$(sed -n 's/.*"sparsity":.*"bitmap":\([0-9]*\),.*/\1/p' "$SMOKE/report_wide_sparse.json")
+runs=$(sed -n 's/.*"sparsity":.*"runs":\([0-9]*\),.*/\1/p' "$SMOKE/report_wide_sparse.json")
+if [ "$((${bitmap:-0} + ${runs:-0}))" -eq 0 ]; then
+  echo "sparse run never chose a compressed frame layout" >&2
+  exit 1
+fi
+if grep -q '"sparsity":' "$SMOKE/report_wide_dense.json"; then
+  echo "dense run must not emit a sparsity section" >&2
+  exit 1
+fi
+# Sparse runs stay bit-deterministic across reruns.
+"$BIN/dimboost" train --data "$SMOKE/wide.libsvm" --model "$SMOKE/model_wide_sparse2.json" \
+  --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+  --threads 4 --batch-size 64 --sparse-wire \
+  --report-canonical "$SMOKE/report_wide_sparse2.json" > /dev/null
+cmp "$SMOKE/report_wide_sparse.json" "$SMOKE/report_wide_sparse2.json"
+# Quantized path: the sparse frame carries codes, scales and zero buckets —
+# still bit-identical to the dense quantized run.
+for run in dense sparse; do
+  flag=""
+  [ "$run" = sparse ] && flag="--sparse-wire"
+  "$BIN/dimboost" train --data "$SMOKE/wide.libsvm" --model "$SMOKE/model_wq_$run.json" \
+    --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 --bits 4 \
+    --threads 4 --batch-size 64 $flag \
+    --report-canonical "$SMOKE/report_wq_$run.json" > /dev/null
+done
+cmp "$SMOKE/model_wq_dense.json" "$SMOKE/model_wq_sparse.json"
+"$BIN/report_diff" --wire "$SMOKE/report_wq_dense.json" "$SMOKE/report_wq_sparse.json"
+
 echo "==> serve-sim: open-loop traffic replay must be bit-deterministic"
 # Two identical serve-sim runs — seeded arrivals, SLO batching, a hot-swap
 # to the low-precision model mid-stream — must agree byte for byte on the

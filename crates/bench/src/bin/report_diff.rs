@@ -2,7 +2,7 @@
 //! tolerances — the regression gate `ci.sh` runs over canonical reports.
 //!
 //! ```text
-//! report_diff <a.json> <b.json> [--tolerances <file>] [--strict-wall] [--faults] [--quiet]
+//! report_diff <a.json> <b.json> [--tolerances <file>] [--strict-wall] [--faults] [--wire] [--quiet]
 //! ```
 //!
 //! Exit status: 0 when the reports agree (within tolerances), 1 when any
@@ -20,14 +20,23 @@
 //! marker are ignored (faults and membership churn stretch the clock by
 //! design) while bytes, packages, and per-round telemetry remain strict —
 //! the chaos and elasticity gates `ci.sh` runs.
+//!
+//! `--wire` compares a `--sparse-wire` run against its dense baseline: the
+//! byte/package accounting (and the simulated time it drives), the
+//! `sparsity` section, and the per-round wire tallies are ignored — sparse
+//! frames legitimately move fewer bytes — while losses, split gains, node
+//! instance counts, and `hist_bytes_raw` remain strict. The sparse-exchange
+//! gate `ci.sh` runs.
 
 use std::process::ExitCode;
 
-use dimboost_bench::diff::{default_rules, diff_reports, fault_rules, parse_rules, Rule};
+use dimboost_bench::diff::{
+    default_rules, diff_reports, fault_rules, parse_rules, wire_rules, Rule,
+};
 use dimboost_bench::json;
 
 const USAGE: &str = "usage: report_diff <a.json> <b.json> \
-                     [--tolerances <file>] [--strict-wall] [--faults] [--quiet]";
+                     [--tolerances <file>] [--strict-wall] [--faults] [--wire] [--quiet]";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("report_diff: {msg}");
@@ -41,6 +50,7 @@ fn main() -> ExitCode {
     let mut tolerance_file: Option<String> = None;
     let mut strict_wall = false;
     let mut faults = false;
+    let mut wire = false;
     let mut quiet = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -51,6 +61,7 @@ fn main() -> ExitCode {
             },
             "--strict-wall" => strict_wall = true,
             "--faults" => faults = true,
+            "--wire" => wire = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -71,6 +82,9 @@ fn main() -> ExitCode {
     };
     if faults {
         rules.extend(fault_rules());
+    }
+    if wire {
+        rules.extend(wire_rules());
     }
     if let Some(path) = &tolerance_file {
         let text = match std::fs::read_to_string(path) {

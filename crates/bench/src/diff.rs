@@ -169,6 +169,35 @@ pub fn fault_rules() -> Vec<Rule> {
     .collect()
 }
 
+/// Rules for comparing a `--sparse-wire` run against its dense baseline:
+/// the sparse exchange must change *wire accounting only*, never the
+/// learned model or the training telemetry.
+///
+/// Everything that legitimately tracks the frame bytes is ignored — comm
+/// bytes/packages and their simulated time, `hist_bytes_wire`, the
+/// per-round `sparse_frames` tallies, the `sparsity` section, and the
+/// metric percentiles (PS request sizes shift with the frames) — while the
+/// structural counters stay under the strict default: losses, split gains,
+/// node instance counts, tree/round counts, and `hist_bytes_raw` must
+/// match the dense run exactly.
+pub fn wire_rules() -> Vec<Rule> {
+    [
+        "comm.*",
+        "phases.*.comm.*",
+        "*sim_time_secs",
+        "*hist_bytes_wire",
+        "*sparse_frames.*",
+        "sparsity.*",
+        "percentiles.*",
+    ]
+    .into_iter()
+    .map(|p| Rule {
+        pattern: p.to_string(),
+        tolerance: None,
+    })
+    .collect()
+}
+
 /// Parses a tolerance file: one `<pattern> <tolerance|ignore>` rule per
 /// line, `#` comments, blank lines skipped.
 pub fn parse_rules(text: &str) -> Result<Vec<Rule>, String> {

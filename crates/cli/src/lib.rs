@@ -273,8 +273,8 @@ USAGE:
                  [--feature-sample F] [--row-sample F] [--bits N]
                  [--loss logistic|square|softmax --classes K] [--seed N] [--test-fraction F]
                  [--zero-based] [--default-direction] [--pre-binning]
-                 [--hist-subtraction] [--fused-layer] [--early-stop R]
-                 [--report <json>]
+                 [--hist-subtraction] [--fused-layer] [--sparse-wire]
+                 [--early-stop R] [--report <json>]
                  [--report-canonical <json>] [--trace <json>]
                  [--trace-canonical <json>] [--trace-events <path>]
                  [--profile <json>] [--fault-plan <file>]
@@ -306,7 +306,12 @@ to the interpreted evaluation path. `--threads`/`--batch-size` on `train`
 control the batched histogram builder the same way. `--fused-layer`
 builds all of a layer's node histograms in one pass over the pre-binned
 shard (implies the binned representation); reruns stay bit-identical for
-fixed `--threads`/`--batch-size`.
+fixed `--threads`/`--batch-size`. `--sparse-wire` ships histogram pushes
+as density-adaptive sparse frames (dense / bitmap / runs, smallest per
+message; composes with `--bits` low precision): the learned model is
+bit-identical to the dense exchange while `hist_bytes_wire` and the
+BUILD_HISTOGRAM exchange charge track the true frame bytes, reported in
+the `sparsity` section.
 
 `serve-sim` replays an open-loop Poisson arrival stream (seeded, pure in
 `--seed`) against one tenant per `--model` on the simulated clock: bounded
@@ -436,6 +441,7 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
             "--pre-binning" => config.opts.pre_binning = true,
             "--hist-subtraction" => config.opts.hist_subtraction = true,
             "--fused-layer" => config.opts.fused_layer = true,
+            "--sparse-wire" => config.opts.sparse_wire = true,
             "--early-stop" => early_stop = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
             "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--report-canonical" => {
@@ -1818,6 +1824,7 @@ mod tests {
             "--pre-binning",
             "--hist-subtraction",
             "--fused-layer",
+            "--sparse-wire",
             "--default-direction",
             "--early-stop",
             "3",
@@ -1829,6 +1836,7 @@ mod tests {
         assert!(args.config.opts.pre_binning);
         assert!(args.config.opts.hist_subtraction);
         assert!(args.config.opts.fused_layer);
+        assert!(args.config.opts.sparse_wire);
         assert!(args.config.learn_default_direction);
         assert_eq!(args.early_stop, Some(3));
         // Early stopping without a held-out fraction is rejected.

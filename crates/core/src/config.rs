@@ -73,6 +73,16 @@ pub struct Optimizations {
     /// whenever this flag is on). Excluded from [`Optimizations::ALL`] so
     /// paper-faithful ablation configs keep it off.
     pub fused_layer: bool,
+    /// **Extension (not in the paper):** density-adaptive sparse histogram
+    /// exchange (after Vasiloudis et al.'s block-distributed GBT). Each
+    /// worker pushes per-(stripe, feature-block) deltas under the smallest
+    /// of three wire layouts (dense / bitmap / runs; the low-precision path
+    /// packs codes, scales, and zero values the same way), and the PS folds
+    /// the staged blocks in deterministic stripe order — bit-identical to
+    /// the dense exchange while `hist_bytes_wire` tracks the true frame
+    /// sizes. Excluded from [`Optimizations::ALL`] so paper-faithful
+    /// ablation configs keep the paper's dense exchange.
+    pub sparse_wire: bool,
 }
 
 impl Optimizations {
@@ -88,6 +98,7 @@ impl Optimizations {
         pre_binning: false,
         hist_subtraction: false,
         fused_layer: false,
+        sparse_wire: false,
     };
 
     /// Everything off — the basic algorithm.
@@ -101,6 +112,7 @@ impl Optimizations {
         pre_binning: false,
         hist_subtraction: false,
         fused_layer: false,
+        sparse_wire: false,
     };
 }
 

@@ -20,6 +20,7 @@
 use std::time::Instant;
 
 use dimboost_simnet::registry::MetricExport;
+use dimboost_simnet::wire::SparseWireStats;
 use dimboost_simnet::{
     CommLedger, CommStats, FaultSummary, FixedHistogram, MembershipSummary, Phase, TraceBus,
 };
@@ -164,6 +165,11 @@ pub struct RoundRecord {
     /// Instance counts of the nodes whose histograms were built, in build
     /// order.
     pub node_instances: Vec<NodeInstances>,
+    /// Per-encoding frame/byte tallies of the sparse histogram exchange
+    /// (`hist_bytes_wire` split by the dense / bitmap / runs layout each
+    /// message chose); `None` (and omitted from JSON) when the run used the
+    /// dense exchange.
+    pub sparse_frames: Option<SparseWireStats>,
 }
 
 impl RoundRecord {
@@ -179,6 +185,7 @@ impl RoundRecord {
             max_quant_scale: 0.0,
             split_gains: Vec::new(),
             node_instances: Vec::new(),
+            sparse_frames: None,
         }
     }
 }
@@ -200,6 +207,53 @@ pub struct PhaseReport {
     pub compute_skew_secs: f64,
     /// Communication attributed to this phase.
     pub comm: CommStats,
+}
+
+/// Run-level rollup of the sparse histogram exchange: what the dense
+/// exchange would have moved, what the adaptive frames actually moved, and
+/// how the messages split across the three layouts. Deterministic in
+/// `(config, seed, shards)` — every field counts simulated wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsitySummary {
+    /// Full-precision `f32` bytes the dense exchange would have pushed.
+    pub raw_bytes: u64,
+    /// Bytes the adaptive sparse frames actually pushed.
+    pub wire_bytes: u64,
+    /// `raw_bytes / wire_bytes` (0 when nothing was pushed).
+    pub reduction_x: f64,
+    /// Frame/byte tallies per encoding, summed over all rounds.
+    pub frames: SparseWireStats,
+}
+
+impl SparsitySummary {
+    /// Rolls up the per-round tallies; `None` if no round recorded sparse
+    /// frames (the run used the dense exchange).
+    pub fn from_rounds(rounds: &[RoundRecord]) -> Option<Self> {
+        let mut frames = SparseWireStats::default();
+        let mut raw_bytes = 0u64;
+        let mut any = false;
+        for r in rounds {
+            if let Some(s) = &r.sparse_frames {
+                frames.merge(s);
+                raw_bytes += r.hist_bytes_raw;
+                any = true;
+            }
+        }
+        if !any {
+            return None;
+        }
+        let wire_bytes = frames.total_bytes();
+        Some(Self {
+            raw_bytes,
+            wire_bytes,
+            reduction_x: if wire_bytes == 0 {
+                0.0
+            } else {
+                raw_bytes as f64 / wire_bytes as f64
+            },
+            frames,
+        })
+    }
 }
 
 /// The structured result of a training run: per-phase compute and
@@ -240,6 +294,10 @@ pub struct RunReport {
     /// The boosting round this run resumed from when it was restored from
     /// a checkpoint; `None` (omitted from JSON) for uninterrupted runs.
     pub resumed_from_round: Option<usize>,
+    /// Sparse-exchange rollup when the run trained with `--sparse-wire`;
+    /// `None` (and omitted from JSON) for dense-exchange runs. All fields
+    /// count simulated wire bytes, so the section is deterministic.
+    pub sparsity: Option<SparsitySummary>,
 }
 
 impl RunReport {
@@ -284,6 +342,7 @@ impl RunReport {
                 })
             })
             .collect();
+        let sparsity = SparsitySummary::from_rounds(&rounds);
         Self {
             workers,
             servers,
@@ -295,6 +354,7 @@ impl RunReport {
             faults: None,
             membership: None,
             resumed_from_round: None,
+            sparsity,
         }
     }
 
@@ -410,7 +470,12 @@ impl RunReport {
                     n.node, n.instances
                 ));
             }
-            out.push_str("]}");
+            out.push(']');
+            if let Some(s) = &r.sparse_frames {
+                out.push_str(",\"sparse_frames\":");
+                push_sparse_frames(&mut out, s);
+            }
+            out.push('}');
         }
         out.push_str("],\"percentiles\":[");
         let mut first_metric = true;
@@ -506,6 +571,15 @@ impl RunReport {
             );
             out.push('}');
         }
+        if let Some(s) = &self.sparsity {
+            out.push_str(",\"sparsity\":{");
+            push_field(&mut out, "raw_bytes", &s.raw_bytes.to_string(), true);
+            push_field(&mut out, "wire_bytes", &s.wire_bytes.to_string(), false);
+            push_field(&mut out, "reduction_x", &fmt_f64(s.reduction_x), false);
+            out.push_str(",\"frames\":");
+            push_sparse_frames(&mut out, &s.frames);
+            out.push('}');
+        }
         if let Some(round) = self.resumed_from_round {
             push_field(&mut out, "resumed_from_round", &round.to_string(), false);
         }
@@ -541,8 +615,32 @@ impl RunReport {
                 p.comm.sim_time.seconds(),
             ));
         }
+        if let Some(s) = &self.sparsity {
+            out.push_str(&format!(
+                "sparse exchange: {} raw -> {} wire bytes ({:.1}x smaller); frames dense/bitmap/runs = {}/{}/{}\n",
+                s.raw_bytes,
+                s.wire_bytes,
+                s.reduction_x,
+                s.frames.frames[0],
+                s.frames.frames[1],
+                s.frames.frames[2],
+            ));
+        }
         out
     }
+}
+
+/// `{"dense":…,"dense_bytes":…,"bitmap":…,…}` — one flat object per
+/// [`SparseWireStats`], shared by the per-round and run-level sections.
+fn push_sparse_frames(out: &mut String, s: &SparseWireStats) {
+    out.push('{');
+    push_field(out, "dense", &s.frames[0].to_string(), true);
+    push_field(out, "dense_bytes", &s.bytes[0].to_string(), false);
+    push_field(out, "bitmap", &s.frames[1].to_string(), false);
+    push_field(out, "bitmap_bytes", &s.bytes[1].to_string(), false);
+    push_field(out, "runs", &s.frames[2].to_string(), false);
+    push_field(out, "runs_bytes", &s.bytes[2].to_string(), false);
+    out.push('}');
 }
 
 /// Sum of the per-phase communication entries (should equal `comm`).

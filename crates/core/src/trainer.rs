@@ -1063,13 +1063,40 @@ fn train_impl(
 
                 // ---- FIND_SPLIT: push local histograms. -------------------------
                 let mut pushed_bytes_per_worker = 0usize;
+                // Sparse wire: the t_ps_exchange charge uses the *true*
+                // per-worker frame bytes of the layer (max across workers —
+                // they push concurrently), not the dense row size.
+                let mut sparse_layer_bytes_max = 0u64;
                 let mut node_counts = vec![0u64; build_nodes.len()];
                 for (wk, rows) in workers.iter_mut().zip(local_rows) {
                     set_worker(Some(wk.shard_id as u32));
+                    let mut worker_frame_bytes = 0u64;
                     for (pos, (node, row, count)) in rows.into_iter().enumerate() {
                         node_counts[pos] += count;
                         record.hist_bytes_raw += 4 * row.len() as u64;
-                        if config.opts.low_precision {
+                        if config.opts.sparse_wire {
+                            // The worker's stripe id keys the server-side
+                            // block staging (ascending-stripe fold).
+                            let stripe = wk.shard_id as u32;
+                            let stats = if config.opts.low_precision {
+                                let q = quantize_row(
+                                    &row,
+                                    meta.layout(),
+                                    config.compress_bits,
+                                    &mut wk.rng,
+                                );
+                                record.max_quant_scale = record.max_quant_scale.max(q.max_scale());
+                                ps.push_histogram_quantized_sparse(stripe, node, &q)
+                            } else {
+                                ps.push_histogram_sparse(stripe, node, &row)
+                            };
+                            worker_frame_bytes += stats.total_bytes();
+                            record.hist_bytes_wire += stats.total_bytes();
+                            record
+                                .sparse_frames
+                                .get_or_insert_with(Default::default)
+                                .merge(&stats);
+                        } else if config.opts.low_precision {
                             let q = quantize_row(
                                 &row,
                                 meta.layout(),
@@ -1086,6 +1113,7 @@ fn train_impl(
                             ps.push_histogram(node, &row);
                         }
                     }
+                    sparse_layer_bytes_max = sparse_layer_bytes_max.max(worker_frame_bytes);
                 }
                 set_worker(None);
                 for (pos, &node) in build_nodes.iter().enumerate() {
@@ -1095,13 +1123,14 @@ fn train_impl(
                     });
                 }
                 if w > 1 {
+                    let layer_push_bytes = if config.opts.sparse_wire {
+                        sparse_layer_bytes_max as usize
+                    } else {
+                        pushed_bytes_per_worker * build_nodes.len()
+                    };
                     charge(
                         Phase::BuildHistogram,
-                        cost.t_ps_exchange_p(
-                            pushed_bytes_per_worker * build_nodes.len(),
-                            w,
-                            ps_config.num_servers,
-                        ),
+                        cost.t_ps_exchange_p(layer_push_bytes, w, ps_config.num_servers),
                     );
                 }
                 if use_subtraction {
@@ -2068,6 +2097,50 @@ mod tests {
         let a = train_distributed(&shards, &plain, ps).unwrap();
         let b = train_distributed(&shards, &binned, ps).unwrap();
         assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn sparse_wire_produces_identical_models_and_fewer_bytes() {
+        let (train, _) = classification_data();
+        let shards = partition_rows(&train, 3).unwrap();
+        let ps = PsConfig {
+            num_servers: 3,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
+        for low_precision in [false, true] {
+            let mut dense = small_config();
+            dense.opts.low_precision = low_precision;
+            let mut sparse = dense.clone();
+            sparse.opts.sparse_wire = true;
+            let a = train_distributed(&shards, &dense, ps).unwrap();
+            let b = train_distributed(&shards, &sparse, ps).unwrap();
+            assert_eq!(
+                a.model, b.model,
+                "sparse wire must be bit-identical (low_precision={low_precision})"
+            );
+            // Per-round training telemetry matches except the wire fields.
+            for (ra, rb) in a.report.rounds.iter().zip(&b.report.rounds) {
+                assert_eq!(ra.train_loss, rb.train_loss);
+                assert_eq!(ra.split_gains, rb.split_gains);
+                assert_eq!(ra.node_instances, rb.node_instances);
+                assert_eq!(ra.hist_bytes_raw, rb.hist_bytes_raw);
+                assert!(ra.sparse_frames.is_none());
+                let frames = rb.sparse_frames.as_ref().expect("sparse rounds tally");
+                assert_eq!(frames.total_bytes(), rb.hist_bytes_wire);
+            }
+            // The run-level rollup exists only on the sparse run and its
+            // bytes beat the dense f32 exchange.
+            assert!(a.report.sparsity.is_none());
+            let s = b.report.sparsity.as_ref().expect("sparsity section");
+            assert_eq!(s.wire_bytes, s.frames.total_bytes());
+            assert!(
+                s.wire_bytes < s.raw_bytes,
+                "wire {} >= raw {} (low_precision={low_precision})",
+                s.wire_bytes,
+                s.raw_bytes
+            );
+        }
     }
 
     #[test]

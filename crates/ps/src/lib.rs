@@ -32,6 +32,7 @@ mod layout;
 mod partition;
 pub mod quantize;
 mod server;
+pub mod sparse;
 pub mod split;
 
 pub use layout::HistogramLayout;

@@ -189,4 +189,86 @@ mod tests {
         assert!(p.is_empty());
         assert!(p.ranges().iter().all(|r| r.is_empty()));
     }
+
+    // ---- Degenerate grids (len < num_partitions) --------------------------
+    // The block grid of the sparse exchange crosses data stripes with these
+    // feature ranges, so the trailing-empty-partition behavior is
+    // load-bearing: empty blocks must route nowhere and ship nothing.
+
+    #[test]
+    fn fewer_items_than_partitions_leaves_trailing_ranges_empty() {
+        let p = RangeHashPartitioner::new(3, 8, 4);
+        assert_eq!(p.num_partitions(), 8);
+        // base = 0, extra = 3: the first three ranges get one item each,
+        // the remaining five are empty (and all pinned at position 3).
+        for i in 0..3 {
+            assert_eq!(p.range(i), i..i + 1);
+        }
+        for i in 3..8 {
+            assert!(p.range(i).is_empty(), "partition {i} should be empty");
+            assert_eq!(p.range(i), 3..3);
+        }
+        // Coverage is still exact and gap-free.
+        let total: usize = p.ranges().iter().map(|r| r.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn partition_of_on_degenerate_grid_skips_empty_ranges() {
+        let p = RangeHashPartitioner::new(3, 8, 4);
+        // Every item resolves to the unique nonempty partition holding it —
+        // never to one of the empty ranges that share its boundary position.
+        for i in 0..3 {
+            let part = p.partition_of(i);
+            assert_eq!(part, i);
+            assert!(p.range(part).contains(&i));
+        }
+    }
+
+    #[test]
+    fn partition_of_boundaries_on_uneven_grid() {
+        // 7 items over 3 partitions: sizes 3, 2, 2 — pin both edges of
+        // every range.
+        let p = RangeHashPartitioner::new(7, 3, 2);
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(1), 3..5);
+        assert_eq!(p.range(2), 5..7);
+        for (item, part) in [(0, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 2)] {
+            assert_eq!(p.partition_of(item), part, "item {item}");
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_of_past_the_end_panics_in_debug() {
+        RangeHashPartitioner::new(3, 8, 4).partition_of(3);
+    }
+
+    #[test]
+    fn degenerate_grid_server_assignment_is_balanced() {
+        // Empty partitions still get server slots; the round-robin deal
+        // keeps per-server partition counts within one of each other.
+        let p = RangeHashPartitioner::new(2, 9, 3);
+        let mut counts = vec![0usize; 3];
+        for i in 0..9 {
+            assert!(p.server_of(i) < 3);
+            counts[p.server_of(i)] += 1;
+        }
+        assert_eq!(counts, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn empty_partitions_cost_zero_wire_bytes() {
+        // An empty feature range encodes to nothing on the sparse wire:
+        // the PS push loop skips it before framing, so the only candidate
+        // payload is the empty slice — whose frame the exchange never
+        // sends. Pin that the slice for an empty range really is empty.
+        let p = RangeHashPartitioner::new(3, 8, 4);
+        let items: Vec<f32> = vec![1.0, 2.0, 3.0];
+        for i in 3..8 {
+            let r = p.range(i);
+            assert!(items[r].is_empty());
+        }
+    }
 }

@@ -16,8 +16,9 @@ use crate::HistogramLayout;
 
 /// A quantized histogram row: the scale `c` plus one `d`-bit code per value.
 /// Codes are materialized as `u16` in memory; [`QuantizedHistogram::wire_bytes`]
-/// reports the honest on-the-wire size (1 byte per code for `d ≤ 8`,
-/// 2 bytes for `d ≤ 16`).
+/// reports the honest on-the-wire size with codes packed at `d` bits each
+/// (`⌈len·d/8⌉` bytes — e.g. two codes per byte for `d = 4`, one for
+/// `d = 8`), plus the 8-byte scale+length header.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedHistogram {
     bits: u8,
@@ -87,19 +88,74 @@ impl QuantizedHistogram {
 
 /// Number of positive quantization levels for a `d`-bit signed code:
 /// `2^(d−1) − 1`.
-fn levels(bits: u8) -> u32 {
+pub(crate) fn levels(bits: u8) -> u32 {
     (1u32 << (bits - 1)) - 1
 }
 
+/// Decodes one feature-block slice of codes and adds it into `acc`.
+///
+/// This is the *single* dequantize-add kernel: both the dense quantized
+/// push ([`QuantizedRow::add_features_into`]) and the sparse block frames
+/// (`crate::sparse`) funnel through it, so the exact f32 operation sequence
+/// — `(code − zero_pt) as f32 / levels · scale`, zero buckets taken verbatim
+/// — is identical on both paths. That shared kernel is what makes the
+/// sparse wire format bit-identical to the dense one.
+///
+/// `scales`/`zero_values` are block-relative (2 entries per feature of
+/// `features`, G then H); `codes` covers exactly
+/// `layout.elem_range(features)`.
+pub(crate) fn add_quantized_slice_into(
+    bits: u8,
+    scales: &[f32],
+    zero_values: &[f32],
+    codes: &[u16],
+    layout: &HistogramLayout,
+    features: std::ops::Range<usize>,
+    acc: &mut [f32],
+) {
+    let base = layout.elem_range(features.clone()).start;
+    let levels_f = levels(bits) as f32;
+    let zero_pt = levels(bits) as i32;
+    for f in features.clone() {
+        let nb = layout.num_buckets(f);
+        let zb = layout.zero_bucket(f);
+        for (block, block_start) in [layout.g_index(f, 0), layout.h_index(f, 0)]
+            .into_iter()
+            .enumerate()
+        {
+            let block_id = 2 * (f - features.start) + block;
+            let scale = scales[block_id];
+            for k in 0..nb {
+                let idx = block_start + k;
+                let v = if k == zb {
+                    zero_values[block_id]
+                } else {
+                    (codes[idx - base] as i32 - zero_pt) as f32 / levels_f * scale
+                };
+                acc[idx - base] += v;
+            }
+        }
+    }
+}
+
 /// Encodes a histogram row with `bits`-bit stochastic fixed-point
-/// quantization. `bits` must be in `2..=16`.
+/// quantization. `bits` must be in `2..=16` and every value must be finite.
 ///
 /// # Panics
-/// Panics on a bit width outside `2..=16`.
+/// Panics on a bit width outside `2..=16`. Debug builds also panic on
+/// non-finite input: `f32::max` skips NaN when computing the scale and
+/// `NaN as i32 == 0` would otherwise map a NaN gradient silently to the
+/// zero-point code (decoding as `0.0`). Release builds keep that laundering
+/// behavior (NaN → zero point, `±inf` saturates the scale) for speed — a
+/// non-finite gradient is a caller bug, not a data condition.
 pub fn quantize<R: Rng + ?Sized>(values: &[f32], bits: u8, rng: &mut R) -> QuantizedHistogram {
     assert!(
         (2..=16).contains(&bits),
         "bit width must be in 2..=16, got {bits}"
+    );
+    debug_assert!(
+        values.iter().all(|v| v.is_finite()),
+        "quantize: non-finite histogram value"
     );
     let scale = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
     let levels_f = levels(bits) as f32;
@@ -179,6 +235,22 @@ impl QuantizedRow {
             + 4 * (self.scales.len() + self.zero_values.len())
     }
 
+    /// Per-block scales (2 per feature: G then H).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-block exact zero-bucket values (2 per feature: G then H).
+    pub fn zero_values(&self) -> &[f32] {
+        &self.zero_values
+    }
+
+    /// Raw codes (zero-point offset encoding; zero-bucket slots hold the
+    /// zero point and are never decoded).
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
     /// Decodes the elements covered by the feature range `features` of
     /// `layout` and adds them into `acc` (which covers exactly that range).
     pub fn add_features_into(
@@ -187,29 +259,16 @@ impl QuantizedRow {
         features: std::ops::Range<usize>,
         acc: &mut [f32],
     ) {
-        let base = layout.elem_range(features.clone()).start;
-        let levels_f = levels(self.bits) as f32;
-        let zero_pt = levels(self.bits) as i32;
-        for f in features {
-            let nb = layout.num_buckets(f);
-            let zb = layout.zero_bucket(f);
-            for (block, block_start) in [layout.g_index(f, 0), layout.h_index(f, 0)]
-                .into_iter()
-                .enumerate()
-            {
-                let block_id = 2 * f + block;
-                let scale = self.scales[block_id];
-                for k in 0..nb {
-                    let idx = block_start + k;
-                    let v = if k == zb {
-                        self.zero_values[block_id]
-                    } else {
-                        (self.codes[idx] as i32 - zero_pt) as f32 / levels_f * scale
-                    };
-                    acc[idx - base] += v;
-                }
-            }
-        }
+        let elems = layout.elem_range(features.clone());
+        add_quantized_slice_into(
+            self.bits,
+            &self.scales[2 * features.start..2 * features.end],
+            &self.zero_values[2 * features.start..2 * features.end],
+            &self.codes[elems],
+            layout,
+            features,
+            acc,
+        );
     }
 
     /// Decodes the full row (test/diagnostic path).
@@ -221,7 +280,13 @@ impl QuantizedRow {
 }
 
 /// Encodes a histogram row with per-feature-block stochastic quantization
-/// (see [`QuantizedRow`]). `row.len()` must equal `layout.row_len()`.
+/// (see [`QuantizedRow`]). `row.len()` must equal `layout.row_len()` and
+/// every value must be finite.
+///
+/// # Panics
+/// Panics on a bad bit width or length mismatch. Debug builds also panic on
+/// non-finite input (same NaN-laundering hazard as [`quantize`]: in release
+/// a NaN bucket silently becomes the zero-point code and decodes as `0.0`).
 pub fn quantize_row<R: Rng + ?Sized>(
     row: &[f32],
     layout: &HistogramLayout,
@@ -233,6 +298,10 @@ pub fn quantize_row<R: Rng + ?Sized>(
         "bit width must be in 2..=16, got {bits}"
     );
     assert_eq!(row.len(), layout.row_len(), "row/layout length mismatch");
+    debug_assert!(
+        row.iter().all(|v| v.is_finite()),
+        "quantize_row: non-finite histogram value"
+    );
     let nf = layout.num_features();
     let levels_f = levels(bits) as f32;
     let zero_pt = levels(bits) as i32;
@@ -349,6 +418,46 @@ mod tests {
         assert_eq!(q16.wire_bytes(), 8 + 2000);
         // ~4x smaller than f32 for d=8, matching the paper's 32/d ratio.
         assert!(q8.wire_bytes() * 3 < values.len() * 4);
+    }
+
+    #[test]
+    fn wire_bytes_pack_at_d_bits() {
+        // Satellite regression for the doc/impl mismatch: the formula packs
+        // at `d` bits, not whole bytes — bits = 4 fits two codes per byte.
+        let mut rng = StdRng::seed_from_u64(11);
+        let q4 = quantize(&vec![1.0f32; 1000], 4, &mut rng);
+        assert_eq!(q4.wire_bytes(), 8 + 500);
+        let q4_odd = quantize(&[1.0f32; 7], 4, &mut rng);
+        assert_eq!(q4_odd.wire_bytes(), 8 + 4); // ⌈7·4/8⌉ = 4
+        let q2 = quantize(&vec![1.0f32; 1000], 2, &mut rng);
+        assert_eq!(q2.wire_bytes(), 8 + 250);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn quantize_rejects_nan_in_debug() {
+        let mut rng = StdRng::seed_from_u64(0);
+        quantize(&[1.0, f32::NAN, 2.0], 8, &mut rng);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn quantize_rejects_infinity_in_debug() {
+        let mut rng = StdRng::seed_from_u64(0);
+        quantize(&[1.0, f32::INFINITY], 8, &mut rng);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn quantize_row_rejects_nan_in_debug() {
+        let layout = sparse_layout();
+        let mut row = vec![0.0f32; layout.row_len()];
+        row[3] = f32::NAN;
+        let mut rng = StdRng::seed_from_u64(0);
+        quantize_row(&row, &layout, 8, &mut rng);
     }
 
     #[test]

@@ -1,13 +1,15 @@
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use dimboost_simnet::fault::{Fate, FaultSession, MAX_ATTEMPTS};
+use dimboost_simnet::wire::{self, SparseWireStats};
 use dimboost_simnet::{CommLedger, CommStats, CostModel, Phase, SimTime, StatsRecorder, TraceBus};
 use dimboost_sketch::GkSketch;
 
 use crate::quantize::QuantizedRow;
+use crate::sparse;
 use crate::split::{best_split_in_range, NodeSplit, PullSplitResult, SplitDecision, SplitParams};
 use crate::{HistogramLayout, RangeHashPartitioner};
 
@@ -44,12 +46,51 @@ impl PsConfig {
     }
 }
 
+/// One feature-block partition's histogram storage.
+///
+/// Dense pushes merge straight into `merged` in arrival order (the classic
+/// path). Sparse block pushes land in `staged`, keyed by the data stripe
+/// that produced them, and are folded into `merged` in ascending stripe
+/// order the first time the partition is read. The fold order is a property
+/// of the *keys*, not of message arrival, so the block-keyed merge is
+/// order-independent: any interleaving of stripe deliveries yields the same
+/// accumulator bits. Because the trainer's dense path pushes stripes in
+/// ascending order too, the fold reproduces the dense add sequence exactly
+/// — this is half of the sparse path's bit-identity argument (the other
+/// half is that decoded frames reproduce every nonzero f32 verbatim).
+#[derive(Default)]
+struct PartitionState {
+    /// `node → merged accumulator` (the flushed global shard).
+    merged: HashMap<u32, Vec<f32>>,
+    /// `node → stripe → pending sparse delta`, awaiting the deterministic
+    /// ascending-stripe fold.
+    staged: HashMap<u32, BTreeMap<u32, Vec<f32>>>,
+}
+
+impl PartitionState {
+    /// Folds all staged stripe deltas into the merged accumulators
+    /// (ascending stripe order per node; nodes are independent).
+    fn flush(&mut self, elems_len: usize) {
+        for (node, stripes) in std::mem::take(&mut self.staged) {
+            let acc = self
+                .merged
+                .entry(node)
+                .or_insert_with(|| vec![0.0f32; elems_len]);
+            for (_stripe, delta) in stripes {
+                for (a, &v) in acc.iter_mut().zip(&delta) {
+                    *a += v;
+                }
+            }
+        }
+    }
+}
+
 /// Per-tree histogram storage: the layout of a `GradHist` row, its
-/// feature-range partitioning, and each partition's `node → shard` map.
+/// feature-range partitioning, and each partition's per-node state.
 struct HistState {
     layout: HistogramLayout,
     partitioner: RangeHashPartitioner,
-    partitions: Vec<Mutex<HashMap<u32, Vec<f32>>>>,
+    partitions: Vec<Mutex<PartitionState>>,
 }
 
 /// The sharded parameter store (Sections 4.2–4.3).
@@ -367,7 +408,7 @@ impl ParameterServer {
             self.config.num_servers,
         );
         let partitions = (0..partitioner.num_partitions())
-            .map(|_| Mutex::new(HashMap::new()))
+            .map(|_| Mutex::new(PartitionState::default()))
             .collect();
         *self.hist.write() = Some(HistState {
             layout,
@@ -455,6 +496,7 @@ impl ParameterServer {
                 let slice = &row[elems.clone()];
                 let mut part = state.partitions[p].lock();
                 let acc = part
+                    .merged
                     .entry(node)
                     .or_insert_with(|| vec![0.0f32; elems.len()]);
                 for (a, &v) in acc.iter_mut().zip(slice) {
@@ -496,6 +538,7 @@ impl ParameterServer {
                 }
                 let mut part = state.partitions[p].lock();
                 let acc = part
+                    .merged
                     .entry(node)
                     .or_insert_with(|| vec![0.0f32; elems.len()]);
                 q.add_features_into(&state.layout, features, acc);
@@ -509,6 +552,123 @@ impl ParameterServer {
                 SimTime::ZERO,
             );
         });
+    }
+
+    /// FIND_SPLIT push, sparse full precision: the worker serializes each
+    /// feature-block slice of its local row under the smallest of the three
+    /// density-adaptive layouts (`wire::encode_f32_sparse`) and the server
+    /// stages the decoded delta keyed by `(node, stripe, block)`. Staged
+    /// deltas are folded in ascending stripe order when the partition is
+    /// next read, so the merge is order-independent in message arrival yet
+    /// reproduces the dense path's add sequence exactly (see
+    /// [`PartitionState`]). Byte accounting charges the *actual* frame
+    /// sizes; empty feature blocks ship nothing at all.
+    ///
+    /// Returns the per-encoding frame/byte tally for the trainer's
+    /// telemetry.
+    pub fn push_histogram_sparse(&self, stripe: u32, node: u32, row: &[f32]) -> SparseWireStats {
+        self.resilient(Phase::BuildHistogram, || {
+            self.apply_push_histogram_sparse(stripe, node, row)
+        })
+    }
+
+    fn apply_push_histogram_sparse(&self, stripe: u32, node: u32, row: &[f32]) -> SparseWireStats {
+        self.with_hist(|state| {
+            assert_eq!(row.len(), state.layout.row_len(), "row length mismatch");
+            let mut stats = SparseWireStats::default();
+            for p in 0..state.partitioner.num_partitions() {
+                let elems = state.layout.elem_range(state.partitioner.range(p));
+                if elems.is_empty() {
+                    continue;
+                }
+                let (frame, encoding) = wire::encode_f32_sparse(&row[elems.clone()]);
+                stats.record(encoding, frame.len());
+                // Simulated receive: decode and stage the delta under its
+                // (node, stripe) key. Nonzero values come back bit-exact;
+                // zero slots decode as +0.0, which is add-neutral.
+                let (delta, _) = wire::decode_f32_sparse(frame);
+                Self::stage_delta(&state.partitions[p], node, stripe, delta);
+            }
+            self.recorder.record_named(
+                Phase::BuildHistogram,
+                "push_histogram_sparse",
+                stats.total_bytes(),
+                state.partitioner.num_partitions() as u64,
+                SimTime::ZERO,
+            );
+            stats
+        })
+    }
+
+    /// FIND_SPLIT push, sparse low precision: like
+    /// [`ParameterServer::push_histogram_sparse`] but the per-block frames
+    /// carry the quantized representation — codes bit-packed at `d` bits
+    /// under a dense-or-bitmap layout, scales and exact zero-bucket values
+    /// as adaptive f32 sub-frames (`sparse::encode_quantized_block`). The
+    /// server decodes each frame and runs the same dequantize-add kernel as
+    /// the dense quantized path, staged and folded identically, so the two
+    /// paths are bit-identical on the model while the wire bytes shrink
+    /// with node sparsity.
+    pub fn push_histogram_quantized_sparse(
+        &self,
+        stripe: u32,
+        node: u32,
+        q: &QuantizedRow,
+    ) -> SparseWireStats {
+        self.resilient(Phase::BuildHistogram, || {
+            self.apply_push_histogram_quantized_sparse(stripe, node, q)
+        })
+    }
+
+    fn apply_push_histogram_quantized_sparse(
+        &self,
+        stripe: u32,
+        node: u32,
+        q: &QuantizedRow,
+    ) -> SparseWireStats {
+        self.with_hist(|state| {
+            assert_eq!(q.len(), state.layout.row_len(), "row length mismatch");
+            let mut stats = SparseWireStats::default();
+            for p in 0..state.partitioner.num_partitions() {
+                let features = state.partitioner.range(p);
+                let elems = state.layout.elem_range(features.clone());
+                if elems.is_empty() {
+                    continue;
+                }
+                let (frame, frame_stats) =
+                    sparse::encode_quantized_block(q, &state.layout, features.clone());
+                stats.merge(&frame_stats);
+                let block = sparse::decode_quantized_block(frame, &state.layout, features.clone());
+                let mut delta = vec![0.0f32; elems.len()];
+                block.add_into(&state.layout, features, &mut delta);
+                Self::stage_delta(&state.partitions[p], node, stripe, delta);
+            }
+            self.recorder.record_named(
+                Phase::BuildHistogram,
+                "push_histogram_quantized_sparse",
+                stats.total_bytes(),
+                state.partitioner.num_partitions() as u64,
+                SimTime::ZERO,
+            );
+            stats
+        })
+    }
+
+    /// Stages one decoded block delta under its `(node, stripe)` key; a
+    /// second delta for the same key (e.g. a worker owning several logical
+    /// stripes pushing twice) accumulates into the staged vector.
+    fn stage_delta(partition: &Mutex<PartitionState>, node: u32, stripe: u32, delta: Vec<f32>) {
+        let mut part = partition.lock();
+        match part.staged.entry(node).or_default().entry(stripe) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(delta);
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                for (a, &v) in slot.get_mut().iter_mut().zip(&delta) {
+                    *a += v;
+                }
+            }
+        }
     }
 
     /// FIND_SPLIT pull, two-phase (Section 6.3): every partition runs the
@@ -529,8 +689,10 @@ impl ParameterServer {
                 if features.is_empty() {
                     continue;
                 }
-                let part = state.partitions[p].lock();
-                let Some(shard) = part.get(&node) else {
+                let elems_len = state.layout.elem_range(features.clone()).len();
+                let mut part = state.partitions[p].lock();
+                part.flush(elems_len);
+                let Some(shard) = part.merged.get(&node) else {
                     continue;
                 };
                 let res = best_split_in_range(shard, &state.layout, features, totals, params);
@@ -570,8 +732,9 @@ impl ParameterServer {
                 if elems.is_empty() {
                     continue;
                 }
-                let part = state.partitions[p].lock();
-                if let Some(shard) = part.get(&node) {
+                let mut part = state.partitions[p].lock();
+                part.flush(elems.len());
+                if let Some(shard) = part.merged.get(&node) {
                     row[elems].copy_from_slice(shard);
                 }
                 packages += 1;
@@ -602,16 +765,18 @@ impl ParameterServer {
                     continue;
                 }
                 let mut part = state.partitions[p].lock();
+                part.flush(elems.len());
                 let mut out = part
+                    .merged
                     .get(&parent)
                     .cloned()
                     .unwrap_or_else(|| vec![0.0f32; elems.len()]);
-                if let Some(child) = part.get(&built_child) {
+                if let Some(child) = part.merged.get(&built_child) {
                     for (o, c) in out.iter_mut().zip(child) {
                         *o -= c;
                     }
                 }
-                part.insert(sibling, out);
+                part.merged.insert(sibling, out);
             }
         });
     }
@@ -620,7 +785,9 @@ impl ParameterServer {
     pub fn clear_node(&self, node: u32) {
         self.with_hist(|state| {
             for p in &state.partitions {
-                p.lock().remove(&node);
+                let mut part = p.lock();
+                part.merged.remove(&node);
+                part.staged.remove(&node);
             }
         });
     }
@@ -685,6 +852,143 @@ mod tests {
         );
         ps.init_tree(HistogramLayout::new(buckets));
         ps
+    }
+
+    /// Sparse-looking worker rows over a wide layout: most features zero.
+    fn sparse_rows(row_len: usize, workers: usize) -> Vec<Vec<f32>> {
+        (0..workers)
+            .map(|w| {
+                let mut row = vec![0.0f32; row_len];
+                for i in (w..row_len).step_by(17 + w) {
+                    row[i] = (i as f32 + 1.0) * if w % 2 == 0 { 0.5 } else { -0.25 };
+                }
+                row
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_push_is_bit_identical_to_dense() {
+        let buckets = vec![8u32; 40];
+        let rows = sparse_rows(8 * 2 * 40, 4);
+        let dense = ps_with_layout(buckets.clone(), 3);
+        let sparse = ps_with_layout(buckets, 3);
+        for (w, row) in rows.iter().enumerate() {
+            dense.push_histogram(5, row);
+            sparse.push_histogram_sparse(w as u32, 5, row);
+        }
+        let a = dense.pull_histogram(5);
+        let b = sparse.pull_histogram(5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_push_merge_is_stripe_order_independent() {
+        // Deliver the same stripe deltas in opposite arrival orders: the
+        // block-keyed staging folds by stripe key, so the accumulator bits
+        // must come out identical.
+        let buckets = vec![4u32; 20];
+        let rows = sparse_rows(4 * 2 * 20, 3);
+        let fwd = ps_with_layout(buckets.clone(), 2);
+        let rev = ps_with_layout(buckets, 2);
+        for (w, row) in rows.iter().enumerate() {
+            fwd.push_histogram_sparse(w as u32, 1, row);
+        }
+        for (w, row) in rows.iter().enumerate().rev() {
+            rev.push_histogram_sparse(w as u32, 1, row);
+        }
+        let a = fwd.pull_histogram(1);
+        let b = rev.pull_histogram(1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_push_charges_fewer_bytes_on_sparse_rows() {
+        let buckets = vec![8u32; 40];
+        let rows = sparse_rows(8 * 2 * 40, 2);
+        let dense = ps_with_layout(buckets.clone(), 2);
+        let sparse = ps_with_layout(buckets, 2);
+        let mut wire = 0u64;
+        for (w, row) in rows.iter().enumerate() {
+            dense.push_histogram(0, row);
+            wire += sparse.push_histogram_sparse(w as u32, 0, row).total_bytes();
+        }
+        let dense_bytes = dense.comm_stats().bytes;
+        assert!(
+            wire * 2 < dense_bytes,
+            "sparse {wire} vs dense {dense_bytes}"
+        );
+        // The recorder saw the same true frame bytes the summary reports.
+        let ledger = sparse.comm_ledger();
+        let recorded: u64 = Phase::ALL.iter().map(|p| ledger.phase(*p).bytes).sum();
+        assert_eq!(recorded, wire);
+    }
+
+    #[test]
+    fn sparse_quantized_push_is_bit_identical_to_dense_quantized() {
+        let buckets = vec![6u32; 30];
+        let layout = HistogramLayout::new(buckets.clone());
+        let rows = sparse_rows(layout.row_len(), 3);
+        let dense = ps_with_layout(buckets.clone(), 2);
+        let sparse = ps_with_layout(buckets, 2);
+        for (w, row) in rows.iter().enumerate() {
+            // Same seed per worker on both sides: the stochastic rounding
+            // must agree for the bit-identity comparison to be meaningful.
+            let mut rng = StdRng::seed_from_u64(w as u64);
+            let q = crate::quantize::quantize_row(row, &layout, 8, &mut rng);
+            dense.push_histogram_quantized(7, &q);
+            sparse.push_histogram_quantized_sparse(w as u32, 7, &q);
+        }
+        let a = dense.pull_histogram(7);
+        let b = sparse.pull_histogram(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_push_then_derive_sibling_matches_dense() {
+        // derive_sibling reads partitions; staged sparse deltas must be
+        // flushed before the subtraction sees them.
+        let buckets = vec![4u32; 10];
+        let rows = sparse_rows(4 * 2 * 10, 2);
+        let ps = ps_with_layout(buckets, 2);
+        ps.push_histogram_sparse(0, 1, &rows[0]);
+        ps.push_histogram_sparse(1, 1, &rows[1]);
+        ps.push_histogram_sparse(0, 2, &rows[1]);
+        ps.derive_sibling(1, 2, 3);
+        let parent = ps.pull_histogram(1);
+        let child = ps.pull_histogram(2);
+        let sibling = ps.pull_histogram(3);
+        for ((p, c), s) in parent.iter().zip(&child).zip(&sibling) {
+            assert_eq!(*s, p - c);
+        }
+    }
+
+    #[test]
+    fn sparse_push_on_degenerate_grid_skips_empty_partitions() {
+        // 8 partitions over 2 features: 6 partitions own no feature range.
+        // Sparse pushes must route around them and charge zero bytes for
+        // them — the per-push frame tally covers only the 2 real blocks.
+        let ps = ParameterServer::new(
+            2,
+            PsConfig {
+                num_servers: 8,
+                num_partitions: 0,
+                cost_model: CostModel::FREE,
+            },
+        );
+        ps.init_tree(HistogramLayout::new(vec![2, 2]));
+        let row = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let stats = ps.push_histogram_sparse(0, 0, &row);
+        assert_eq!(stats.total_frames(), 2);
+        // Each 4-element block is fully dense → dense layout, 5 + 16 bytes.
+        assert_eq!(stats.total_bytes(), 2 * (5 + 16));
+        assert_eq!(ps.pull_histogram(0).as_slice(), &row);
     }
 
     #[test]
