@@ -116,18 +116,32 @@ cmp "$SMOKE/serving_a.canonical.json" "$SMOKE/serving_b.canonical.json"
   --threads 2 --batch-size 100 --output "$SMOKE/predict.txt"
 cmp "$SMOKE/scores_a.txt" "$SMOKE/predict.txt"
 
-echo "==> fused kernel: perf gate + canonical identity + bit-identical training"
-# Two small hist_kernel_bench runs at two thread counts: the first gates the
-# fused kernel at 1.5x the per-node binned path's wall time; the pair must be
-# canonical-report identical (all throughput fields are wall-only and ignored
-# by report_diff's built-in rules — structure and checksums must match).
-"$BIN/hist_kernel_bench" --rows 4000 --features 80 --nnz 10 --nodes 8 \
-  --rounds 2 --batch-size 256 --seed 5 --threads-list 1,4 \
-  --out "$SMOKE/hist_a.json" --assert-fused-ratio 1.5 > /dev/null
-"$BIN/hist_kernel_bench" --rows 4000 --features 80 --nnz 10 --nodes 8 \
-  --rounds 2 --batch-size 256 --seed 5 --threads-list 1,4 \
+echo "==> fused kernel: perf gates + canonical identity + bit-identical training"
+# Two small hist_kernel_bench runs: the first gates the fused kernel at 1.5x
+# the per-node binned path's wall time and the quantized kernel at 1.1x
+# *faster* than f32 fused at every thread count (both on the wide preset,
+# where kernel throughput rather than per-call overhead dominates); the pair
+# must be canonical-report identical (all throughput fields and the
+# quantized_speedup ratios are wall-only and ignored by report_diff's
+# built-in rules — structure and checksums must match).
+HIST_SIZES="--rows 4000 --features 80 --nnz 10 --nodes 8 \
+  --wide-rows 40000 --wide-features 200 --wide-nnz 16 --wide-nodes 16"
+"$BIN/hist_kernel_bench" $HIST_SIZES \
+  --rounds 8 --batch-size 256 --seed 5 --threads-list 1,4 \
+  --out "$SMOKE/hist_a.json" --assert-fused-ratio 1.5 \
+  --assert-quantized-ratio 1.1 > /dev/null
+"$BIN/hist_kernel_bench" $HIST_SIZES \
+  --rounds 8 --batch-size 256 --seed 5 --threads-list 1,4 \
   --out "$SMOKE/hist_b.json" > /dev/null
 "$BIN/report_diff" "$SMOKE/hist_a.json" "$SMOKE/hist_b.json"
+# The quantized kernel's cross-thread-count bit-equality verdict must be
+# recorded — and true — for every problem in the report (the bench also
+# hard-fails on inequality; this guards the report plumbing itself).
+if [ "$(grep -o '"quantized_checksums_equal":true' "$SMOKE/hist_a.json" | wc -l)" -ne 2 ] \
+  || grep -q '"quantized_checksums_equal":false' "$SMOKE/hist_a.json"; then
+  echo "hist bench did not record quantized checksum equality for both problems" >&2
+  exit 1
+fi
 # Multi-threaded --fused-layer training must be bit-identical across reruns:
 # same model bytes, same canonical report, and report_diff-clean.
 for run in a b; do
@@ -139,6 +153,33 @@ done
 cmp "$SMOKE/model_fused_a.json" "$SMOKE/model_fused_b.json"
 cmp "$SMOKE/report_fused_a.json" "$SMOKE/report_fused_b.json"
 "$BIN/report_diff" "$SMOKE/report_fused_a.json" "$SMOKE/report_fused_b.json"
+
+echo "==> quantized histograms: bit-identical across thread counts and kernels"
+# The f32 gate above compares reruns of ONE configuration; the quantized
+# accumulator makes the stronger claim — integer sums are associative, so
+# the model must not depend on the thread count, the batch size, or the
+# per-node vs fused kernel at all. Train at --threads 2 and --threads 8
+# with different batch sizes: model bytes cmp-identical, canonical reports
+# cmp-identical, report_diff exit 0.
+"$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_q2.json" \
+  --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+  --threads 2 --batch-size 25 --quantized-hist --fused-layer \
+  --report-canonical "$SMOKE/report_q2.json" > /dev/null
+"$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_q8.json" \
+  --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+  --threads 8 --batch-size 64 --quantized-hist --fused-layer \
+  --report-canonical "$SMOKE/report_q8.json" > /dev/null
+cmp "$SMOKE/model_q2.json" "$SMOKE/model_q8.json"
+cmp "$SMOKE/report_q2.json" "$SMOKE/report_q8.json"
+"$BIN/report_diff" "$SMOKE/report_q2.json" "$SMOKE/report_q8.json"
+# The per-node quantized kernel (no --fused-layer) must produce the same
+# model bytes as the fused legs — the kernels share one fixed-point format.
+"$BIN/dimboost" train --data "$SMOKE/train.libsvm" --model "$SMOKE/model_qpn.json" \
+  --trees 3 --depth 4 --workers 3 --servers 2 --seed 7 \
+  --threads 4 --batch-size 25 --quantized-hist > /dev/null
+cmp "$SMOKE/model_q2.json" "$SMOKE/model_qpn.json"
+# The quantized telemetry must surface in the canonical report.
+grep -q '"quant_hist":{"bits":' "$SMOKE/report_q2.json"
 
 echo "==> sparse exchange: compressed frames must shrink the wire, never the model"
 # A wide, very sparse dataset is where block-distributed sparse frames pay

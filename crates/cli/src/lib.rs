@@ -274,6 +274,7 @@ USAGE:
                  [--loss logistic|square|softmax --classes K] [--seed N] [--test-fraction F]
                  [--zero-based] [--default-direction] [--pre-binning]
                  [--hist-subtraction] [--fused-layer] [--sparse-wire]
+                 [--quantized-hist] [--quant-hist-bits N]
                  [--early-stop R] [--report <json>]
                  [--report-canonical <json>] [--trace <json>]
                  [--trace-canonical <json>] [--trace-events <path>]
@@ -306,7 +307,12 @@ to the interpreted evaluation path. `--threads`/`--batch-size` on `train`
 control the batched histogram builder the same way. `--fused-layer`
 builds all of a layer's node histograms in one pass over the pre-binned
 shard (implies the binned representation); reruns stay bit-identical for
-fixed `--threads`/`--batch-size`. `--sparse-wire` ships histogram pushes
+fixed `--threads`/`--batch-size`. `--quantized-hist` accumulates
+histograms as packed fixed-point integers (`--quant-hist-bits` codes,
+default 12): integer addition is associative, so the learned model bytes
+are bit-identical across **any** `--threads`/`--batch-size` — and across
+the per-node vs `--fused-layer` paths — not just across reruns of one
+configuration. `--sparse-wire` ships histogram pushes
 as density-adaptive sparse frames (dense / bitmap / runs, smallest per
 message; composes with `--bits` low precision): the learned model is
 bit-identical to the dense exchange while `hist_bytes_wire` and the
@@ -442,6 +448,10 @@ fn parse_train(args: &[String]) -> Result<TrainArgs, String> {
             "--hist-subtraction" => config.opts.hist_subtraction = true,
             "--fused-layer" => config.opts.fused_layer = true,
             "--sparse-wire" => config.opts.sparse_wire = true,
+            "--quantized-hist" => config.opts.quantized_hist = true,
+            "--quant-hist-bits" => {
+                config.quant_hist_bits = parse_num(flag, take_value(flag, &mut iter)?)?
+            }
             "--early-stop" => early_stop = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
             "--report" => report = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--report-canonical" => {
@@ -1825,6 +1835,9 @@ mod tests {
             "--hist-subtraction",
             "--fused-layer",
             "--sparse-wire",
+            "--quantized-hist",
+            "--quant-hist-bits",
+            "10",
             "--default-direction",
             "--early-stop",
             "3",
@@ -1837,6 +1850,8 @@ mod tests {
         assert!(args.config.opts.hist_subtraction);
         assert!(args.config.opts.fused_layer);
         assert!(args.config.opts.sparse_wire);
+        assert!(args.config.opts.quantized_hist);
+        assert_eq!(args.config.quant_hist_bits, 10);
         assert!(args.config.learn_default_direction);
         assert_eq!(args.early_stop, Some(3));
         // Early stopping without a held-out fraction is rejected.

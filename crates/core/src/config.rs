@@ -83,6 +83,20 @@ pub struct Optimizations {
     /// sizes. Excluded from [`Optimizations::ALL`] so paper-faithful
     /// ablation configs keep the paper's dense exchange.
     pub sparse_wire: bool,
+    /// **Extension (not in the paper):** quantized integer histogram
+    /// accumulation (see `crate::hist_build` / DESIGN.md §15). Gradients
+    /// are fixed-point-quantized once per tree
+    /// (`GbdtConfig::quant_hist_bits`, deterministic rounding, scale
+    /// derived like the §6.1 wire quantizer's) and histogram cells
+    /// accumulate packed integer code pairs — associative, so histogram
+    /// and model bytes are bit-identical across **any** `(threads,
+    /// batch_size)`, and the hot loop does half the read-modify-writes of
+    /// the f32 builders. Implies the pre-binned representation; composes
+    /// with `fused_layer` (cache-tiled layer kernel), `hist_subtraction`,
+    /// and `sparse_wire`/`low_precision` (rows dequantize once before the
+    /// PS push). Excluded from [`Optimizations::ALL`]: the paper's
+    /// accumulator is f32, which stays as the ablation baseline.
+    pub quantized_hist: bool,
 }
 
 impl Optimizations {
@@ -99,6 +113,7 @@ impl Optimizations {
         hist_subtraction: false,
         fused_layer: false,
         sparse_wire: false,
+        quantized_hist: false,
     };
 
     /// Everything off — the basic algorithm.
@@ -113,6 +128,7 @@ impl Optimizations {
         hist_subtraction: false,
         fused_layer: false,
         sparse_wire: false,
+        quantized_hist: false,
     };
 }
 
@@ -182,6 +198,14 @@ pub struct GbdtConfig {
     /// per-node builds for that layer. Only consulted when
     /// `opts.fused_layer` is on.
     pub fused_block_budget: usize,
+    /// Bit width for the quantized histogram accumulator's fixed-point
+    /// gradient codes (`opts.quantized_hist`; DESIGN.md §15). In `2..=16`
+    /// like `compress_bits`; per shard the trainer may *demote* it so a
+    /// 32-bit lane can never overflow (`rows · levels(bits) ≤ i32::MAX` —
+    /// see `hist_build::effective_quant_bits`). 12 bits keeps the
+    /// quantization step ≤ max|g| / 2047, comfortably below split-decision
+    /// noise at trainer scales, while leaving narrow-mode headroom.
+    pub quant_hist_bits: u8,
 }
 
 /// 256 MiB — far above any realistic layer at the paper's settings
@@ -214,6 +238,7 @@ impl Default for GbdtConfig {
             opts: Optimizations::ALL,
             collect_trace: false,
             fused_block_budget: default_fused_block_budget(),
+            quant_hist_bits: 12,
         }
     }
 }
@@ -264,6 +289,12 @@ impl GbdtConfig {
             return Err(format!(
                 "compress_bits must be in 2..=16, got {}",
                 self.compress_bits
+            ));
+        }
+        if !(2..=16).contains(&self.quant_hist_bits) {
+            return Err(format!(
+                "quant_hist_bits must be in 2..=16, got {}",
+                self.quant_hist_bits
             ));
         }
         if self.batch_size == 0 {
@@ -317,6 +348,10 @@ mod tests {
             },
             GbdtConfig {
                 compress_bits: 1,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                quant_hist_bits: 17,
                 ..GbdtConfig::default()
             },
             GbdtConfig {

@@ -26,17 +26,35 @@
 //!   construction: [`crate::node_index`]'s split is stable), so every block
 //!   row is bit-equal to the per-node path, no tolerances;
 //! * across *different* thread counts only a float-associativity tolerance
-//!   holds, same as the per-node batched builders.
+//!   holds for the **f32** kernel — the quantized kernel below erases even
+//!   that caveat.
+//!
+//! # Quantized variant
+//!
+//! [`build_layer_quantized`] replaces the f32 cells with packed fixed-point
+//! integer cells ([`crate::hist_build`], DESIGN.md §15). Integer addition is
+//! associative and commutative, so its output is bit-identical across **any**
+//! `(threads, batch_size)` — and bit-identical to the per-node
+//! [`crate::hist_build::build_quantized`] — not merely across reruns. The
+//! node axis is additionally *tiled* so each stripe's working set
+//! (`tile_nodes × pair_len` cells) stays L2-resident on wide layers; tiling
+//! cannot affect the result, again by associativity.
 //!
 //! # Memory trade-off
 //!
 //! Every stripe carries a private block of `build_nodes × row_len × 4`
 //! bytes. The trainer guards this with `GbdtConfig::fused_block_budget` and
 //! falls back to per-node builds when `blocks × threads` would exceed it.
+//! The quantized kernel is exempt: its per-stripe working set is capped at
+//! [`QUANT_TILE_BUDGET_BYTES`] by construction.
 
 use dimboost_data::Dataset;
 
 use crate::binned::BinnedShard;
+use crate::hist_build::{
+    acc_mode_for, deposit_zero_sums, dequantize_cells_into, AccMode, PairCell, QuantBinned,
+    QuantizedGrads,
+};
 use crate::loss::GradPair;
 use crate::meta::FeatureMeta;
 use crate::node_index::NodeIndex;
@@ -269,6 +287,217 @@ fn deposit(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Quantized layer kernel (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Per-stripe working-set budget for the quantized kernel's node tiling —
+/// sized for a typical L2 slice. Layers whose full packed block exceeds
+/// this are swept in tiles of [`quant_tile_nodes`] node slots each.
+pub const QUANT_TILE_BUDGET_BYTES: usize = 1 << 20;
+
+/// Tile size (in node slots) for a quantized layer: the largest slot count
+/// whose packed cells fit [`QUANT_TILE_BUDGET_BYTES`], at least 1. Sized
+/// against the *wide* (8-byte) cell so the tile choice — which the trainer
+/// reports in telemetry — is a pure function of the histogram row length
+/// and the layer width, independent of data, threads, and accumulator mode
+/// (a narrow tile simply uses at most half the budget).
+pub fn quant_tile_nodes(pair_len: usize, num_slots: usize) -> usize {
+    if num_slots == 0 {
+        return 0;
+    }
+    (QUANT_TILE_BUDGET_BYTES / (pair_len * 8).max(1)).clamp(1, num_slots)
+}
+
+/// Telemetry from one quantized layer build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantLayerStats {
+    /// Node slots per cache tile (see [`quant_tile_nodes`]).
+    pub tile_nodes: usize,
+    /// Accumulator width the layer ran at.
+    pub mode: AccMode,
+}
+
+/// Quantized layer-fused histogram build: one statically-striped pass per
+/// cache tile over `binned`'s CSR, accumulating packed integer cells.
+///
+/// Returns the dequantized `num_slots × row_len` f32 block (same shape as
+/// [`build_layer`]) plus tiling/mode telemetry. Because every integer sum is
+/// exact and order-free, the block is bit-identical for **any**
+/// `(threads, batch_size)` and bit-identical to running
+/// [`crate::hist_build::build_quantized`] per node slot.
+///
+/// The accumulator width is chosen per layer by [`acc_mode_for`] from the
+/// largest build node (`positions.counts`) and the code magnitude bound —
+/// the overflow promotion rule documented in DESIGN.md §15.
+///
+/// # Panics
+/// Panics if `batch_size` or `threads` is zero, or if `positions.slots`
+/// does not cover exactly `binned.num_rows()` rows.
+pub fn build_layer_quantized(
+    binned: &BinnedShard,
+    qb: &QuantBinned,
+    positions: &LayerPositions,
+    grads: &QuantizedGrads,
+    meta: &FeatureMeta,
+    batch_size: usize,
+    threads: usize,
+) -> (Vec<f32>, QuantLayerStats) {
+    assert!(batch_size > 0, "batch_size must be positive");
+    assert!(threads > 0, "threads must be positive");
+    assert_eq!(
+        positions.slots.len(),
+        binned.num_rows(),
+        "positions must cover every shard row"
+    );
+    let num_slots = positions.counts.len();
+    let tile_nodes = quant_tile_nodes(qb.pair_len(), num_slots);
+    if num_slots == 0 {
+        return (
+            Vec::new(),
+            QuantLayerStats {
+                tile_nodes: 0,
+                mode: AccMode::Wide,
+            },
+        );
+    }
+    let max_rows = positions.counts.iter().copied().max().unwrap_or(0);
+    let mode = acc_mode_for(max_rows, grads.max_code());
+    let block = match mode {
+        AccMode::Narrow => quantized_block::<i32>(
+            binned, qb, positions, grads, meta, batch_size, threads, tile_nodes,
+        ),
+        AccMode::Wide => quantized_block::<i64>(
+            binned, qb, positions, grads, meta, batch_size, threads, tile_nodes,
+        ),
+    };
+    (block, QuantLayerStats { tile_nodes, mode })
+}
+
+/// Generic tiled sweep. Each tile covers node slots `[tile_lo, tile_hi)`;
+/// stripes accumulate private packed cells plus per-slot code sums over
+/// their batches, partials merge with wrapping adds (order irrelevant),
+/// then one zero-bucket deposit and one dequantize pass per slot.
+#[allow(clippy::too_many_arguments)]
+fn quantized_block<C: PairCell>(
+    binned: &BinnedShard,
+    qb: &QuantBinned,
+    positions: &LayerPositions,
+    grads: &QuantizedGrads,
+    meta: &FeatureMeta,
+    batch_size: usize,
+    threads: usize,
+    tile_nodes: usize,
+) -> Vec<f32> {
+    let num_slots = positions.counts.len();
+    let row_len = meta.layout().row_len();
+    let pair_len = qb.pair_len();
+    let num_rows = positions.slots.len();
+    let num_batches = num_rows.div_ceil(batch_size);
+    let threads = threads.min(num_batches.max(1));
+    let mut out = vec![0.0f32; num_slots * row_len];
+
+    let mut tile_lo = 0usize;
+    while tile_lo < num_slots {
+        let tile_hi = (tile_lo + tile_nodes).min(num_slots);
+        let tile_n = tile_hi - tile_lo;
+        let stripe = |t: usize| -> (Vec<C>, Vec<(i64, i64)>) {
+            let mut cells = vec![C::ZERO; tile_n * pair_len];
+            let mut sums = vec![(0i64, 0i64); tile_n];
+            let mut b = t;
+            while b < num_batches {
+                let lo = b * batch_size;
+                let hi = (lo + batch_size).min(num_rows);
+                accumulate_tile::<C>(
+                    binned,
+                    qb,
+                    grads,
+                    &positions.slots,
+                    lo,
+                    hi,
+                    tile_lo,
+                    tile_hi,
+                    pair_len,
+                    &mut cells,
+                    &mut sums,
+                );
+                b += threads;
+            }
+            (cells, sums)
+        };
+        let (mut cells, sums) = if threads <= 1 {
+            stripe(0)
+        } else {
+            let mut partials = pool::global().run(threads, stripe).into_iter();
+            let (mut cells, mut sums) = partials.next().expect("at least one stripe");
+            for (pc, ps) in partials {
+                for (c, v) in cells.iter_mut().zip(pc) {
+                    *c = c.add(v);
+                }
+                for (s, v) in sums.iter_mut().zip(ps) {
+                    s.0 += v.0;
+                    s.1 += v.1;
+                }
+            }
+            (cells, sums)
+        };
+        for s in 0..tile_n {
+            let cell_row = &mut cells[s * pair_len..(s + 1) * pair_len];
+            // Depositing a zero sum is the integer identity, so untouched
+            // slots need no skip logic (unlike the f32 ±0.0 subtlety).
+            deposit_zero_sums::<C>(&qb.zero_pair, sums[s].0, sums[s].1, cell_row);
+            let slot = tile_lo + s;
+            dequantize_cells_into::<C>(
+                cell_row,
+                meta,
+                grads,
+                &mut out[slot * row_len..(slot + 1) * row_len],
+            );
+        }
+        tile_lo = tile_hi;
+    }
+    out
+}
+
+/// Accumulates rows `lo..hi` whose slot falls inside the current tile.
+/// 2 wrapping read-modify-writes per CSR entry.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_tile<C: PairCell>(
+    binned: &BinnedShard,
+    qb: &QuantBinned,
+    grads: &QuantizedGrads,
+    slots: &[u32],
+    lo: usize,
+    hi: usize,
+    tile_lo: usize,
+    tile_hi: usize,
+    pair_len: usize,
+    cells: &mut [C],
+    sums: &mut [(i64, i64)],
+) {
+    for (i, &slot) in slots.iter().enumerate().take(hi).skip(lo) {
+        if slot == NO_NODE {
+            continue;
+        }
+        let s = slot as usize;
+        if s < tile_lo || s >= tile_hi {
+            continue;
+        }
+        let rel = s - tile_lo;
+        let (gc, hc) = grads.codes(i);
+        sums[rel].0 += gc;
+        sums[rel].1 += hc;
+        let base = rel * pair_len;
+        let packed = C::pack(gc, hc);
+        for e in binned.indptr[i]..binned.indptr[i + 1] {
+            let p = base + qb.pair_elem[e] as usize;
+            cells[p] = cells[p].add(packed);
+            let z = base + qb.zero_elem[e] as usize;
+            cells[z] = cells[z].sub(packed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,5 +642,122 @@ mod tests {
             counts: vec![0],
         };
         build_layer(&binned, &positions, &grads, &meta, 16, 1);
+    }
+
+    // --- quantized layer kernel ---
+
+    use crate::hist_build::build_quantized;
+
+    fn quant_setup(
+        n: usize,
+        m: usize,
+        bits: u8,
+    ) -> (BinnedShard, QuantBinned, QuantizedGrads, FeatureMeta) {
+        let (ds, meta, grads) = setup(n, m);
+        let binned = BinnedShard::build(&ds, &meta);
+        let qb = QuantBinned::build(&binned, &meta);
+        let qg = QuantizedGrads::quantize(&grads, bits);
+        (binned, qb, qg, meta)
+    }
+
+    #[test]
+    fn quantized_layer_bit_equals_per_node_for_any_threads_and_batch() {
+        let (binned, qb, qg, meta) = quant_setup(400, 30, 12);
+        let positions = partition(400, 5);
+        let row_len = meta.layout().row_len();
+        let max_rows = positions.counts.iter().copied().max().unwrap();
+        let mode = acc_mode_for(max_rows, qg.max_code());
+        let reference: Vec<Vec<f32>> = (0..positions.counts.len())
+            .map(|s| {
+                let instances: Vec<u32> = positions
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &slot)| slot == s as u32)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                build_quantized(&binned, &qb, &instances, &qg, &meta, mode)
+            })
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            for batch_size in [7usize, 64, 1000] {
+                let (block, stats) = build_layer_quantized(
+                    &binned, &qb, &positions, &qg, &meta, batch_size, threads,
+                );
+                assert_eq!(stats.mode, mode);
+                for (s, expected) in reference.iter().enumerate() {
+                    // assert_eq on f32 bits: integer accumulation makes the
+                    // fused block independent of threads AND batch size, and
+                    // structurally equal to the per-node quantized build.
+                    assert_eq!(
+                        &block[s * row_len..(s + 1) * row_len],
+                        expected.as_slice(),
+                        "slot {s} threads={threads} batch={batch_size}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_tiling_does_not_change_the_block() {
+        let (binned, qb, qg, meta) = quant_setup(300, 25, 10);
+        let positions = partition(300, 6);
+        // Reference: one tile covering all slots.
+        let whole = quantized_block::<i64>(&binned, &qb, &positions, &qg, &meta, 37, 4, 6);
+        for tile in [1usize, 2, 4, 5] {
+            let tiled = quantized_block::<i64>(&binned, &qb, &positions, &qg, &meta, 37, 4, tile);
+            assert_eq!(tiled, whole, "tile={tile}");
+        }
+    }
+
+    #[test]
+    fn quant_tile_heuristic_fits_budget_and_covers_edge_cases() {
+        // pair_len 2000 → wide cells 16 000 B per slot → ⌊1 MiB / 16 000⌋
+        // = 65 slots per tile.
+        assert_eq!(quant_tile_nodes(2000, 100), 65);
+        // Huge rows never drop below one slot per tile.
+        assert_eq!(quant_tile_nodes(10_000_000, 4), 1);
+        // Small layers are a single tile.
+        assert_eq!(quant_tile_nodes(50, 8), 8);
+        assert_eq!(quant_tile_nodes(0, 8), 8);
+        assert_eq!(quant_tile_nodes(2000, 0), 0);
+        // Reported tile matches what the kernel actually uses.
+        let (binned, qb, qg, meta) = quant_setup(100, 20, 8);
+        let positions = partition(100, 4);
+        let (_, stats) = build_layer_quantized(&binned, &qb, &positions, &qg, &meta, 32, 2);
+        assert_eq!(stats.tile_nodes, quant_tile_nodes(qb.pair_len(), 4));
+    }
+
+    #[test]
+    fn quantized_layer_narrow_mode_engages_and_matches_wide() {
+        // 8-bit codes, ≤ 160 rows per slot → 160 · 127 ≪ 32 767: narrow.
+        let (binned, qb, qg, meta) = quant_setup(300, 20, 8);
+        let positions = partition(300, 2);
+        let (block, stats) = build_layer_quantized(&binned, &qb, &positions, &qg, &meta, 64, 4);
+        assert_eq!(stats.mode, AccMode::Narrow);
+        let wide = quantized_block::<i64>(
+            &binned,
+            &qb,
+            &positions,
+            &qg,
+            &meta,
+            64,
+            4,
+            stats.tile_nodes,
+        );
+        assert_eq!(block, wide);
+    }
+
+    #[test]
+    fn quantized_empty_build_set_yields_empty_block() {
+        let (binned, qb, qg, meta) = quant_setup(50, 10, 8);
+        let positions = LayerPositions {
+            slots: vec![NO_NODE; 50],
+            counts: Vec::new(),
+        };
+        let (block, stats) = build_layer_quantized(&binned, &qb, &positions, &qg, &meta, 16, 4);
+        assert!(block.is_empty());
+        assert_eq!(stats.tile_nodes, 0);
     }
 }

@@ -10,9 +10,20 @@
 //!   entries (adding to their bucket and *subtracting* from the zero
 //!   bucket), then deposit the accumulated sums into every feature's zero
 //!   bucket. `O(z·N + M)` where `z` is the mean nonzeros per instance.
+//!
+//! A third, non-paper builder family accumulates **fixed-point integers**
+//! instead of f32 ([`build_quantized`], plus the layer-fused variant in
+//! [`crate::fused`]): gradients are pre-quantized once per tree
+//! ([`QuantizedGrads`]) and each histogram cell holds a *packed* G/H code
+//! pair in one integer, so integer addition — associative and commutative —
+//! replaces float addition and the result is bit-identical under **any**
+//! thread count, batch size, or merge order. DESIGN.md §15 documents the
+//! format and the overflow bounds.
 
 use dimboost_data::Dataset;
+use dimboost_ps::quantize::levels;
 
+use crate::binned::BinnedShard;
 use crate::loss::GradPair;
 use crate::meta::FeatureMeta;
 
@@ -117,6 +128,390 @@ pub fn build_row(
         build_dense(shard, instances, grads, meta, &mut out, &mut scratch);
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Quantized integer accumulation (extension; DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Largest magnitude a 16-bit accumulator lane can hold: `i16::MAX`.
+///
+/// The narrow mode is legal exactly when `rows_in_node · max_code` stays at
+/// or below this bound (see [`acc_mode_for`]); one past it must promote to
+/// the wide mode.
+pub const NARROW_LANE_MAX: u64 = i16::MAX as u64; // 32_767
+
+/// Accumulator cell width for the quantized histogram path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccMode {
+    /// `i32` cells with two 16-bit lanes — half the cell traffic, legal only
+    /// under the [`NARROW_LANE_MAX`] bound.
+    Narrow,
+    /// `i64` cells with two 32-bit lanes — always legal under the
+    /// [`effective_quant_bits`] row-count guard.
+    Wide,
+}
+
+impl AccMode {
+    /// Bytes per packed G/H cell in this mode.
+    pub fn cell_bytes(self) -> usize {
+        match self {
+            AccMode::Narrow => 4,
+            AccMode::Wide => 8,
+        }
+    }
+}
+
+/// Overflow promotion rule: the narrow (16-bit-lane) accumulator is chosen
+/// iff the worst-case lane magnitude `max_rows · max_code` cannot exceed
+/// [`NARROW_LANE_MAX`]; anything larger *could* overflow a lane and promotes
+/// to [`AccMode::Wide`]. The bound is exact — a node of `max_rows` rows all
+/// quantizing to `±max_code` lands precisely on `max_rows · max_code`.
+pub fn acc_mode_for(max_rows: u64, max_code: u32) -> AccMode {
+    if max_rows.saturating_mul(max_code as u64) <= NARROW_LANE_MAX {
+        AccMode::Narrow
+    } else {
+        AccMode::Wide
+    }
+}
+
+/// Per-layer row-count guard for the wide accumulator: demotes the requested
+/// bit width until `rows · levels(bits) ≤ i32::MAX`, so a 32-bit lane can
+/// never wrap even if every one of `rows` instances quantizes to the extreme
+/// code. `bits` never drops below 2 (a 2-bit code has `levels == 1`, safe
+/// for any `rows ≤ i32::MAX`, and shards are far smaller than that).
+pub fn effective_quant_bits(requested: u8, rows: usize) -> u8 {
+    let mut bits = requested.clamp(2, 16);
+    while bits > 2 && (rows as u64).saturating_mul(levels(bits) as u64) > i32::MAX as u64 {
+        bits -= 1;
+    }
+    bits
+}
+
+/// Per-tree fixed-point gradient/hessian codes.
+///
+/// Scale derivation mirrors the wire quantizer (`dimboost_ps::quantize`):
+/// the scale is the max-abs over the shard's values (same `fold`), and the
+/// grid has [`levels`]`(bits)` positive steps. Unlike the wire path the
+/// rounding here is **deterministic** round-to-nearest (half away from
+/// zero) — stochastic rounding would make histogram bytes depend on RNG
+/// consumption order. G and H get independent scales.
+#[derive(Debug, Clone)]
+pub struct QuantizedGrads {
+    g_codes: Vec<i32>,
+    h_codes: Vec<i32>,
+    g_step: f32,
+    h_step: f32,
+    bits: u8,
+}
+
+impl QuantizedGrads {
+    /// Quantizes one shard's gradient pairs at `bits` (callers should first
+    /// run the width through [`effective_quant_bits`]).
+    pub fn quantize(grads: &[GradPair], bits: u8) -> Self {
+        assert!(
+            (2..=16).contains(&bits),
+            "bit width must be in 2..=16, got {bits}"
+        );
+        let g_scale = grads.iter().fold(0.0f32, |m, p| m.max(p.g.abs()));
+        let h_scale = grads.iter().fold(0.0f32, |m, p| m.max(p.h.abs()));
+        let levels_f = levels(bits) as f32;
+        let max_code = levels(bits) as i32;
+        let code = |v: f32, scale: f32| -> i32 {
+            if scale == 0.0 {
+                return 0;
+            }
+            // Deterministic round-to-nearest; `as i32` saturates (and maps
+            // NaN to 0) so the clamp is belt-and-braces for |v| ≤ scale.
+            ((v / scale * levels_f).round() as i32).clamp(-max_code, max_code)
+        };
+        Self {
+            g_codes: grads.iter().map(|p| code(p.g, g_scale)).collect(),
+            h_codes: grads.iter().map(|p| code(p.h, h_scale)).collect(),
+            g_step: if g_scale == 0.0 {
+                0.0
+            } else {
+                g_scale / levels_f
+            },
+            h_step: if h_scale == 0.0 {
+                0.0
+            } else {
+                h_scale / levels_f
+            },
+            bits,
+        }
+    }
+
+    /// Bit width the codes were quantized at.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Largest code magnitude: `levels(bits)`.
+    pub fn max_code(&self) -> u32 {
+        levels(self.bits)
+    }
+
+    /// Value of one G code step (`scale / levels`).
+    pub fn g_step(&self) -> f32 {
+        self.g_step
+    }
+
+    /// Value of one H code step.
+    pub fn h_step(&self) -> f32 {
+        self.h_step
+    }
+
+    /// Code pair for row `i`.
+    #[inline]
+    pub(crate) fn codes(&self, i: usize) -> (i64, i64) {
+        (self.g_codes[i] as i64, self.h_codes[i] as i64)
+    }
+}
+
+/// Pair-offset view of a [`BinnedShard`] for the packed-cell accumulator.
+///
+/// The f32 layout stores each feature as `[G block][H block]`, so an
+/// entry's G and H cells are `num_buckets` apart. The quantized accumulator
+/// instead keeps **one packed cell per (feature, bucket)** — `pair_len ==
+/// row_len / 2` cells — which halves both the indexed reads (`pair_elem` +
+/// `zero_elem` = 8 bytes/entry vs 12) and the read-modify-writes (2 per
+/// entry vs 4). This derived index is built once per tree alongside the
+/// binned CSR.
+#[derive(Debug, Clone)]
+pub struct QuantBinned {
+    /// Packed-cell offset per CSR entry (parallel to `BinnedShard::g_elem`).
+    pub(crate) pair_elem: Vec<u32>,
+    /// Zero-bucket cell offset per CSR entry: `zero_pair[sf[e]]` resolved
+    /// ahead of time, so the hot loop streams it instead of chasing two
+    /// loads per entry.
+    pub(crate) zero_elem: Vec<u32>,
+    /// Packed-cell offset of each sampled feature's zero bucket.
+    pub(crate) zero_pair: Vec<u32>,
+    /// Cells per histogram row: `Σ_f num_buckets(f) == row_len / 2`.
+    pair_len: usize,
+}
+
+impl QuantBinned {
+    /// Derives the pair offsets from an already-built binned shard.
+    pub fn build(binned: &BinnedShard, meta: &FeatureMeta) -> Self {
+        let layout = meta.layout();
+        // Pair base of feature `sf` is the cumulative bucket count, i.e.
+        // exactly `layout.g_index(sf, 0) / 2` — but derive it independently
+        // so this never relies on the f32 layout's internal offsets.
+        let mut pair_of_g = vec![u32::MAX; layout.row_len()];
+        let mut zero_pair = Vec::with_capacity(meta.num_sampled());
+        let mut base = 0u32;
+        for sf in 0..meta.num_sampled() {
+            let nb = layout.num_buckets(sf);
+            for k in 0..nb {
+                pair_of_g[layout.g_index(sf, k)] = base + k as u32;
+            }
+            zero_pair.push(base + layout.zero_bucket(sf) as u32);
+            base += nb as u32;
+        }
+        let pair_elem: Vec<u32> = binned
+            .g_elem
+            .iter()
+            .map(|&g| {
+                let p = pair_of_g[g as usize];
+                debug_assert_ne!(p, u32::MAX, "g_elem offset outside any G block");
+                p
+            })
+            .collect();
+        // Pre-resolving each entry's zero cell (`zero_pair[sf[e]]`) turns
+        // the hot loop's data-dependent double load into one streamed read,
+        // for 4 bytes/entry — the accumulators are memory-bound, so the
+        // shorter dependency chain is worth the extra array.
+        let zero_elem = binned.sf.iter().map(|&sf| zero_pair[sf as usize]).collect();
+        Self {
+            pair_elem,
+            zero_elem,
+            zero_pair,
+            pair_len: base as usize,
+        }
+    }
+
+    /// Packed cells per histogram row (`row_len / 2`).
+    pub fn pair_len(&self) -> usize {
+        self.pair_len
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.pair_elem.len() + self.zero_elem.len() + self.zero_pair.len()) * 4
+    }
+}
+
+/// A packed G/H accumulator cell: two signed lanes in one integer.
+///
+/// All arithmetic is wrapping (ring mod 2^ring_bits), which makes the sum
+/// of packed values a ring homomorphism: `Σ pack(gᵢ, hᵢ) ≡ pack(ΣG, ΣH)`
+/// regardless of any transient lane borrow, so the *final* cell decodes
+/// exactly whenever the final lane sums fit their lanes — which the
+/// [`acc_mode_for`] / [`effective_quant_bits`] bounds guarantee.
+pub(crate) trait PairCell: Copy + Send + 'static {
+    const ZERO: Self;
+    fn pack(g: i64, h: i64) -> Self;
+    fn add(self, other: Self) -> Self;
+    fn sub(self, other: Self) -> Self;
+    /// Exact lane split: `h` is the sign-extended low lane and `g` is
+    /// recovered as `(cell − h) >> lane_bits`, which corrects the borrow a
+    /// negative `h` lane takes from the `g` lane (naïve `cell >> lane_bits`
+    /// would read `G − 1` whenever `H < 0`).
+    fn unpack(self) -> (i64, i64);
+}
+
+impl PairCell for i64 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn pack(g: i64, h: i64) -> Self {
+        (g << 32).wrapping_add(h)
+    }
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self.wrapping_add(other)
+    }
+    #[inline]
+    fn sub(self, other: Self) -> Self {
+        self.wrapping_sub(other)
+    }
+    #[inline]
+    fn unpack(self) -> (i64, i64) {
+        let h = (self as i32) as i64;
+        let g = self.wrapping_sub(h) >> 32;
+        (g, h)
+    }
+}
+
+impl PairCell for i32 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn pack(g: i64, h: i64) -> Self {
+        ((g as i32) << 16).wrapping_add(h as i32)
+    }
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self.wrapping_add(other)
+    }
+    #[inline]
+    fn sub(self, other: Self) -> Self {
+        self.wrapping_sub(other)
+    }
+    #[inline]
+    fn unpack(self) -> (i64, i64) {
+        let h = (self as i16) as i32;
+        let g = self.wrapping_sub(h) >> 16;
+        (g as i64, h as i64)
+    }
+}
+
+/// Algorithm 2 over packed integer cells: add each nonzero's packed pair to
+/// its bucket cell, subtract it from the feature's zero cell, and return the
+/// total code sums for the zero-bucket deposit. 2 read-modify-writes per
+/// entry (the f32 builders do 4).
+pub(crate) fn accumulate_pairs<C: PairCell>(
+    binned: &BinnedShard,
+    qb: &QuantBinned,
+    grads: &QuantizedGrads,
+    instances: &[u32],
+    cells: &mut [C],
+) -> (i64, i64) {
+    let mut sum_g = 0i64;
+    let mut sum_h = 0i64;
+    for &i in instances {
+        let i = i as usize;
+        let (gc, hc) = grads.codes(i);
+        sum_g += gc;
+        sum_h += hc;
+        let packed = C::pack(gc, hc);
+        for e in binned.indptr[i]..binned.indptr[i + 1] {
+            let p = qb.pair_elem[e] as usize;
+            cells[p] = cells[p].add(packed);
+            let z = qb.zero_elem[e] as usize;
+            cells[z] = cells[z].sub(packed);
+        }
+    }
+    (sum_g, sum_h)
+}
+
+/// Deposits the accumulated code sums into every feature's zero cell
+/// (Algorithm 2 lines 12-15, packed form).
+pub(crate) fn deposit_zero_sums<C: PairCell>(
+    zero_pair: &[u32],
+    sum_g: i64,
+    sum_h: i64,
+    cells: &mut [C],
+) {
+    let packed = C::pack(sum_g, sum_h);
+    for &z in zero_pair {
+        cells[z as usize] = cells[z as usize].add(packed);
+    }
+}
+
+/// Decodes one node's packed cells into an f32 histogram row in layout
+/// order. Shared by the per-node and layer-fused quantized builders so the
+/// f32 conversion (`lane_sum as f32 * step`) runs in the identical order on
+/// both paths — bit-equality between them is structural, not tolerant.
+pub(crate) fn dequantize_cells_into<C: PairCell>(
+    cells: &[C],
+    meta: &FeatureMeta,
+    grads: &QuantizedGrads,
+    out: &mut [f32],
+) {
+    let layout = meta.layout();
+    debug_assert_eq!(out.len(), layout.row_len());
+    let mut base = 0usize;
+    for sf in 0..meta.num_sampled() {
+        let nb = layout.num_buckets(sf);
+        for k in 0..nb {
+            let (g, h) = cells[base + k].unpack();
+            out[layout.g_index(sf, k)] = g as f32 * grads.g_step();
+            out[layout.h_index(sf, k)] = h as f32 * grads.h_step();
+        }
+        base += nb;
+    }
+}
+
+/// Per-node quantized histogram build: packed integer accumulation followed
+/// by one dequantize pass. The integer phase is associative, so the output
+/// depends only on the *set* of instances — not on threads, batching, or
+/// visit order — and is bit-identical to the layer-fused quantized kernel.
+pub fn build_quantized(
+    binned: &BinnedShard,
+    qb: &QuantBinned,
+    instances: &[u32],
+    grads: &QuantizedGrads,
+    meta: &FeatureMeta,
+    mode: AccMode,
+) -> Vec<f32> {
+    let mut out = new_row(meta);
+    match mode {
+        AccMode::Narrow => {
+            debug_assert_eq!(
+                acc_mode_for(instances.len() as u64, grads.max_code()),
+                AccMode::Narrow,
+                "narrow mode requested past the overflow bound"
+            );
+            quantized_into::<i32>(binned, qb, instances, grads, meta, &mut out);
+        }
+        AccMode::Wide => quantized_into::<i64>(binned, qb, instances, grads, meta, &mut out),
+    }
+    out
+}
+
+fn quantized_into<C: PairCell>(
+    binned: &BinnedShard,
+    qb: &QuantBinned,
+    instances: &[u32],
+    grads: &QuantizedGrads,
+    meta: &FeatureMeta,
+    out: &mut [f32],
+) {
+    let mut cells = vec![C::ZERO; qb.pair_len()];
+    let (sum_g, sum_h) = accumulate_pairs::<C>(binned, qb, grads, instances, &mut cells);
+    deposit_zero_sums::<C>(&qb.zero_pair, sum_g, sum_h, &mut cells);
+    dequantize_cells_into::<C>(&cells, meta, grads, out);
 }
 
 #[cfg(test)]
@@ -259,5 +654,234 @@ mod tests {
         assert_eq!(meta.candidates(0).zero_bucket(), 1);
         assert_eq!(row[layout.g_index(0, 0)], 1.0);
         assert_eq!(row[layout.g_index(0, 1)], 0.0);
+    }
+
+    // --- quantized accumulator (DESIGN.md §15) ---
+
+    fn varied_grads(n: usize) -> Vec<GradPair> {
+        (0..n)
+            .map(|i| GradPair {
+                g: ((i % 13) as f32 - 6.0) / 3.0,
+                h: 0.05 + (i % 5) as f32 * 0.3,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_unpack_is_exact_including_negative_low_lane() {
+        // The borrow case: a negative H lane borrows from the G lane in the
+        // packed representation; unpack must still split exactly.
+        for (g, h) in [
+            (0i64, 0i64),
+            (1, -1),
+            (-1, 1),
+            (32_767, -32_767),
+            (-32_767, 32_767),
+            (12_345, -7),
+        ] {
+            assert_eq!(<i32 as PairCell>::pack(g, h).unpack(), (g, h), "narrow");
+        }
+        for (g, h) in [
+            (0i64, 0i64),
+            (1, -1),
+            (i32::MAX as i64, -(i32::MAX as i64)),
+            (-(i32::MAX as i64), i32::MAX as i64),
+            (987_654_321, -123),
+        ] {
+            assert_eq!(<i64 as PairCell>::pack(g, h).unpack(), (g, h), "wide");
+        }
+    }
+
+    #[test]
+    fn packed_accumulation_is_a_ring_homomorphism() {
+        // Mixed-sign code stream whose *partial* sums overflow a lane's
+        // nominal range transiently; the final sums fit, so decode is exact.
+        let stream: Vec<(i64, i64)> = vec![(30_000, 1), (-29_999, -2), (5, 1), (-4, 1)];
+        let (expect_g, expect_h) = stream
+            .iter()
+            .fold((0i64, 0i64), |(g, h), &(dg, dh)| (g + dg, h + dh));
+        let mut narrow = <i32 as PairCell>::ZERO;
+        let mut wide = <i64 as PairCell>::ZERO;
+        for &(g, h) in &stream {
+            narrow = narrow.add(<i32 as PairCell>::pack(g, h));
+            wide = wide.add(<i64 as PairCell>::pack(g, h));
+        }
+        assert_eq!(narrow.unpack(), (expect_g, expect_h));
+        assert_eq!(wide.unpack(), (expect_g, expect_h));
+    }
+
+    #[test]
+    fn narrow_promotion_triggers_exactly_at_documented_bound() {
+        // NARROW_LANE_MAX == 32_767: the rule is `rows · max_code ≤ bound`.
+        assert_eq!(acc_mode_for(32_767, 1), AccMode::Narrow);
+        assert_eq!(acc_mode_for(32_768, 1), AccMode::Wide);
+        assert_eq!(acc_mode_for(1, 32_767), AccMode::Narrow);
+        // 3 · 10_922 = 32_766 ≤ bound; 3 · 10_923 = 32_769 > bound.
+        assert_eq!(acc_mode_for(3, 10_922), AccMode::Narrow);
+        assert_eq!(acc_mode_for(3, 10_923), AccMode::Wide);
+        // Saturating product: absurd row counts must not wrap back to Narrow.
+        assert_eq!(acc_mode_for(u64::MAX, 2), AccMode::Wide);
+        // Zero rows / zero code always fit.
+        assert_eq!(acc_mode_for(0, 32_767), AccMode::Narrow);
+    }
+
+    #[test]
+    fn effective_bits_guard_keeps_wide_lane_exact() {
+        // The wide lane holds sums up to rows · levels(bits); the guard must
+        // demote bits until that product fits i32, and never below 2.
+        for rows in [1usize, 1000, 65_538, 70_000, 10_000_000] {
+            for requested in [2u8, 8, 12, 16] {
+                let eff = effective_quant_bits(requested, rows);
+                assert!((2..=requested.max(2)).contains(&eff));
+                assert!(
+                    eff == 2 || (rows as u64) * (levels(eff) as u64) <= i32::MAX as u64,
+                    "rows={rows} requested={requested} eff={eff}"
+                );
+                // Maximality: one more bit (if available) would overflow.
+                if eff < requested.clamp(2, 16) {
+                    assert!((rows as u64) * (levels(eff + 1) as u64) > i32::MAX as u64);
+                }
+            }
+        }
+        // 16 bits (levels 32_767) fits exactly up to ⌊i32::MAX / 32_767⌋.
+        let limit = (i32::MAX as u64 / 32_767) as usize;
+        assert_eq!(effective_quant_bits(16, limit), 16);
+        assert_eq!(effective_quant_bits(16, limit + 1), 15);
+    }
+
+    #[test]
+    fn quantize_grads_rounds_to_nearest_deterministically() {
+        let grads = vec![
+            GradPair { g: 1.0, h: 2.0 },    // scale definers
+            GradPair { g: -1.0, h: 0.0 },   // extreme negative / zero
+            GradPair { g: 0.2501, h: 1.0 }, // rounds to nearest step
+        ];
+        // bits = 3 → levels = 3, g_step = 1/3.
+        let q = QuantizedGrads::quantize(&grads, 3);
+        assert_eq!(q.bits(), 3);
+        assert_eq!(q.max_code(), 3);
+        assert_eq!(q.codes(0), (3, 3));
+        assert_eq!(q.codes(1), (-3, 0));
+        // 0.2501 / 1.0 * 3 = 0.7503 → rounds to 1; 1.0/2.0*3 = 1.5 rounds
+        // half-away-from-zero to 2.
+        assert_eq!(q.codes(2), (1, 2));
+        assert_eq!(q.g_step(), 1.0 / 3.0);
+        // Re-quantizing is bit-identical (no RNG anywhere).
+        let q2 = QuantizedGrads::quantize(&grads, 3);
+        assert_eq!(q.codes(2), q2.codes(2));
+        assert_eq!(q.g_step().to_bits(), q2.g_step().to_bits());
+    }
+
+    #[test]
+    fn all_zero_grads_quantize_to_zero_codes_and_steps() {
+        let q = QuantizedGrads::quantize(&uniform_grads(10, 0.0, 0.0), 12);
+        assert_eq!(q.codes(0), (0, 0));
+        assert_eq!(q.g_step(), 0.0);
+        assert_eq!(q.h_step(), 0.0);
+    }
+
+    #[test]
+    fn quantized_narrow_equals_wide_bitwise() {
+        let ds = generate(&SparseGenConfig::new(200, 30, 6, 21));
+        let meta = meta_for(&ds, vec![0.25, 0.5, 1.0, 1.5]);
+        let grads = varied_grads(200);
+        // bits = 8 → max_code = 127; 200 · 127 = 25_400 ≤ 32_767, so the
+        // narrow mode is legal for the full instance set.
+        let q = QuantizedGrads::quantize(&grads, 8);
+        assert_eq!(acc_mode_for(200, q.max_code()), AccMode::Narrow);
+        let binned = BinnedShard::build(&ds, &meta);
+        let qb = QuantBinned::build(&binned, &meta);
+        let instances: Vec<u32> = (0..200).collect();
+        let narrow = build_quantized(&binned, &qb, &instances, &q, &meta, AccMode::Narrow);
+        let wide = build_quantized(&binned, &qb, &instances, &q, &meta, AccMode::Wide);
+        // Same integer sums, same dequantize pass → assert_eq on f32 bits.
+        assert_eq!(narrow, wide);
+    }
+
+    #[test]
+    fn quantized_matches_f32_reference_within_derived_tolerance() {
+        let n = 300usize;
+        let ds = generate(&SparseGenConfig::new(n, 40, 8, 5));
+        let meta = meta_for(&ds, vec![0.25, 0.5, 1.0, 1.5]);
+        let grads = varied_grads(n);
+        let bits = 12u8;
+        let q = QuantizedGrads::quantize(&grads, bits);
+        let binned = BinnedShard::build(&ds, &meta);
+        let qb = QuantBinned::build(&binned, &meta);
+        let instances: Vec<u32> = (0..n as u32).collect();
+        let quant = build_quantized(&binned, &qb, &instances, &q, &meta, AccMode::Wide);
+        let reference = build_row(&ds, &instances, &grads, &meta, true);
+        // Tolerance derivation: round-to-nearest puts each row's value
+        // within 0.5·step of code·step (the clamp never binds because
+        // |v| ≤ scale). A cell sums ≤ n rows, so
+        //   |dequant − exact| ≤ n · 0.5 · step
+        // plus f32 evaluation error of the two sums themselves (both are
+        // ≤ n·|v|max ≈ 600, so a few hundred ulp ≈ 1e-2 at that magnitude —
+        // dominated by the quantization term below anyway).
+        let g_tol = n as f32 * 0.5 * q.g_step() + 1e-2;
+        let h_tol = n as f32 * 0.5 * q.h_step() + 1e-2;
+        let layout = meta.layout();
+        for sf in 0..meta.num_sampled() {
+            for k in 0..layout.num_buckets(sf) {
+                let (gi, hi) = (layout.g_index(sf, k), layout.h_index(sf, k));
+                assert!(
+                    (quant[gi] - reference[gi]).abs() <= g_tol,
+                    "G sf={sf} k={k}: {} vs {} (tol {g_tol})",
+                    quant[gi],
+                    reference[gi]
+                );
+                assert!(
+                    (quant[hi] - reference[hi]).abs() <= h_tol,
+                    "H sf={sf} k={k}: {} vs {} (tol {h_tol})",
+                    quant[hi],
+                    reference[hi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_wide_lane_never_wraps_under_row_count_guard() {
+        // Adversarial input: every row quantizes to the extreme code, so
+        // lane sums hit rows · levels(bits) exactly — the guard's bound.
+        let n = 500usize;
+        let insts: Vec<SparseInstance> = (0..n)
+            .map(|_| SparseInstance::new(vec![0], vec![2.0]).unwrap())
+            .collect();
+        let ds = Dataset::from_instances(&insts, vec![0.0; n], 2).unwrap();
+        let meta = meta_for(&ds, vec![-1.0, 1.0]);
+        let grads = uniform_grads(n, 1.5, 1.5); // all at max-abs → code ±levels
+        let bits = effective_quant_bits(16, n);
+        assert_eq!(bits, 16, "500 · 32_767 fits i32 comfortably");
+        let q = QuantizedGrads::quantize(&grads, bits);
+        let binned = BinnedShard::build(&ds, &meta);
+        let qb = QuantBinned::build(&binned, &meta);
+        let instances: Vec<u32> = (0..n as u32).collect();
+        let row = build_quantized(&binned, &qb, &instances, &q, &meta, AccMode::Wide);
+        let layout = meta.layout();
+        // Exact: lane sum is n · max_code, dequantized as (n·L)·(scale/L).
+        let expect = (n as i64 * q.max_code() as i64) as f32 * q.g_step();
+        let bucket = meta.candidates(0).bucket(2.0);
+        assert_eq!(row[layout.g_index(0, bucket)], expect);
+        assert_eq!(row[layout.h_index(0, bucket)], expect);
+    }
+
+    #[test]
+    fn quant_binned_pair_view_matches_layout() {
+        let ds = generate(&SparseGenConfig::new(50, 10, 4, 3));
+        let meta = meta_for(&ds, vec![0.5, 1.0]);
+        let binned = BinnedShard::build(&ds, &meta);
+        let qb = QuantBinned::build(&binned, &meta);
+        let layout = meta.layout();
+        assert_eq!(qb.pair_len() * 2, layout.row_len());
+        assert_eq!(qb.zero_pair.len(), meta.num_sampled());
+        // Every pair offset is the g offset halved-by-construction: feature
+        // blocks are [G][H], so pair base == cumulative buckets == g_base/2.
+        for (e, &p) in qb.pair_elem.iter().enumerate() {
+            let g = binned.g_elem[e] as usize;
+            let sf = binned.sf[e] as usize;
+            let g_base = layout.g_index(sf, 0);
+            assert_eq!(p as usize - (g_base / 2), g - g_base);
+        }
     }
 }

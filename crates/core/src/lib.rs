@@ -54,7 +54,7 @@ pub use model::GbdtModel;
 pub use model_io::{load_model, load_model_file, save_model, save_model_file, ModelIoError};
 pub use node_index::NodeIndex;
 pub use pool::WorkerPool;
-pub use report::{NodeInstances, PhaseReport, RoundRecord, RunReport, SpanTimer};
+pub use report::{NodeInstances, PhaseReport, QuantHistRecord, RoundRecord, RunReport, SpanTimer};
 pub use scheduler::RoundRobinScheduler;
 pub use trainer::{
     train_distributed, train_distributed_continue, train_distributed_resilient,

@@ -19,6 +19,15 @@
 //! [`crate::binned::BinnedShard::build_row_batched`] and the batch scoring
 //! engine in `dimboost-predict`.
 //!
+//! Across *different* `(threads, batch_size)` the f32 builders here only
+//! agree to a float-associativity tolerance — the grouping of additions
+//! changes. That caveat used to apply to every histogram path; it no longer
+//! does. The quantized accumulator ([`crate::hist_build::build_quantized`]
+//! and `fused::build_layer_quantized`, behind `Optimizations::
+//! quantized_hist`) sums fixed-point integers, which are associative, so
+//! its histograms — and the resulting model bytes — are bit-identical
+//! across **any** thread count and batch size (DESIGN.md §15).
+//!
 //! The stripes execute on the persistent [`crate::pool`] (one pool per
 //! process) rather than per-call scoped threads; `threads` here is the
 //! number of *logical stripes*, which the pool's determinism rule keeps

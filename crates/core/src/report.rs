@@ -170,6 +170,24 @@ pub struct RoundRecord {
     /// message chose); `None` (and omitted from JSON) when the run used the
     /// dense exchange.
     pub sparse_frames: Option<SparseWireStats>,
+    /// Quantized-accumulator telemetry (`Optimizations::quantized_hist`);
+    /// `None` (and omitted from JSON) for f32-accumulator runs. Every field
+    /// is a pure function of `(config, shards, layer widths)` — never of
+    /// threads or batch size — so it survives the cross-thread-count
+    /// `report_diff` gate.
+    pub quant_hist: Option<QuantHistRecord>,
+}
+
+/// Telemetry of the quantized histogram accumulator for one round
+/// (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantHistRecord {
+    /// Effective fixed-point bit width (the configured `quant_hist_bits`
+    /// after the per-shard overflow demotion; min across shards).
+    pub bits: u8,
+    /// Largest cache-tile size (in node slots) any layer of the round used
+    /// (see `fused::quant_tile_nodes`).
+    pub tile_nodes: u64,
 }
 
 impl RoundRecord {
@@ -186,6 +204,7 @@ impl RoundRecord {
             split_gains: Vec::new(),
             node_instances: Vec::new(),
             sparse_frames: None,
+            quant_hist: None,
         }
     }
 }
@@ -474,6 +493,14 @@ impl RunReport {
             if let Some(s) = &r.sparse_frames {
                 out.push_str(",\"sparse_frames\":");
                 push_sparse_frames(&mut out, s);
+            }
+            if let Some(q) = &r.quant_hist {
+                // Deterministic in (config, shards, layer widths): safe for
+                // canonical JSON and for cross-thread-count report diffs.
+                out.push_str(&format!(
+                    ",\"quant_hist\":{{\"bits\":{},\"tile_nodes\":{}}}",
+                    q.bits, q.tile_nodes
+                ));
             }
             out.push('}');
         }
@@ -808,6 +835,27 @@ mod tests {
         }
         assert_eq!(other.canonical_json(), canonical);
         assert_ne!(other.json(), report.json());
+    }
+
+    #[test]
+    fn quant_hist_section_only_when_present() {
+        let plain = sample_report();
+        assert!(!plain.json().contains("quant_hist"));
+        assert!(!plain.canonical_json().contains("quant_hist"));
+
+        let mut quantized = plain.clone();
+        quantized.rounds[0].quant_hist = Some(QuantHistRecord {
+            bits: 12,
+            tile_nodes: 16,
+        });
+        let expect = "\"quant_hist\":{\"bits\":12,\"tile_nodes\":16}";
+        // Deterministic telemetry → present in both timed and canonical JSON.
+        assert!(quantized.json().contains(expect));
+        assert!(quantized.canonical_json().contains(expect));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let json = quantized.json();
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
     }
 
     #[test]

@@ -208,6 +208,12 @@ struct Worker {
     index: NodeIndex,
     /// Pre-binned shard (when `Optimizations::pre_binning` is on).
     binned: Option<crate::binned::BinnedShard>,
+    /// Packed-pair offset view of `binned` (when
+    /// `Optimizations::quantized_hist` is on); rebuilt with it.
+    qbinned: Option<crate::hist_build::QuantBinned>,
+    /// Current tree's fixed-point gradient codes (`quantized_hist`),
+    /// re-quantized each NEW_TREE after the gradient pass.
+    qgrads: Option<crate::hist_build::QuantizedGrads>,
     /// Row-subsampling membership for the current tree (`None` = all rows).
     sample_mask: Option<Vec<bool>>,
     rng: StdRng,
@@ -658,6 +664,8 @@ fn train_impl(
             grads_all: vec![GradPair::default(); s.num_rows() * k],
             index: NodeIndex::new(s.num_rows(), 0),
             binned: None,
+            qbinned: None,
+            qgrads: None,
             sample_mask: None,
             rng: match &resume_ck {
                 // Feature subsampling and stochastic rounding continue the
@@ -904,16 +912,41 @@ fn train_impl(
                 for i in 0..shard.num_rows() {
                     wk.grads[i] = wk.grads_all[i * k + class];
                 }
-                if config.opts.pre_binning || config.opts.fused_layer {
+                if config.opts.pre_binning || config.opts.fused_layer || config.opts.quantized_hist
+                {
                     // With sigma = 1 the sampled set (and so the binning) is the
                     // same for every tree; rebuild only when sampling changes it.
                     // The fused layer kernel runs over the binned CSR, so
-                    // `fused_layer` implies the binned representation.
+                    // `fused_layer` implies the binned representation — as does
+                    // `quantized_hist`, whose pair view derives from it.
                     if wk.binned.is_none() || config.feature_sample_ratio < 1.0 {
                         wk.binned = Some(crate::binned::BinnedShard::build(shard, &meta));
+                        wk.qbinned = None;
                     }
                 } else {
                     wk.binned = None;
+                    wk.qbinned = None;
+                }
+                if config.opts.quantized_hist {
+                    if wk.qbinned.is_none() {
+                        wk.qbinned = Some(crate::hist_build::QuantBinned::build(
+                            wk.binned
+                                .as_ref()
+                                .expect("quantized_hist builds the binned shard above"),
+                            &meta,
+                        ));
+                    }
+                    // Re-quantize this tree's gradients: the codes are fixed for
+                    // the whole tree, so one deterministic rounding pass here
+                    // serves every layer. Bits are demoted per shard so a
+                    // 32-bit accumulator lane can never wrap (DESIGN.md §15).
+                    let bits = crate::hist_build::effective_quant_bits(
+                        config.quant_hist_bits,
+                        shard.num_rows(),
+                    );
+                    wk.qgrads = Some(crate::hist_build::QuantizedGrads::quantize(&wk.grads, bits));
+                } else {
+                    wk.qgrads = None;
                 }
                 if subsample {
                     // Stochastic gradient boosting: each tree sees a Bernoulli
@@ -964,13 +997,19 @@ fn train_impl(
                 // build node at once, unless the per-thread blocks would blow
                 // the memory budget — then fall back to per-node builds (still
                 // on the binned shard, which `fused_layer` guarantees exists).
+                // The quantized kernel is exempt from the budget: its node
+                // tiling caps each stripe's working set at
+                // `fused::QUANT_TILE_BUDGET_BYTES` regardless of layer width
+                // (and the fallback would be bit-identical anyway — integer
+                // accumulation makes fused ≡ per-node).
                 let use_fused = config.opts.fused_layer
-                    && build_nodes
-                        .len()
-                        .saturating_mul(row_len)
-                        .saturating_mul(4)
-                        .saturating_mul(config.num_threads.max(1))
-                        <= config.fused_block_budget;
+                    && (config.opts.quantized_hist
+                        || build_nodes
+                            .len()
+                            .saturating_mul(row_len)
+                            .saturating_mul(4)
+                            .saturating_mul(config.num_threads.max(1))
+                            <= config.fused_block_budget);
                 let local_rows: Vec<Vec<(u32, Vec<f32>, u64)>> =
                     timer.phase(Phase::BuildHistogram, &mut workers, |wk| {
                         let shard = &shards[wk.shard_id];
@@ -993,14 +1032,31 @@ fn train_impl(
                                     wk.sample_mask.as_deref(),
                                 )
                             };
-                            let block = crate::fused::build_layer(
-                                binned,
-                                &positions,
-                                &wk.grads,
-                                &meta,
-                                config.batch_size,
-                                config.num_threads,
-                            );
+                            let block = if config.opts.quantized_hist {
+                                let (block, _stats) = crate::fused::build_layer_quantized(
+                                    binned,
+                                    wk.qbinned
+                                        .as_ref()
+                                        .expect("quantized_hist builds the pair view in NEW_TREE"),
+                                    &positions,
+                                    wk.qgrads
+                                        .as_ref()
+                                        .expect("quantized_hist quantizes grads in NEW_TREE"),
+                                    &meta,
+                                    config.batch_size,
+                                    config.num_threads,
+                                );
+                                block
+                            } else {
+                                crate::fused::build_layer(
+                                    binned,
+                                    &positions,
+                                    &wk.grads,
+                                    &meta,
+                                    config.batch_size,
+                                    config.num_threads,
+                                )
+                            };
                             return build_nodes
                                 .iter()
                                 .enumerate()
@@ -1026,7 +1082,30 @@ fn train_impl(
                                     &owned
                                 };
                                 let count = instances.len() as u64;
-                                let row = if let Some(binned) = &wk.binned {
+                                let row = if config.opts.quantized_hist {
+                                    let binned = wk
+                                        .binned
+                                        .as_ref()
+                                        .expect("quantized_hist builds the binned shard");
+                                    let qg = wk
+                                        .qgrads
+                                        .as_ref()
+                                        .expect("quantized_hist quantizes grads in NEW_TREE");
+                                    // Narrow/wide is chosen per node from its own
+                                    // row count; either mode decodes the same
+                                    // exact integer sums, so the choice can never
+                                    // change the output (pinned by tests).
+                                    let mode =
+                                        crate::hist_build::acc_mode_for(count, qg.max_code());
+                                    crate::hist_build::build_quantized(
+                                        binned,
+                                        wk.qbinned.as_ref().expect("pair view built in NEW_TREE"),
+                                        instances,
+                                        qg,
+                                        &meta,
+                                        mode,
+                                    )
+                                } else if let Some(binned) = &wk.binned {
                                     if config.opts.parallel_batch {
                                         binned.build_row_batched(
                                             instances,
@@ -1121,6 +1200,30 @@ fn train_impl(
                         node,
                         instances: node_counts[pos],
                     });
+                }
+                if config.opts.quantized_hist {
+                    // Telemetry only — every field is a pure function of
+                    // (config, shard sizes, layer width), so the record is
+                    // identical across thread counts and batch sizes.
+                    let bits = shards
+                        .iter()
+                        .map(|s| {
+                            crate::hist_build::effective_quant_bits(
+                                config.quant_hist_bits,
+                                s.num_rows(),
+                            )
+                        })
+                        .min()
+                        .unwrap_or(config.quant_hist_bits);
+                    let tile =
+                        crate::fused::quant_tile_nodes(row_len / 2, build_nodes.len()) as u64;
+                    let q = record
+                        .quant_hist
+                        .get_or_insert(crate::report::QuantHistRecord {
+                            bits,
+                            tile_nodes: 0,
+                        });
+                    q.tile_nodes = q.tile_nodes.max(tile);
                 }
                 if w > 1 {
                     let layer_push_bytes = if config.opts.sparse_wire {
@@ -2097,6 +2200,88 @@ mod tests {
         let a = train_distributed(&shards, &plain, ps).unwrap();
         let b = train_distributed(&shards, &binned, ps).unwrap();
         assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn quantized_hist_model_independent_of_path_threads_and_batch() {
+        // The quantized accumulator's integer sums are exact and order-free,
+        // so the model must be bit-identical across per-node vs fused,
+        // any thread count, any batch size — and the timing-free report
+        // (incl. the quant_hist telemetry) must match too.
+        let (train, _) = classification_data();
+        let shards = partition_rows(&train, 3).unwrap();
+        let ps = PsConfig {
+            num_servers: 3,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
+        let mut base = small_config();
+        base.opts.low_precision = false;
+        base.opts.quantized_hist = true;
+        base.num_threads = 1;
+        let reference = train_distributed(&shards, &base, ps).unwrap();
+        assert!(reference.report.rounds[0].quant_hist.is_some());
+
+        for (threads, batch, fused, subtraction) in [
+            (2usize, 25usize, false, false),
+            (4, 10_000, false, false),
+            (2, 25, true, false),
+            (8, 40, true, false),
+            (4, 25, true, true),
+        ] {
+            let mut cfg = base.clone();
+            cfg.num_threads = threads;
+            cfg.batch_size = batch;
+            cfg.opts.fused_layer = fused;
+            cfg.opts.hist_subtraction = subtraction;
+            let out = train_distributed(&shards, &cfg, ps).unwrap();
+            if subtraction {
+                // Subtraction builds different nodes (different telemetry);
+                // model equality is a float-tolerance property of the f32
+                // derive — not asserted here (covered by tests/fused.rs for
+                // the f32 path). Just require training to succeed and stay
+                // quantized.
+                assert!(out.report.rounds[0].quant_hist.is_some());
+                continue;
+            }
+            assert_eq!(
+                out.model, reference.model,
+                "threads={threads} batch={batch} fused={fused}"
+            );
+            assert_eq!(
+                out.report.canonical_json(),
+                reference.report.canonical_json(),
+                "canonical report drifted at threads={threads} batch={batch} fused={fused}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_hist_composes_with_sparse_wire_and_low_precision() {
+        // The dequantized rows feed the existing push paths unchanged, so
+        // dense vs sparse-wire stays bit-identical with quantized
+        // accumulation, at full and at 8-bit push precision.
+        let (train, _) = classification_data();
+        let shards = partition_rows(&train, 2).unwrap();
+        let ps = PsConfig {
+            num_servers: 2,
+            num_partitions: 0,
+            cost_model: CostModel::FREE,
+        };
+        for low_precision in [false, true] {
+            let mut dense = small_config();
+            dense.opts.low_precision = low_precision;
+            dense.opts.quantized_hist = true;
+            let mut sparse = dense.clone();
+            sparse.opts.sparse_wire = true;
+            let a = train_distributed(&shards, &dense, ps).unwrap();
+            let b = train_distributed(&shards, &sparse, ps).unwrap();
+            assert_eq!(
+                a.model, b.model,
+                "sparse wire must stay bit-identical under quantized_hist \
+                 (low_precision={low_precision})"
+            );
+        }
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl QuantizedHistogram {
 
 /// Number of positive quantization levels for a `d`-bit signed code:
 /// `2^(d−1) − 1`.
-pub(crate) fn levels(bits: u8) -> u32 {
+///
+/// Public because the quantized histogram *accumulator*
+/// (`dimboost-core::hist_build`) reuses the exact same level count so its
+/// fixed-point grid matches the wire quantizer's (DESIGN.md §15).
+pub fn levels(bits: u8) -> u32 {
     (1u32 << (bits - 1)) - 1
 }
 
